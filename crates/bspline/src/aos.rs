@@ -1,0 +1,261 @@
+//! `BsplineAoS` — the baseline engine (paper Fig. 4a).
+//!
+//! Faithful port of the optimized-CPU-algorithm baseline in the QMCPACK
+//! distribution: the inner loop runs over all N splines per coefficient
+//! point, but gradients and Hessians are written to *interleaved* AoS
+//! arrays (`g[3n+d]`, `h[9n+r]`). The strided stores are exactly the
+//! gather/scatter pattern the paper's Opt A removes. The VGL kernel also
+//! keeps the baseline's known deficiencies that Opt A fixes alongside the
+//! layout change: no z-unrolling and a temporary workspace allocated per
+//! call.
+
+use crate::output::WalkerAoS;
+use einspline::basis::BasisWeights;
+use einspline::multi::MultiCoefs;
+use einspline::Real;
+
+/// Baseline multi-orbital evaluator with AoS outputs.
+#[derive(Clone, Debug)]
+pub struct BsplineAoS<T: Real> {
+    coefs: MultiCoefs<T>,
+}
+
+impl<T: Real> BsplineAoS<T> {
+    /// Create a new instance.
+    pub fn new(coefs: MultiCoefs<T>) -> Self {
+        Self { coefs }
+    }
+
+    #[inline]
+    /// The underlying coefficient table.
+    pub fn coefs(&self) -> &MultiCoefs<T> {
+        &self.coefs
+    }
+
+    #[inline]
+    /// Number of orbitals N.
+    pub fn n_splines(&self) -> usize {
+        self.coefs.n_splines()
+    }
+
+    /// Values only.
+    pub fn v(&self, pos: [T; 3], out: &mut WalkerAoS<T>) {
+        let p = self.coefs.locate(pos[0], pos[1], pos[2]);
+        let a = einspline::basis::weights(p.tx);
+        let b = einspline::basis::weights(p.ty);
+        let c = einspline::basis::weights(p.tz);
+        out.zero_v();
+        let n = self.n_splines();
+        let v = &mut out.v.as_mut_slice()[..n];
+        for i in 0..4 {
+            for j in 0..4 {
+                for k in 0..4 {
+                    let pre = a[i] * b[j] * c[k];
+                    let line = &self.coefs.line(p.i0 + i, p.j0 + j, p.k0 + k)[..n];
+                    for (vn, &pn) in v.iter_mut().zip(line) {
+                        *vn = pre.mul_add(pn, *vn);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Value + gradient + Laplacian with AoS outputs.
+    ///
+    /// Mirrors the pre-optimization QMCPACK VGL: a 5-stream accumulation
+    /// where the gradient store is 3-strided, plus a per-call temporary
+    /// (the baseline allocated its workspace inside the loop; the paper
+    /// lists hoisting it as one of the VGL-only fixes).
+    pub fn vgl(&self, pos: [T; 3], out: &mut WalkerAoS<T>) {
+        let p = self.coefs.locate(pos[0], pos[1], pos[2]);
+        let dinv = self.coefs.delta_inv();
+        let wa = BasisWeights::new(p.tx, dinv[0]);
+        let wb = BasisWeights::new(p.ty, dinv[1]);
+        let wc = BasisWeights::new(p.tz, dinv[2]);
+        out.zero_vgl();
+        let n = self.n_splines();
+
+        // Baseline wart kept on purpose: fresh workspace every call.
+        let mut tmp = vec![T::ZERO; n];
+
+        let v = &mut out.v.as_mut_slice()[..n];
+        let g = &mut out.g.as_mut_slice()[..3 * n];
+        let l = &mut out.l.as_mut_slice()[..n];
+        for i in 0..4 {
+            for j in 0..4 {
+                for k in 0..4 {
+                    let pv = wa.a[i] * wb.a[j] * wc.a[k];
+                    let pgx = wa.da[i] * wb.a[j] * wc.a[k];
+                    let pgy = wa.a[i] * wb.da[j] * wc.a[k];
+                    let pgz = wa.a[i] * wb.a[j] * wc.da[k];
+                    let pl = wa.d2a[i] * wb.a[j] * wc.a[k]
+                        + wa.a[i] * wb.d2a[j] * wc.a[k]
+                        + wa.a[i] * wb.a[j] * wc.d2a[k];
+                    let line = &self.coefs.line(p.i0 + i, p.j0 + j, p.k0 + k)[..n];
+                    tmp.copy_from_slice(line);
+                    for nn in 0..n {
+                        let pn = tmp[nn];
+                        v[nn] = pv.mul_add(pn, v[nn]);
+                        g[3 * nn] = pgx.mul_add(pn, g[3 * nn]);
+                        g[3 * nn + 1] = pgy.mul_add(pn, g[3 * nn + 1]);
+                        g[3 * nn + 2] = pgz.mul_add(pn, g[3 * nn + 2]);
+                        l[nn] = pl.mul_add(pn, l[nn]);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Value + gradient + Hessian with AoS outputs: 13 accumulation
+    /// streams per coefficient point, 3- and 9-strided stores (Fig. 4a).
+    pub fn vgh(&self, pos: [T; 3], out: &mut WalkerAoS<T>) {
+        let p = self.coefs.locate(pos[0], pos[1], pos[2]);
+        let dinv = self.coefs.delta_inv();
+        let wa = BasisWeights::new(p.tx, dinv[0]);
+        let wb = BasisWeights::new(p.ty, dinv[1]);
+        let wc = BasisWeights::new(p.tz, dinv[2]);
+        out.zero_vgh();
+        let n = self.n_splines();
+
+        let v = &mut out.v.as_mut_slice()[..n];
+        let g = &mut out.g.as_mut_slice()[..3 * n];
+        let h = &mut out.h.as_mut_slice()[..9 * n];
+        for i in 0..4 {
+            for j in 0..4 {
+                for k in 0..4 {
+                    let pv = wa.a[i] * wb.a[j] * wc.a[k];
+                    let pgx = wa.da[i] * wb.a[j] * wc.a[k];
+                    let pgy = wa.a[i] * wb.da[j] * wc.a[k];
+                    let pgz = wa.a[i] * wb.a[j] * wc.da[k];
+                    let hxx = wa.d2a[i] * wb.a[j] * wc.a[k];
+                    let hxy = wa.da[i] * wb.da[j] * wc.a[k];
+                    let hxz = wa.da[i] * wb.a[j] * wc.da[k];
+                    let hyy = wa.a[i] * wb.d2a[j] * wc.a[k];
+                    let hyz = wa.a[i] * wb.da[j] * wc.da[k];
+                    let hzz = wa.a[i] * wb.a[j] * wc.d2a[k];
+                    let line = &self.coefs.line(p.i0 + i, p.j0 + j, p.k0 + k)[..n];
+                    for (nn, &pn) in line.iter().enumerate() {
+                        v[nn] = pv.mul_add(pn, v[nn]);
+                        let gn = &mut g[3 * nn..3 * nn + 3];
+                        gn[0] = pgx.mul_add(pn, gn[0]);
+                        gn[1] = pgy.mul_add(pn, gn[1]);
+                        gn[2] = pgz.mul_add(pn, gn[2]);
+                        let hn = &mut h[9 * nn..9 * nn + 9];
+                        hn[0] = hxx.mul_add(pn, hn[0]);
+                        hn[1] = hxy.mul_add(pn, hn[1]);
+                        hn[2] = hxz.mul_add(pn, hn[2]);
+                        hn[3] = hxy.mul_add(pn, hn[3]);
+                        hn[4] = hyy.mul_add(pn, hn[4]);
+                        hn[5] = hyz.mul_add(pn, hn[5]);
+                        hn[6] = hxz.mul_add(pn, hn[6]);
+                        hn[7] = hyz.mul_add(pn, hn[7]);
+                        hn[8] = hzz.mul_add(pn, hn[8]);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use einspline::{Grid1, MultiCoefs, Spline3};
+
+    fn test_engine(n_splines: usize) -> (BsplineAoS<f64>, Vec<Spline3<f64>>) {
+        let g = Grid1::periodic(0.0, 1.0, 8);
+        let mut multi = MultiCoefs::<f64>::new(g, g, g, n_splines);
+        let mut refs = Vec::new();
+        for s in 0..n_splines {
+            let mut data = vec![0.0f64; 8 * 8 * 8];
+            for (idx, d) in data.iter_mut().enumerate() {
+                *d = ((idx * (s + 3)) as f64 * 0.173).sin();
+            }
+            let sp = Spline3::<f64>::interpolate(g, g, g, &data);
+            multi.set_orbital(s, &sp);
+            refs.push(sp);
+        }
+        (BsplineAoS::new(multi), refs)
+    }
+
+    #[test]
+    fn v_matches_scalar_reference() {
+        let (engine, refs) = test_engine(5);
+        let mut out = WalkerAoS::new(5);
+        let pos = [0.312f64, 0.741, 0.155];
+        engine.v(pos, &mut out);
+        for (n, r) in refs.iter().enumerate() {
+            let expect = r.value(pos[0], pos[1], pos[2]);
+            assert!(
+                (out.value(n) - expect).abs() < 1e-12,
+                "orbital {n}: {} vs {expect}",
+                out.value(n)
+            );
+        }
+    }
+
+    #[test]
+    fn vgh_matches_scalar_reference() {
+        let (engine, refs) = test_engine(3);
+        let mut out = WalkerAoS::new(3);
+        let pos = [0.62f64, 0.09, 0.48];
+        engine.vgh(pos, &mut out);
+        for (n, r) in refs.iter().enumerate() {
+            let e = r.vgh(pos[0], pos[1], pos[2]);
+            assert!((out.value(n) - e.v).abs() < 1e-12);
+            let grad = out.gradient(n);
+            for d in 0..3 {
+                assert!((grad[d] - e.g[d]).abs() < 1e-10, "g[{d}]");
+            }
+            let hess = out.hessian(n);
+            for r6 in 0..6 {
+                assert!((hess[r6] - e.h[r6]).abs() < 1e-9, "h[{r6}]");
+            }
+        }
+    }
+
+    #[test]
+    fn vgl_laplacian_equals_vgh_trace() {
+        let (engine, _) = test_engine(4);
+        let mut out_l = WalkerAoS::new(4);
+        let mut out_h = WalkerAoS::new(4);
+        let pos = [0.23f64, 0.87, 0.52];
+        engine.vgl(pos, &mut out_l);
+        engine.vgh(pos, &mut out_h);
+        for n in 0..4 {
+            assert!((out_l.value(n) - out_h.value(n)).abs() < 1e-13);
+            let (gl, gh) = (out_l.gradient(n), out_h.gradient(n));
+            for d in 0..3 {
+                assert!((gl[d] - gh[d]).abs() < 1e-12);
+            }
+            assert!(
+                (out_l.laplacian(n) - out_h.hessian_trace(n)).abs() < 1e-10,
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn hessian_storage_is_symmetric() {
+        let (engine, _) = test_engine(2);
+        let mut out = WalkerAoS::new(2);
+        engine.vgh([0.5, 0.5, 0.5], &mut out);
+        for n in 0..2 {
+            let h = &out.h.as_slice()[9 * n..9 * n + 9];
+            assert_eq!(h[1], h[3]);
+            assert_eq!(h[2], h[6]);
+            assert_eq!(h[5], h[7]);
+        }
+    }
+
+    #[test]
+    fn repeated_eval_overwrites() {
+        let (engine, _) = test_engine(2);
+        let mut out = WalkerAoS::new(2);
+        engine.vgh([0.1, 0.2, 0.3], &mut out);
+        let first = out.value(0);
+        engine.vgh([0.9, 0.8, 0.7], &mut out);
+        engine.vgh([0.1, 0.2, 0.3], &mut out);
+        assert_eq!(out.value(0), first);
+    }
+}

@@ -1,0 +1,224 @@
+//! A common interface over the three evaluation engines so drivers,
+//! benches and tests can be written once per kernel instead of once per
+//! layout.
+
+use crate::aos::BsplineAoS;
+use crate::aosoa::BsplineAoSoA;
+use crate::layout::{Kernel, Layout};
+use crate::output::{WalkerAoS, WalkerSoA, WalkerTiled};
+use einspline::Real;
+
+/// A multi-orbital SPO evaluator with layout-specific output buffers.
+pub trait SpoEngine<T: Real>: Send + Sync {
+    /// Per-walker output block type (the paper's `WalkerAoS`/`WalkerSoA`).
+    type Out: Send + Clone;
+
+    /// Number of orbitals N.
+    fn n_splines(&self) -> usize;
+
+    /// Which data layout this engine implements.
+    fn layout(&self) -> Layout;
+
+    /// Physical evaluation domain per dimension (for sampling random
+    /// positions).
+    fn domain(&self) -> [(f64, f64); 3];
+
+    /// Allocate a matching output block.
+    fn make_out(&self) -> Self::Out;
+
+    /// Values only.
+    fn v(&self, pos: [T; 3], out: &mut Self::Out);
+
+    /// Value + gradient + Laplacian.
+    fn vgl(&self, pos: [T; 3], out: &mut Self::Out);
+
+    /// Value + gradient + Hessian.
+    fn vgh(&self, pos: [T; 3], out: &mut Self::Out);
+
+    /// Dispatch by kernel tag.
+    #[inline]
+    fn eval(&self, kernel: Kernel, pos: [T; 3], out: &mut Self::Out) {
+        match kernel {
+            Kernel::V => self.v(pos, out),
+            Kernel::Vgl => self.vgl(pos, out),
+            Kernel::Vgh => self.vgh(pos, out),
+        }
+    }
+}
+
+fn grids_domain<T: Real>(coefs: &einspline::MultiCoefs<T>) -> [(f64, f64); 3] {
+    let (gx, gy, gz) = coefs.grids();
+    [
+        (gx.start(), gx.end()),
+        (gy.start(), gy.end()),
+        (gz.start(), gz.end()),
+    ]
+}
+
+impl<T: Real> SpoEngine<T> for BsplineAoS<T> {
+    type Out = WalkerAoS<T>;
+
+    fn n_splines(&self) -> usize {
+        BsplineAoS::n_splines(self)
+    }
+
+    fn layout(&self) -> Layout {
+        Layout::Aos
+    }
+
+    fn domain(&self) -> [(f64, f64); 3] {
+        grids_domain(self.coefs())
+    }
+
+    fn make_out(&self) -> WalkerAoS<T> {
+        WalkerAoS::new(self.n_splines())
+    }
+
+    fn v(&self, pos: [T; 3], out: &mut WalkerAoS<T>) {
+        BsplineAoS::v(self, pos, out)
+    }
+
+    fn vgl(&self, pos: [T; 3], out: &mut WalkerAoS<T>) {
+        BsplineAoS::vgl(self, pos, out)
+    }
+
+    fn vgh(&self, pos: [T; 3], out: &mut WalkerAoS<T>) {
+        BsplineAoS::vgh(self, pos, out)
+    }
+}
+
+impl<T: Real> SpoEngine<T> for crate::soa::BsplineSoA<T> {
+    type Out = WalkerSoA<T>;
+
+    fn n_splines(&self) -> usize {
+        crate::soa::BsplineSoA::n_splines(self)
+    }
+
+    fn layout(&self) -> Layout {
+        Layout::Soa
+    }
+
+    fn domain(&self) -> [(f64, f64); 3] {
+        grids_domain(self.coefs())
+    }
+
+    fn make_out(&self) -> WalkerSoA<T> {
+        WalkerSoA::new(self.n_splines())
+    }
+
+    fn v(&self, pos: [T; 3], out: &mut WalkerSoA<T>) {
+        crate::soa::BsplineSoA::v(self, pos, out)
+    }
+
+    fn vgl(&self, pos: [T; 3], out: &mut WalkerSoA<T>) {
+        crate::soa::BsplineSoA::vgl(self, pos, out)
+    }
+
+    fn vgh(&self, pos: [T; 3], out: &mut WalkerSoA<T>) {
+        crate::soa::BsplineSoA::vgh(self, pos, out)
+    }
+}
+
+impl<T: Real> SpoEngine<T> for BsplineAoSoA<T> {
+    type Out = WalkerTiled<T>;
+
+    fn n_splines(&self) -> usize {
+        BsplineAoSoA::n_splines(self)
+    }
+
+    fn layout(&self) -> Layout {
+        Layout::AoSoA
+    }
+
+    fn domain(&self) -> [(f64, f64); 3] {
+        grids_domain(self.tiles()[0].coefs())
+    }
+
+    fn make_out(&self) -> WalkerTiled<T> {
+        BsplineAoSoA::make_out(self)
+    }
+
+    fn v(&self, pos: [T; 3], out: &mut WalkerTiled<T>) {
+        BsplineAoSoA::v(self, pos, out)
+    }
+
+    fn vgl(&self, pos: [T; 3], out: &mut WalkerTiled<T>) {
+        BsplineAoSoA::vgl(self, pos, out)
+    }
+
+    fn vgh(&self, pos: [T; 3], out: &mut WalkerTiled<T>) {
+        BsplineAoSoA::vgh(self, pos, out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use einspline::{Grid1, MultiCoefs};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn table(n: usize) -> MultiCoefs<f32> {
+        let g = Grid1::periodic(0.0, 2.0, 6);
+        let mut m = MultiCoefs::<f32>::new(g, g, g, n);
+        m.fill_random(&mut StdRng::seed_from_u64(11));
+        m
+    }
+
+    fn eval_values<E: SpoEngine<f32>>(e: &E, k: Kernel) -> Vec<f32>
+    where
+        E::Out: ValueView,
+    {
+        let mut out = e.make_out();
+        e.eval(k, [0.3, 0.6, 1.2], &mut out);
+        (0..e.n_splines()).map(|n| out.value_at(n)).collect()
+    }
+
+    trait ValueView {
+        fn value_at(&self, n: usize) -> f32;
+    }
+    impl ValueView for WalkerAoS<f32> {
+        fn value_at(&self, n: usize) -> f32 {
+            self.value(n)
+        }
+    }
+    impl ValueView for WalkerSoA<f32> {
+        fn value_at(&self, n: usize) -> f32 {
+            self.value(n)
+        }
+    }
+    impl ValueView for WalkerTiled<f32> {
+        fn value_at(&self, n: usize) -> f32 {
+            self.value(n)
+        }
+    }
+
+    #[test]
+    fn all_engines_agree_through_the_trait() {
+        let t = table(24);
+        let aos = BsplineAoS::new(t.clone());
+        let soa = crate::soa::BsplineSoA::new(t.clone());
+        let tiled = BsplineAoSoA::from_multi(&t, 8);
+        for k in Kernel::ALL {
+            let va = eval_values(&aos, k);
+            let vs = eval_values(&soa, k);
+            let vt = eval_values(&tiled, k);
+            for n in 0..24 {
+                assert!((va[n] - vs[n]).abs() < 1e-4, "{k} n={n}");
+                assert_eq!(vs[n], vt[n], "{k} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn layouts_and_domain_are_reported() {
+        let t = table(8);
+        let aos = BsplineAoS::new(t.clone());
+        let soa = crate::soa::BsplineSoA::new(t.clone());
+        let tiled = BsplineAoSoA::from_multi(&t, 4);
+        assert_eq!(SpoEngine::<f32>::layout(&aos), Layout::Aos);
+        assert_eq!(SpoEngine::<f32>::layout(&soa), Layout::Soa);
+        assert_eq!(SpoEngine::<f32>::layout(&tiled), Layout::AoSoA);
+        assert_eq!(SpoEngine::<f32>::domain(&tiled)[0], (0.0, 2.0));
+    }
+}

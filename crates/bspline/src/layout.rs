@@ -1,0 +1,121 @@
+//! Names for the paper's data layouts, kernels and optimization steps —
+//! shared vocabulary between the engines, the benchmark harness and the
+//! cache-simulator trace generator.
+
+use std::fmt;
+
+/// Memory layout of the SPO evaluation (paper Sec. V).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Layout {
+    /// Baseline: interleaved gradients `g[3N]` / Hessians `h[9N]`
+    /// (Fig. 4a).
+    Aos,
+    /// Opt A: one contiguous stream per component, symmetric Hessian
+    /// (Fig. 4b).
+    Soa,
+    /// Opt B: SoA split into tiles of `Nb` splines (Sec. V-B).
+    AoSoA,
+}
+
+impl Layout {
+    /// All layouts in optimization order.
+    pub const ALL: [Layout; 3] = [Layout::Aos, Layout::Soa, Layout::AoSoA];
+}
+
+impl fmt::Display for Layout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Layout::Aos => "AoS",
+            Layout::Soa => "SoA",
+            Layout::AoSoA => "AoSoA",
+        })
+    }
+}
+
+/// The three B-spline evaluation kernels (paper Sec. IV).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Kernel {
+    /// Values only (pseudopotential local-energy path).
+    V,
+    /// Value + gradient + Laplacian (drift-diffusion, LCAO-type cells).
+    Vgl,
+    /// Value + gradient + Hessian (drift-diffusion, general cells).
+    Vgh,
+}
+
+impl Kernel {
+    /// All kernels in paper order.
+    pub const ALL: [Kernel; 3] = [Kernel::V, Kernel::Vgl, Kernel::Vgh];
+
+    /// Output components per orbital in the given layout
+    /// (paper: 13 AoS / 10 SoA for VGH; 5 for VGL; 1 for V).
+    pub fn components(self, layout: Layout) -> usize {
+        match (self, layout) {
+            (Kernel::V, _) => 1,
+            (Kernel::Vgl, _) => 5,
+            (Kernel::Vgh, Layout::Aos) => 13,
+            (Kernel::Vgh, _) => 10,
+        }
+    }
+}
+
+impl fmt::Display for Kernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Kernel::V => "V",
+            Kernel::Vgl => "VGL",
+            Kernel::Vgh => "VGH",
+        })
+    }
+}
+
+/// The paper's cumulative optimization steps (Table IV rows).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum OptStep {
+    /// Baseline AoS implementation.
+    Baseline,
+    /// Opt A: AoS→SoA output transformation.
+    A,
+    /// Opt B: AoSoA tiling on top of A.
+    B,
+    /// Opt C: nested threading over tiles on top of B.
+    C,
+}
+
+impl fmt::Display for OptStep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            OptStep::Baseline => "baseline",
+            OptStep::A => "A (SoA)",
+            OptStep::B => "B (AoSoA)",
+            OptStep::C => "C (nested)",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn component_counts_match_paper() {
+        assert_eq!(Kernel::Vgh.components(Layout::Aos), 13);
+        assert_eq!(Kernel::Vgh.components(Layout::Soa), 10);
+        assert_eq!(Kernel::Vgh.components(Layout::AoSoA), 10);
+        assert_eq!(Kernel::Vgl.components(Layout::Aos), 5);
+        assert_eq!(Kernel::V.components(Layout::Soa), 1);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Layout::AoSoA.to_string(), "AoSoA");
+        assert_eq!(Kernel::Vgl.to_string(), "VGL");
+        assert_eq!(OptStep::B.to_string(), "B (AoSoA)");
+    }
+
+    #[test]
+    fn all_lists_are_complete() {
+        assert_eq!(Layout::ALL.len(), 3);
+        assert_eq!(Kernel::ALL.len(), 3);
+    }
+}

@@ -1,0 +1,378 @@
+//! Per-walker output buffers (the paper's `WalkerAoS` / `WalkerSoA`
+//! classes, Fig. 3 L6 and Fig. 6 L2).
+//!
+//! Each walker owns one set of output arrays that every kernel call
+//! overwrites. The AoS variant interleaves vector components
+//! (`g[3n+d]`, `h[9n+r]`); the SoA variant keeps one aligned, padded
+//! stream per component and exploits Hessian symmetry (6 streams).
+//! Both expose the same logical accessors so tests and the determinant
+//! code can compare layouts directly.
+
+use einspline::aligned::AlignedVec;
+use einspline::Real;
+
+/// Baseline AoS output block: `v[N]`, `g[3N]`, `l[N]`, `h[9N]`.
+#[derive(Clone, Debug)]
+pub struct WalkerAoS<T: Real> {
+    n: usize,
+    /// Orbital values.
+    pub v: AlignedVec<T>,
+    /// Gradients interleaved `[x y z | x y z | …]`.
+    pub g: AlignedVec<T>,
+    /// Laplacians (filled by VGL).
+    pub l: AlignedVec<T>,
+    /// Full 3×3 Hessians interleaved row-major (filled by VGH).
+    pub h: AlignedVec<T>,
+}
+
+impl<T: Real> WalkerAoS<T> {
+    /// Create a new instance.
+    pub fn new(n: usize) -> Self {
+        Self {
+            n,
+            v: AlignedVec::zeroed(n),
+            g: AlignedVec::zeroed(3 * n),
+            l: AlignedVec::zeroed(n),
+            h: AlignedVec::zeroed(9 * n),
+        }
+    }
+
+    #[inline]
+    /// Number of orbitals N.
+    pub fn n_splines(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    /// Value of orbital `n`.
+    pub fn value(&self, n: usize) -> T {
+        self.v[n]
+    }
+
+    #[inline]
+    /// Gradient of orbital `n`.
+    pub fn gradient(&self, n: usize) -> [T; 3] {
+        [self.g[3 * n], self.g[3 * n + 1], self.g[3 * n + 2]]
+    }
+
+    #[inline]
+    /// Laplacian of orbital `n` (VGL path).
+    pub fn laplacian(&self, n: usize) -> T {
+        self.l[n]
+    }
+
+    /// Symmetric Hessian in `xx xy xz yy yz zz` order (from the full
+    /// 3×3 storage).
+    #[inline]
+    pub fn hessian(&self, n: usize) -> [T; 6] {
+        let h = &self.h.as_slice()[9 * n..9 * n + 9];
+        [h[0], h[1], h[2], h[4], h[5], h[8]]
+    }
+
+    /// Laplacian recovered from the Hessian trace (VGH path).
+    #[inline]
+    pub fn hessian_trace(&self, n: usize) -> T {
+        let h = &self.h.as_slice()[9 * n..9 * n + 9];
+        h[0] + h[4] + h[8]
+    }
+
+    /// Clear the V-kernel outputs.
+    pub fn zero_v(&mut self) {
+        self.v.fill_default();
+    }
+
+    /// Clear the VGL-kernel outputs.
+    pub fn zero_vgl(&mut self) {
+        self.v.fill_default();
+        self.g.fill_default();
+        self.l.fill_default();
+    }
+
+    /// Clear the VGH-kernel outputs.
+    pub fn zero_vgh(&mut self) {
+        self.v.fill_default();
+        self.g.fill_default();
+        self.h.fill_default();
+    }
+}
+
+/// SoA output block: aligned unit-stride streams per component, padded to
+/// a cache-line multiple. Hessian is symmetric: `xx xy xz yy yz zz`.
+#[derive(Clone, Debug)]
+pub struct WalkerSoA<T: Real> {
+    n: usize,
+    /// Orbital values.
+    pub v: AlignedVec<T>,
+    /// Gradient component streams.
+    pub gx: AlignedVec<T>,
+    /// Gradient y-component stream.
+    pub gy: AlignedVec<T>,
+    /// Gradient z-component stream.
+    pub gz: AlignedVec<T>,
+    /// Laplacians (filled by VGL).
+    pub l: AlignedVec<T>,
+    /// Symmetric Hessian streams (filled by VGH).
+    pub hxx: AlignedVec<T>,
+    /// Hessian xy stream.
+    pub hxy: AlignedVec<T>,
+    /// Hessian xz stream.
+    pub hxz: AlignedVec<T>,
+    /// Hessian yy stream.
+    pub hyy: AlignedVec<T>,
+    /// Hessian yz stream.
+    pub hyz: AlignedVec<T>,
+    /// Hessian zz stream.
+    pub hzz: AlignedVec<T>,
+}
+
+impl<T: Real> WalkerSoA<T> {
+    /// Create a new instance.
+    pub fn new(n: usize) -> Self {
+        let alloc = || AlignedVec::zeroed_padded(n);
+        Self {
+            n,
+            v: alloc(),
+            gx: alloc(),
+            gy: alloc(),
+            gz: alloc(),
+            l: alloc(),
+            hxx: alloc(),
+            hxy: alloc(),
+            hxz: alloc(),
+            hyy: alloc(),
+            hyz: alloc(),
+            hzz: alloc(),
+        }
+    }
+
+    #[inline]
+    /// Number of orbitals N.
+    pub fn n_splines(&self) -> usize {
+        self.n
+    }
+
+    /// Padded stream length (innermost loop trip count).
+    #[inline]
+    pub fn stride(&self) -> usize {
+        self.v.len()
+    }
+
+    #[inline]
+    /// Value of orbital `n`.
+    pub fn value(&self, n: usize) -> T {
+        self.v[n]
+    }
+
+    #[inline]
+    /// Gradient of orbital `n`.
+    pub fn gradient(&self, n: usize) -> [T; 3] {
+        [self.gx[n], self.gy[n], self.gz[n]]
+    }
+
+    #[inline]
+    /// Laplacian of orbital `n` (VGL path).
+    pub fn laplacian(&self, n: usize) -> T {
+        self.l[n]
+    }
+
+    #[inline]
+    /// Symmetric Hessian of orbital `n` (`xx xy xz yy yz zz`).
+    pub fn hessian(&self, n: usize) -> [T; 6] {
+        [
+            self.hxx[n],
+            self.hxy[n],
+            self.hxz[n],
+            self.hyy[n],
+            self.hyz[n],
+            self.hzz[n],
+        ]
+    }
+
+    #[inline]
+    /// Laplacian recovered from the Hessian trace (VGH path).
+    pub fn hessian_trace(&self, n: usize) -> T {
+        self.hxx[n] + self.hyy[n] + self.hzz[n]
+    }
+
+    /// Clear the V-kernel outputs.
+    pub fn zero_v(&mut self) {
+        self.v.fill_default();
+    }
+
+    /// Clear the VGL-kernel outputs.
+    pub fn zero_vgl(&mut self) {
+        self.v.fill_default();
+        self.gx.fill_default();
+        self.gy.fill_default();
+        self.gz.fill_default();
+        self.l.fill_default();
+    }
+
+    /// Clear the VGH-kernel outputs.
+    pub fn zero_vgh(&mut self) {
+        self.v.fill_default();
+        self.gx.fill_default();
+        self.gy.fill_default();
+        self.gz.fill_default();
+        self.hxx.fill_default();
+        self.hxy.fill_default();
+        self.hxz.fill_default();
+        self.hyy.fill_default();
+        self.hyz.fill_default();
+        self.hzz.fill_default();
+    }
+}
+
+/// Tiled outputs for the AoSoA engine: one [`WalkerSoA`] per tile
+/// (paper Fig. 6: `WalkerSoA w[M](Nb)`).
+#[derive(Clone, Debug)]
+pub struct WalkerTiled<T: Real> {
+    tiles: Vec<WalkerSoA<T>>,
+    nb: usize,
+    n: usize,
+}
+
+impl<T: Real> WalkerTiled<T> {
+    /// `sizes[t]` is the spline count of tile `t` (all `nb` except
+    /// possibly the last).
+    pub fn new(sizes: &[usize], nb: usize) -> Self {
+        let n = sizes.iter().sum();
+        Self {
+            tiles: sizes.iter().map(|&s| WalkerSoA::new(s)).collect(),
+            nb,
+            n,
+        }
+    }
+
+    #[inline]
+    /// Number of orbitals N.
+    pub fn n_splines(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    /// N tiles.
+    pub fn n_tiles(&self) -> usize {
+        self.tiles.len()
+    }
+
+    #[inline]
+    /// Tile.
+    pub fn tile(&self, t: usize) -> &WalkerSoA<T> {
+        &self.tiles[t]
+    }
+
+    #[inline]
+    /// Tile mut.
+    pub fn tile_mut(&mut self, t: usize) -> &mut WalkerSoA<T> {
+        &mut self.tiles[t]
+    }
+
+    /// Mutable access to all tiles (nested-threading partitioning).
+    #[inline]
+    pub fn tiles_mut(&mut self) -> &mut [WalkerSoA<T>] {
+        &mut self.tiles
+    }
+
+    /// Map a global orbital index to `(tile, offset)`.
+    #[inline]
+    pub fn locate(&self, n: usize) -> (usize, usize) {
+        (n / self.nb, n % self.nb)
+    }
+
+    #[inline]
+    /// Value of orbital `n`.
+    pub fn value(&self, n: usize) -> T {
+        let (t, o) = self.locate(n);
+        self.tiles[t].value(o)
+    }
+
+    #[inline]
+    /// Gradient of orbital `n`.
+    pub fn gradient(&self, n: usize) -> [T; 3] {
+        let (t, o) = self.locate(n);
+        self.tiles[t].gradient(o)
+    }
+
+    #[inline]
+    /// Laplacian of orbital `n` (VGL path).
+    pub fn laplacian(&self, n: usize) -> T {
+        let (t, o) = self.locate(n);
+        self.tiles[t].laplacian(o)
+    }
+
+    #[inline]
+    /// Symmetric Hessian of orbital `n` (`xx xy xz yy yz zz`).
+    pub fn hessian(&self, n: usize) -> [T; 6] {
+        let (t, o) = self.locate(n);
+        self.tiles[t].hessian(o)
+    }
+
+    #[inline]
+    /// Laplacian recovered from the Hessian trace (VGH path).
+    pub fn hessian_trace(&self, n: usize) -> T {
+        let (t, o) = self.locate(n);
+        self.tiles[t].hessian_trace(o)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aos_accessors_read_interleaved_storage() {
+        let mut w = WalkerAoS::<f32>::new(4);
+        w.g[3 * 2] = 1.0;
+        w.g[3 * 2 + 1] = 2.0;
+        w.g[3 * 2 + 2] = 3.0;
+        assert_eq!(w.gradient(2), [1.0, 2.0, 3.0]);
+        for (r, val) in [(0, 1.0f32), (4, 5.0), (8, 9.0)] {
+            w.h[9 * 3 + r] = val;
+        }
+        assert_eq!(w.hessian_trace(3), 15.0);
+        assert_eq!(w.hessian(3)[0], 1.0);
+        assert_eq!(w.hessian(3)[3], 5.0);
+        assert_eq!(w.hessian(3)[5], 9.0);
+    }
+
+    #[test]
+    fn soa_streams_are_padded_and_aligned() {
+        let w = WalkerSoA::<f32>::new(100);
+        assert_eq!(w.stride(), 112);
+        assert_eq!(w.n_splines(), 100);
+        assert_eq!(w.v.as_ptr() as usize % 64, 0);
+        assert_eq!(w.hzz.as_ptr() as usize % 64, 0);
+    }
+
+    #[test]
+    fn soa_zeroing_clears_kernel_outputs() {
+        let mut w = WalkerSoA::<f32>::new(8);
+        w.v[0] = 1.0;
+        w.gx[1] = 2.0;
+        w.hzz[2] = 3.0;
+        w.zero_vgh();
+        assert_eq!(w.v[0], 0.0);
+        assert_eq!(w.gx[1], 0.0);
+        assert_eq!(w.hzz[2], 0.0);
+    }
+
+    #[test]
+    fn tiled_locate_maps_global_index() {
+        let w = WalkerTiled::<f32>::new(&[16, 16, 8], 16);
+        assert_eq!(w.n_splines(), 40);
+        assert_eq!(w.n_tiles(), 3);
+        assert_eq!(w.locate(0), (0, 0));
+        assert_eq!(w.locate(17), (1, 1));
+        assert_eq!(w.locate(39), (2, 7));
+    }
+
+    #[test]
+    fn tiled_accessors_delegate() {
+        let mut w = WalkerTiled::<f32>::new(&[4, 4], 4);
+        w.tile_mut(1).v[2] = 7.0;
+        w.tile_mut(1).gx[2] = 1.0;
+        assert_eq!(w.value(6), 7.0);
+        assert_eq!(w.gradient(6)[0], 1.0);
+    }
+}

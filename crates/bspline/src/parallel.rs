@@ -1,0 +1,254 @@
+//! Walker-level and nested (tile-level) parallel execution — Opt C.
+//!
+//! The classic QMC strategy parallelizes over walkers only
+//! ([`run_walkers_parallel`]). The paper's Opt C additionally splits each
+//! walker's evaluation across `nth` threads by statically partitioning
+//! the M AoSoA tiles into `nth` contiguous chunks
+//! ([`run_nested`]); walkers per node shrink by the same factor, so the
+//! machine-wide thread count stays constant while the time-to-solution
+//! per Monte Carlo generation drops by up to `nth`.
+//!
+//! The explicit partition mirrors the paper's implementation choice
+//! ("an explicit data partition scheme … avoids any potential overhead
+//! from OpenMP nested run time environment"): work items are
+//! `(walker, tile-chunk)` pairs enumerated up front and handed to rayon
+//! as a flat parallel iterator; no nested pool is spawned.
+
+use crate::aosoa::BsplineAoSoA;
+use crate::engine::SpoEngine;
+use crate::layout::Kernel;
+use crate::output::{WalkerSoA, WalkerTiled};
+use crate::walker::{random_positions, run_walker, walker_rng, DriverConfig, KernelTimes};
+use einspline::Real;
+use rayon::prelude::*;
+use std::time::{Duration, Instant};
+
+/// Run all walkers concurrently (one rayon task per walker) and return
+/// the wall-clock per-kernel times of the slowest path plus the sum of
+/// per-walker times.
+pub struct ParallelRun {
+    /// Wall-clock duration of the whole parallel region.
+    pub wall: Duration,
+    /// Sum of per-walker kernel times (CPU-time proxy).
+    pub total: KernelTimes,
+}
+
+/// Walker-only parallelism: the pre-Opt-C execution model.
+pub fn run_walkers_parallel<T: Real, E: SpoEngine<T>>(
+    engine: &E,
+    cfg: &DriverConfig,
+) -> ParallelRun {
+    let t0 = Instant::now();
+    let times: Vec<KernelTimes> = (0..cfg.n_walkers)
+        .into_par_iter()
+        .map(|w| run_walker(engine, cfg, w))
+        .collect();
+    let wall = t0.elapsed();
+    let mut total = KernelTimes::default();
+    for t in times {
+        total.v += t.v;
+        total.vgl += t.vgl;
+        total.vgh += t.vgh;
+    }
+    ParallelRun { wall, total }
+}
+
+/// Partition `m` tiles into at most `nth` contiguous chunks of nearly
+/// equal size. Returns `(lo, hi)` half-open ranges.
+pub fn partition_tiles(m: usize, nth: usize) -> Vec<(usize, usize)> {
+    assert!(nth > 0, "need at least one thread per walker");
+    let chunks = nth.min(m);
+    let base = m / chunks;
+    let extra = m % chunks;
+    let mut out = Vec::with_capacity(chunks);
+    let mut lo = 0;
+    for c in 0..chunks {
+        let len = base + usize::from(c < extra);
+        out.push((lo, lo + len));
+        lo += len;
+    }
+    debug_assert_eq!(lo, m);
+    out
+}
+
+/// One nested-threading generation: every walker evaluates `positions`
+/// through `kernel`, with each walker's tiles statically split across
+/// `nth` work items. Returns the wall-clock time of the parallel region.
+///
+/// `walkers[w]` must have been allocated by [`BsplineAoSoA::make_out`].
+pub fn run_nested<T: Real>(
+    engine: &BsplineAoSoA<T>,
+    kernel: Kernel,
+    walkers: &mut [WalkerTiled<T>],
+    positions: &[Vec<[T; 3]>],
+    nth: usize,
+) -> Duration {
+    assert_eq!(
+        walkers.len(),
+        positions.len(),
+        "one position stream per walker"
+    );
+    let ranges = partition_tiles(engine.n_tiles(), nth);
+
+    // Flatten (walker, chunk) into independent jobs. Splitting each
+    // walker's tile buffers keeps &mut disjointness checkable by the
+    // compiler.
+    struct Job<'a, T: Real> {
+        tiles: &'a mut [WalkerSoA<T>],
+        tile_lo: usize,
+        positions: &'a [[T; 3]],
+    }
+
+    let mut jobs: Vec<Job<'_, T>> = Vec::with_capacity(walkers.len() * ranges.len());
+    for (w, out) in walkers.iter_mut().enumerate() {
+        let mut rest = out.tiles_mut();
+        let mut consumed = 0;
+        for &(lo, hi) in &ranges {
+            let (chunk, tail) = rest.split_at_mut(hi - lo);
+            rest = tail;
+            jobs.push(Job {
+                tiles: chunk,
+                tile_lo: consumed,
+                positions: &positions[w],
+            });
+            consumed = hi;
+        }
+    }
+
+    let t0 = Instant::now();
+    jobs.into_par_iter().for_each(|job| {
+        for (off, tile_out) in job.tiles.iter_mut().enumerate() {
+            let t = job.tile_lo + off;
+            for p in job.positions {
+                engine.eval_tile(t, kernel, *p, tile_out);
+            }
+        }
+    });
+    t0.elapsed()
+}
+
+/// Strong-scaling measurement for Fig. 9: with a fixed machine-wide
+/// thread budget `total_threads`, run `total_threads / nth` walkers at
+/// `nth` threads each and return the wall time of one generation
+/// (`ns` positions of `kernel` per walker).
+pub fn nested_generation_time<T: Real>(
+    engine: &BsplineAoSoA<T>,
+    kernel: Kernel,
+    total_threads: usize,
+    nth: usize,
+    ns: usize,
+    seed: u64,
+) -> Duration {
+    let n_walkers = (total_threads / nth).max(1);
+    let domain = SpoEngine::<T>::domain(engine);
+    let positions: Vec<Vec<[T; 3]>> = (0..n_walkers)
+        .map(|w| {
+            let mut rng = walker_rng(seed, w);
+            random_positions(&mut rng, ns, domain)
+        })
+        .collect();
+    let mut walkers: Vec<WalkerTiled<T>> =
+        (0..n_walkers).map(|_| engine.make_out()).collect();
+    run_nested(engine, kernel, &mut walkers, &positions, nth)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use einspline::{Grid1, MultiCoefs};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiled_engine(n: usize, nb: usize) -> BsplineAoSoA<f32> {
+        let g = Grid1::periodic(0.0, 1.0, 6);
+        let mut m = MultiCoefs::<f32>::new(g, g, g, n);
+        m.fill_random(&mut StdRng::seed_from_u64(77));
+        BsplineAoSoA::from_multi(&m, nb)
+    }
+
+    #[test]
+    fn partition_covers_all_tiles() {
+        for (m, nth) in [(8, 2), (7, 3), (16, 16), (4, 8), (1, 4), (13, 5)] {
+            let ranges = partition_tiles(m, nth);
+            assert_eq!(ranges[0].0, 0);
+            assert_eq!(ranges.last().unwrap().1, m);
+            for w in ranges.windows(2) {
+                assert_eq!(w[0].1, w[1].0, "contiguous");
+                assert!(w[0].1 > w[0].0, "non-empty");
+            }
+            assert!(ranges.len() <= nth.min(m));
+            // Balanced: sizes differ by at most one.
+            let sizes: Vec<usize> = ranges.iter().map(|(l, h)| h - l).collect();
+            let (mn, mx) = (
+                sizes.iter().min().unwrap(),
+                sizes.iter().max().unwrap(),
+            );
+            assert!(mx - mn <= 1, "m={m} nth={nth} sizes={sizes:?}");
+        }
+    }
+
+    #[test]
+    fn nested_results_match_serial_tiled_eval() {
+        let engine = tiled_engine(48, 8);
+        let domain = SpoEngine::<f32>::domain(&engine);
+        let mut rng = StdRng::seed_from_u64(9);
+        let positions: Vec<Vec<[f32; 3]>> = (0..2)
+            .map(|_| random_positions(&mut rng, 3, domain))
+            .collect();
+
+        // Serial reference: last position's outputs.
+        let mut expect: Vec<WalkerTiled<f32>> =
+            (0..2).map(|_| engine.make_out()).collect();
+        for (w, out) in expect.iter_mut().enumerate() {
+            for p in &positions[w] {
+                engine.vgh(*p, out);
+            }
+        }
+
+        for nth in [1, 2, 4, 16] {
+            let mut walkers: Vec<WalkerTiled<f32>> =
+                (0..2).map(|_| engine.make_out()).collect();
+            run_nested(&engine, Kernel::Vgh, &mut walkers, &positions, nth);
+            for w in 0..2 {
+                for n in 0..48 {
+                    assert_eq!(
+                        walkers[w].value(n),
+                        expect[w].value(n),
+                        "nth={nth} w={w} n={n}"
+                    );
+                    assert_eq!(walkers[w].hessian(n), expect[w].hessian(n));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn walker_parallel_matches_walker_serial_workload() {
+        let engine = tiled_engine(16, 8);
+        let cfg = DriverConfig {
+            n_walkers: 3,
+            n_samples: 4,
+            n_iters: 1,
+            seed: 21,
+        };
+        let run = run_walkers_parallel(&engine, &cfg);
+        assert!(run.wall > Duration::ZERO);
+        assert!(run.total.vgh >= run.wall.checked_div(10).unwrap_or_default());
+    }
+
+    #[test]
+    fn nested_generation_time_runs_all_kernels() {
+        let engine = tiled_engine(32, 8);
+        for k in Kernel::ALL {
+            let d = nested_generation_time(&engine, k, 4, 2, 2, 13);
+            assert!(d > Duration::ZERO, "{k}");
+        }
+    }
+
+    #[test]
+    fn more_threads_than_tiles_is_safe() {
+        let engine = tiled_engine(16, 8); // 2 tiles
+        let d = nested_generation_time(&engine, Kernel::Vgh, 8, 8, 2, 1);
+        assert!(d > Duration::ZERO);
+    }
+}

@@ -1,0 +1,499 @@
+//! `BsplineSoA` — Opt A, the AoS→SoA output transformation (paper
+//! Fig. 4b).
+//!
+//! Differences from the baseline that this engine embodies:
+//!
+//! * every output component is its own aligned, unit-stride, padded
+//!   stream — stores are contiguous vector stores, never scatters;
+//! * the Hessian is stored symmetric: 6 streams instead of 9
+//!   (13 → 10 total output streams for VGH);
+//! * the z-dimension loop is unrolled and fused (the optimized QMCPACK
+//!   CPU algorithm): per (i,j) plane the kernel forms the three z-line
+//!   contractions `s0 = Σₖ c·P`, `s1 = Σₖ c′·P`, `s2 = Σₖ c″·P` in a
+//!   single pass over the spline dimension, amortizing 4 coefficient
+//!   loads over all 10 accumulations;
+//! * the inner trip count is the padded stride (a cache-line multiple),
+//!   so auto-vectorization needs no scalar remainder.
+
+use crate::output::WalkerSoA;
+use einspline::basis::BasisWeights;
+use einspline::multi::MultiCoefs;
+use einspline::Real;
+
+/// SoA multi-orbital evaluator (Opt A).
+#[derive(Clone, Debug)]
+pub struct BsplineSoA<T: Real> {
+    coefs: MultiCoefs<T>,
+}
+
+/// One (i,j)-plane accumulation of the VGH kernel over four fused
+/// z-lines. `m` elements of every slice are processed; slices are
+/// re-sliced to `m` up front so the optimizer sees equal lengths and
+/// elides bounds checks in the vector loop.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn vgh_plane<T: Real>(
+    wc: &BasisWeights<T>,
+    pre00: T,
+    pre10: T,
+    pre01: T,
+    pre20: T,
+    pre11: T,
+    pre02: T,
+    p0: &[T],
+    p1: &[T],
+    p2: &[T],
+    p3: &[T],
+    out: &mut WalkerSoA<T>,
+    m: usize,
+) {
+    let p0 = &p0[..m];
+    let p1 = &p1[..m];
+    let p2 = &p2[..m];
+    let p3 = &p3[..m];
+    let v = &mut out.v.as_mut_slice()[..m];
+    let gx = &mut out.gx.as_mut_slice()[..m];
+    let gy = &mut out.gy.as_mut_slice()[..m];
+    let gz = &mut out.gz.as_mut_slice()[..m];
+    let hxx = &mut out.hxx.as_mut_slice()[..m];
+    let hxy = &mut out.hxy.as_mut_slice()[..m];
+    let hxz = &mut out.hxz.as_mut_slice()[..m];
+    let hyy = &mut out.hyy.as_mut_slice()[..m];
+    let hyz = &mut out.hyz.as_mut_slice()[..m];
+    let hzz = &mut out.hzz.as_mut_slice()[..m];
+
+    let (c, dc, d2c) = (wc.a, wc.da, wc.d2a);
+    for i in 0..m {
+        let (a0, a1, a2, a3) = (p0[i], p1[i], p2[i], p3[i]);
+        let s0 = c[3].mul_add(a3, c[2].mul_add(a2, c[1].mul_add(a1, c[0] * a0)));
+        let s1 = dc[3].mul_add(a3, dc[2].mul_add(a2, dc[1].mul_add(a1, dc[0] * a0)));
+        let s2 =
+            d2c[3].mul_add(a3, d2c[2].mul_add(a2, d2c[1].mul_add(a1, d2c[0] * a0)));
+        v[i] = pre00.mul_add(s0, v[i]);
+        gx[i] = pre10.mul_add(s0, gx[i]);
+        gy[i] = pre01.mul_add(s0, gy[i]);
+        gz[i] = pre00.mul_add(s1, gz[i]);
+        hxx[i] = pre20.mul_add(s0, hxx[i]);
+        hxy[i] = pre11.mul_add(s0, hxy[i]);
+        hxz[i] = pre10.mul_add(s1, hxz[i]);
+        hyy[i] = pre02.mul_add(s0, hyy[i]);
+        hyz[i] = pre01.mul_add(s1, hyz[i]);
+        hzz[i] = pre00.mul_add(s2, hzz[i]);
+    }
+}
+
+/// One (i,j)-plane accumulation of the VGL kernel (5 streams).
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn vgl_plane<T: Real>(
+    wc: &BasisWeights<T>,
+    pre00: T,
+    pre10: T,
+    pre01: T,
+    pre_lap: T, // pre20 + pre02: the in-plane Laplacian prefactor
+    p0: &[T],
+    p1: &[T],
+    p2: &[T],
+    p3: &[T],
+    out: &mut WalkerSoA<T>,
+    m: usize,
+) {
+    let p0 = &p0[..m];
+    let p1 = &p1[..m];
+    let p2 = &p2[..m];
+    let p3 = &p3[..m];
+    let v = &mut out.v.as_mut_slice()[..m];
+    let gx = &mut out.gx.as_mut_slice()[..m];
+    let gy = &mut out.gy.as_mut_slice()[..m];
+    let gz = &mut out.gz.as_mut_slice()[..m];
+    let l = &mut out.l.as_mut_slice()[..m];
+
+    let (c, dc, d2c) = (wc.a, wc.da, wc.d2a);
+    for i in 0..m {
+        let (a0, a1, a2, a3) = (p0[i], p1[i], p2[i], p3[i]);
+        let s0 = c[3].mul_add(a3, c[2].mul_add(a2, c[1].mul_add(a1, c[0] * a0)));
+        let s1 = dc[3].mul_add(a3, dc[2].mul_add(a2, dc[1].mul_add(a1, dc[0] * a0)));
+        let s2 =
+            d2c[3].mul_add(a3, d2c[2].mul_add(a2, d2c[1].mul_add(a1, d2c[0] * a0)));
+        v[i] = pre00.mul_add(s0, v[i]);
+        gx[i] = pre10.mul_add(s0, gx[i]);
+        gy[i] = pre01.mul_add(s0, gy[i]);
+        gz[i] = pre00.mul_add(s1, gz[i]);
+        // lap = hxx + hyy + hzz = (pre20 + pre02)·s0 + pre00·s2
+        l[i] = pre_lap.mul_add(s0, pre00.mul_add(s2, l[i]));
+    }
+}
+
+
+/// Ablation variant of [`BsplineSoA::vgh`]: same SoA output streams but
+/// with the *naive* 64-point triple loop (no z-unroll fusion) — the
+/// literal Fig. 4b structure before the optimized-CPU-algorithm unroll.
+/// Used by the `ablations` bench to isolate the z-fusion contribution;
+/// results are identical to `vgh` up to floating-point association.
+pub fn vgh_naive<T: Real>(engine: &BsplineSoA<T>, pos: [T; 3], out: &mut WalkerSoA<T>) {
+    let m = engine.check_out(out);
+    let coefs = engine.coefs();
+    let p = coefs.locate(pos[0], pos[1], pos[2]);
+    let dinv = coefs.delta_inv();
+    let wa = BasisWeights::new(p.tx, dinv[0]);
+    let wb = BasisWeights::new(p.ty, dinv[1]);
+    let wc = BasisWeights::new(p.tz, dinv[2]);
+    out.zero_vgh();
+    for i in 0..4 {
+        for j in 0..4 {
+            for k in 0..4 {
+                let pv = wa.a[i] * wb.a[j] * wc.a[k];
+                let pgx = wa.da[i] * wb.a[j] * wc.a[k];
+                let pgy = wa.a[i] * wb.da[j] * wc.a[k];
+                let pgz = wa.a[i] * wb.a[j] * wc.da[k];
+                let phxx = wa.d2a[i] * wb.a[j] * wc.a[k];
+                let phxy = wa.da[i] * wb.da[j] * wc.a[k];
+                let phxz = wa.da[i] * wb.a[j] * wc.da[k];
+                let phyy = wa.a[i] * wb.d2a[j] * wc.a[k];
+                let phyz = wa.a[i] * wb.da[j] * wc.da[k];
+                let phzz = wa.a[i] * wb.a[j] * wc.d2a[k];
+                let line = &coefs.line(p.i0 + i, p.j0 + j, p.k0 + k)[..m];
+                let v = &mut out.v.as_mut_slice()[..m];
+                let gx = &mut out.gx.as_mut_slice()[..m];
+                let gy = &mut out.gy.as_mut_slice()[..m];
+                let gz = &mut out.gz.as_mut_slice()[..m];
+                let hxx = &mut out.hxx.as_mut_slice()[..m];
+                let hxy = &mut out.hxy.as_mut_slice()[..m];
+                let hxz = &mut out.hxz.as_mut_slice()[..m];
+                let hyy = &mut out.hyy.as_mut_slice()[..m];
+                let hyz = &mut out.hyz.as_mut_slice()[..m];
+                let hzz = &mut out.hzz.as_mut_slice()[..m];
+                for (nn, &pn) in line.iter().enumerate() {
+                    v[nn] = pv.mul_add(pn, v[nn]);
+                    gx[nn] = pgx.mul_add(pn, gx[nn]);
+                    gy[nn] = pgy.mul_add(pn, gy[nn]);
+                    gz[nn] = pgz.mul_add(pn, gz[nn]);
+                    hxx[nn] = phxx.mul_add(pn, hxx[nn]);
+                    hxy[nn] = phxy.mul_add(pn, hxy[nn]);
+                    hxz[nn] = phxz.mul_add(pn, hxz[nn]);
+                    hyy[nn] = phyy.mul_add(pn, hyy[nn]);
+                    hyz[nn] = phyz.mul_add(pn, hyz[nn]);
+                    hzz[nn] = phzz.mul_add(pn, hzz[nn]);
+                }
+            }
+        }
+    }
+}
+
+impl<T: Real> BsplineSoA<T> {
+    /// Create a new instance.
+    pub fn new(coefs: MultiCoefs<T>) -> Self {
+        Self { coefs }
+    }
+
+    #[inline]
+    /// The underlying coefficient table.
+    pub fn coefs(&self) -> &MultiCoefs<T> {
+        &self.coefs
+    }
+
+    #[inline]
+    /// Number of orbitals N.
+    pub fn n_splines(&self) -> usize {
+        self.coefs.n_splines()
+    }
+
+    /// Padded inner trip count shared with [`WalkerSoA`] buffers.
+    #[inline]
+    pub fn stride(&self) -> usize {
+        self.coefs.stride_n()
+    }
+
+    #[inline]
+    fn check_out(&self, out: &WalkerSoA<T>) -> usize {
+        debug_assert_eq!(
+            out.stride(),
+            self.stride(),
+            "output buffer stride must match the coefficient table"
+        );
+        self.stride().min(out.stride())
+    }
+
+    /// Values only. The value kernel writes a single stream, so SoA
+    /// changes nothing over AoS (paper Sec. VI: "Kernel V … does not need
+    /// SoA data layout"); it still benefits from the padded trip count.
+    pub fn v(&self, pos: [T; 3], out: &mut WalkerSoA<T>) {
+        let m = self.check_out(out);
+        let p = self.coefs.locate(pos[0], pos[1], pos[2]);
+        let a = einspline::basis::weights(p.tx);
+        let b = einspline::basis::weights(p.ty);
+        let c = einspline::basis::weights(p.tz);
+        out.zero_v();
+        for i in 0..4 {
+            for j in 0..4 {
+                let ab = a[i] * b[j];
+                let p0 = &self.coefs.line(p.i0 + i, p.j0 + j, p.k0)[..m];
+                let p1 = &self.coefs.line(p.i0 + i, p.j0 + j, p.k0 + 1)[..m];
+                let p2 = &self.coefs.line(p.i0 + i, p.j0 + j, p.k0 + 2)[..m];
+                let p3 = &self.coefs.line(p.i0 + i, p.j0 + j, p.k0 + 3)[..m];
+                let v = &mut out.v.as_mut_slice()[..m];
+                for idx in 0..m {
+                    let s0 = c[3].mul_add(
+                        p3[idx],
+                        c[2].mul_add(p2[idx], c[1].mul_add(p1[idx], c[0] * p0[idx])),
+                    );
+                    v[idx] = (ab).mul_add(s0, v[idx]);
+                }
+            }
+        }
+    }
+
+    /// Value + gradient + Laplacian into 5 SoA streams.
+    pub fn vgl(&self, pos: [T; 3], out: &mut WalkerSoA<T>) {
+        let m = self.check_out(out);
+        let p = self.coefs.locate(pos[0], pos[1], pos[2]);
+        let dinv = self.coefs.delta_inv();
+        let wa = BasisWeights::new(p.tx, dinv[0]);
+        let wb = BasisWeights::new(p.ty, dinv[1]);
+        let wc = BasisWeights::new(p.tz, dinv[2]);
+        out.zero_vgl();
+        for i in 0..4 {
+            for j in 0..4 {
+                let pre00 = wa.a[i] * wb.a[j];
+                let pre10 = wa.da[i] * wb.a[j];
+                let pre01 = wa.a[i] * wb.da[j];
+                let pre_lap = wa.d2a[i] * wb.a[j] + wa.a[i] * wb.d2a[j];
+                let p0 = self.coefs.line(p.i0 + i, p.j0 + j, p.k0);
+                let p1 = self.coefs.line(p.i0 + i, p.j0 + j, p.k0 + 1);
+                let p2 = self.coefs.line(p.i0 + i, p.j0 + j, p.k0 + 2);
+                let p3 = self.coefs.line(p.i0 + i, p.j0 + j, p.k0 + 3);
+                vgl_plane(
+                    &wc, pre00, pre10, pre01, pre_lap, p0, p1, p2, p3, out, m,
+                );
+            }
+        }
+    }
+
+    /// Value + gradient + symmetric Hessian into 10 SoA streams.
+    pub fn vgh(&self, pos: [T; 3], out: &mut WalkerSoA<T>) {
+        let m = self.check_out(out);
+        let p = self.coefs.locate(pos[0], pos[1], pos[2]);
+        let dinv = self.coefs.delta_inv();
+        let wa = BasisWeights::new(p.tx, dinv[0]);
+        let wb = BasisWeights::new(p.ty, dinv[1]);
+        let wc = BasisWeights::new(p.tz, dinv[2]);
+        out.zero_vgh();
+        for i in 0..4 {
+            for j in 0..4 {
+                let pre00 = wa.a[i] * wb.a[j];
+                let pre10 = wa.da[i] * wb.a[j];
+                let pre01 = wa.a[i] * wb.da[j];
+                let pre20 = wa.d2a[i] * wb.a[j];
+                let pre11 = wa.da[i] * wb.da[j];
+                let pre02 = wa.a[i] * wb.d2a[j];
+                let p0 = self.coefs.line(p.i0 + i, p.j0 + j, p.k0);
+                let p1 = self.coefs.line(p.i0 + i, p.j0 + j, p.k0 + 1);
+                let p2 = self.coefs.line(p.i0 + i, p.j0 + j, p.k0 + 2);
+                let p3 = self.coefs.line(p.i0 + i, p.j0 + j, p.k0 + 3);
+                vgh_plane(
+                    &wc, pre00, pre10, pre01, pre20, pre11, pre02, p0, p1, p2, p3,
+                    out, m,
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aos::BsplineAoS;
+    use crate::output::WalkerAoS;
+    use einspline::{Grid1, MultiCoefs, Spline3};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn fitted_engine(n_splines: usize) -> (BsplineSoA<f64>, Vec<Spline3<f64>>) {
+        let g = Grid1::periodic(0.0, 1.0, 8);
+        let mut multi = MultiCoefs::<f64>::new(g, g, g, n_splines);
+        let mut refs = Vec::new();
+        for s in 0..n_splines {
+            let mut data = vec![0.0f64; 8 * 8 * 8];
+            for (idx, d) in data.iter_mut().enumerate() {
+                *d = ((idx * (2 * s + 5)) as f64 * 0.211).cos();
+            }
+            let sp = Spline3::<f64>::interpolate(g, g, g, &data);
+            multi.set_orbital(s, &sp);
+            refs.push(sp);
+        }
+        (BsplineSoA::new(multi), refs)
+    }
+
+    fn random_pair(n: usize, seed: u64) -> (BsplineAoS<f32>, BsplineSoA<f32>) {
+        let g = Grid1::periodic(0.0, 1.0, 6);
+        let mut multi = MultiCoefs::<f32>::new(g, g, g, n);
+        multi.fill_random(&mut StdRng::seed_from_u64(seed));
+        (BsplineAoS::new(multi.clone()), BsplineSoA::new(multi))
+    }
+
+    #[test]
+    fn vgh_matches_scalar_reference() {
+        let (engine, refs) = fitted_engine(3);
+        let mut out = WalkerSoA::new(3);
+        let pos = [0.41f64, 0.83, 0.27];
+        engine.vgh(pos, &mut out);
+        for (n, r) in refs.iter().enumerate() {
+            let e = r.vgh(pos[0], pos[1], pos[2]);
+            assert!((out.value(n) - e.v).abs() < 1e-12, "v[{n}]");
+            let grad = out.gradient(n);
+            let hess = out.hessian(n);
+            for d in 0..3 {
+                assert!((grad[d] - e.g[d]).abs() < 1e-10, "g[{d}]");
+            }
+            for r6 in 0..6 {
+                assert!((hess[r6] - e.h[r6]).abs() < 1e-9, "h[{r6}]");
+            }
+        }
+    }
+
+    #[test]
+    fn agrees_with_aos_engine_on_random_tables() {
+        let n = 37; // deliberately not a padding multiple
+        let (aos, soa) = random_pair(n, 99);
+        let mut out_a = WalkerAoS::new(n);
+        let mut out_s = WalkerSoA::new(n);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..10 {
+            let pos = [
+                rng.random::<f32>(),
+                rng.random::<f32>(),
+                rng.random::<f32>(),
+            ];
+            aos.vgh(pos, &mut out_a);
+            soa.vgh(pos, &mut out_s);
+            for nn in 0..n {
+                assert!((out_a.value(nn) - out_s.value(nn)).abs() < 1e-4);
+                let (ga, gs) = (out_a.gradient(nn), out_s.gradient(nn));
+                for d in 0..3 {
+                    assert!((ga[d] - gs[d]).abs() < 2e-3, "g[{d}] n={nn}");
+                }
+                let (ha, hs) = (out_a.hessian(nn), out_s.hessian(nn));
+                for r6 in 0..6 {
+                    assert!((ha[r6] - hs[r6]).abs() < 0.15, "h[{r6}] n={nn}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn vgl_agrees_with_aos_engine() {
+        let n = 24;
+        let (aos, soa) = random_pair(n, 123);
+        let mut out_a = WalkerAoS::new(n);
+        let mut out_s = WalkerSoA::new(n);
+        let pos = [0.13f32, 0.57, 0.91];
+        aos.vgl(pos, &mut out_a);
+        soa.vgl(pos, &mut out_s);
+        for nn in 0..n {
+            assert!((out_a.value(nn) - out_s.value(nn)).abs() < 1e-4);
+            assert!(
+                (out_a.laplacian(nn) - out_s.laplacian(nn)).abs() < 0.2,
+                "l n={nn}: {} vs {}",
+                out_a.laplacian(nn),
+                out_s.laplacian(nn)
+            );
+        }
+    }
+
+    #[test]
+    fn v_kernel_matches_vgh_values() {
+        let (engine, _) = fitted_engine(4);
+        let mut out_v = WalkerSoA::new(4);
+        let mut out_h = WalkerSoA::new(4);
+        let pos = [0.77f64, 0.31, 0.66];
+        engine.v(pos, &mut out_v);
+        engine.vgh(pos, &mut out_h);
+        for n in 0..4 {
+            assert!((out_v.value(n) - out_h.value(n)).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn vgl_laplacian_equals_vgh_trace() {
+        let (engine, _) = fitted_engine(4);
+        let mut out_l = WalkerSoA::new(4);
+        let mut out_h = WalkerSoA::new(4);
+        let pos = [0.19f64, 0.44, 0.95];
+        engine.vgl(pos, &mut out_l);
+        engine.vgh(pos, &mut out_h);
+        for n in 0..4 {
+            assert!(
+                (out_l.laplacian(n) - out_h.hessian_trace(n)).abs() < 1e-10,
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn padded_tail_stays_zeroed_in_coefficients() {
+        // Padding lanes accumulate only zeros: outputs beyond n stay 0.
+        let g = Grid1::periodic(0.0, 1.0, 6);
+        let mut multi = MultiCoefs::<f32>::new(g, g, g, 5);
+        multi.fill_random(&mut StdRng::seed_from_u64(1));
+        let engine = BsplineSoA::new(multi);
+        let mut out = WalkerSoA::new(5);
+        engine.vgh([0.3, 0.6, 0.9], &mut out);
+        for idx in 5..out.stride() {
+            assert_eq!(out.v[idx], 0.0);
+            assert_eq!(out.hzz[idx], 0.0);
+        }
+    }
+
+
+    #[test]
+    fn naive_vgh_matches_fused_vgh() {
+        let n = 29;
+        let (_, soa) = random_pair(n, 321);
+        let mut fused = WalkerSoA::new(n);
+        let mut naive = WalkerSoA::new(n);
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..8 {
+            let pos = [
+                rng.random::<f32>(),
+                rng.random::<f32>(),
+                rng.random::<f32>(),
+            ];
+            soa.vgh(pos, &mut fused);
+            super::vgh_naive(&soa, pos, &mut naive);
+            for k in 0..n {
+                assert!((fused.value(k) - naive.value(k)).abs() < 1e-4);
+                let (a, b) = (fused.hessian(k), naive.hessian(k));
+                for r in 0..6 {
+                    assert!((a[r] - b[r]).abs() < 0.2, "h[{r}] {} vs {}", a[r], b[r]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference_of_v() {
+        let (engine, _) = fitted_engine(2);
+        let mut out = WalkerSoA::new(2);
+        let mut vp = WalkerSoA::new(2);
+        let mut vm = WalkerSoA::new(2);
+        let pos = [0.52f64, 0.33, 0.71];
+        let h = 1e-6;
+        engine.vgh(pos, &mut out);
+        for d in 0..3 {
+            let mut pp = pos;
+            let mut pm = pos;
+            pp[d] += h;
+            pm[d] -= h;
+            engine.v(pp, &mut vp);
+            engine.v(pm, &mut vm);
+            for n in 0..2 {
+                let fd = (vp.value(n) - vm.value(n)) / (2.0 * h);
+                assert!(
+                    (out.gradient(n)[d] - fd).abs() < 1e-6,
+                    "d={d} n={n}: {} vs {fd}",
+                    out.gradient(n)[d]
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! The paper's throughput metric `T = Nw·N / t` (Sec. VI): orbital
+//! evaluations per second on a node. Higher is better; for an ideal
+//! implementation it is independent of N and the grid size.
+
+use std::time::Duration;
+
+/// Throughput of a kernel run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Throughput {
+    /// Orbital evaluations per second (`Nw · N · evals / t`).
+    pub ops_per_sec: f64,
+}
+
+impl Throughput {
+    /// `n_walkers` walkers each evaluated `evals` positions of `n_splines`
+    /// orbitals in `elapsed` total wall time.
+    pub fn measure(
+        n_walkers: usize,
+        n_splines: usize,
+        evals: usize,
+        elapsed: Duration,
+    ) -> Self {
+        let secs = elapsed.as_secs_f64();
+        assert!(secs > 0.0, "cannot compute throughput of a zero-time run");
+        Self {
+            ops_per_sec: (n_walkers * n_splines * evals) as f64 / secs,
+        }
+    }
+
+    /// Speedup of `self` over a `baseline` measurement.
+    pub fn speedup_over(&self, baseline: Throughput) -> f64 {
+        self.ops_per_sec / baseline.ops_per_sec
+    }
+
+    /// Giga-evaluations per second (for printing).
+    pub fn gevals(&self) -> f64 {
+        self.ops_per_sec / 1e9
+    }
+}
+
+impl std::fmt::Display for Throughput {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.3e} ops/s", self.ops_per_sec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_formula() {
+        let t = Throughput::measure(2, 100, 50, Duration::from_secs(1));
+        assert_eq!(t.ops_per_sec, 10_000.0);
+        assert_eq!(t.gevals(), 1e-5);
+    }
+
+    #[test]
+    fn speedup_is_a_ratio() {
+        let slow = Throughput::measure(1, 10, 10, Duration::from_secs(2));
+        let fast = Throughput::measure(1, 10, 10, Duration::from_secs(1));
+        assert!((fast.speedup_over(slow) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-time")]
+    fn zero_duration_rejected() {
+        let _ = Throughput::measure(1, 1, 1, Duration::ZERO);
+    }
+
+    #[test]
+    fn display_format() {
+        let t = Throughput::measure(1, 1000, 1000, Duration::from_secs(1));
+        assert_eq!(t.to_string(), "1.000e6 ops/s");
+    }
+}

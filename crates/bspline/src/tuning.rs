@@ -1,0 +1,358 @@
+//! Tile-size auto-tuning — the paper's plan "to provide an auto-tuning
+//! capability using miniQMC to guide the production runs similar to
+//! FFTW's solution using wisdom files" (Sec. VI).
+//!
+//! [`tune_tile_size`] measures a candidate sweep on the current machine
+//! and returns the best `Nb`; [`Wisdom`] caches tuning outcomes keyed by
+//! (kernel, grid, N) in a plain-text format so production runs can skip
+//! the sweep. The optimal tile size is a property of the cache
+//! hierarchy, not the problem size (paper Sec. VI-B), so wisdom learned
+//! on one problem transfers to others on the same machine.
+
+use crate::aosoa::BsplineAoSoA;
+use crate::layout::Kernel;
+use crate::walker::random_positions;
+use einspline::multi::MultiCoefs;
+use einspline::Real;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::str::FromStr;
+use std::time::Instant;
+
+/// Parameters of one tuning run.
+#[derive(Clone, Copy, Debug)]
+pub struct TuneConfig {
+    /// Random positions per repetition (the paper's ns; the touched
+    /// working set scales with it, so use production-like values).
+    pub ns: usize,
+    /// Timed repetitions per candidate (best-of).
+    pub reps: usize,
+    /// RNG seed for the position set.
+    pub seed: u64,
+}
+
+impl Default for TuneConfig {
+    fn default() -> Self {
+        Self {
+            ns: 128,
+            reps: 3,
+            seed: 0x715e,
+        }
+    }
+}
+
+/// Result of a tuning sweep.
+#[derive(Clone, Debug)]
+pub struct TuneResult {
+    /// The winning tile size.
+    pub best_nb: usize,
+    /// `(Nb, orbital evaluations per second)` for every candidate.
+    pub sweep: Vec<(usize, f64)>,
+}
+
+/// Measure every candidate tile size with the tile-major batch loop and
+/// return the fastest. Candidates larger than N are skipped; the
+/// untiled case can be included by passing `n_splines` itself.
+pub fn tune_tile_size<T: Real>(
+    coefs: &MultiCoefs<T>,
+    kernel: Kernel,
+    candidates: &[usize],
+    cfg: &TuneConfig,
+) -> TuneResult {
+    let n = coefs.n_splines();
+    let (gx, gy, gz) = coefs.grids();
+    let domain = [
+        (gx.start(), gx.end()),
+        (gy.start(), gy.end()),
+        (gz.start(), gz.end()),
+    ];
+    let mut rng = crate::walker::walker_rng(cfg.seed, 0);
+    let positions: Vec<[T; 3]> = random_positions(&mut rng, cfg.ns, domain);
+
+    let mut sweep = Vec::new();
+    let mut best = (0usize, 0.0f64);
+    for &nb in candidates {
+        if nb == 0 || nb > n {
+            continue;
+        }
+        let engine = BsplineAoSoA::from_multi(coefs, nb);
+        let mut out = engine.make_out();
+        engine.eval_batch_tile_major(kernel, &positions, &mut out); // warm-up
+        let mut best_t = f64::INFINITY;
+        for _ in 0..cfg.reps {
+            let t0 = Instant::now();
+            engine.eval_batch_tile_major(kernel, &positions, &mut out);
+            best_t = best_t.min(t0.elapsed().as_secs_f64());
+        }
+        let ops = (n * cfg.ns) as f64 / best_t;
+        sweep.push((nb, ops));
+        if ops > best.1 {
+            best = (nb, ops);
+        }
+    }
+    assert!(!sweep.is_empty(), "no valid tile-size candidates");
+    TuneResult {
+        best_nb: best.0,
+        sweep,
+    }
+}
+
+/// The default candidate ladder (powers of two from 16, as in the
+/// paper's Fig. 7c sweep).
+pub fn default_candidates(n: usize) -> Vec<usize> {
+    let mut c = Vec::new();
+    let mut nb = 16;
+    while nb <= n {
+        c.push(nb);
+        nb *= 2;
+    }
+    if c.last() != Some(&n) {
+        c.push(n);
+    }
+    c
+}
+
+/// A wisdom key: the tuning context that the optimal tile depends on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct WisdomKey {
+    /// Which kernel was tuned.
+    pub kernel_tag: u8,
+    /// Grid dimensions.
+    pub grid: (usize, usize, usize),
+    /// Problem size N.
+    pub n_splines: usize,
+}
+
+impl WisdomKey {
+    fn kernel_tag(kernel: Kernel) -> u8 {
+        match kernel {
+            Kernel::V => 0,
+            Kernel::Vgl => 1,
+            Kernel::Vgh => 2,
+        }
+    }
+}
+
+/// Persistent tuning knowledge (FFTW-wisdom-style).
+///
+/// Serialized as one line per entry:
+/// `kernel grid_x grid_y grid_z n_splines best_nb`.
+#[derive(Clone, Debug, Default)]
+pub struct Wisdom {
+    entries: BTreeMap<WisdomKey, usize>,
+}
+
+impl Wisdom {
+    /// Empty wisdom.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Record a tuned tile size.
+    pub fn record<T: Real>(&mut self, coefs: &MultiCoefs<T>, kernel: Kernel, best_nb: usize) {
+        let (gx, gy, gz) = coefs.grids();
+        self.entries.insert(
+            WisdomKey {
+                kernel_tag: WisdomKey::kernel_tag(kernel),
+                grid: (gx.num(), gy.num(), gz.num()),
+                n_splines: coefs.n_splines(),
+            },
+            best_nb,
+        );
+    }
+
+    /// Exact lookup.
+    pub fn lookup<T: Real>(&self, coefs: &MultiCoefs<T>, kernel: Kernel) -> Option<usize> {
+        let (gx, gy, gz) = coefs.grids();
+        self.entries
+            .get(&WisdomKey {
+                kernel_tag: WisdomKey::kernel_tag(kernel),
+                grid: (gx.num(), gy.num(), gz.num()),
+                n_splines: coefs.n_splines(),
+            })
+            .copied()
+    }
+
+    /// Fuzzy lookup: the optimal Nb is problem-size independent, so fall
+    /// back to any entry with the same kernel and grid (paper Sec. VI-B:
+    /// "tuned once for each architecture").
+    pub fn lookup_any_n<T: Real>(
+        &self,
+        coefs: &MultiCoefs<T>,
+        kernel: Kernel,
+    ) -> Option<usize> {
+        self.lookup(coefs, kernel).or_else(|| {
+            let (gx, gy, gz) = coefs.grids();
+            let tag = WisdomKey::kernel_tag(kernel);
+            let grid = (gx.num(), gy.num(), gz.num());
+            self.entries
+                .iter()
+                .find(|(k, _)| k.kernel_tag == tag && k.grid == grid)
+                .map(|(k, &nb)| nb.min(coefs.n_splines().max(k.n_splines.min(nb))))
+        })
+    }
+
+    /// Tune if unknown, then remember (the FFTW `plan` pattern).
+    pub fn tile_size_for<T: Real>(
+        &mut self,
+        coefs: &MultiCoefs<T>,
+        kernel: Kernel,
+        cfg: &TuneConfig,
+    ) -> usize {
+        if let Some(nb) = self.lookup(coefs, kernel) {
+            return nb;
+        }
+        let result = tune_tile_size(
+            coefs,
+            kernel,
+            &default_candidates(coefs.n_splines()),
+            cfg,
+        );
+        self.record(coefs, kernel, result.best_nb);
+        result.best_nb
+    }
+}
+
+impl fmt::Display for Wisdom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (k, nb) in &self.entries {
+            writeln!(
+                f,
+                "{} {} {} {} {} {}",
+                k.kernel_tag, k.grid.0, k.grid.1, k.grid.2, k.n_splines, nb
+            )?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for Wisdom {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        let mut w = Wisdom::new();
+        for (lineno, line) in s.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let fields: Vec<usize> = line
+                .split_whitespace()
+                .map(|t| t.parse().map_err(|e| format!("line {}: {e}", lineno + 1)))
+                .collect::<Result<_, _>>()?;
+            if fields.len() != 6 {
+                return Err(format!("line {}: expected 6 fields", lineno + 1));
+            }
+            w.entries.insert(
+                WisdomKey {
+                    kernel_tag: fields[0] as u8,
+                    grid: (fields[1], fields[2], fields[3]),
+                    n_splines: fields[4],
+                },
+                fields[5],
+            );
+        }
+        Ok(w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use einspline::Grid1;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn table(n: usize) -> MultiCoefs<f32> {
+        let g = Grid1::periodic(0.0, 1.0, 8);
+        let mut m = MultiCoefs::new(g, g, g, n);
+        m.fill_random(&mut StdRng::seed_from_u64(4));
+        m
+    }
+
+    fn quick_cfg() -> TuneConfig {
+        TuneConfig {
+            ns: 4,
+            reps: 1,
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn tuner_returns_a_candidate() {
+        let t = table(64);
+        let r = tune_tile_size(&t, Kernel::Vgh, &[16, 32, 64], &quick_cfg());
+        assert!([16, 32, 64].contains(&r.best_nb));
+        assert_eq!(r.sweep.len(), 3);
+        for (_, ops) in &r.sweep {
+            assert!(*ops > 0.0);
+        }
+    }
+
+    #[test]
+    fn oversized_candidates_are_skipped() {
+        let t = table(32);
+        let r = tune_tile_size(&t, Kernel::V, &[16, 32, 512], &quick_cfg());
+        assert_eq!(r.sweep.len(), 2);
+    }
+
+    #[test]
+    fn default_candidate_ladder() {
+        assert_eq!(default_candidates(128), vec![16, 32, 64, 128]);
+        assert_eq!(default_candidates(100), vec![16, 32, 64, 100]);
+        assert_eq!(default_candidates(16), vec![16]);
+    }
+
+    #[test]
+    fn wisdom_roundtrip_through_text() {
+        let t = table(64);
+        let mut w = Wisdom::new();
+        w.record(&t, Kernel::Vgh, 32);
+        w.record(&t, Kernel::V, 64);
+        let text = w.to_string();
+        let w2: Wisdom = text.parse().expect("parse");
+        assert_eq!(w2.len(), 2);
+        assert_eq!(w2.lookup(&t, Kernel::Vgh), Some(32));
+        assert_eq!(w2.lookup(&t, Kernel::V), Some(64));
+        assert_eq!(w2.lookup(&t, Kernel::Vgl), None);
+    }
+
+    #[test]
+    fn wisdom_rejects_bad_text() {
+        assert!("1 2 3".parse::<Wisdom>().is_err());
+        assert!("a b c d e f".parse::<Wisdom>().is_err());
+        let ok: Wisdom = "# comment\n\n2 8 8 8 64 32\n".parse().unwrap();
+        assert_eq!(ok.len(), 1);
+    }
+
+    #[test]
+    fn fuzzy_lookup_transfers_across_n() {
+        let t64 = table(64);
+        let t128 = table(128);
+        let mut w = Wisdom::new();
+        w.record(&t64, Kernel::Vgh, 32);
+        assert_eq!(w.lookup(&t128, Kernel::Vgh), None);
+        assert_eq!(w.lookup_any_n(&t128, Kernel::Vgh), Some(32));
+    }
+
+    #[test]
+    fn tile_size_for_tunes_once_then_caches() {
+        let t = table(32);
+        let mut w = Wisdom::new();
+        let nb1 = w.tile_size_for(&t, Kernel::Vgl, &quick_cfg());
+        assert_eq!(w.len(), 1);
+        let nb2 = w.tile_size_for(&t, Kernel::Vgl, &quick_cfg());
+        assert_eq!(nb1, nb2);
+        assert_eq!(w.len(), 1);
+    }
+}

@@ -1,0 +1,235 @@
+//! The miniQMC B-spline driver (paper Fig. 3).
+//!
+//! Each *walker* (Monte Carlo sample) owns private output buffers and a
+//! private stream of random positions; all walkers share the read-only
+//! coefficient table through the engine. The driver replays the paper's
+//! measurement loop: `niters` generations, each evaluating `ns` random
+//! positions per kernel.
+
+use crate::engine::SpoEngine;
+use crate::layout::Kernel;
+use einspline::Real;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::{Duration, Instant};
+
+/// Driver parameters (defaults follow the paper: `ns = 512` random
+/// samples per kernel per iteration).
+#[derive(Clone, Copy, Debug)]
+pub struct DriverConfig {
+    /// Number of independent walkers `Nw`.
+    pub n_walkers: usize,
+    /// Random positions per kernel per iteration (`ns`).
+    pub n_samples: usize,
+    /// Monte Carlo generations (`niters`).
+    pub n_iters: usize,
+    /// Master RNG seed; each walker derives its own stream.
+    pub seed: u64,
+}
+
+impl Default for DriverConfig {
+    fn default() -> Self {
+        Self {
+            n_walkers: 1,
+            n_samples: 512,
+            n_iters: 1,
+            seed: 0x9e3779b97f4a7c15,
+        }
+    }
+}
+
+/// Per-kernel accumulated wall time of one run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct KernelTimes {
+    /// Orbital value stream.
+    pub v: Duration,
+    /// Vgl.
+    pub vgl: Duration,
+    /// Vgh.
+    pub vgh: Duration,
+}
+
+impl KernelTimes {
+    /// Get.
+    pub fn get(&self, k: Kernel) -> Duration {
+        match k {
+            Kernel::V => self.v,
+            Kernel::Vgl => self.vgl,
+            Kernel::Vgh => self.vgh,
+        }
+    }
+
+    /// Add.
+    pub fn add(&mut self, k: Kernel, d: Duration) {
+        match k {
+            Kernel::V => self.v += d,
+            Kernel::Vgl => self.vgl += d,
+            Kernel::Vgh => self.vgh += d,
+        }
+    }
+}
+
+/// Draw `ns` uniform random positions inside `domain` (the paper's
+/// `generateRandomPos`, imitating QMC's random drift-diffusion moves).
+pub fn random_positions<T: Real, R: Rng>(
+    rng: &mut R,
+    ns: usize,
+    domain: [(f64, f64); 3],
+) -> Vec<[T; 3]> {
+    (0..ns)
+        .map(|_| {
+            let mut p = [T::ZERO; 3];
+            for (d, (lo, hi)) in domain.iter().enumerate() {
+                p[d] = T::from_f64(lo + (hi - lo) * rng.random::<f64>());
+            }
+            p
+        })
+        .collect()
+}
+
+/// RNG for walker `w` derived from the master seed (independent,
+/// reproducible streams).
+pub fn walker_rng(seed: u64, walker: usize) -> StdRng {
+    StdRng::seed_from_u64(seed ^ (walker as u64).wrapping_mul(0xa076_1d64_78bd_642f))
+}
+
+/// Run one walker's full measurement loop serially; returns per-kernel
+/// time.
+pub fn run_walker<T: Real, E: SpoEngine<T>>(
+    engine: &E,
+    cfg: &DriverConfig,
+    walker: usize,
+) -> KernelTimes {
+    let mut rng = walker_rng(cfg.seed, walker);
+    let domain = engine.domain();
+    let v_pos: Vec<[T; 3]> = random_positions(&mut rng, cfg.n_samples, domain);
+    let vgl_pos: Vec<[T; 3]> = random_positions(&mut rng, cfg.n_samples, domain);
+    let vgh_pos: Vec<[T; 3]> = random_positions(&mut rng, cfg.n_samples, domain);
+    let mut out = engine.make_out();
+    let mut times = KernelTimes::default();
+
+    for _ in 0..cfg.n_iters {
+        let t0 = Instant::now();
+        for p in &v_pos {
+            engine.v(*p, &mut out);
+        }
+        times.v += t0.elapsed();
+
+        let t0 = Instant::now();
+        for p in &vgl_pos {
+            engine.vgl(*p, &mut out);
+        }
+        times.vgl += t0.elapsed();
+
+        let t0 = Instant::now();
+        for p in &vgh_pos {
+            engine.vgh(*p, &mut out);
+        }
+        times.vgh += t0.elapsed();
+    }
+    times
+}
+
+/// Run one kernel over a fixed position set (benchmark inner loop).
+pub fn run_kernel<T: Real, E: SpoEngine<T>>(
+    engine: &E,
+    kernel: Kernel,
+    positions: &[[T; 3]],
+    out: &mut E::Out,
+) -> Duration {
+    let t0 = Instant::now();
+    for p in positions {
+        engine.eval(kernel, *p, out);
+    }
+    t0.elapsed()
+}
+
+/// Serial multi-walker run (walkers executed back-to-back on one
+/// thread) — the reference for parallel-efficiency tests.
+pub fn run_serial<T: Real, E: SpoEngine<T>>(engine: &E, cfg: &DriverConfig) -> KernelTimes {
+    let mut total = KernelTimes::default();
+    for w in 0..cfg.n_walkers {
+        let t = run_walker(engine, cfg, w);
+        total.v += t.v;
+        total.vgl += t.vgl;
+        total.vgh += t.vgh;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::soa::BsplineSoA;
+    use einspline::{Grid1, MultiCoefs};
+
+    fn engine() -> BsplineSoA<f32> {
+        let g = Grid1::periodic(0.0, 1.0, 6);
+        let mut m = MultiCoefs::<f32>::new(g, g, g, 8);
+        m.fill_random(&mut StdRng::seed_from_u64(2));
+        BsplineSoA::new(m)
+    }
+
+    #[test]
+    fn random_positions_respect_domain() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let pos: Vec<[f32; 3]> =
+            random_positions(&mut rng, 100, [(0.0, 1.0), (2.0, 3.0), (-1.0, 0.0)]);
+        assert_eq!(pos.len(), 100);
+        for p in pos {
+            assert!((0.0..1.0).contains(&p[0]));
+            assert!((2.0..3.0).contains(&p[1]));
+            assert!((-1.0..0.0).contains(&p[2]));
+        }
+    }
+
+    #[test]
+    fn walker_rngs_are_independent_and_reproducible() {
+        let a1: f64 = walker_rng(7, 0).random();
+        let a2: f64 = walker_rng(7, 0).random();
+        let b: f64 = walker_rng(7, 1).random();
+        assert_eq!(a1, a2);
+        assert_ne!(a1, b);
+    }
+
+    #[test]
+    fn run_walker_accumulates_all_kernels() {
+        let e = engine();
+        let cfg = DriverConfig {
+            n_walkers: 1,
+            n_samples: 4,
+            n_iters: 2,
+            seed: 3,
+        };
+        let t = run_walker(&e, &cfg, 0);
+        assert!(t.v > Duration::ZERO);
+        assert!(t.vgl > Duration::ZERO);
+        assert!(t.vgh > Duration::ZERO);
+    }
+
+    #[test]
+    fn kernel_times_accessors() {
+        let mut t = KernelTimes::default();
+        t.add(Kernel::Vgl, Duration::from_millis(5));
+        assert_eq!(t.get(Kernel::Vgl), Duration::from_millis(5));
+        assert_eq!(t.get(Kernel::V), Duration::ZERO);
+    }
+
+    #[test]
+    fn run_serial_scales_with_walker_count() {
+        let e = engine();
+        let cfg1 = DriverConfig {
+            n_walkers: 1,
+            n_samples: 8,
+            n_iters: 1,
+            seed: 5,
+        };
+        let cfg3 = DriverConfig {
+            n_walkers: 3,
+            ..cfg1
+        };
+        let _ = run_serial(&e, &cfg1);
+        let t3 = run_serial(&e, &cfg3);
+        assert!(t3.vgh > Duration::ZERO);
+    }
+}

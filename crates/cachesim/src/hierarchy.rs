@@ -1,0 +1,301 @@
+//! A multi-level, multi-thread cache hierarchy.
+//!
+//! Levels are searched in order; a miss at the last level is DRAM
+//! traffic. Private levels instantiate one cache per thread (or per
+//! thread group — KNL's L2 is shared by a 2-core tile), shared levels
+//! one cache for the node. Fills are inclusive: a miss installs the line
+//! at every level on its path — a simplification that matches the
+//! capacity arithmetic the paper's analysis relies on.
+
+use crate::cache::{Cache, CacheConfig, Outcome};
+
+/// Sharing scope of one cache level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scope {
+    /// One cache instance per thread group of `k` threads
+    /// (`Private(1)` = per-thread, `Private(2)` = KNL tile pairs).
+    Private(usize),
+    /// One instance for the whole node.
+    Shared,
+}
+
+/// Specification of one level.
+#[derive(Clone, Copy, Debug)]
+pub struct LevelSpec {
+    /// Str.
+    pub name: &'static str,
+    /// Cfg.
+    pub cfg: CacheConfig,
+    /// Scope.
+    pub scope: Scope,
+}
+
+/// One instantiated level.
+#[derive(Clone, Debug)]
+struct Level {
+    spec: LevelSpec,
+    caches: Vec<Cache>,
+}
+
+impl Level {
+    fn cache_index(&self, thread: usize) -> usize {
+        match self.spec.scope {
+            Scope::Private(k) => (thread / k) % self.caches.len(),
+            Scope::Shared => 0,
+        }
+    }
+}
+
+/// Aggregated statistics for one level.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LevelStats {
+    /// Demand hits.
+    pub hits: u64,
+    /// Demand misses.
+    pub misses: u64,
+    /// Writebacks.
+    pub writebacks: u64,
+}
+
+/// The hierarchy plus DRAM traffic counters.
+#[derive(Clone, Debug)]
+pub struct Hierarchy {
+    levels: Vec<Level>,
+    line: usize,
+    n_threads: usize,
+    /// Lines fetched from DRAM (demand fills at the last level).
+    pub dram_fills: u64,
+    /// Dirty lines written back to DRAM from the last level.
+    pub dram_writebacks: u64,
+    /// Total demand accesses issued.
+    pub accesses: u64,
+}
+
+impl Hierarchy {
+    /// Instantiate for `n_threads` concurrently running threads.
+    pub fn new(specs: &[LevelSpec], n_threads: usize) -> Self {
+        assert!(!specs.is_empty(), "need at least one cache level");
+        assert!(n_threads > 0);
+        let line = specs[0].cfg.line;
+        let levels = specs
+            .iter()
+            .map(|spec| {
+                assert_eq!(spec.cfg.line, line, "uniform line size required");
+                let n_caches = match spec.scope {
+                    Scope::Private(k) => {
+                        assert!(k > 0);
+                        n_threads.div_ceil(k)
+                    }
+                    Scope::Shared => 1,
+                };
+                Level {
+                    spec: *spec,
+                    caches: vec![Cache::new(spec.cfg); n_caches],
+                }
+            })
+            .collect();
+        Self {
+            levels,
+            line,
+            n_threads,
+            dram_fills: 0,
+            dram_writebacks: 0,
+            accesses: 0,
+        }
+    }
+
+    #[inline]
+    /// Line.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+
+    #[inline]
+    /// N threads.
+    pub fn n_threads(&self) -> usize {
+        self.n_threads
+    }
+
+    /// One demand access from `thread`. Searches levels outward; installs
+    /// the line at every missed level.
+    pub fn access(&mut self, thread: usize, addr: u64, write: bool) {
+        debug_assert!(thread < self.n_threads);
+        self.accesses += 1;
+        let n_levels = self.levels.len();
+        for (li, level) in self.levels.iter_mut().enumerate() {
+            let ci = level.cache_index(thread);
+            match level.caches[ci].access(addr, write) {
+                Outcome::Hit => return,
+                Outcome::Miss { writeback } => {
+                    // Last level: dirty victims and demand fills hit DRAM.
+                    if li == n_levels - 1 {
+                        self.dram_fills += 1;
+                        if writeback {
+                            self.dram_writebacks += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Access a contiguous byte range, line by line.
+    pub fn access_range(&mut self, thread: usize, addr: u64, bytes: usize, write: bool) {
+        let line = self.line as u64;
+        let first = addr / line;
+        let last = (addr + bytes as u64 - 1) / line;
+        for l in first..=last {
+            self.access(thread, l * line, write);
+        }
+    }
+
+    /// Demand bytes read from DRAM.
+    pub fn dram_read_bytes(&self) -> u64 {
+        self.dram_fills * self.line as u64
+    }
+
+    /// Bytes written back to DRAM.
+    pub fn dram_write_bytes(&self) -> u64 {
+        self.dram_writebacks * self.line as u64
+    }
+
+    /// Per-level aggregate stats (summed over instances).
+    pub fn level_stats(&self) -> Vec<(&'static str, LevelStats)> {
+        self.levels
+            .iter()
+            .map(|lvl| {
+                let mut s = LevelStats::default();
+                for c in &lvl.caches {
+                    s.hits += c.hits;
+                    s.misses += c.misses;
+                    s.writebacks += c.writebacks;
+                }
+                (lvl.spec.name, s)
+            })
+            .collect()
+    }
+
+    /// Zero all statistics (warm caches kept — call after a warm-up pass).
+    pub fn reset_stats(&mut self) {
+        for lvl in &mut self.levels {
+            for c in &mut lvl.caches {
+                c.reset_stats();
+            }
+        }
+        self.dram_fills = 0;
+        self.dram_writebacks = 0;
+        self.accesses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_level(n_threads: usize) -> Hierarchy {
+        Hierarchy::new(
+            &[
+                LevelSpec {
+                    name: "L1",
+                    cfg: CacheConfig::new(1024, 2, 64),
+                    scope: Scope::Private(1),
+                },
+                LevelSpec {
+                    name: "LLC",
+                    cfg: CacheConfig::new(16 * 1024, 8, 64),
+                    scope: Scope::Shared,
+                },
+            ],
+            n_threads,
+        )
+    }
+
+    #[test]
+    fn l1_hit_causes_no_dram_traffic() {
+        let mut h = two_level(1);
+        h.access(0, 0x100, false);
+        assert_eq!(h.dram_fills, 1);
+        h.access(0, 0x100, false);
+        assert_eq!(h.dram_fills, 1);
+        let stats = h.level_stats();
+        assert_eq!(stats[0].1.hits, 1);
+    }
+
+    #[test]
+    fn private_l1_is_per_thread_shared_llc_is_not() {
+        let mut h = two_level(2);
+        h.access(0, 0x200, false); // miss both, fill
+        h.access(1, 0x200, false); // L1 miss (private), LLC hit
+        assert_eq!(h.dram_fills, 1, "LLC absorbed the second thread");
+        let stats = h.level_stats();
+        assert_eq!(stats[0].1.misses, 2);
+        assert_eq!(stats[1].1.hits, 1);
+    }
+
+    #[test]
+    fn thread_groups_share_a_private_cache() {
+        let h = Hierarchy::new(
+            &[LevelSpec {
+                name: "L2",
+                cfg: CacheConfig::new(1024, 2, 64),
+                scope: Scope::Private(2),
+            }],
+            4,
+        );
+        assert_eq!(h.levels[0].caches.len(), 2);
+        assert_eq!(h.levels[0].cache_index(0), 0);
+        assert_eq!(h.levels[0].cache_index(1), 0);
+        assert_eq!(h.levels[0].cache_index(2), 1);
+        assert_eq!(h.levels[0].cache_index(3), 1);
+    }
+
+    #[test]
+    fn access_range_touches_every_line() {
+        let mut h = two_level(1);
+        h.access_range(0, 32, 256, false); // spans lines 0..=4
+        assert_eq!(h.accesses, 5);
+    }
+
+    #[test]
+    fn dirty_llc_eviction_counts_as_dram_write() {
+        // Tiny LLC only.
+        let mut h = Hierarchy::new(
+            &[LevelSpec {
+                name: "LLC",
+                cfg: CacheConfig::new(256, 2, 64), // 2 sets × 2 ways
+                scope: Scope::Shared,
+            }],
+            1,
+        );
+        h.access(0, 0x000, true); // set 0, dirty
+        h.access(0, 0x080, true); // set 0, dirty
+        h.access(0, 0x100, false); // set 0 → evicts dirty 0x000
+        assert_eq!(h.dram_writebacks, 1);
+        assert_eq!(h.dram_write_bytes(), 64);
+    }
+
+    #[test]
+    fn reset_stats_keeps_contents() {
+        let mut h = two_level(1);
+        h.access(0, 0x40, false);
+        h.reset_stats();
+        assert_eq!(h.dram_fills, 0);
+        h.access(0, 0x40, false);
+        assert_eq!(h.dram_fills, 0, "line still resident after reset");
+    }
+
+    #[test]
+    fn working_set_fits_llc_but_not_l1() {
+        let mut h = two_level(1);
+        // 8 KB working set: > L1 (1 KB), < LLC (16 KB).
+        for _pass in 0..3 {
+            for addr in (0..8 * 1024u64).step_by(64) {
+                h.access(0, addr, false);
+            }
+        }
+        // First pass fills from DRAM; later passes are LLC hits.
+        assert_eq!(h.dram_fills, 128);
+        let stats = h.level_stats();
+        assert!(stats[1].1.hits >= 256, "LLC absorbed re-walks");
+    }
+}

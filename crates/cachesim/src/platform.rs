@@ -1,0 +1,264 @@
+//! The four evaluation platforms of the paper (Table I), as cache/
+//! bandwidth/compute models.
+//!
+//! | | BDW | KNC | KNL | BG/Q |
+//! |---|---|---|---|---|
+//! | processor | E5-2697v4 | 7120P | 7250P | PowerPC A2 |
+//! | cores | 18 | 61 | 68 | 17 (16 usable) |
+//! | SIMD bits | 256 | 512 | 512 | 256 |
+//! | freq (GHz) | 2.3 | 1.238 | 1.4 | 1.6 |
+//! | L1d | 32 KB | 32 KB | 32 KB | 16 KB |
+//! | L2 | 256 KB/core | 512 KB/core | 1 MB/2-core tile | 32 MB shared |
+//! | LLC | 45 MB shared | — | — | — |
+//! | stream BW (GB/s) | 64 | 177 | 490 | 28 |
+
+use crate::cache::CacheConfig;
+use crate::hierarchy::{Hierarchy, LevelSpec, Scope};
+
+/// A modelled platform.
+#[derive(Clone, Debug)]
+pub struct Platform {
+    /// Str.
+    pub name: &'static str,
+    /// Cores.
+    pub cores: usize,
+    /// Threads per core.
+    pub threads_per_core: usize,
+    /// Simd bits.
+    pub simd_bits: usize,
+    /// Freq ghz.
+    pub freq_ghz: f64,
+    /// Levels.
+    pub levels: Vec<LevelSpec>,
+    /// Measured STREAM bandwidth, GB/s (Table I).
+    pub stream_bw_gbs: f64,
+    /// FMA pipelines per core (BDW/KNL dual-issue, KNC/BG-Q single).
+    pub fma_units: usize,
+    /// Fraction of peak the *SoA* (vectorized, unit-stride) kernels reach
+    /// with cache-resident data. Calibration constant: sets the compute
+    /// roof of the predictor; the traffic side is simulated.
+    pub eff_soa: f64,
+    /// Fraction of peak the *AoS* baseline reaches (strided stores defeat
+    /// vectorization). Calibrated so the compute-bound A-step speedup
+    /// matches the paper's Table IV row A per platform.
+    pub eff_aos: f64,
+}
+
+impl Platform {
+    /// Single-precision SIMD lanes.
+    pub fn simd_lanes_sp(&self) -> usize {
+        self.simd_bits / 32
+    }
+
+    /// Theoretical peak single-precision GFLOP/s (FMA counted as 2 per
+    /// pipeline).
+    pub fn peak_sp_gflops(&self) -> f64 {
+        self.cores as f64
+            * self.freq_ghz
+            * self.simd_lanes_sp() as f64
+            * 2.0
+            * self.fma_units as f64
+    }
+
+    /// Hardware threads on the node.
+    pub fn total_threads(&self) -> usize {
+        self.cores * self.threads_per_core
+    }
+
+    /// Instantiate the cache hierarchy for `n_threads` active threads.
+    pub fn hierarchy(&self, n_threads: usize) -> Hierarchy {
+        Hierarchy::new(&self.levels, n_threads)
+    }
+
+    /// Intel Xeon E5-2697v4 "Broadwell".
+    pub fn bdw() -> Self {
+        Self {
+            name: "BDW",
+            cores: 18,
+            threads_per_core: 2,
+            simd_bits: 256,
+            freq_ghz: 2.3,
+            levels: vec![
+                LevelSpec {
+                    name: "L1",
+                    // Shared by the 2 hyperthreads of a core.
+                    cfg: CacheConfig::new(32 * 1024, 8, 64),
+                    scope: Scope::Private(2),
+                },
+                LevelSpec {
+                    name: "L2",
+                    cfg: CacheConfig::new(256 * 1024, 8, 64),
+                    scope: Scope::Private(2),
+                },
+                LevelSpec {
+                    name: "LLC",
+                    // 45 MB shared; modelled as 44 MB = 22 ways × 32768
+                    // power-of-two sets.
+                    cfg: CacheConfig::new(44 * 1024 * 1024, 22, 64),
+                    scope: Scope::Shared,
+                },
+            ],
+            stream_bw_gbs: 64.0,
+            fma_units: 2,
+            eff_soa: 0.30,
+            // Calibrated against Table IV row A at N=2048, where the SoA
+            // side is DRAM-bound on BDW: T_SoA(mem) ≈ 122k evals/s and
+            // A = 1.7 ⇒ the AoS compute roof sits at ≈ 72k evals/s.
+            eff_aos: 0.08,
+        }
+    }
+
+    /// Intel Xeon Phi 7120P "Knights Corner" coprocessor.
+    pub fn knc() -> Self {
+        Self {
+            name: "KNC",
+            cores: 61,
+            threads_per_core: 4,
+            simd_bits: 512,
+            freq_ghz: 1.238,
+            levels: vec![
+                LevelSpec {
+                    name: "L1",
+                    // Shared by the 4 hardware threads of a core.
+                    cfg: CacheConfig::new(32 * 1024, 8, 64),
+                    scope: Scope::Private(4),
+                },
+                LevelSpec {
+                    name: "L2",
+                    cfg: CacheConfig::new(512 * 1024, 8, 64),
+                    scope: Scope::Private(4),
+                },
+            ],
+            stream_bw_gbs: 177.0,
+            fma_units: 1,
+            // In-order core: the paper's biggest AoS→SoA boost is on KNC
+            // (Table IV: A = 2.6x).
+            eff_soa: 0.12,
+            eff_aos: 0.12 / 2.6,
+        }
+    }
+
+    /// Intel Xeon Phi 7250P "Knights Landing", quad/flat, MCDRAM.
+    pub fn knl() -> Self {
+        Self {
+            name: "KNL",
+            cores: 68,
+            threads_per_core: 4,
+            simd_bits: 512,
+            freq_ghz: 1.4,
+            levels: vec![
+                LevelSpec {
+                    name: "L1",
+                    // Shared by the 4 hardware threads of a core.
+                    cfg: CacheConfig::new(32 * 1024, 8, 64),
+                    scope: Scope::Private(4),
+                },
+                LevelSpec {
+                    name: "L2",
+                    // 1 MB per 2-core tile = 8 hardware threads.
+                    cfg: CacheConfig::new(1024 * 1024, 16, 64),
+                    scope: Scope::Private(8),
+                },
+            ],
+            stream_bw_gbs: 490.0,
+            fma_units: 2,
+            eff_soa: 0.13,
+            eff_aos: 0.13 / 1.7, // paper Table IV: A = 1.7x on KNL
+        }
+    }
+
+    /// IBM Blue Gene/Q PowerPC A2 node (16 compute cores).
+    pub fn bgq() -> Self {
+        Self {
+            name: "BG/Q",
+            cores: 16,
+            threads_per_core: 4,
+            simd_bits: 256,
+            freq_ghz: 1.6,
+            levels: vec![
+                LevelSpec {
+                    name: "L1",
+                    // Shared by the 4 hardware threads of a core.
+                    cfg: CacheConfig::new(16 * 1024, 8, 64),
+                    scope: Scope::Private(4),
+                },
+                LevelSpec {
+                    name: "L2",
+                    cfg: CacheConfig::new(32 * 1024 * 1024, 16, 64),
+                    scope: Scope::Shared,
+                },
+            ],
+            stream_bw_gbs: 28.0,
+            fma_units: 1,
+            eff_soa: 0.25,
+            eff_aos: 0.25 / 1.9, // paper Table IV: A = 1.9x on BG/Q
+        }
+    }
+
+    /// All four paper platforms.
+    pub fn all() -> Vec<Platform> {
+        vec![Self::bdw(), Self::knc(), Self::knl(), Self::bgq()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_flops_ordering_matches_paper() {
+        // KNL ≫ KNC > BDW > BG/Q (paper: KNL peak > 10× one BG/Q node).
+        let (bdw, knc, knl, bgq) = (
+            Platform::bdw().peak_sp_gflops(),
+            Platform::knc().peak_sp_gflops(),
+            Platform::knl().peak_sp_gflops(),
+            Platform::bgq().peak_sp_gflops(),
+        );
+        assert!(knl > knc && knc > bdw && bdw > bgq);
+        assert!(knl > 10.0 * bgq / 2.0, "KNL ~an order above BG/Q");
+    }
+
+    #[test]
+    fn knl_simd_lanes() {
+        assert_eq!(Platform::knl().simd_lanes_sp(), 16);
+        assert_eq!(Platform::bgq().simd_lanes_sp(), 8);
+    }
+
+    #[test]
+    fn total_threads_match_paper_walker_counts() {
+        // Paper: Nw = 36 (BDW), 244→240 (KNC), 272→256 (KNL), 64 (BG/Q);
+        // one walker per hardware thread (approximately on Phi).
+        assert_eq!(Platform::bdw().total_threads(), 36);
+        assert_eq!(Platform::bgq().total_threads(), 64);
+        assert!(Platform::knc().total_threads() >= 240);
+        assert!(Platform::knl().total_threads() >= 256);
+    }
+
+    #[test]
+    fn hierarchies_instantiate() {
+        for p in Platform::all() {
+            let h = p.hierarchy(4);
+            assert!(h.n_threads() == 4, "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn llc_platforms_have_three_levels() {
+        assert_eq!(Platform::bdw().levels.len(), 3);
+        assert_eq!(Platform::knl().levels.len(), 2);
+        assert_eq!(Platform::bgq().levels.len(), 2);
+    }
+
+    #[test]
+    fn bdw_llc_capacity_is_about_45mb() {
+        let cfg = Platform::bdw().levels[2].cfg;
+        assert!(cfg.size >= 40 * 1024 * 1024 && cfg.size <= 46 * 1024 * 1024);
+        assert!(cfg.n_sets().is_power_of_two());
+    }
+
+    #[test]
+    fn bandwidth_ordering() {
+        assert!(Platform::knl().stream_bw_gbs > Platform::knc().stream_bw_gbs);
+        assert!(Platform::bdw().stream_bw_gbs > Platform::bgq().stream_bw_gbs);
+    }
+}

@@ -1,0 +1,213 @@
+//! Uniform 1D grids and the position → (interval, fraction) mapping.
+//!
+//! The spline kernels receive a physical coordinate and need the lower
+//! grid index `i0 = floor((x-start)/Δ)` plus the fractional offset
+//! `t ∈ [0,1)` (paper Sec. III). For periodic splines the index wraps;
+//! for bounded splines it clamps to the valid range.
+
+use crate::real::Real;
+
+/// Boundary behaviour of one grid dimension.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Boundary {
+    /// Coordinates wrap modulo the period; `num` intervals cover it.
+    Periodic,
+    /// Coordinates clamp to `[start, end]`; `num` intervals, natural BC.
+    Natural,
+}
+
+/// A uniform grid over `[start, end)` with `num` intervals.
+///
+/// `delta = (end-start)/num`. Grid point `i` sits at `start + i*delta`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Grid1 {
+    start: f64,
+    end: f64,
+    num: usize,
+    delta: f64,
+    delta_inv: f64,
+    boundary: Boundary,
+}
+
+impl Grid1 {
+    /// Periodic.
+    pub fn periodic(start: f64, end: f64, num: usize) -> Self {
+        Self::new(start, end, num, Boundary::Periodic)
+    }
+
+    /// Natural.
+    pub fn natural(start: f64, end: f64, num: usize) -> Self {
+        Self::new(start, end, num, Boundary::Natural)
+    }
+
+    /// Create a new instance.
+    pub fn new(start: f64, end: f64, num: usize, boundary: Boundary) -> Self {
+        assert!(num > 0, "grid needs at least one interval");
+        assert!(end > start, "grid end must exceed start");
+        let delta = (end - start) / num as f64;
+        Self {
+            start,
+            end,
+            num,
+            delta,
+            delta_inv: 1.0 / delta,
+            boundary,
+        }
+    }
+
+    #[inline]
+    /// Start.
+    pub fn start(&self) -> f64 {
+        self.start
+    }
+
+    #[inline]
+    /// End.
+    pub fn end(&self) -> f64 {
+        self.end
+    }
+
+    /// Number of intervals (== number of independent coefficients for a
+    /// periodic spline).
+    #[inline]
+    pub fn num(&self) -> usize {
+        self.num
+    }
+
+    #[inline]
+    /// Delta.
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+
+    #[inline]
+    /// Delta inv.
+    pub fn delta_inv(&self) -> f64 {
+        self.delta_inv
+    }
+
+    #[inline]
+    /// Boundary.
+    pub fn boundary(&self) -> Boundary {
+        self.boundary
+    }
+
+    /// Physical coordinate of grid point `i`.
+    #[inline]
+    pub fn point(&self, i: usize) -> f64 {
+        self.start + i as f64 * self.delta
+    }
+
+    /// Map a coordinate to `(interval index, fractional offset)`.
+    ///
+    /// Periodic grids wrap any real coordinate; natural grids clamp to the
+    /// last interval so out-of-range queries degrade gracefully (QMC moves
+    /// are wrapped by the caller's cell, but Jastrow cutoffs rely on the
+    /// clamp).
+    #[inline]
+    pub fn locate<T: Real>(&self, x: T) -> (usize, T) {
+        let u = (x.to_f64() - self.start) * self.delta_inv;
+        match self.boundary {
+            Boundary::Periodic => {
+                let n = self.num as f64;
+                // rem_euclid keeps u in [0, n) for any input sign.
+                let u = u.rem_euclid(n);
+                let mut i = u as usize;
+                // Guard the u == n edge produced by rounding.
+                if i >= self.num {
+                    i = 0;
+                }
+                (i, T::from_f64(u - i as f64))
+            }
+            Boundary::Natural => {
+                let u = u.clamp(0.0, self.num as f64 - f64::EPSILON * self.num as f64);
+                let mut i = u as usize;
+                if i >= self.num {
+                    i = self.num - 1;
+                }
+                (i, T::from_f64((u - i as f64).clamp(0.0, 1.0)))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_spacing() {
+        let g = Grid1::periodic(0.0, 4.0, 8);
+        assert_eq!(g.delta(), 0.5);
+        assert_eq!(g.point(3), 1.5);
+        assert_eq!(g.num(), 8);
+    }
+
+    #[test]
+    fn locate_interior() {
+        let g = Grid1::periodic(0.0, 1.0, 10);
+        let (i, t): (usize, f64) = g.locate(0.37);
+        assert_eq!(i, 3);
+        assert!((t - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn locate_wraps_negative_and_beyond() {
+        let g = Grid1::periodic(0.0, 1.0, 10);
+        let (i, t): (usize, f64) = g.locate(-0.05);
+        assert_eq!(i, 9);
+        assert!((t - 0.5).abs() < 1e-9);
+        let (i2, _): (usize, f64) = g.locate(2.31);
+        assert_eq!(i2, 3);
+    }
+
+    #[test]
+    fn locate_exact_period_boundary() {
+        let g = Grid1::periodic(0.0, 1.0, 48);
+        let (i, t): (usize, f64) = g.locate(1.0);
+        assert_eq!(i, 0);
+        assert!(t < 1e-12);
+    }
+
+    #[test]
+    fn natural_clamps() {
+        let g = Grid1::natural(0.0, 2.0, 4);
+        let (i, t): (usize, f64) = g.locate(5.0);
+        assert_eq!(i, 3);
+        assert!((t - 1.0).abs() < 1e-6);
+        let (i, t): (usize, f64) = g.locate(-1.0);
+        assert_eq!(i, 0);
+        assert_eq!(t, 0.0);
+    }
+
+    #[test]
+    fn locate_nonzero_start() {
+        let g = Grid1::periodic(-1.0, 1.0, 8);
+        let (i, t): (usize, f64) = g.locate(-0.99);
+        assert_eq!(i, 0);
+        assert!(t > 0.0 && t < 0.1);
+    }
+
+    #[test]
+    fn fraction_always_in_unit_interval() {
+        let g = Grid1::periodic(0.0, 3.0, 48);
+        for k in -200..200 {
+            let x = k as f64 * 0.037;
+            let (i, t): (usize, f64) = g.locate(x);
+            assert!(i < 48);
+            assert!((0.0..1.0).contains(&t), "x={x} t={t}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one interval")]
+    fn zero_intervals_rejected() {
+        let _ = Grid1::periodic(0.0, 1.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "end must exceed")]
+    fn inverted_range_rejected() {
+        let _ = Grid1::natural(1.0, 0.0, 4);
+    }
+}

@@ -1,0 +1,352 @@
+//! The 4D multi-orbital coefficient table `P[nx][ny][nz][N]`.
+//!
+//! This is the central read-only data structure of the paper: all N
+//! orbitals' control points for one grid point are stored contiguously
+//! (the spline index is the innermost, unit-stride dimension), so the
+//! kernels' inner loops stream through `N` values per grid point. Each
+//! dimension is padded by 3 (periodic wrap or boundary ghosts), and the
+//! spline dimension is padded to a cache-line multiple and 64-byte
+//! aligned (paper Sec. IV: "aligned allocator and includes padding").
+
+use crate::aligned::{padded_len, AlignedVec};
+use crate::grid::Grid1;
+use crate::real::Real;
+use crate::solver1d::COEF_PAD;
+use crate::spline3d::Spline3;
+use rand::Rng;
+
+/// Location of an evaluation point inside the table: lower-corner indices
+/// plus fractional offsets.
+#[derive(Clone, Copy, Debug)]
+pub struct GridPoint<T> {
+    /// I0.
+    pub i0: usize,
+    /// J0.
+    pub j0: usize,
+    /// K0.
+    pub k0: usize,
+    /// Tx.
+    pub tx: T,
+    /// Ty.
+    pub ty: T,
+    /// Tz.
+    pub tz: T,
+}
+
+/// Multi-orbital tricubic B-spline coefficients.
+///
+/// Layout: `data[((ix·(ny+3) + iy)·(nz+3) + iz)·stride_n + n]` where
+/// `stride_n ≥ n_splines` is padded to a full cache line.
+#[derive(Debug)]
+pub struct MultiCoefs<T> {
+    gx: Grid1,
+    gy: Grid1,
+    gz: Grid1,
+    n_splines: usize,
+    stride_n: usize,
+    sy: usize,
+    sx: usize,
+    data: AlignedVec<T>,
+}
+
+impl<T: Real> Clone for MultiCoefs<T> {
+    fn clone(&self) -> Self {
+        Self {
+            gx: self.gx,
+            gy: self.gy,
+            gz: self.gz,
+            n_splines: self.n_splines,
+            stride_n: self.stride_n,
+            sy: self.sy,
+            sx: self.sx,
+            data: self.data.clone(),
+        }
+    }
+}
+
+impl<T: Real> MultiCoefs<T> {
+    /// Zero-initialized table for `n_splines` orbitals.
+    pub fn new(gx: Grid1, gy: Grid1, gz: Grid1, n_splines: usize) -> Self {
+        assert!(n_splines > 0, "need at least one spline");
+        let (px, py, pz) = (
+            gx.num() + COEF_PAD,
+            gy.num() + COEF_PAD,
+            gz.num() + COEF_PAD,
+        );
+        let stride_n = padded_len::<T>(n_splines);
+        let data = AlignedVec::zeroed(px * py * pz * stride_n);
+        Self {
+            gx,
+            gy,
+            gz,
+            n_splines,
+            stride_n,
+            sy: pz * stride_n,
+            sx: py * pz * stride_n,
+            data,
+        }
+    }
+
+    /// Fill every coefficient with uniform random values in `[-0.5, 0.5)`
+    /// — the miniQMC benchmarking path (kernel cost is independent of the
+    /// coefficient values; see paper Fig. 3, L9). Padding lanes beyond
+    /// `n_splines` stay zero so padded output streams remain zero.
+    pub fn fill_random<R: Rng>(&mut self, rng: &mut R) {
+        let n = self.n_splines;
+        let stride = self.stride_n;
+        for line in self.data.as_mut_slice().chunks_exact_mut(stride) {
+            for x in &mut line[..n] {
+                *x = T::from_f64(rng.random::<f64>() - 0.5);
+            }
+        }
+    }
+
+    /// Copy a solved scalar spline into orbital slot `n`.
+    ///
+    /// Panics if the grids differ or `n` is out of range.
+    pub fn set_orbital(&mut self, n: usize, s: &Spline3<T>) {
+        assert!(n < self.n_splines, "orbital index out of range");
+        let (sgx, sgy, sgz) = s.grids();
+        assert_eq!(*sgx, self.gx, "x grid mismatch");
+        assert_eq!(*sgy, self.gy, "y grid mismatch");
+        assert_eq!(*sgz, self.gz, "z grid mismatch");
+        let (px, py, pz) = s.padded_dims();
+        for ix in 0..px {
+            for iy in 0..py {
+                for iz in 0..pz {
+                    let off = ix * self.sx + iy * self.sy + iz * self.stride_n + n;
+                    self.data[off] = s.coef(ix, iy, iz);
+                }
+            }
+        }
+    }
+
+    #[inline]
+    /// Number of orbitals N.
+    pub fn n_splines(&self) -> usize {
+        self.n_splines
+    }
+
+    /// Padded spline stride (innermost dimension length).
+    #[inline]
+    pub fn stride_n(&self) -> usize {
+        self.stride_n
+    }
+
+    #[inline]
+    /// Grids.
+    pub fn grids(&self) -> (&Grid1, &Grid1, &Grid1) {
+        (&self.gx, &self.gy, &self.gz)
+    }
+
+    /// `delta_inv` per dimension, in table precision.
+    #[inline]
+    pub fn delta_inv(&self) -> [T; 3] {
+        [
+            T::from_f64(self.gx.delta_inv()),
+            T::from_f64(self.gy.delta_inv()),
+            T::from_f64(self.gz.delta_inv()),
+        ]
+    }
+
+    /// Total table footprint in bytes (the paper's `4·Ng·N` for f32).
+    #[inline]
+    pub fn bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<T>()
+    }
+
+    /// Map a physical position to table indices + fractions.
+    #[inline(always)]
+    pub fn locate(&self, x: T, y: T, z: T) -> GridPoint<T> {
+        let (i0, tx) = self.gx.locate(x);
+        let (j0, ty) = self.gy.locate(y);
+        let (k0, tz) = self.gz.locate(z);
+        GridPoint {
+            i0,
+            j0,
+            k0,
+            tx,
+            ty,
+            tz,
+        }
+    }
+
+    /// The contiguous coefficient line for grid point `(ix, iy, iz)`:
+    /// `stride_n` values, 64-byte aligned.
+    #[inline(always)]
+    pub fn line(&self, ix: usize, iy: usize, iz: usize) -> &[T] {
+        let off = ix * self.sx + iy * self.sy + iz * self.stride_n;
+        &self.data.as_slice()[off..off + self.stride_n]
+    }
+
+    /// Flat offset of a line — used by the cache-simulator trace
+    /// generator to reproduce the physical address stream.
+    #[inline]
+    pub fn line_offset(&self, ix: usize, iy: usize, iz: usize) -> usize {
+        ix * self.sx + iy * self.sy + iz * self.stride_n
+    }
+
+    /// Extract the orbital range `[lo, hi)` into a standalone table — the
+    /// AoSoA "tile" construction (paper Sec. V-B): the coefficient array
+    /// is split along its innermost spline dimension.
+    pub fn slice_splines(&self, lo: usize, hi: usize) -> Self {
+        assert!(lo < hi && hi <= self.n_splines, "bad spline range");
+        let mut out = Self::new(self.gx, self.gy, self.gz, hi - lo);
+        let (px, py, pz) = (
+            self.gx.num() + COEF_PAD,
+            self.gy.num() + COEF_PAD,
+            self.gz.num() + COEF_PAD,
+        );
+        for ix in 0..px {
+            for iy in 0..py {
+                for iz in 0..pz {
+                    let src = ix * self.sx + iy * self.sy + iz * self.stride_n;
+                    let dst = ix * out.sx + iy * out.sy + iz * out.stride_n;
+                    out.data.as_mut_slice()[dst..dst + (hi - lo)]
+                        .copy_from_slice(&self.data.as_slice()[src + lo..src + hi]);
+                }
+            }
+        }
+        out
+    }
+
+    /// Split into `ceil(N / nb)` tiles of (at most) `nb` splines each.
+    pub fn split_tiles(&self, nb: usize) -> Vec<Self> {
+        assert!(nb > 0);
+        (0..self.n_splines)
+            .step_by(nb)
+            .map(|lo| self.slice_splines(lo, (lo + nb).min(self.n_splines)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_grids() -> (Grid1, Grid1, Grid1) {
+        (
+            Grid1::periodic(0.0, 1.0, 6),
+            Grid1::periodic(0.0, 1.0, 6),
+            Grid1::periodic(0.0, 1.0, 8),
+        )
+    }
+
+    #[test]
+    fn stride_is_padded_and_aligned() {
+        let (gx, gy, gz) = small_grids();
+        let m = MultiCoefs::<f32>::new(gx, gy, gz, 100);
+        assert_eq!(m.stride_n(), 112); // 100 -> 7 cache lines of 16 f32
+        assert_eq!(m.n_splines(), 100);
+        let line = m.line(3, 2, 1);
+        assert_eq!(line.len(), 112);
+        assert_eq!(line.as_ptr() as usize % 64, 0);
+    }
+
+    #[test]
+    fn every_line_is_aligned() {
+        let (gx, gy, gz) = small_grids();
+        let m = MultiCoefs::<f32>::new(gx, gy, gz, 48);
+        for ix in 0..9 {
+            for iy in 0..9 {
+                for iz in 0..11 {
+                    assert_eq!(m.line(ix, iy, iz).as_ptr() as usize % 64, 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn set_orbital_scatter_gather_roundtrip() {
+        let (gx, gy, gz) = small_grids();
+        let mut data = vec![0.0f64; 6 * 6 * 8];
+        for (i, d) in data.iter_mut().enumerate() {
+            *d = (i as f64 * 0.37).sin();
+        }
+        let s = Spline3::<f32>::interpolate(gx, gy, gz, &data);
+        let mut m = MultiCoefs::<f32>::new(gx, gy, gz, 4);
+        m.set_orbital(2, &s);
+        // The scattered coefficients land in slot 2 of each line.
+        for ix in 0..4 {
+            for iy in 0..4 {
+                for iz in 0..4 {
+                    assert_eq!(m.line(ix, iy, iz)[2], s.coef(ix, iy, iz));
+                    assert_eq!(m.line(ix, iy, iz)[1], 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn locate_agrees_with_grids() {
+        let (gx, gy, gz) = small_grids();
+        let m = MultiCoefs::<f32>::new(gx, gy, gz, 8);
+        let p = m.locate(0.52f32, 0.17, 0.93);
+        let (i0, tx): (usize, f32) = gx.locate(0.52f32);
+        assert_eq!(p.i0, i0);
+        assert_eq!(p.tx, tx);
+        assert!(p.k0 < 8);
+        let _ = (p.j0, p.ty, p.tz);
+    }
+
+    #[test]
+    fn split_tiles_partitions_coefficients() {
+        let (gx, gy, gz) = small_grids();
+        let mut m = MultiCoefs::<f32>::new(gx, gy, gz, 64);
+        let mut rng = StdRng::seed_from_u64(7);
+        m.fill_random(&mut rng);
+        let tiles = m.split_tiles(16);
+        assert_eq!(tiles.len(), 4);
+        for (t, tile) in tiles.iter().enumerate() {
+            assert_eq!(tile.n_splines(), 16);
+            for ix in [0usize, 5] {
+                for iy in [1usize, 7] {
+                    for iz in [0usize, 9] {
+                        let full = m.line(ix, iy, iz);
+                        let part = tile.line(ix, iy, iz);
+                        assert_eq!(&full[t * 16..(t + 1) * 16], &part[..16]);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn split_tiles_handles_remainder() {
+        let (gx, gy, gz) = small_grids();
+        let m = MultiCoefs::<f32>::new(gx, gy, gz, 40);
+        let tiles = m.split_tiles(16);
+        assert_eq!(tiles.len(), 3);
+        assert_eq!(tiles[2].n_splines(), 8);
+    }
+
+    #[test]
+    fn bytes_accounts_padding() {
+        let (gx, gy, gz) = small_grids();
+        let m = MultiCoefs::<f32>::new(gx, gy, gz, 16);
+        // (6+3)(6+3)(8+3) lines of 16 f32.
+        assert_eq!(m.bytes(), 9 * 9 * 11 * 16 * 4);
+    }
+
+    #[test]
+    fn fill_random_is_deterministic_per_seed() {
+        let (gx, gy, gz) = small_grids();
+        let mut a = MultiCoefs::<f32>::new(gx, gy, gz, 8);
+        let mut b = MultiCoefs::<f32>::new(gx, gy, gz, 8);
+        a.fill_random(&mut StdRng::seed_from_u64(42));
+        b.fill_random(&mut StdRng::seed_from_u64(42));
+        assert_eq!(a.line(1, 2, 3), b.line(1, 2, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "orbital index")]
+    fn set_orbital_rejects_out_of_range() {
+        let (gx, gy, gz) = small_grids();
+        let data = vec![0.0f64; 6 * 6 * 8];
+        let s = Spline3::<f32>::interpolate(gx, gy, gz, &data);
+        let mut m = MultiCoefs::<f32>::new(gx, gy, gz, 2);
+        m.set_orbital(2, &s);
+    }
+}

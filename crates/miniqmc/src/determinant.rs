@@ -1,0 +1,443 @@
+//! Dirac (Slater) determinant with O(N²) Sherman–Morrison row updates
+//! (paper Sec. III, Eqs. 2–4).
+//!
+//! The matrix is `A[e][n] = φ_n(r_e)` (electrons × orbitals). A
+//! particle-by-particle move replaces one row; the ratio
+//! `det A′ / det A = Σ_n φ_n(r′_e)·A⁻¹[n][e]` costs O(N) and the inverse
+//! update O(N²), instead of O(N³) for re-factorization.
+
+/// LU factorization with partial pivoting of a dense row-major matrix.
+/// Returns `(sign, log|det|)` and overwrites `a` with the LU factors.
+/// `piv` receives the permutation.
+fn lu_factor(a: &mut [f64], n: usize, piv: &mut [usize]) -> (f64, f64) {
+    let mut sign = 1.0;
+    let mut log_det = 0.0;
+    for (i, p) in piv.iter_mut().enumerate() {
+        *p = i;
+    }
+    for k in 0..n {
+        // Pivot search.
+        let mut imax = k;
+        let mut vmax = a[k * n + k].abs();
+        for i in (k + 1)..n {
+            let v = a[i * n + k].abs();
+            if v > vmax {
+                vmax = v;
+                imax = i;
+            }
+        }
+        assert!(vmax > 0.0, "singular Slater matrix in LU at column {k}");
+        if imax != k {
+            for j in 0..n {
+                a.swap(k * n + j, imax * n + j);
+            }
+            piv.swap(k, imax);
+            sign = -sign;
+        }
+        let pivot = a[k * n + k];
+        if pivot < 0.0 {
+            sign = -sign;
+        }
+        log_det += pivot.abs().ln();
+        let inv_p = 1.0 / pivot;
+        for i in (k + 1)..n {
+            let m = a[i * n + k] * inv_p;
+            a[i * n + k] = m;
+            for j in (k + 1)..n {
+                a[i * n + j] -= m * a[k * n + j];
+            }
+        }
+    }
+    (sign, log_det)
+}
+
+/// Solve `LU x = P b` in place given factors from [`lu_factor`].
+fn lu_solve(lu: &[f64], n: usize, piv: &[usize], b: &mut [f64]) {
+    // Apply permutation.
+    let mut x: Vec<f64> = (0..n).map(|i| b[piv[i]]).collect();
+    // Forward substitution (L has unit diagonal).
+    for i in 1..n {
+        let mut s = x[i];
+        for j in 0..i {
+            s -= lu[i * n + j] * x[j];
+        }
+        x[i] = s;
+    }
+    // Back substitution.
+    for i in (0..n).rev() {
+        let mut s = x[i];
+        for j in (i + 1)..n {
+            s -= lu[i * n + j] * x[j];
+        }
+        x[i] = s / lu[i * n + i];
+    }
+    b.copy_from_slice(&x);
+}
+
+/// Dense inverse + log-determinant via LU (the O(N³) reference path used
+/// at build time and in delayed-refresh).
+pub fn invert_log_det(a: &[f64], n: usize) -> (Vec<f64>, f64, f64) {
+    assert_eq!(a.len(), n * n);
+    let mut lu = a.to_vec();
+    let mut piv = vec![0usize; n];
+    let (sign, log_det) = lu_factor(&mut lu, n, &mut piv);
+    let mut inv = vec![0.0; n * n];
+    let mut col = vec![0.0; n];
+    for j in 0..n {
+        col.iter_mut().for_each(|x| *x = 0.0);
+        col[j] = 1.0;
+        lu_solve(&lu, n, &piv, &mut col);
+        for i in 0..n {
+            inv[i * n + j] = col[i];
+        }
+    }
+    (inv, sign, log_det)
+}
+
+/// Slater determinant state for one spin channel.
+#[derive(Clone, Debug)]
+pub struct DiracDeterminant {
+    n: usize,
+    /// `A[e][n] = φ_n(r_e)`, row-major.
+    psi: Vec<f64>,
+    /// Transposed inverse: `inv_t[e][n] = A⁻¹[n][e]` — the ratio dot
+    /// product walks a unit-stride row.
+    inv_t: Vec<f64>,
+    log_det: f64,
+    sign: f64,
+    /// Scratch for accept (the p-vector of the rank-1 update).
+    p: Vec<f64>,
+    /// Pending move state.
+    pending_ratio: f64,
+    pending_e: usize,
+}
+
+impl DiracDeterminant {
+    /// Build from the full value matrix `values[e][n]` (row-major,
+    /// `n_el × n_el`).
+    pub fn build(values: &[f64], n: usize) -> Self {
+        assert_eq!(values.len(), n * n);
+        let (inv, sign, log_det) = invert_log_det(values, n);
+        let mut inv_t = vec![0.0; n * n];
+        for k in 0..n {
+            for e in 0..n {
+                inv_t[e * n + k] = inv[k * n + e];
+            }
+        }
+        Self {
+            n,
+            psi: values.to_vec(),
+            inv_t,
+            log_det,
+            sign,
+            p: vec![0.0; n],
+            pending_ratio: f64::NAN,
+            pending_e: usize::MAX,
+        }
+    }
+
+    #[inline]
+    /// N electrons.
+    pub fn n_electrons(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    /// Log det.
+    pub fn log_det(&self) -> f64 {
+        self.log_det
+    }
+
+    #[inline]
+    /// Sign.
+    pub fn sign(&self) -> f64 {
+        self.sign
+    }
+
+    /// Determinant ratio for replacing electron `e`'s orbital values with
+    /// `phi_new` (Eq. 3): `R = Σ_n φ_n(r′)·A⁻¹[n][e]`.
+    pub fn ratio(&mut self, e: usize, phi_new: &[f64]) -> f64 {
+        let row = &self.inv_t[e * self.n..(e + 1) * self.n];
+        let r: f64 = phi_new[..self.n]
+            .iter()
+            .zip(row)
+            .map(|(p, b)| p * b)
+            .sum();
+        self.pending_ratio = r;
+        self.pending_e = e;
+        r
+    }
+
+    /// Gradient of `log det` for electron `e` (Eq. 4) given the orbital
+    /// gradient streams at the *current* position.
+    pub fn grad_log(&self, e: usize, gx: &[f64], gy: &[f64], gz: &[f64]) -> [f64; 3] {
+        let row = &self.inv_t[e * self.n..(e + 1) * self.n];
+        let mut g = [0.0; 3];
+        for (k, b) in row.iter().enumerate() {
+            g[0] += gx[k] * b;
+            g[1] += gy[k] * b;
+            g[2] += gz[k] * b;
+        }
+        g
+    }
+
+    /// Laplacian of `log det` for electron `e`:
+    /// `Σ_n ∇²φ_n·B[n][e] − |∇ log det|²`.
+    pub fn lap_log(&self, e: usize, lap: &[f64], grad: [f64; 3]) -> f64 {
+        let row = &self.inv_t[e * self.n..(e + 1) * self.n];
+        let s: f64 = row.iter().zip(lap).map(|(b, l)| b * l).sum();
+        s - (grad[0] * grad[0] + grad[1] * grad[1] + grad[2] * grad[2])
+    }
+
+    /// Commit the pending move: Sherman–Morrison rank-1 update of the
+    /// inverse in O(N²).
+    pub fn accept(&mut self, e: usize, phi_new: &[f64]) {
+        assert_eq!(e, self.pending_e, "accept must follow ratio for the same electron");
+        let r = self.pending_ratio;
+        assert!(r != 0.0 && r.is_finite(), "degenerate determinant ratio {r}");
+        let n = self.n;
+
+        // p[j] = φ_new · B[:,j]  for every electron column j.
+        for j in 0..n {
+            let row_j = &self.inv_t[j * n..(j + 1) * n];
+            self.p[j] = phi_new[..n]
+                .iter()
+                .zip(row_j)
+                .map(|(a, b)| a * b)
+                .sum();
+        }
+
+        // c = old B[:,e] (copy, because row e of inv_t is also updated).
+        let c: Vec<f64> = self.inv_t[e * n..(e + 1) * n].to_vec();
+        let inv_r = 1.0 / r;
+        for j in 0..n {
+            let w = if j == e { r - 1.0 } else { self.p[j] };
+            let scale = w * inv_r;
+            if scale != 0.0 {
+                let row_j = &mut self.inv_t[j * n..(j + 1) * n];
+                for (x, ck) in row_j.iter_mut().zip(&c) {
+                    *x -= scale * ck;
+                }
+            }
+        }
+
+        self.psi[e * n..(e + 1) * n].copy_from_slice(&phi_new[..n]);
+        self.log_det += r.abs().ln();
+        if r < 0.0 {
+            self.sign = -self.sign;
+        }
+        self.pending_e = usize::MAX;
+        self.pending_ratio = f64::NAN;
+    }
+
+    /// Numerical-hygiene refresh: re-factorize from the stored value
+    /// matrix (QMCPACK does this periodically to bound SM drift).
+    pub fn refresh(&mut self) {
+        let fresh = Self::build(&self.psi, self.n);
+        self.inv_t = fresh.inv_t;
+        self.log_det = fresh.log_det;
+        self.sign = fresh.sign;
+    }
+
+    /// Max |A·A⁻¹ − I| — drift diagnostic used by tests.
+    pub fn inverse_error(&self) -> f64 {
+        let n = self.n;
+        let mut worst = 0.0f64;
+        for i in 0..n {
+            for j in 0..n {
+                // (A B)[i][j] = Σ_k A[i][k] B[k][j]; B[k][j] = inv_t[j][k]
+                let mut s = 0.0;
+                for k in 0..n {
+                    s += self.psi[i * n + k] * self.inv_t[j * n + k];
+                }
+                let expect = if i == j { 1.0 } else { 0.0 };
+                worst = worst.max((s - expect).abs());
+            }
+        }
+        worst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_matrix(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Diagonally-boosted random matrix: well conditioned.
+        let mut a: Vec<f64> = (0..n * n).map(|_| rng.random::<f64>() - 0.5).collect();
+        for i in 0..n {
+            a[i * n + i] += 2.0;
+        }
+        a
+    }
+
+    fn dense_det(a: &[f64], n: usize) -> f64 {
+        let mut lu = a.to_vec();
+        let mut piv = vec![0; n];
+        let (sign, log) = lu_factor(&mut lu, n, &mut piv);
+        sign * log.exp()
+    }
+
+    #[test]
+    fn lu_det_of_known_matrix() {
+        // det [[4,3],[6,3]] = -6
+        let a = vec![4.0, 3.0, 6.0, 3.0];
+        assert!((dense_det(&a, 2) + 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_is_correct() {
+        let n = 12;
+        let a = random_matrix(n, 1);
+        let det = DiracDeterminant::build(&a, n);
+        assert!(det.inverse_error() < 1e-10);
+    }
+
+    #[test]
+    fn log_det_matches_dense() {
+        let n = 9;
+        let a = random_matrix(n, 2);
+        let det = DiracDeterminant::build(&a, n);
+        let d = dense_det(&a, n);
+        assert!((det.log_det() - d.abs().ln()).abs() < 1e-9);
+        assert_eq!(det.sign(), d.signum());
+    }
+
+    #[test]
+    fn ratio_matches_dense_recompute() {
+        let n = 8;
+        let a = random_matrix(n, 3);
+        let mut det = DiracDeterminant::build(&a, n);
+        let mut rng = StdRng::seed_from_u64(4);
+        for e in 0..n {
+            let phi: Vec<f64> = (0..n).map(|_| rng.random::<f64>() - 0.5).collect();
+            let r = det.ratio(e, &phi);
+            let mut a2 = a.clone();
+            a2[e * n..(e + 1) * n].copy_from_slice(&phi);
+            let expect = dense_det(&a2, n) / dense_det(&a, n);
+            assert!((r - expect).abs() < 1e-9, "e={e}: {r} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn accept_updates_inverse_exactly() {
+        let n = 10;
+        let a = random_matrix(n, 5);
+        let mut det = DiracDeterminant::build(&a, n);
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut current = a;
+        for step in 0..30 {
+            let e = step % n;
+            let phi: Vec<f64> = (0..n)
+                .map(|k| current[e * n + k] + 0.2 * (rng.random::<f64>() - 0.5))
+                .collect();
+            let _ = det.ratio(e, &phi);
+            det.accept(e, &phi);
+            current[e * n..(e + 1) * n].copy_from_slice(&phi);
+        }
+        assert!(det.inverse_error() < 1e-7, "err={}", det.inverse_error());
+        let expect = dense_det(&current, n);
+        assert!((det.log_det() - expect.abs().ln()).abs() < 1e-7);
+        assert_eq!(det.sign(), expect.signum());
+    }
+
+    #[test]
+    fn sign_flips_on_negative_ratio() {
+        let n = 4;
+        let a = random_matrix(n, 7);
+        let mut det = DiracDeterminant::build(&a, n);
+        let sign0 = det.sign();
+        // Negate one row: det flips sign, ratio = -1.
+        let phi: Vec<f64> = a[0..n].iter().map(|x| -x).collect();
+        let r = det.ratio(0, &phi);
+        assert!((r + 1.0).abs() < 1e-12);
+        det.accept(0, &phi);
+        assert_eq!(det.sign(), -sign0);
+    }
+
+    #[test]
+    fn refresh_restores_precision() {
+        let n = 6;
+        let a = random_matrix(n, 8);
+        let mut det = DiracDeterminant::build(&a, n);
+        let mut rng = StdRng::seed_from_u64(9);
+        for step in 0..200 {
+            let e = step % n;
+            let phi: Vec<f64> =
+                (0..n).map(|_| rng.random::<f64>() - 0.5 + 0.3).collect();
+            let r = det.ratio(e, &phi);
+            if r.abs() > 1e-3 {
+                det.accept(e, &phi);
+            }
+        }
+        det.refresh();
+        assert!(det.inverse_error() < 1e-11);
+    }
+
+    #[test]
+    fn grad_log_matches_finite_difference() {
+        // φ_n as analytic functions of one electron's position.
+        let n = 5;
+        let phis: Vec<Box<dyn Fn([f64; 3]) -> f64>> = vec![
+            Box::new(|r| 1.0 + 0.1 * r[0]),
+            Box::new(|r| r[0] * r[1] + 0.5),
+            Box::new(|r| r[2] * r[2] - r[0] + 2.0),
+            Box::new(|r| (0.3 * r[0] + 0.2 * r[1]).sin() + 1.5),
+            Box::new(|r| r[0] + r[1] + r[2]),
+        ];
+        let mut rng = StdRng::seed_from_u64(10);
+        let pos: Vec<[f64; 3]> = (0..n)
+            .map(|_| [rng.random(), rng.random(), rng.random()])
+            .collect();
+        let fill = |pos: &Vec<[f64; 3]>| -> Vec<f64> {
+            let mut a = vec![0.0; n * n];
+            for e in 0..n {
+                for (k, phi) in phis.iter().enumerate() {
+                    a[e * n + k] = phi(pos[e]);
+                }
+            }
+            a
+        };
+        let a = fill(&pos);
+        let det = DiracDeterminant::build(&a, n);
+
+        let e = 2;
+        let h = 1e-6;
+        // Analytic orbital gradients at pos[e] by FD of φ (exact enough).
+        let mut gx = vec![0.0; n];
+        let mut gy = vec![0.0; n];
+        let mut gz = vec![0.0; n];
+        for (k, phi) in phis.iter().enumerate() {
+            for (d, g) in [&mut gx, &mut gy, &mut gz].into_iter().enumerate() {
+                let mut rp = pos[e];
+                rp[d] += h;
+                let mut rm = pos[e];
+                rm[d] -= h;
+                g[k] = (phi(rp) - phi(rm)) / (2.0 * h);
+            }
+        }
+        let grad = det.grad_log(e, &gx, &gy, &gz);
+
+        // FD of log|det| w.r.t. electron e.
+        for d in 0..3 {
+            let mut pp = pos.clone();
+            pp[e][d] += h;
+            let mut pm = pos.clone();
+            pm[e][d] -= h;
+            let lp = DiracDeterminant::build(&fill(&pp), n).log_det();
+            let lm = DiracDeterminant::build(&fill(&pm), n).log_det();
+            let fd = (lp - lm) / (2.0 * h);
+            assert!((grad[d] - fd).abs() < 1e-5, "d={d}: {} vs {fd}", grad[d]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "singular")]
+    fn singular_matrix_rejected() {
+        let a = vec![1.0, 2.0, 2.0, 4.0];
+        let _ = DiracDeterminant::build(&a, 2);
+    }
+}

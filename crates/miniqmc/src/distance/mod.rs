@@ -1,0 +1,156 @@
+//! Distance tables — the second-hottest kernel group of the QMC profile
+//! (Tables II/III: 23–39 % of runtime before optimization).
+//!
+//! A distance table caches minimum-image distances (and displacements)
+//! between particle sets, updated incrementally as the VMC driver moves
+//! one electron at a time:
+//!
+//! * [`aos`] — the baseline: positions consumed through AoS rows,
+//!   per-pair scalar minimum-image scans (how pre-SoA QMCPACK computed
+//!   them);
+//! * [`soa`] — the optimized version from the paper's companion effort
+//!   (Sec. IV: "we optimize Distance-Tables and Jastrow kernels with the
+//!   SoA transformation"): coordinate streams, one vectorizable pass per
+//!   candidate periodic image.
+//!
+//! Both produce identical tables; the benchmark harness times them
+//! against each other for the Table II → Table III profile shift.
+
+pub mod aos;
+pub mod soa;
+
+use crate::lattice::Lattice;
+
+/// How the minimum image is computed for a cell.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BoundaryKind {
+    /// Diagonal lattice: single-pass `d -= L·round(d/L)` per axis.
+    Orthorhombic,
+    /// General cell: scan a precomputed shell of 27 image shifts after
+    /// fractional reduction.
+    General,
+}
+
+/// Precomputed periodic-image machinery for one lattice.
+#[derive(Clone, Debug)]
+pub struct ImageShifts {
+    /// Kind.
+    pub kind: BoundaryKind,
+    /// Cartesian shift vectors of the 27-image shell (General only).
+    pub shifts: Vec<[f64; 3]>,
+    /// Diagonal edge lengths (Orthorhombic only).
+    pub edges: [f64; 3],
+}
+
+impl ImageShifts {
+    /// Create a new instance.
+    pub fn new(lattice: &Lattice) -> Self {
+        let a = &lattice.a;
+        let is_diag = a[0][1] == 0.0
+            && a[0][2] == 0.0
+            && a[1][0] == 0.0
+            && a[1][2] == 0.0
+            && a[2][0] == 0.0
+            && a[2][1] == 0.0;
+        if is_diag {
+            Self {
+                kind: BoundaryKind::Orthorhombic,
+                shifts: vec![[0.0; 3]],
+                edges: [a[0][0], a[1][1], a[2][2]],
+            }
+        } else {
+            let mut shifts = Vec::with_capacity(27);
+            for di in -1i32..=1 {
+                for dj in -1i32..=1 {
+                    for dk in -1i32..=1 {
+                        shifts.push(
+                            lattice.to_cart([di as f64, dj as f64, dk as f64]),
+                        );
+                    }
+                }
+            }
+            Self {
+                kind: BoundaryKind::General,
+                shifts,
+                edges: [0.0; 3],
+            }
+        }
+    }
+}
+
+/// Scalar minimum-image displacement `b − a` using the shift machinery
+/// (shared by the AoS kernels and used as the SoA reference).
+pub fn min_image_scalar(
+    lattice: &Lattice,
+    im: &ImageShifts,
+    a: [f64; 3],
+    b: [f64; 3],
+) -> ([f64; 3], f64) {
+    match im.kind {
+        BoundaryKind::Orthorhombic => {
+            let mut d = [b[0] - a[0], b[1] - a[1], b[2] - a[2]];
+            for (x, l) in d.iter_mut().zip(im.edges) {
+                *x -= l * (*x / l).round();
+            }
+            let r = (d[0] * d[0] + d[1] * d[1] + d[2] * d[2]).sqrt();
+            (d, r)
+        }
+        BoundaryKind::General => {
+            let raw = [b[0] - a[0], b[1] - a[1], b[2] - a[2]];
+            let mut u = lattice.to_frac(raw);
+            for x in &mut u {
+                *x -= x.round();
+            }
+            let base = lattice.to_cart(u);
+            let mut best = base;
+            let mut best_r2 = f64::INFINITY;
+            for s in &im.shifts {
+                let c = [base[0] + s[0], base[1] + s[1], base[2] + s[2]];
+                let r2 = c[0] * c[0] + c[1] * c[1] + c[2] * c[2];
+                if r2 < best_r2 {
+                    best_r2 = r2;
+                    best = c;
+                }
+            }
+            (best, best_r2.sqrt())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orthorhombic_detected() {
+        let im = ImageShifts::new(&Lattice::orthorhombic(2.0, 3.0, 4.0));
+        assert_eq!(im.kind, BoundaryKind::Orthorhombic);
+        assert_eq!(im.edges, [2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn general_detected_with_27_shifts() {
+        let im = ImageShifts::new(&Lattice::hexagonal(2.0, 5.0));
+        assert_eq!(im.kind, BoundaryKind::General);
+        assert_eq!(im.shifts.len(), 27);
+    }
+
+    #[test]
+    fn scalar_min_image_matches_lattice_reference() {
+        for lat in [
+            Lattice::cubic(3.0),
+            Lattice::orthorhombic(2.0, 5.0, 7.0),
+            Lattice::hexagonal(3.0, 8.0),
+        ] {
+            let im = ImageShifts::new(&lat);
+            let pts = [[0.1, 0.2, 0.3], [2.5, 1.8, 6.5], [-0.9, 3.1, 0.0]];
+            for a in pts {
+                for b in pts {
+                    let (_, r_ref) = lat.min_image(a, b);
+                    let (_, r) = min_image_scalar(&lat, &im, a, b);
+                    assert!((r - r_ref).abs() < 1e-10, "{lat:?} {a:?} {b:?}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,514 @@
+//! SoA distance tables: coordinate-stream kernels, one vectorizable pass
+//! per candidate image.
+//!
+//! Storage convention (QMCPACK SoA): for each *target* particle `i` the
+//! distances (and displacement components) to all *sources* are a
+//! contiguous row, so per-particle updates touch unit-stride memory.
+//! Displacements are `source_j − target_i` under minimum image.
+
+use super::{BoundaryKind, ImageShifts};
+use crate::lattice::Lattice;
+use crate::particleset::ParticleSet;
+
+/// Kernel: minimum-image distances from one point to all sources given as
+/// SoA streams. Writes `r`, `dx`, `dy`, `dz` rows (displacement =
+/// source − point).
+#[allow(clippy::too_many_arguments)]
+pub fn distances_to_point(
+    lattice: &Lattice,
+    im: &ImageShifts,
+    sx: &[f64],
+    sy: &[f64],
+    sz: &[f64],
+    p: [f64; 3],
+    r: &mut [f64],
+    dx: &mut [f64],
+    dy: &mut [f64],
+    dz: &mut [f64],
+) {
+    let n = sx.len();
+    let (r, dx, dy, dz) = (&mut r[..n], &mut dx[..n], &mut dy[..n], &mut dz[..n]);
+    let (sx, sy, sz) = (&sx[..n], &sy[..n], &sz[..n]);
+    match im.kind {
+        BoundaryKind::Orthorhombic => {
+            let [lx, ly, lz] = im.edges;
+            for j in 0..n {
+                let mut ddx = sx[j] - p[0];
+                let mut ddy = sy[j] - p[1];
+                let mut ddz = sz[j] - p[2];
+                ddx -= lx * (ddx / lx).round();
+                ddy -= ly * (ddy / ly).round();
+                ddz -= lz * (ddz / lz).round();
+                dx[j] = ddx;
+                dy[j] = ddy;
+                dz[j] = ddz;
+                r[j] = (ddx * ddx + ddy * ddy + ddz * ddz).sqrt();
+            }
+        }
+        BoundaryKind::General => {
+            let g = lattice.jacobian();
+            let a = &lattice.a;
+            // Pass 1 (vectorizable): reduce to the central image in
+            // fractional coordinates. `dx/dy/dz` hold the *base*
+            // displacement throughout the scan; only the winning shift
+            // index is tracked, then applied in a final pass (updating
+            // the displacement mid-scan would chain shifts together).
+            for j in 0..n {
+                let rd = [sx[j] - p[0], sy[j] - p[1], sz[j] - p[2]];
+                let mut u = [0.0f64; 3];
+                for b in 0..3 {
+                    u[b] = rd[0] * g[0][b] + rd[1] * g[1][b] + rd[2] * g[2][b];
+                }
+                for x in &mut u {
+                    *x -= x.round();
+                }
+                let cx = u[0] * a[0][0] + u[1] * a[1][0] + u[2] * a[2][0];
+                let cy = u[0] * a[0][1] + u[1] * a[1][1] + u[2] * a[2][1];
+                let cz = u[0] * a[0][2] + u[1] * a[1][2] + u[2] * a[2][2];
+                dx[j] = cx;
+                dy[j] = cy;
+                dz[j] = cz;
+                r[j] = cx * cx + cy * cy + cz * cz; // r² for now
+            }
+            // Passes 2..28 (vectorizable): try each uniform image shift
+            // against the base displacement.
+            let mut best = vec![usize::MAX; n];
+            for (si, s) in im.shifts.iter().enumerate() {
+                if s == &[0.0, 0.0, 0.0] {
+                    continue;
+                }
+                for j in 0..n {
+                    let cx = dx[j] + s[0];
+                    let cy = dy[j] + s[1];
+                    let cz = dz[j] + s[2];
+                    let r2 = cx * cx + cy * cy + cz * cz;
+                    if r2 < r[j] {
+                        r[j] = r2;
+                        best[j] = si;
+                    }
+                }
+            }
+            // Final pass: apply the winning shift.
+            for j in 0..n {
+                if best[j] != usize::MAX {
+                    let s = im.shifts[best[j]];
+                    dx[j] += s[0];
+                    dy[j] += s[1];
+                    dz[j] += s[2];
+                }
+                r[j] = r[j].sqrt();
+            }
+        }
+    }
+}
+
+/// Same-species (electron–electron) distance table, SoA layout.
+#[derive(Clone, Debug)]
+pub struct DistanceTableAA {
+    n: usize,
+    lattice: Lattice,
+    im: ImageShifts,
+    /// Row-major `n × n`: `r[i*n + j]` = |r_j − r_i| (min image).
+    r: Vec<f64>,
+    dx: Vec<f64>,
+    dy: Vec<f64>,
+    dz: Vec<f64>,
+    /// Proposed-move scratch row.
+    r_tmp: Vec<f64>,
+    dx_tmp: Vec<f64>,
+    dy_tmp: Vec<f64>,
+    dz_tmp: Vec<f64>,
+}
+
+impl DistanceTableAA {
+    /// Create a new instance.
+    pub fn new(ps: &ParticleSet) -> Self {
+        let n = ps.len();
+        let mut t = Self {
+            n,
+            lattice: *ps.lattice(),
+            im: ImageShifts::new(ps.lattice()),
+            r: vec![0.0; n * n],
+            dx: vec![0.0; n * n],
+            dy: vec![0.0; n * n],
+            dz: vec![0.0; n * n],
+            r_tmp: vec![0.0; n],
+            dx_tmp: vec![0.0; n],
+            dy_tmp: vec![0.0; n],
+            dz_tmp: vec![0.0; n],
+        };
+        t.rebuild(ps);
+        t
+    }
+
+    #[inline]
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    /// Whether the container is empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Full O(N²) recompute.
+    pub fn rebuild(&mut self, ps: &ParticleSet) {
+        let (sx, sy, sz) = ps.soa();
+        for i in 0..self.n {
+            let p = ps.get(i);
+            let lo = i * self.n;
+            let hi = lo + self.n;
+            distances_to_point(
+                &self.lattice,
+                &self.im,
+                sx,
+                sy,
+                sz,
+                p,
+                &mut self.r[lo..hi],
+                &mut self.dx[lo..hi],
+                &mut self.dy[lo..hi],
+                &mut self.dz[lo..hi],
+            );
+            // Self-distance slot: set to 0 exactly.
+            self.r[lo + i] = 0.0;
+            self.dx[lo + i] = 0.0;
+            self.dy[lo + i] = 0.0;
+            self.dz[lo + i] = 0.0;
+        }
+    }
+
+    /// Distances from particle `i` to every particle (entry `i` itself is
+    /// zero).
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.r[i * self.n..(i + 1) * self.n]
+    }
+
+    /// Displacement component rows for particle `i`.
+    #[inline]
+    pub fn disp_rows(&self, i: usize) -> (&[f64], &[f64], &[f64]) {
+        let lo = i * self.n;
+        let hi = lo + self.n;
+        (&self.dx[lo..hi], &self.dy[lo..hi], &self.dz[lo..hi])
+    }
+
+    #[inline]
+    /// Cached minimum-image distance between two particles.
+    pub fn distance(&self, i: usize, j: usize) -> f64 {
+        self.r[i * self.n + j]
+    }
+
+    /// Displacement `r_j − r_i` (minimum image).
+    #[inline]
+    pub fn displacement(&self, i: usize, j: usize) -> [f64; 3] {
+        let k = i * self.n + j;
+        [self.dx[k], self.dy[k], self.dz[k]]
+    }
+
+    /// Compute the scratch row for moving `iel` to `rnew`.
+    pub fn propose(&mut self, ps: &ParticleSet, iel: usize, rnew: [f64; 3]) {
+        let (sx, sy, sz) = ps.soa();
+        distances_to_point(
+            &self.lattice,
+            &self.im,
+            sx,
+            sy,
+            sz,
+            rnew,
+            &mut self.r_tmp,
+            &mut self.dx_tmp,
+            &mut self.dy_tmp,
+            &mut self.dz_tmp,
+        );
+        self.r_tmp[iel] = 0.0;
+        self.dx_tmp[iel] = 0.0;
+        self.dy_tmp[iel] = 0.0;
+        self.dz_tmp[iel] = 0.0;
+    }
+
+    /// Scratch row from the last [`Self::propose`].
+    #[inline]
+    pub fn temp_row(&self) -> &[f64] {
+        &self.r_tmp
+    }
+
+    #[inline]
+    /// Temp disp.
+    pub fn temp_disp(&self) -> (&[f64], &[f64], &[f64]) {
+        (&self.dx_tmp, &self.dy_tmp, &self.dz_tmp)
+    }
+
+    /// Commit the proposed move of `iel`: overwrite its row and mirror
+    /// into the column (distance symmetric, displacement antisymmetric).
+    pub fn accept(&mut self, iel: usize) {
+        let n = self.n;
+        let lo = iel * n;
+        self.r[lo..lo + n].copy_from_slice(&self.r_tmp);
+        self.dx[lo..lo + n].copy_from_slice(&self.dx_tmp);
+        self.dy[lo..lo + n].copy_from_slice(&self.dy_tmp);
+        self.dz[lo..lo + n].copy_from_slice(&self.dz_tmp);
+        for j in 0..n {
+            let k = j * n + iel;
+            self.r[k] = self.r_tmp[j];
+            // Row iel stores r_j − r_new; column stores r_new − r_j.
+            self.dx[k] = -self.dx_tmp[j];
+            self.dy[k] = -self.dy_tmp[j];
+            self.dz[k] = -self.dz_tmp[j];
+        }
+    }
+}
+
+/// Two-species (ion–electron) table: fixed sources, moving targets.
+/// Row `e` holds the distances from electron `e` to every ion.
+#[derive(Clone, Debug)]
+pub struct DistanceTableAB {
+    n_src: usize,
+    n_tgt: usize,
+    lattice: Lattice,
+    im: ImageShifts,
+    sx: Vec<f64>,
+    sy: Vec<f64>,
+    sz: Vec<f64>,
+    r: Vec<f64>,
+    dx: Vec<f64>,
+    dy: Vec<f64>,
+    dz: Vec<f64>,
+    r_tmp: Vec<f64>,
+    dx_tmp: Vec<f64>,
+    dy_tmp: Vec<f64>,
+    dz_tmp: Vec<f64>,
+}
+
+impl DistanceTableAB {
+    /// Create a new instance.
+    pub fn new(sources: &ParticleSet, targets: &ParticleSet) -> Self {
+        let (sx, sy, sz) = sources.soa();
+        let n_src = sources.len();
+        let n_tgt = targets.len();
+        let mut t = Self {
+            n_src,
+            n_tgt,
+            lattice: *targets.lattice(),
+            im: ImageShifts::new(targets.lattice()),
+            sx: sx.to_vec(),
+            sy: sy.to_vec(),
+            sz: sz.to_vec(),
+            r: vec![0.0; n_src * n_tgt],
+            dx: vec![0.0; n_src * n_tgt],
+            dy: vec![0.0; n_src * n_tgt],
+            dz: vec![0.0; n_src * n_tgt],
+            r_tmp: vec![0.0; n_src],
+            dx_tmp: vec![0.0; n_src],
+            dy_tmp: vec![0.0; n_src],
+            dz_tmp: vec![0.0; n_src],
+        };
+        t.rebuild(targets);
+        t
+    }
+
+    #[inline]
+    /// Number of source particles (ions).
+    pub fn n_sources(&self) -> usize {
+        self.n_src
+    }
+
+    #[inline]
+    /// Number of target particles (electrons).
+    pub fn n_targets(&self) -> usize {
+        self.n_tgt
+    }
+
+    /// Full table recompute from current positions.
+    pub fn rebuild(&mut self, targets: &ParticleSet) {
+        for e in 0..self.n_tgt {
+            let p = targets.get(e);
+            let lo = e * self.n_src;
+            let hi = lo + self.n_src;
+            distances_to_point(
+                &self.lattice,
+                &self.im,
+                &self.sx,
+                &self.sy,
+                &self.sz,
+                p,
+                &mut self.r[lo..hi],
+                &mut self.dx[lo..hi],
+                &mut self.dy[lo..hi],
+                &mut self.dz[lo..hi],
+            );
+        }
+    }
+
+    /// Distances from electron `e` to all ions.
+    #[inline]
+    pub fn row(&self, e: usize) -> &[f64] {
+        &self.r[e * self.n_src..(e + 1) * self.n_src]
+    }
+
+    #[inline]
+    /// Disp rows.
+    pub fn disp_rows(&self, e: usize) -> (&[f64], &[f64], &[f64]) {
+        let lo = e * self.n_src;
+        let hi = lo + self.n_src;
+        (&self.dx[lo..hi], &self.dy[lo..hi], &self.dz[lo..hi])
+    }
+
+    /// Compute the scratch row for a proposed single-particle move.
+    pub fn propose(&mut self, iel: usize, rnew: [f64; 3]) {
+        let _ = iel;
+        distances_to_point(
+            &self.lattice,
+            &self.im,
+            &self.sx,
+            &self.sy,
+            &self.sz,
+            rnew,
+            &mut self.r_tmp,
+            &mut self.dx_tmp,
+            &mut self.dy_tmp,
+            &mut self.dz_tmp,
+        );
+    }
+
+    #[inline]
+    /// Temp row.
+    pub fn temp_row(&self) -> &[f64] {
+        &self.r_tmp
+    }
+
+    #[inline]
+    /// Temp disp.
+    pub fn temp_disp(&self) -> (&[f64], &[f64], &[f64]) {
+        (&self.dx_tmp, &self.dy_tmp, &self.dz_tmp)
+    }
+
+    /// Commit the proposed move.
+    pub fn accept(&mut self, iel: usize) {
+        let lo = iel * self.n_src;
+        let n = self.n_src;
+        self.r[lo..lo + n].copy_from_slice(&self.r_tmp);
+        self.dx[lo..lo + n].copy_from_slice(&self.dx_tmp);
+        self.dy[lo..lo + n].copy_from_slice(&self.dy_tmp);
+        self.dz[lo..lo + n].copy_from_slice(&self.dz_tmp);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lattice::graphite_supercell;
+    use crate::particleset::random_electrons;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn electrons(lat: Lattice, n: usize, seed: u64) -> ParticleSet {
+        random_electrons(lat, n, &mut StdRng::seed_from_u64(seed))
+    }
+
+    #[test]
+    fn aa_matches_lattice_min_image() {
+        for lat in [Lattice::cubic(4.0), Lattice::hexagonal(3.0, 7.0)] {
+            let ps = electrons(lat, 12, 5);
+            let t = DistanceTableAA::new(&ps);
+            for i in 0..12 {
+                for j in 0..12 {
+                    let (_, r_ref) = lat.min_image(ps.get(i), ps.get(j));
+                    assert!(
+                        (t.distance(i, j) - r_ref).abs() < 1e-10,
+                        "({i},{j}): {} vs {r_ref}",
+                        t.distance(i, j)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn aa_symmetry_and_antisymmetry() {
+        let ps = electrons(Lattice::hexagonal(2.5, 6.0), 10, 7);
+        let t = DistanceTableAA::new(&ps);
+        for i in 0..10 {
+            assert_eq!(t.distance(i, i), 0.0);
+            for j in 0..10 {
+                assert!((t.distance(i, j) - t.distance(j, i)).abs() < 1e-12);
+                let dij = t.displacement(i, j);
+                let dji = t.displacement(j, i);
+                for d in 0..3 {
+                    assert!((dij[d] + dji[d]).abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn displacement_length_equals_distance() {
+        let ps = electrons(Lattice::cubic(3.0), 8, 11);
+        let t = DistanceTableAA::new(&ps);
+        for i in 0..8 {
+            for j in 0..8 {
+                let d = t.displacement(i, j);
+                let r = (d[0] * d[0] + d[1] * d[1] + d[2] * d[2]).sqrt();
+                assert!((r - t.distance(i, j)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn propose_accept_matches_rebuild() {
+        let lat = Lattice::hexagonal(3.0, 7.0);
+        let mut ps = electrons(lat, 9, 13);
+        let mut t = DistanceTableAA::new(&ps);
+        let rnew = [1.234, 0.456, 3.21];
+        t.propose(&ps, 4, rnew);
+        t.accept(4);
+        ps.set(4, rnew);
+        let fresh = DistanceTableAA::new(&ps);
+        for i in 0..9 {
+            for j in 0..9 {
+                assert!(
+                    (t.distance(i, j) - fresh.distance(i, j)).abs() < 1e-12,
+                    "({i},{j})"
+                );
+                let (a, b) = (t.displacement(i, j), fresh.displacement(i, j));
+                for d in 0..3 {
+                    assert!((a[d] - b[d]).abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ab_table_rows_match_reference() {
+        let (lat, ions_pos) = graphite_supercell(2, 2, 1);
+        let ions = ParticleSet::new("ion", lat, &ions_pos);
+        let els = electrons(lat, 6, 17);
+        let t = DistanceTableAB::new(&ions, &els);
+        assert_eq!(t.n_sources(), 16);
+        assert_eq!(t.n_targets(), 6);
+        for e in 0..6 {
+            for i in 0..16 {
+                let (_, r_ref) = lat.min_image(els.get(e), ions_pos[i]);
+                assert!((t.row(e)[i] - r_ref).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn ab_propose_accept_updates_row_only() {
+        let (lat, ions_pos) = graphite_supercell(1, 1, 1);
+        let ions = ParticleSet::new("ion", lat, &ions_pos);
+        let els = electrons(lat, 4, 19);
+        let mut t = DistanceTableAB::new(&ions, &els);
+        let before_row2: Vec<f64> = t.row(2).to_vec();
+        t.propose(1, [0.5, 0.5, 0.5]);
+        t.accept(1);
+        for i in 0..4 {
+            let (_, r_ref) = lat.min_image([0.5, 0.5, 0.5], ions_pos[i]);
+            assert!((t.row(1)[i] - r_ref).abs() < 1e-10);
+        }
+        assert_eq!(t.row(2), &before_row2[..]);
+    }
+}

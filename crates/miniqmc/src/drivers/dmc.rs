@@ -1,0 +1,267 @@
+//! Diffusion Monte Carlo driver skeleton (paper Sec. III): an ensemble
+//! of walkers is propagated by (i) drift-diffusion moves, measured in a
+//! (ii) measurement stage, and resampled by a (iii) branching process
+//! against the trial energy.
+//!
+//! This driver exercises the ensemble mechanics the paper's
+//! parallelization discussion rests on — a *population* of independent
+//! walkers whose count fluctuates under branching and is controlled
+//! towards a target (the `Nw` that the node-level parallelism
+//! distributes). The per-walker "local energy" here is a configurable
+//! score function so the population dynamics can be tested exactly;
+//! the physical estimator from [`super::observables`] plugs in through
+//! the same interface.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One walker of the DMC ensemble: a configuration tag plus its weight.
+#[derive(Clone, Debug)]
+pub struct DmcWalker {
+    /// Opaque configuration id (indexes the caller's state storage).
+    pub id: usize,
+    /// Branching weight accumulated since the last resampling.
+    pub weight: f64,
+    /// Age: generations since the walker last branched (stuck-walker
+    /// diagnostic).
+    pub age: usize,
+}
+
+/// Population-control parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct DmcConfig {
+    /// Target population `Nw`.
+    pub target_population: usize,
+    /// Imaginary-time step (weights use `exp(-τ·(E_L − E_T))`).
+    pub tau: f64,
+    /// Feedback strength of the trial-energy update.
+    pub feedback: f64,
+    /// Hard bounds on the population as a multiple of the target.
+    pub max_ratio: f64,
+    /// RNG seed for stochastic rounding in branching.
+    pub seed: u64,
+}
+
+impl Default for DmcConfig {
+    fn default() -> Self {
+        Self {
+            target_population: 256,
+            tau: 0.01,
+            feedback: 1.0,
+            max_ratio: 4.0,
+            seed: 0xd31c,
+        }
+    }
+}
+
+/// The walker population plus trial-energy state.
+#[derive(Clone, Debug)]
+pub struct DmcPopulation {
+    walkers: Vec<DmcWalker>,
+    /// Current trial energy `E_T`.
+    pub trial_energy: f64,
+    cfg: DmcConfig,
+    rng: StdRng,
+    next_id: usize,
+}
+
+impl DmcPopulation {
+    /// Start from `cfg.target_population` unit-weight walkers.
+    pub fn new(cfg: DmcConfig, initial_energy: f64) -> Self {
+        let walkers = (0..cfg.target_population)
+            .map(|id| DmcWalker {
+                id,
+                weight: 1.0,
+                age: 0,
+            })
+            .collect();
+        Self {
+            walkers,
+            trial_energy: initial_energy,
+            rng: StdRng::seed_from_u64(cfg.seed),
+            next_id: cfg.target_population,
+            cfg,
+        }
+    }
+
+    /// Current population size.
+    pub fn len(&self) -> usize {
+        self.walkers.len()
+    }
+
+    /// Whether the population is extinct (an error state in practice).
+    pub fn is_empty(&self) -> bool {
+        self.walkers.is_empty()
+    }
+
+    /// Immutable view of the walkers.
+    pub fn walkers(&self) -> &[DmcWalker] {
+        &self.walkers
+    }
+
+    /// Total weight of the ensemble.
+    pub fn total_weight(&self) -> f64 {
+        self.walkers.iter().map(|w| w.weight).sum()
+    }
+
+    /// Weighted mean of per-walker local energies.
+    pub fn mixed_estimator(&self, local_energy: impl Fn(usize) -> f64) -> f64 {
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for w in &self.walkers {
+            num += w.weight * local_energy(w.id);
+            den += w.weight;
+        }
+        num / den
+    }
+
+    /// One DMC generation: reweight every walker by
+    /// `exp(−τ·(E_L − E_T))`, branch with stochastic rounding, and move
+    /// the trial energy towards population balance (paper step iii).
+    ///
+    /// Returns `(births, deaths)` of the branching step.
+    pub fn step(&mut self, local_energy: impl Fn(usize) -> f64) -> (usize, usize) {
+        // (ii) measurement + reweighting; accumulate the mixed estimator
+        // that anchors the trial-energy update.
+        let mut e_num = 0.0;
+        let mut e_den = 0.0;
+        for w in &mut self.walkers {
+            let el = local_energy(w.id);
+            w.weight *= (-self.cfg.tau * (el - self.trial_energy)).exp();
+            e_num += w.weight * el;
+            e_den += w.weight;
+        }
+        let e_mixed = e_num / e_den;
+
+        // (iii) branching with stochastic rounding: a walker of weight w
+        // becomes ⌊w + u⌋ copies, u ~ U[0,1).
+        let mut births = 0;
+        let mut deaths = 0;
+        let mut next: Vec<DmcWalker> = Vec::with_capacity(self.walkers.len());
+        let cap = (self.cfg.target_population as f64 * self.cfg.max_ratio) as usize;
+        for w in &self.walkers {
+            let copies = (w.weight + self.rng.random::<f64>()).floor() as usize;
+            match copies {
+                0 => deaths += 1,
+                n => {
+                    for c in 0..n.min(8) {
+                        if next.len() >= cap {
+                            break;
+                        }
+                        let id = if c == 0 {
+                            w.id
+                        } else {
+                            births += 1;
+                            self.next_id += 1;
+                            self.next_id - 1
+                        };
+                        next.push(DmcWalker {
+                            id,
+                            weight: 1.0,
+                            age: if n == 1 { w.age + 1 } else { 0 },
+                        });
+                    }
+                }
+            }
+        }
+        assert!(!next.is_empty(), "DMC population collapsed");
+        self.walkers = next;
+
+        // Trial-energy feedback (textbook DMC population control):
+        // E_T ← E_mixed − f·ln(N/N_target).
+        let ratio = self.walkers.len() as f64 / self.cfg.target_population as f64;
+        self.trial_energy = e_mixed - self.cfg.feedback * ratio.ln();
+
+        (births, deaths)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(pop: usize, seed: u64) -> DmcConfig {
+        DmcConfig {
+            target_population: pop,
+            tau: 0.02,
+            feedback: 0.5,
+            max_ratio: 4.0,
+            seed,
+        }
+    }
+
+    #[test]
+    fn starts_at_target_population() {
+        let p = DmcPopulation::new(cfg(64, 1), -10.0);
+        assert_eq!(p.len(), 64);
+        assert!((p.total_weight() - 64.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_energy_at_trial_keeps_population_stable() {
+        let mut p = DmcPopulation::new(cfg(128, 2), -5.0);
+        for _ in 0..50 {
+            p.step(|_| -5.0);
+        }
+        let n = p.len() as f64;
+        assert!((n - 128.0).abs() < 40.0, "population drifted to {n}");
+    }
+
+    #[test]
+    fn low_energy_walkers_multiply() {
+        let mut p = DmcPopulation::new(cfg(64, 3), 0.0);
+        // Walkers with even id have lower energy: they should dominate.
+        for _ in 0..20 {
+            p.step(|id| if id % 2 == 0 { -2.0 } else { 2.0 });
+        }
+        // Population bounded by the cap and non-extinct.
+        assert!(p.len() >= 16 && p.len() <= 256);
+    }
+
+    #[test]
+    fn feedback_pulls_trial_energy_to_ground_state() {
+        // If every walker has E_L = E0, the stationary trial energy is
+        // E0: weights stay 1 ⇒ population steady ⇒ feedback vanishes.
+        let e0 = -7.5;
+        let mut p = DmcPopulation::new(cfg(256, 4), 0.0);
+        for _ in 0..400 {
+            p.step(|_| e0);
+        }
+        assert!(
+            (p.trial_energy - e0).abs() < 0.6,
+            "E_T = {} vs E0 = {e0}",
+            p.trial_energy
+        );
+    }
+
+    #[test]
+    fn mixed_estimator_weights_by_walker_weight() {
+        let mut p = DmcPopulation::new(cfg(2, 5), 0.0);
+        p.walkers[0].weight = 3.0;
+        p.walkers[1].weight = 1.0;
+        let e = p.mixed_estimator(|id| if id == 0 { 4.0 } else { 8.0 });
+        assert!((e - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn population_capped_under_explosive_growth() {
+        let mut p = DmcPopulation::new(cfg(32, 6), 0.0);
+        for _ in 0..30 {
+            p.step(|_| -100.0); // huge positive weights
+        }
+        assert!(p.len() <= 32 * 4);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = |seed| {
+            let mut p = DmcPopulation::new(cfg(64, seed), -1.0);
+            for _ in 0..10 {
+                p.step(|id| -1.0 - (id % 3) as f64 * 0.1);
+            }
+            (p.len(), p.trial_energy)
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+}

@@ -1,0 +1,12 @@
+//! Execution drivers: per-category profiling and the VMC
+//! particle-by-particle loop.
+
+pub mod dmc;
+pub mod observables;
+pub mod profile;
+pub mod vmc;
+
+pub use dmc::{DmcConfig, DmcPopulation, DmcWalker};
+pub use observables::{coulomb_ee, coulomb_ei, kinetic_energy, LocalEnergy};
+pub use profile::{Category, ProfileReport, Timers};
+pub use vmc::{run_vmc, VmcConfig, VmcResult};

@@ -1,0 +1,128 @@
+//! The radial correlation function `u(r)`: a clamped 1D cubic B-spline on
+//! `[0, r_cut]` that vanishes smoothly at the cutoff (value and slope
+//! zero), matching QMCPACK's `BsplineFunctor` construction.
+
+use einspline::{Grid1, Spline1};
+
+/// A cutoff radial function represented by a 1D cubic B-spline.
+#[derive(Clone, Debug)]
+pub struct BsplineFunctor {
+    spline: Spline1<f64>,
+    rcut: f64,
+}
+
+impl BsplineFunctor {
+    /// Fit `f` on `npts+1` uniform points of `[0, rcut]`, clamping the
+    /// outer boundary to `u(rcut) = f(rcut)` with zero slope and the
+    /// inner boundary to the sampled slope of `f` at 0.
+    pub fn fit<F: Fn(f64) -> f64>(f: F, rcut: f64, npts: usize) -> Self {
+        assert!(rcut > 0.0 && npts >= 4, "need rcut > 0 and ≥ 4 intervals");
+        let grid = Grid1::natural(0.0, rcut, npts);
+        let data: Vec<f64> = (0..=npts).map(|i| f(grid.point(i))).collect();
+        let h = rcut / npts as f64 * 1e-3;
+        let s0 = (f(h) - f(0.0)) / h;
+        let spline = Spline1::interpolate_clamped(grid, &data, s0, 0.0);
+        Self { spline, rcut }
+    }
+
+    /// The electron–electron RPA-like default used by the examples:
+    /// `u(r) = a·exp(−r/f)·(1 − r/r_cut)²` — smooth, monotonically
+    /// decaying, exactly zero value/slope at the cutoff.
+    pub fn rpa_like(a: f64, f: f64, rcut: f64, npts: usize) -> Self {
+        Self::fit(
+            move |r| {
+                let t = 1.0 - r / rcut;
+                a * (-r / f).exp() * t * t
+            },
+            rcut,
+            npts,
+        )
+    }
+
+    #[inline]
+    /// Cutoff.
+    pub fn cutoff(&self) -> f64 {
+        self.rcut
+    }
+
+    /// `u(r)`; zero beyond the cutoff.
+    #[inline]
+    pub fn value(&self, r: f64) -> f64 {
+        if r >= self.rcut {
+            0.0
+        } else {
+            self.spline.value(r)
+        }
+    }
+
+    /// `(u, u′, u″)` at `r`; zeros beyond the cutoff.
+    #[inline]
+    pub fn vgl(&self, r: f64) -> (f64, f64, f64) {
+        if r >= self.rcut {
+            (0.0, 0.0, 0.0)
+        } else {
+            self.spline.vgl(r)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn functor() -> BsplineFunctor {
+        BsplineFunctor::rpa_like(0.5, 1.0, 3.0, 64)
+    }
+
+    #[test]
+    fn interpolates_the_analytic_form() {
+        let f = functor();
+        for k in 0..60 {
+            let r = 3.0 * k as f64 / 60.0;
+            let t = 1.0 - r / 3.0;
+            let expect = 0.5 * (-r).exp() * t * t;
+            assert!((f.value(r) - expect).abs() < 1e-5, "r={r}");
+        }
+    }
+
+    #[test]
+    fn vanishes_smoothly_at_cutoff() {
+        let f = functor();
+        let (u, du, _) = f.vgl(3.0 - 1e-9);
+        assert!(u.abs() < 1e-7);
+        assert!(du.abs() < 1e-4);
+        assert_eq!(f.value(3.0), 0.0);
+        assert_eq!(f.vgl(5.0), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn derivatives_match_finite_differences() {
+        let f = functor();
+        let h = 1e-6;
+        for k in 1..25 {
+            let r = 2.8 * k as f64 / 25.0;
+            let (_, du, d2u) = f.vgl(r);
+            let fd1 = (f.value(r + h) - f.value(r - h)) / (2.0 * h);
+            let fd2 = (f.value(r + h) - 2.0 * f.value(r) + f.value(r - h)) / (h * h);
+            assert!((du - fd1).abs() < 1e-6, "r={r}");
+            assert!((d2u - fd2).abs() < 1e-3, "r={r}");
+        }
+    }
+
+    #[test]
+    fn monotone_decay_for_rpa_like() {
+        let f = functor();
+        let mut prev = f.value(0.0);
+        for k in 1..30 {
+            let cur = f.value(3.0 * k as f64 / 30.0);
+            assert!(cur <= prev + 1e-9, "k={k}");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rcut > 0")]
+    fn bad_cutoff_rejected() {
+        let _ = BsplineFunctor::fit(|_| 0.0, 0.0, 8);
+    }
+}

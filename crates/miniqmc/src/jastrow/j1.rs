@@ -1,0 +1,221 @@
+//! One-body (electron–ion) Jastrow: `log J1 = −Σ_e Σ_I u(r_eI)`.
+
+use super::JastrowDerivs;
+use crate::distance::soa::DistanceTableAB;
+use crate::jastrow::BsplineFunctor;
+
+/// One-body Jastrow term (single ion species).
+#[derive(Clone, Debug)]
+pub struct OneBodyJastrow {
+    u: BsplineFunctor,
+    n_el: usize,
+    /// Per-electron ion sums `Uat[e] = Σ_I u(r_eI)`.
+    uat: Vec<f64>,
+    u_new: f64,
+    iel: usize,
+}
+
+impl OneBodyJastrow {
+    /// Create a new instance.
+    pub fn new(u: BsplineFunctor, n_electrons: usize) -> Self {
+        Self {
+            u,
+            n_el: n_electrons,
+            uat: vec![0.0; n_electrons],
+            u_new: 0.0,
+            iel: usize::MAX,
+        }
+    }
+
+    #[inline]
+    /// Functor.
+    pub fn functor(&self) -> &BsplineFunctor {
+        &self.u
+    }
+
+    /// Full evaluation: `log J1` plus per-electron derivative
+    /// accumulation (added into `derivs`, so call after zeroing or after
+    /// J2 to accumulate the total Jastrow derivatives).
+    pub fn evaluate_log(&mut self, dist: &DistanceTableAB, derivs: &mut JastrowDerivs) -> f64 {
+        assert_eq!(dist.n_targets(), self.n_el);
+        let n_ion = dist.n_sources();
+        let mut log_sum = 0.0;
+        for e in 0..self.n_el {
+            let row = dist.row(e);
+            let (dx, dy, dz) = dist.disp_rows(e);
+            let mut usum = 0.0;
+            let mut g = [0.0f64; 3];
+            let mut lap = 0.0;
+            for i in 0..n_ion {
+                let r = row[i];
+                let (u, du, d2u) = self.u.vgl(r);
+                usum += u;
+                if r > 0.0 {
+                    let du_r = du / r;
+                    // displacement = ion − electron; ∂r/∂r_e = −disp/r.
+                    g[0] += du_r * dx[i];
+                    g[1] += du_r * dy[i];
+                    g[2] += du_r * dz[i];
+                    lap -= d2u + 2.0 * du_r;
+                }
+            }
+            self.uat[e] = usum;
+            derivs.grad[e][0] += g[0];
+            derivs.grad[e][1] += g[1];
+            derivs.grad[e][2] += g[2];
+            derivs.lap[e] += lap;
+            log_sum += usum;
+        }
+        -log_sum
+    }
+
+    /// Move ratio for electron `iel` with proposed ion distances in the
+    /// table's scratch row.
+    pub fn ratio(&mut self, dist: &DistanceTableAB, iel: usize) -> f64 {
+        let mut unew = 0.0;
+        for &r in dist.temp_row() {
+            unew += self.u.value(r);
+        }
+        self.u_new = unew;
+        self.iel = iel;
+        (self.uat[iel] - unew).exp()
+    }
+
+    /// Commit the move.
+    pub fn accept(&mut self, iel: usize) {
+        assert_eq!(iel, self.iel, "accept must follow ratio for the same electron");
+        self.uat[iel] = self.u_new;
+        self.iel = usize::MAX;
+    }
+
+    /// `log J1` from the accumulators.
+    pub fn log_value(&self) -> f64 {
+        -self.uat.iter().sum::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lattice::{graphite_supercell, Lattice};
+    use crate::particleset::{random_electrons, ParticleSet};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn setup(
+        n_el: usize,
+        seed: u64,
+    ) -> (ParticleSet, ParticleSet, DistanceTableAB, OneBodyJastrow) {
+        let (lat, ion_pos) = graphite_supercell(2, 2, 1);
+        let ions = ParticleSet::new("ion", lat, &ion_pos);
+        let els = random_electrons(lat, n_el, &mut StdRng::seed_from_u64(seed));
+        let dist = DistanceTableAB::new(&ions, &els);
+        let u = BsplineFunctor::rpa_like(0.3, 0.9, 2.2, 40);
+        let j1 = OneBodyJastrow::new(u, n_el);
+        (ions, els, dist, j1)
+    }
+
+    fn brute_force_log(
+        ions: &ParticleSet,
+        els: &ParticleSet,
+        u: &BsplineFunctor,
+    ) -> f64 {
+        let lat = els.lattice();
+        let mut s = 0.0;
+        for e in 0..els.len() {
+            for i in 0..ions.len() {
+                let (_, r) = lat.min_image(els.get(e), ions.get(i));
+                s += u.value(r);
+            }
+        }
+        -s
+    }
+
+    #[test]
+    fn log_matches_brute_force() {
+        let (ions, els, dist, mut j1) = setup(8, 3);
+        let mut derivs = JastrowDerivs::zeros(8);
+        let log = j1.evaluate_log(&dist, &mut derivs);
+        let expect = brute_force_log(&ions, &els, j1.functor());
+        assert!((log - expect).abs() < 1e-10);
+        assert!((j1.log_value() - expect).abs() < 1e-10);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let (ions, mut els, dist, mut j1) = setup(6, 5);
+        let mut derivs = JastrowDerivs::zeros(6);
+        j1.evaluate_log(&dist, &mut derivs);
+        let h = 1e-6;
+        let iel = 3;
+        let r0 = els.get(iel);
+        for d in 0..3 {
+            let mut rp = r0;
+            rp[d] += h;
+            els.set(iel, rp);
+            let fp = brute_force_log(&ions, &els, j1.functor());
+            let mut rm = r0;
+            rm[d] -= h;
+            els.set(iel, rm);
+            let fm = brute_force_log(&ions, &els, j1.functor());
+            els.set(iel, r0);
+            let fd = (fp - fm) / (2.0 * h);
+            assert!(
+                (derivs.grad[iel][d] - fd).abs() < 1e-6,
+                "d={d}: {} vs {fd}",
+                derivs.grad[iel][d]
+            );
+        }
+    }
+
+    #[test]
+    fn ratio_matches_log_difference() {
+        let (ions, mut els, mut dist, mut j1) = setup(5, 7);
+        let mut derivs = JastrowDerivs::zeros(5);
+        j1.evaluate_log(&dist, &mut derivs);
+        let log_old = brute_force_log(&ions, &els, j1.functor());
+        let iel = 2;
+        let rnew = [1.1, 2.3, 6.0];
+        dist.propose(iel, rnew);
+        let ratio = j1.ratio(&dist, iel);
+        els.set(iel, rnew);
+        let log_new = brute_force_log(&ions, &els, j1.functor());
+        assert!((ratio - (log_new - log_old).exp()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn accept_sequence_stays_consistent() {
+        let (ions, mut els, mut dist, mut j1) = setup(6, 9);
+        let mut derivs = JastrowDerivs::zeros(6);
+        j1.evaluate_log(&dist, &mut derivs);
+        let lat = *els.lattice();
+        let mut rng = StdRng::seed_from_u64(21);
+        for step in 0..15 {
+            let iel = step % 6;
+            let rnew = lat.to_cart([
+                rng.random::<f64>(),
+                rng.random::<f64>(),
+                rng.random::<f64>(),
+            ]);
+            dist.propose(iel, rnew);
+            let _ = j1.ratio(&dist, iel);
+            dist.accept(iel);
+            j1.accept(iel);
+            els.set(iel, rnew);
+        }
+        let expect = brute_force_log(&ions, &els, j1.functor());
+        assert!((j1.log_value() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn derivs_accumulate_on_top_of_existing() {
+        let (_, _, dist, mut j1) = setup(4, 11);
+        let mut derivs = JastrowDerivs::zeros(4);
+        derivs.lap[0] = 1.0;
+        let _ = j1.evaluate_log(&dist, &mut derivs);
+        let mut fresh = JastrowDerivs::zeros(4);
+        let _ = j1.evaluate_log(&dist, &mut fresh);
+        assert!((derivs.lap[0] - 1.0 - fresh.lap[0]).abs() < 1e-12);
+        let _ = Lattice::cubic(1.0);
+    }
+}

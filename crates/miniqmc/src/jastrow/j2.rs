@@ -1,0 +1,477 @@
+//! Two-body (electron–electron) Jastrow: `log J2 = −Σ_{i<j} u(r_ij)`.
+//!
+//! Keeps QMCPACK-style per-electron accumulators `Uat[i] = Σ_{j≠i}
+//! u(r_ij)` so a single-particle move ratio is O(N) and acceptance is
+//! O(N). The hot loops consume contiguous distance-table rows (the SoA
+//! layout payoff).
+
+use super::JastrowDerivs;
+use crate::distance::soa::DistanceTableAA;
+use crate::jastrow::BsplineFunctor;
+
+/// Two-body Jastrow term.
+#[derive(Clone, Debug)]
+pub struct TwoBodyJastrow {
+    u: BsplineFunctor,
+    n: usize,
+    /// Per-electron pair sums `Uat[i] = Σ_{j≠i} u(r_ij)`.
+    uat: Vec<f64>,
+    /// Scratch: `u(r)` of the proposed row.
+    u_new: Vec<f64>,
+    /// Scratch: `u(r)` of the current row of the moving electron.
+    u_old: Vec<f64>,
+    iel: usize,
+}
+
+impl TwoBodyJastrow {
+    /// Create a new instance.
+    pub fn new(u: BsplineFunctor, n_electrons: usize) -> Self {
+        Self {
+            u,
+            n: n_electrons,
+            uat: vec![0.0; n_electrons],
+            u_new: vec![0.0; n_electrons],
+            u_old: vec![0.0; n_electrons],
+            iel: usize::MAX,
+        }
+    }
+
+    #[inline]
+    /// Functor.
+    pub fn functor(&self) -> &BsplineFunctor {
+        &self.u
+    }
+
+    /// Full evaluation: returns `log J2` and fills per-electron
+    /// gradients/Laplacians of `log J2`. Also (re)builds the `Uat`
+    /// accumulators.
+    pub fn evaluate_log(&mut self, dist: &DistanceTableAA, derivs: &mut JastrowDerivs) -> f64 {
+        assert_eq!(dist.len(), self.n);
+        let n = self.n;
+        let mut log_sum = 0.0;
+        for i in 0..n {
+            let row = dist.row(i);
+            let (dx, dy, dz) = dist.disp_rows(i);
+            let mut usum = 0.0;
+            let mut g = [0.0f64; 3];
+            let mut lap = 0.0;
+            for j in 0..n {
+                if j == i {
+                    continue;
+                }
+                let r = row[j];
+                let (u, du, d2u) = self.u.vgl(r);
+                usum += u;
+                if r > 0.0 {
+                    let du_r = du / r;
+                    // ∇ᵢ log J2 = +Σ u′(r)·(r_j − r_i)/r  (log J2 = −Σu,
+                    // ∂r/∂rᵢ = −disp/r).
+                    g[0] += du_r * dx[j];
+                    g[1] += du_r * dy[j];
+                    g[2] += du_r * dz[j];
+                    lap -= d2u + 2.0 * du_r;
+                }
+            }
+            self.uat[i] = usum;
+            derivs.grad[i] = g;
+            derivs.lap[i] = lap;
+            log_sum += usum;
+        }
+        // Each pair counted twice in Σᵢ Uat[i].
+        -0.5 * log_sum
+    }
+
+    /// Move ratio `J2(new)/J2(old)` for electron `iel` whose proposed
+    /// distances are in the table's scratch row (after
+    /// `DistanceTableAA::propose`).
+    pub fn ratio(&mut self, dist: &DistanceTableAA, iel: usize) -> f64 {
+        let temp = dist.temp_row();
+        let old = dist.row(iel);
+        let mut du_sum = 0.0;
+        for j in 0..self.n {
+            if j == iel {
+                continue;
+            }
+            let un = self.u.value(temp[j]);
+            let uo = self.u.value(old[j]);
+            self.u_new[j] = un;
+            self.u_old[j] = uo;
+            du_sum += un - uo;
+        }
+        self.iel = iel;
+        (-du_sum).exp()
+    }
+
+    /// Commit the proposed move (call after the distance table accepted
+    /// it): repair the `Uat` accumulators in O(N).
+    pub fn accept(&mut self, iel: usize) {
+        assert_eq!(iel, self.iel, "accept must follow ratio for the same electron");
+        let mut unew_sum = 0.0;
+        for j in 0..self.n {
+            if j == iel {
+                continue;
+            }
+            self.uat[j] += self.u_new[j] - self.u_old[j];
+            unew_sum += self.u_new[j];
+        }
+        self.uat[iel] = unew_sum;
+        self.iel = usize::MAX;
+    }
+
+    /// `log J2` recovered from the accumulators.
+    pub fn log_value(&self) -> f64 {
+        -0.5 * self.uat.iter().sum::<f64>()
+    }
+}
+
+
+/// Spin-dependent two-body Jastrow: distinct radial functions for
+/// same-spin and opposite-spin pairs (`u↑↑ = u↓↓`, `u↑↓`), the standard
+/// QMCPACK parameterization (same-spin correlation is weaker because
+/// exchange already keeps like-spin electrons apart).
+///
+/// Electrons `0..n_up` are spin-up, the rest spin-down.
+#[derive(Clone, Debug)]
+pub struct SpinTwoBodyJastrow {
+    u_same: BsplineFunctor,
+    u_opp: BsplineFunctor,
+    n: usize,
+    n_up: usize,
+    uat: Vec<f64>,
+    u_new: Vec<f64>,
+    u_old: Vec<f64>,
+    iel: usize,
+}
+
+impl SpinTwoBodyJastrow {
+    /// Create with the same/opposite-spin functors and the spin split.
+    pub fn new(
+        u_same: BsplineFunctor,
+        u_opp: BsplineFunctor,
+        n_electrons: usize,
+        n_up: usize,
+    ) -> Self {
+        assert!(n_up <= n_electrons, "spin-up count exceeds electrons");
+        Self {
+            u_same,
+            u_opp,
+            n: n_electrons,
+            n_up,
+            uat: vec![0.0; n_electrons],
+            u_new: vec![0.0; n_electrons],
+            u_old: vec![0.0; n_electrons],
+            iel: usize::MAX,
+        }
+    }
+
+    #[inline]
+    fn same_spin(&self, i: usize, j: usize) -> bool {
+        (i < self.n_up) == (j < self.n_up)
+    }
+
+    #[inline]
+    fn functor(&self, i: usize, j: usize) -> &BsplineFunctor {
+        if self.same_spin(i, j) {
+            &self.u_same
+        } else {
+            &self.u_opp
+        }
+    }
+
+    /// Full evaluation: `log J2` with per-electron derivative
+    /// accumulation (added into `derivs`).
+    pub fn evaluate_log(
+        &mut self,
+        dist: &DistanceTableAA,
+        derivs: &mut JastrowDerivs,
+    ) -> f64 {
+        assert_eq!(dist.len(), self.n);
+        let n = self.n;
+        let mut log_sum = 0.0;
+        for i in 0..n {
+            let row = dist.row(i);
+            let (dx, dy, dz) = dist.disp_rows(i);
+            let mut usum = 0.0;
+            let mut g = [0.0f64; 3];
+            let mut lap = 0.0;
+            for j in 0..n {
+                if j == i {
+                    continue;
+                }
+                let r = row[j];
+                let (u, du, d2u) = self.functor(i, j).vgl(r);
+                usum += u;
+                if r > 0.0 {
+                    let du_r = du / r;
+                    g[0] += du_r * dx[j];
+                    g[1] += du_r * dy[j];
+                    g[2] += du_r * dz[j];
+                    lap -= d2u + 2.0 * du_r;
+                }
+            }
+            self.uat[i] = usum;
+            derivs.grad[i][0] += g[0];
+            derivs.grad[i][1] += g[1];
+            derivs.grad[i][2] += g[2];
+            derivs.lap[i] += lap;
+            log_sum += usum;
+        }
+        -0.5 * log_sum
+    }
+
+    /// Move ratio for electron `iel` (proposal rows in the distance
+    /// table scratch).
+    pub fn ratio(&mut self, dist: &DistanceTableAA, iel: usize) -> f64 {
+        let temp = dist.temp_row();
+        let old = dist.row(iel);
+        let mut du_sum = 0.0;
+        for j in 0..self.n {
+            if j == iel {
+                continue;
+            }
+            let f = self.functor(iel, j);
+            let un = f.value(temp[j]);
+            let uo = f.value(old[j]);
+            self.u_new[j] = un;
+            self.u_old[j] = uo;
+            du_sum += un - uo;
+        }
+        self.iel = iel;
+        (-du_sum).exp()
+    }
+
+    /// Commit the proposed move (O(N) accumulator repair).
+    pub fn accept(&mut self, iel: usize) {
+        assert_eq!(iel, self.iel, "accept must follow ratio for the same electron");
+        let mut unew_sum = 0.0;
+        for j in 0..self.n {
+            if j == iel {
+                continue;
+            }
+            self.uat[j] += self.u_new[j] - self.u_old[j];
+            unew_sum += self.u_new[j];
+        }
+        self.uat[iel] = unew_sum;
+        self.iel = usize::MAX;
+    }
+
+    /// `log J2` from the accumulators.
+    pub fn log_value(&self) -> f64 {
+        -0.5 * self.uat.iter().sum::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lattice::Lattice;
+    use crate::particleset::{random_electrons, ParticleSet};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn setup(n: usize, seed: u64) -> (ParticleSet, DistanceTableAA, TwoBodyJastrow) {
+        let lat = Lattice::cubic(6.0);
+        let ps = random_electrons(lat, n, &mut StdRng::seed_from_u64(seed));
+        let dist = DistanceTableAA::new(&ps);
+        let u = BsplineFunctor::rpa_like(0.4, 1.2, 2.5, 40);
+        let j2 = TwoBodyJastrow::new(u, n);
+        (ps, dist, j2)
+    }
+
+    fn brute_force_log(ps: &ParticleSet, u: &BsplineFunctor) -> f64 {
+        let n = ps.len();
+        let lat = ps.lattice();
+        let mut s = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let (_, r) = lat.min_image(ps.get(i), ps.get(j));
+                s += u.value(r);
+            }
+        }
+        -s
+    }
+
+    #[test]
+    fn log_matches_brute_force_pair_sum() {
+        let (ps, dist, mut j2) = setup(10, 3);
+        let mut derivs = JastrowDerivs::zeros(10);
+        let log = j2.evaluate_log(&dist, &mut derivs);
+        let expect = brute_force_log(&ps, j2.functor());
+        assert!((log - expect).abs() < 1e-10, "{log} vs {expect}");
+        assert!((j2.log_value() - expect).abs() < 1e-10);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let (mut ps, _, mut j2) = setup(8, 7);
+        let mut derivs = JastrowDerivs::zeros(8);
+        let dist = DistanceTableAA::new(&ps);
+        j2.evaluate_log(&dist, &mut derivs);
+        let h = 1e-6;
+        let iel = 2;
+        for d in 0..3 {
+            let r0 = ps.get(iel);
+            let mut rp = r0;
+            rp[d] += h;
+            ps.set(iel, rp);
+            let fp = brute_force_log(&ps, j2.functor());
+            let mut rm = r0;
+            rm[d] -= h;
+            ps.set(iel, rm);
+            let fm = brute_force_log(&ps, j2.functor());
+            ps.set(iel, r0);
+            let fd = (fp - fm) / (2.0 * h);
+            assert!(
+                (derivs.grad[iel][d] - fd).abs() < 1e-6,
+                "d={d}: {} vs {fd}",
+                derivs.grad[iel][d]
+            );
+        }
+    }
+
+    #[test]
+    fn laplacian_matches_finite_difference() {
+        let (mut ps, _, mut j2) = setup(6, 11);
+        let mut derivs = JastrowDerivs::zeros(6);
+        let dist = DistanceTableAA::new(&ps);
+        j2.evaluate_log(&dist, &mut derivs);
+        let h = 1e-4;
+        let iel = 1;
+        let f0 = brute_force_log(&ps, j2.functor());
+        let mut lap_fd = 0.0;
+        let r0 = ps.get(iel);
+        for d in 0..3 {
+            let mut rp = r0;
+            rp[d] += h;
+            ps.set(iel, rp);
+            let fp = brute_force_log(&ps, j2.functor());
+            let mut rm = r0;
+            rm[d] -= h;
+            ps.set(iel, rm);
+            let fm = brute_force_log(&ps, j2.functor());
+            ps.set(iel, r0);
+            lap_fd += (fp - 2.0 * f0 + fm) / (h * h);
+        }
+        assert!(
+            (derivs.lap[iel] - lap_fd).abs() < 1e-3,
+            "{} vs {lap_fd}",
+            derivs.lap[iel]
+        );
+    }
+
+    #[test]
+    fn ratio_matches_log_difference() {
+        let (mut ps, mut dist, mut j2) = setup(9, 13);
+        let mut derivs = JastrowDerivs::zeros(9);
+        j2.evaluate_log(&dist, &mut derivs);
+        let log_old = brute_force_log(&ps, j2.functor());
+        let iel = 4;
+        let rnew = [2.9, 0.4, 5.2];
+        dist.propose(&ps, iel, rnew);
+        let ratio = j2.ratio(&dist, iel);
+        ps.set(iel, rnew);
+        let log_new = brute_force_log(&ps, j2.functor());
+        assert!(
+            (ratio - (log_new - log_old).exp()).abs() < 1e-10,
+            "{ratio} vs {}",
+            (log_new - log_old).exp()
+        );
+    }
+
+
+    #[test]
+    fn spin_j2_with_equal_functors_matches_spinless() {
+        let (ps, dist, mut j2) = setup(8, 41);
+        let u = j2.functor().clone();
+        let mut spin = SpinTwoBodyJastrow::new(u.clone(), u, 8, 4);
+        let mut d1 = JastrowDerivs::zeros(8);
+        let mut d2 = JastrowDerivs::zeros(8);
+        let a = j2.evaluate_log(&dist, &mut d1);
+        let b = spin.evaluate_log(&dist, &mut d2);
+        assert!((a - b).abs() < 1e-12);
+        for i in 0..8 {
+            assert!((d1.lap[i] - d2.lap[i]).abs() < 1e-12);
+        }
+        let _ = ps;
+    }
+
+    #[test]
+    fn spin_j2_ratio_and_accept_consistent() {
+        let lat = Lattice::cubic(6.0);
+        let mut ps = random_electrons(lat, 8, &mut StdRng::seed_from_u64(43));
+        let mut dist = DistanceTableAA::new(&ps);
+        let u_same = BsplineFunctor::rpa_like(0.25, 1.4, 2.5, 32);
+        let u_opp = BsplineFunctor::rpa_like(0.5, 1.0, 2.5, 32);
+        let mut spin = SpinTwoBodyJastrow::new(u_same, u_opp, 8, 4);
+        let mut derivs = JastrowDerivs::zeros(8);
+        spin.evaluate_log(&dist, &mut derivs);
+        let mut rng = StdRng::seed_from_u64(44);
+        for step in 0..16 {
+            let iel = step % 8;
+            let rnew = [
+                6.0 * rng.random::<f64>(),
+                6.0 * rng.random::<f64>(),
+                6.0 * rng.random::<f64>(),
+            ];
+            dist.propose(&ps, iel, rnew);
+            let r = spin.ratio(&dist, iel);
+            assert!(r.is_finite() && r > 0.0);
+            dist.accept(iel);
+            spin.accept(iel);
+            ps.set(iel, rnew);
+        }
+        // Accumulators consistent with a fresh evaluation.
+        let tracked = spin.log_value();
+        let mut fresh_derivs = JastrowDerivs::zeros(8);
+        let fresh = spin.evaluate_log(&dist, &mut fresh_derivs);
+        assert!((tracked - fresh).abs() < 1e-9, "{tracked} vs {fresh}");
+    }
+
+    #[test]
+    fn opposite_spin_pairs_use_the_opp_functor() {
+        // With u_same = 0, only cross-spin pairs contribute.
+        let lat = Lattice::cubic(6.0);
+        let ps = random_electrons(lat, 4, &mut StdRng::seed_from_u64(45));
+        let dist = DistanceTableAA::new(&ps);
+        let zero = BsplineFunctor::fit(|_| 0.0, 2.5, 8);
+        let u_opp = BsplineFunctor::rpa_like(0.5, 1.0, 2.5, 32);
+        let mut spin = SpinTwoBodyJastrow::new(zero, u_opp.clone(), 4, 2);
+        let mut d = JastrowDerivs::zeros(4);
+        let log = spin.evaluate_log(&dist, &mut d);
+        let mut expect = 0.0;
+        for i in 0..2 {
+            for j in 2..4 {
+                let (_, r) = lat.min_image(ps.get(i), ps.get(j));
+                expect -= u_opp.value(r);
+            }
+        }
+        assert!((log - expect).abs() < 1e-10, "{log} vs {expect}");
+    }
+
+    #[test]
+    fn accept_keeps_accumulators_consistent() {
+        let (mut ps, mut dist, mut j2) = setup(7, 17);
+        let mut derivs = JastrowDerivs::zeros(7);
+        j2.evaluate_log(&dist, &mut derivs);
+        let mut rng = StdRng::seed_from_u64(99);
+        for step in 0..20 {
+            let iel = step % 7;
+            let rnew = [
+                6.0 * rng.random::<f64>(),
+                6.0 * rng.random::<f64>(),
+                6.0 * rng.random::<f64>(),
+            ];
+            dist.propose(&ps, iel, rnew);
+            let _ = j2.ratio(&dist, iel);
+            dist.accept(iel);
+            j2.accept(iel);
+            ps.set(iel, rnew);
+        }
+        let expect = brute_force_log(&ps, j2.functor());
+        assert!(
+            (j2.log_value() - expect).abs() < 1e-9,
+            "{} vs {expect}",
+            j2.log_value()
+        );
+    }
+}

@@ -1,0 +1,41 @@
+//! Jastrow correlation factors — the third kernel group of the QMC
+//! profile (Tables II/III: 11–22 % of runtime).
+//!
+//! `ΨT = exp(J) D↑ D↓` with `J = J1 + J2`:
+//!
+//! * [`functor`] — the radial correlation function `u(r)`: a 1D cubic
+//!   B-spline with a cutoff (QMCPACK's `BsplineFunctor`);
+//! * [`j1`] — one-body (electron–ion) term `J1 = −Σ_{eI} u(r_eI)`;
+//! * [`j2`] — two-body (electron–electron) term `J2 = −Σ_{i<j} u(r_ij)`.
+//!
+//! Each term provides the VMC particle-by-particle contract: full
+//! `evaluate_log` with per-electron gradients/Laplacians, an O(N) move
+//! `ratio`, and an `accept` that keeps per-particle accumulators
+//! consistent.
+
+pub mod functor;
+pub mod j1;
+pub mod j2;
+
+pub use functor::BsplineFunctor;
+pub use j1::OneBodyJastrow;
+pub use j2::{SpinTwoBodyJastrow, TwoBodyJastrow};
+
+/// Per-electron derivative accumulators of a Jastrow term.
+#[derive(Clone, Debug, Default)]
+pub struct JastrowDerivs {
+    /// `∇ᵢ log J` per electron.
+    pub grad: Vec<[f64; 3]>,
+    /// `∇²ᵢ log J` per electron.
+    pub lap: Vec<f64>,
+}
+
+impl JastrowDerivs {
+    /// Zeros.
+    pub fn zeros(n: usize) -> Self {
+        Self {
+            grad: vec![[0.0; 3]; n],
+            lap: vec![0.0; n],
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! `miniqmc` — the QMC substrate surrounding the B-spline kernels.
+//!
+//! Rust analogue of the miniQMC mini-app the paper uses for prototyping
+//! and benchmarking (Sec. IV): everything a walker touches besides the
+//! SPO engines themselves —
+//!
+//! * [`lattice`] — periodic cells, minimum image, the graphite supercells
+//!   of the CORAL benchmark;
+//! * [`particleset`] — SoA particle storage with AoS accessors (the
+//!   migration trick of Sec. V-A);
+//! * [`distance`] — electron–electron / electron–ion distance tables in
+//!   both the AoS baseline and SoA optimized forms;
+//! * [`jastrow`] — B-spline radial functors, one-/two-body Jastrow with
+//!   O(N) particle-by-particle ratios;
+//! * [`determinant`] — Slater determinants with Sherman–Morrison O(N²)
+//!   updates (Eqs. 2–4);
+//! * [`spo`] — the SPOSet bridging Cartesian QMC and fractional-grid
+//!   B-splines (gradient/Hessian pull-back for general cells);
+//! * [`wavefunction`] — `ΨT = exp(J1+J2)·D↑·D↓` with the pbyp move
+//!   contract;
+//! * [`drivers`] — a VMC driver with the per-category profiling used to
+//!   reproduce Tables II/III;
+//! * [`synthetic`] — synthetic orbitals and the CORAL system builder
+//!   (see DESIGN.md for the data substitution rationale).
+//!
+//! # Quick example
+//!
+//! ```
+//! use miniqmc::prelude::*;
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! // A 4-carbon graphite cell, 16 electrons, 8 orbitals per spin.
+//! let sys = CoralSystem::new(1, 1, 1, (10, 10, 12));
+//! let spo = SpoSet::new(sys.orbitals::<f64>(42), sys.lattice);
+//! let electrons = random_electrons(
+//!     sys.lattice, sys.n_electrons(), &mut StdRng::seed_from_u64(1));
+//! let rc = sys.lattice.wigner_seitz_radius() * 0.9;
+//! let mut wf = TrialWaveFunction::new(
+//!     spo, &sys.ions, electrons,
+//!     BsplineFunctor::rpa_like(0.3, 1.0, rc, 20),
+//!     BsplineFunctor::rpa_like(0.5, 1.2, rc, 20));
+//! let result = run_vmc(&mut wf, &VmcConfig { n_steps: 2, step_size: 0.4, seed: 7 });
+//! assert!(result.acceptance > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+// The 4-point tensor-product kernels use fixed-trip indexed loops on
+// purpose (mirrors the paper's loop structure and vectorizes cleanly).
+#![allow(clippy::needless_range_loop)]
+
+pub mod determinant;
+pub mod distance;
+pub mod drivers;
+pub mod jastrow;
+pub mod lattice;
+pub mod particleset;
+pub mod spo;
+pub mod synthetic;
+pub mod wavefunction;
+
+/// Convenience re-exports.
+pub mod prelude {
+    pub use crate::determinant::DiracDeterminant;
+    pub use crate::distance::aos::{DistanceTableAAAoS, DistanceTableABAoS};
+    pub use crate::distance::soa::{DistanceTableAA, DistanceTableAB};
+    pub use crate::drivers::{
+        coulomb_ee, coulomb_ei, kinetic_energy, run_vmc, Category, DmcConfig,
+        DmcPopulation, LocalEnergy, ProfileReport, Timers, VmcConfig,
+    };
+    pub use crate::jastrow::{BsplineFunctor, JastrowDerivs, OneBodyJastrow, TwoBodyJastrow};
+    pub use crate::lattice::{graphite_supercell, Lattice};
+    pub use crate::particleset::{random_electrons, ParticleSet};
+    pub use crate::spo::SpoSet;
+    pub use crate::synthetic::{random_coefficients, synthetic_orbitals, CoralSystem};
+    pub use crate::wavefunction::TrialWaveFunction;
+}

@@ -1,0 +1,144 @@
+//! Particle sets with SoA position storage and AoS accessors.
+//!
+//! The paper's enabling trick for migrating QMCPACK (Sec. V-A): keep the
+//! *internal* layout SoA (three separate coordinate arrays → unit-stride
+//! vector loads in distance kernels) while exposing the familiar AoS-style
+//! `positions[i] → [x,y,z]` accessor so non-critical code is untouched.
+
+use crate::lattice::Lattice;
+
+/// A set of point particles in a periodic cell, stored SoA.
+#[derive(Clone, Debug)]
+pub struct ParticleSet {
+    name: &'static str,
+    lattice: Lattice,
+    x: Vec<f64>,
+    y: Vec<f64>,
+    z: Vec<f64>,
+}
+
+impl ParticleSet {
+    /// Create from AoS positions.
+    pub fn new(name: &'static str, lattice: Lattice, positions: &[[f64; 3]]) -> Self {
+        Self {
+            name,
+            lattice,
+            x: positions.iter().map(|p| p[0]).collect(),
+            y: positions.iter().map(|p| p[1]).collect(),
+            z: positions.iter().map(|p| p[2]).collect(),
+        }
+    }
+
+    #[inline]
+    /// Name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    #[inline]
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    #[inline]
+    /// Whether the container is empty.
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    #[inline]
+    /// Lattice.
+    pub fn lattice(&self) -> &Lattice {
+        &self.lattice
+    }
+
+    /// AoS-style accessor (the overloaded `operator[]` of the paper).
+    #[inline]
+    pub fn get(&self, i: usize) -> [f64; 3] {
+        [self.x[i], self.y[i], self.z[i]]
+    }
+
+    /// Move particle `i` (no wrapping; distance kernels apply minimum
+    /// image).
+    #[inline]
+    pub fn set(&mut self, i: usize, r: [f64; 3]) {
+        self.x[i] = r[0];
+        self.y[i] = r[1];
+        self.z[i] = r[2];
+    }
+
+    /// SoA coordinate streams.
+    #[inline]
+    pub fn soa(&self) -> (&[f64], &[f64], &[f64]) {
+        (&self.x, &self.y, &self.z)
+    }
+
+    /// Positions as AoS rows (copies; for baseline AoS kernels).
+    pub fn to_aos(&self) -> Vec<[f64; 3]> {
+        (0..self.len()).map(|i| self.get(i)).collect()
+    }
+}
+
+/// Scatter `n_electrons` uniformly at random inside the cell — the
+/// initial electron configuration of a VMC run.
+pub fn random_electrons<R: rand::Rng>(
+    lattice: Lattice,
+    n_electrons: usize,
+    rng: &mut R,
+) -> ParticleSet {
+    let positions: Vec<[f64; 3]> = (0..n_electrons)
+        .map(|_| {
+            lattice.to_cart([
+                rng.random::<f64>(),
+                rng.random::<f64>(),
+                rng.random::<f64>(),
+            ])
+        })
+        .collect();
+    ParticleSet::new("e", lattice, &positions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn aos_accessor_round_trip() {
+        let lat = Lattice::cubic(3.0);
+        let pos = [[0.1, 0.2, 0.3], [1.0, 1.1, 1.2]];
+        let mut ps = ParticleSet::new("e", lat, &pos);
+        assert_eq!(ps.len(), 2);
+        assert_eq!(ps.get(1), [1.0, 1.1, 1.2]);
+        ps.set(0, [2.0, 2.1, 2.2]);
+        assert_eq!(ps.get(0), [2.0, 2.1, 2.2]);
+        assert_eq!(ps.to_aos()[0], [2.0, 2.1, 2.2]);
+    }
+
+    #[test]
+    fn soa_streams_match_aos_view() {
+        let lat = Lattice::cubic(1.0);
+        let pos = [[0.1, 0.2, 0.3], [0.4, 0.5, 0.6], [0.7, 0.8, 0.9]];
+        let ps = ParticleSet::new("i", lat, &pos);
+        let (x, y, z) = ps.soa();
+        for i in 0..3 {
+            assert_eq!([x[i], y[i], z[i]], ps.get(i));
+        }
+    }
+
+    #[test]
+    fn random_electrons_fill_cell() {
+        let lat = Lattice::hexagonal(4.0, 9.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let ps = random_electrons(lat, 64, &mut rng);
+        assert_eq!(ps.len(), 64);
+        for i in 0..64 {
+            let u = lat.to_frac(ps.get(i));
+            for d in 0..3 {
+                assert!((0.0..1.0).contains(&u[d]));
+            }
+        }
+    }
+}

@@ -1,0 +1,297 @@
+//! SPOSet: the bridge between B-spline engines (fractional grid
+//! coordinates) and QMC (Cartesian positions in a general cell).
+//!
+//! Splines are stored on the unit cube of *fractional* coordinates
+//! (paper Sec. VI: the grid simulates periodic images of the primitive
+//! cell). For a Cartesian position `r`, `u = r·A⁻¹` is evaluated and the
+//! derivatives are pulled back: `∇ᵣ = G ∇ᵤ`, `Hᵣ = G Hᵤ Gᵀ` with
+//! `G = A⁻¹`. Graphite's hexagonal cell is why the drift-diffusion phase
+//! needs VGH rather than VGL (the Laplacian is `tr(G Hᵤ Gᵀ)`, not the
+//! trace of `Hᵤ`).
+
+use crate::lattice::Lattice;
+use bspline::{BsplineSoA, WalkerSoA};
+use einspline::{MultiCoefs, Real};
+
+/// Orbital values + Cartesian gradients + Laplacians for one position —
+/// the determinant-facing view, in `f64`.
+#[derive(Clone, Debug)]
+pub struct SpoVgl {
+    /// Orbital value stream.
+    pub v: Vec<f64>,
+    /// Gradient x-component stream.
+    pub gx: Vec<f64>,
+    /// Gradient y-component stream.
+    pub gy: Vec<f64>,
+    /// Gradient z-component stream.
+    pub gz: Vec<f64>,
+    /// Lap.
+    pub lap: Vec<f64>,
+}
+
+impl SpoVgl {
+    fn zeros(n: usize) -> Self {
+        Self {
+            v: vec![0.0; n],
+            gx: vec![0.0; n],
+            gy: vec![0.0; n],
+            gz: vec![0.0; n],
+            lap: vec![0.0; n],
+        }
+    }
+}
+
+/// A set of N single-particle orbitals over a periodic cell.
+#[derive(Clone, Debug)]
+pub struct SpoSet<T: Real> {
+    engine: BsplineSoA<T>,
+    lattice: Lattice,
+    /// `G = A⁻¹` (Cartesian→fractional Jacobian).
+    g: [[f64; 3]; 3],
+    /// Metric `M = GᵀG` used for the Laplacian pull-back.
+    metric: [[f64; 3]; 3],
+    scratch: WalkerSoA<T>,
+    out: SpoVgl,
+}
+
+impl<T: Real> SpoSet<T> {
+    /// Wrap a coefficient table whose grids span the unit cube.
+    pub fn new(coefs: MultiCoefs<T>, lattice: Lattice) -> Self {
+        let (gx, gy, gz) = coefs.grids();
+        assert_eq!(
+            (gx.start(), gx.end()),
+            (0.0, 1.0),
+            "SPO splines live on fractional coordinates"
+        );
+        assert_eq!((gy.start(), gy.end()), (0.0, 1.0));
+        assert_eq!((gz.start(), gz.end()), (0.0, 1.0));
+        let n = coefs.n_splines();
+        let g = lattice.jacobian();
+        let mut metric = [[0.0; 3]; 3];
+        for b in 0..3 {
+            for c in 0..3 {
+                for ga in g.iter() {
+                    metric[b][c] += ga[b] * ga[c];
+                }
+            }
+        }
+        let engine = BsplineSoA::new(coefs);
+        let scratch = WalkerSoA::new(n);
+        Self {
+            engine,
+            lattice,
+            g,
+            metric,
+            scratch,
+            out: SpoVgl::zeros(n),
+        }
+    }
+
+    #[inline]
+    /// N orbitals.
+    pub fn n_orbitals(&self) -> usize {
+        self.engine.n_splines()
+    }
+
+    #[inline]
+    /// Lattice.
+    pub fn lattice(&self) -> &Lattice {
+        &self.lattice
+    }
+
+    /// Direct access to the underlying engine (benchmarks).
+    #[inline]
+    pub fn engine(&self) -> &BsplineSoA<T> {
+        &self.engine
+    }
+
+    fn frac_pos(&self, r: [f64; 3]) -> [T; 3] {
+        let u = self.lattice.to_frac(r);
+        [T::from_f64(u[0]), T::from_f64(u[1]), T::from_f64(u[2])]
+    }
+
+    /// Orbital values at Cartesian `r` (kernel V).
+    pub fn evaluate_v(&mut self, r: [f64; 3]) -> &[f64] {
+        let u = self.frac_pos(r);
+        self.engine.v(u, &mut self.scratch);
+        let n = self.n_orbitals();
+        for k in 0..n {
+            self.out.v[k] = self.scratch.value(k).to_f64();
+        }
+        &self.out.v[..n]
+    }
+
+    /// Values + Cartesian gradients + Laplacians at `r` (kernel VGH +
+    /// pull-back). Returns the filled view.
+    pub fn evaluate_vgl(&mut self, r: [f64; 3]) -> &SpoVgl {
+        let u = self.frac_pos(r);
+        self.engine.vgh(u, &mut self.scratch);
+        let n = self.n_orbitals();
+        let g = &self.g;
+        let m = &self.metric;
+        for k in 0..n {
+            self.out.v[k] = self.scratch.value(k).to_f64();
+            let gu = self.scratch.gradient(k);
+            let gu = [gu[0].to_f64(), gu[1].to_f64(), gu[2].to_f64()];
+            self.out.gx[k] = g[0][0] * gu[0] + g[0][1] * gu[1] + g[0][2] * gu[2];
+            self.out.gy[k] = g[1][0] * gu[0] + g[1][1] * gu[1] + g[1][2] * gu[2];
+            self.out.gz[k] = g[2][0] * gu[0] + g[2][1] * gu[1] + g[2][2] * gu[2];
+            // lap = Σ_bc M[b][c]·Hᵤ[b][c] (Hᵤ symmetric, 6 streams).
+            let h = self.scratch.hessian(k);
+            let h = [
+                h[0].to_f64(),
+                h[1].to_f64(),
+                h[2].to_f64(),
+                h[3].to_f64(),
+                h[4].to_f64(),
+                h[5].to_f64(),
+            ];
+            self.out.lap[k] = m[0][0] * h[0]
+                + m[1][1] * h[3]
+                + m[2][2] * h[5]
+                + 2.0 * (m[0][1] * h[1] + m[0][2] * h[2] + m[1][2] * h[4]);
+        }
+        &self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use einspline::{Grid1, Spline3};
+    use std::f64::consts::PI;
+
+    /// Build an SpoSet over `lat` with analytically known orbitals
+    /// (plane-wave-like smooth periodic functions of the fractional
+    /// coordinates).
+    fn build(lat: Lattice, ng: usize, n_orb: usize) -> SpoSet<f64> {
+        let g = Grid1::periodic(0.0, 1.0, ng);
+        let mut coefs = MultiCoefs::<f64>::new(g, g, g, n_orb);
+        for s in 0..n_orb {
+            let kx = 1 + (s % 2);
+            let ky = 1 + (s / 2);
+            let mut data = vec![0.0; ng * ng * ng];
+            for i in 0..ng {
+                for j in 0..ng {
+                    for k in 0..ng {
+                        let (x, y, z) = (
+                            i as f64 / ng as f64,
+                            j as f64 / ng as f64,
+                            k as f64 / ng as f64,
+                        );
+                        data[(i * ng + j) * ng + k] = (2.0 * PI * kx as f64 * x).cos()
+                            * (2.0 * PI * ky as f64 * y).sin()
+                            + 0.3 * (2.0 * PI * z).cos()
+                            + 1.7;
+                    }
+                }
+            }
+            let sp = Spline3::<f64>::interpolate(g, g, g, &data);
+            coefs.set_orbital(s, &sp);
+        }
+        SpoSet::new(coefs, lat)
+    }
+
+    #[test]
+    fn values_match_analytic_in_hexagonal_cell() {
+        let lat = Lattice::hexagonal(3.0, 7.0);
+        let mut spo = build(lat, 24, 3);
+        let r = lat.to_cart([0.31, 0.62, 0.13]);
+        let v = spo.evaluate_v(r).to_vec();
+        let u = [0.31, 0.62, 0.13];
+        for (s, val) in v.iter().enumerate() {
+            let kx = (1 + s % 2) as f64;
+            let ky = (1 + s / 2) as f64;
+            let expect = (2.0 * PI * kx * u[0]).cos() * (2.0 * PI * ky * u[1]).sin()
+                + 0.3 * (2.0 * PI * u[2]).cos()
+                + 1.7;
+            assert!((val - expect).abs() < 5e-4, "s={s}: {val} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn cartesian_gradient_matches_finite_difference() {
+        let lat = Lattice::hexagonal(2.5, 6.0);
+        let mut spo = build(lat, 32, 2);
+        let r = lat.to_cart([0.4, 0.3, 0.6]);
+        let h = 1e-5;
+        let out = spo.evaluate_vgl(r).clone();
+        for d in 0..3 {
+            let mut rp = r;
+            rp[d] += h;
+            let vp = spo.evaluate_v(rp).to_vec();
+            let mut rm = r;
+            rm[d] -= h;
+            let vm = spo.evaluate_v(rm).to_vec();
+            for k in 0..2 {
+                let fd = (vp[k] - vm[k]) / (2.0 * h);
+                let an = [out.gx[k], out.gy[k], out.gz[k]][d];
+                assert!((an - fd).abs() < 1e-4, "d={d} k={k}: {an} vs {fd}");
+            }
+        }
+    }
+
+    #[test]
+    fn cartesian_laplacian_matches_finite_difference() {
+        let lat = Lattice::hexagonal(2.5, 6.0);
+        let mut spo = build(lat, 32, 2);
+        let r = lat.to_cart([0.21, 0.55, 0.37]);
+        let h = 2e-4;
+        let out = spo.evaluate_vgl(r).clone();
+        let v0 = spo.evaluate_v(r).to_vec();
+        let mut lap_fd = vec![0.0; 2];
+        for d in 0..3 {
+            let mut rp = r;
+            rp[d] += h;
+            let vp = spo.evaluate_v(rp).to_vec();
+            let mut rm = r;
+            rm[d] -= h;
+            let vm = spo.evaluate_v(rm).to_vec();
+            for k in 0..2 {
+                lap_fd[k] += (vp[k] - 2.0 * v0[k] + vm[k]) / (h * h);
+            }
+        }
+        for k in 0..2 {
+            let rel = (out.lap[k] - lap_fd[k]).abs() / lap_fd[k].abs().max(1.0);
+            assert!(rel < 5e-2, "k={k}: {} vs {}", out.lap[k], lap_fd[k]);
+        }
+    }
+
+    #[test]
+    fn orthorhombic_cell_laplacian_is_plain_trace() {
+        // For a diagonal lattice the metric is diag(1/L²), so the
+        // pull-back must equal scaling each Hessian diagonal.
+        let lat = Lattice::orthorhombic(2.0, 3.0, 4.0);
+        let mut spo = build(lat, 16, 1);
+        let r = lat.to_cart([0.3, 0.3, 0.3]);
+        let out = spo.evaluate_vgl(r).clone();
+        let u = [0.3f64, 0.3, 0.3];
+        let mut scratch = WalkerSoA::<f64>::new(1);
+        spo.engine().vgh(u, &mut scratch);
+        let h = scratch.hessian(0);
+        let expect = h[0] / 4.0 + h[3] / 9.0 + h[5] / 16.0;
+        assert!((out.lap[0] - expect).abs() < 1e-10);
+    }
+
+    #[test]
+    fn periodic_positions_wrap() {
+        let lat = Lattice::hexagonal(3.0, 7.0);
+        let mut spo = build(lat, 16, 2);
+        let r = lat.to_cart([0.2, 0.8, 0.5]);
+        let shift = lat.to_cart([1.0, -1.0, 2.0]);
+        let r2 = [r[0] + shift[0], r[1] + shift[1], r[2] + shift[2]];
+        let v1 = spo.evaluate_v(r).to_vec();
+        let v2 = spo.evaluate_v(r2).to_vec();
+        for k in 0..2 {
+            assert!((v1[k] - v2[k]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "fractional")]
+    fn non_unit_grids_rejected() {
+        let g = Grid1::periodic(0.0, 2.0, 8);
+        let coefs = MultiCoefs::<f64>::new(g, g, g, 2);
+        let _ = SpoSet::new(coefs, Lattice::cubic(2.0));
+    }
+}

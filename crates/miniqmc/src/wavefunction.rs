@@ -1,0 +1,353 @@
+//! The Slater–Jastrow trial wavefunction
+//! `ΨT = exp(J1 + J2) · D↑ · D↓` (paper Eq. 1) and its
+//! particle-by-particle move contract.
+//!
+//! Electrons are ordered spin-up first (`0..N`) then spin-down
+//! (`N..2N`); both determinants share one SPO set (paper: `D↓ = D↑`).
+//! Every method charges its work to the profiling categories so the VMC
+//! driver reproduces the Table II/III accounting.
+
+use crate::determinant::DiracDeterminant;
+use crate::distance::soa::{DistanceTableAA, DistanceTableAB};
+use crate::drivers::profile::{Category, Timers};
+use crate::jastrow::{BsplineFunctor, JastrowDerivs, OneBodyJastrow, TwoBodyJastrow};
+use crate::particleset::ParticleSet;
+use crate::spo::SpoSet;
+use einspline::Real;
+
+/// Slater–Jastrow trial wavefunction over a two-spin electron set.
+pub struct TrialWaveFunction<T: Real> {
+    spo: SpoSet<T>,
+    electrons: ParticleSet,
+    dist_ee: DistanceTableAA,
+    dist_ei: DistanceTableAB,
+    dets: [DiracDeterminant; 2],
+    j1: OneBodyJastrow,
+    j2: TwoBodyJastrow,
+    n_per_spin: usize,
+    /// Scratch: proposed orbital values (f64) for the determinant.
+    phi_new: Vec<f64>,
+    /// Pending move bookkeeping.
+    pending: Option<(usize, [f64; 3], f64)>,
+    log_psi: f64,
+    /// Timers.
+    pub timers: Timers,
+}
+
+impl<T: Real> TrialWaveFunction<T> {
+    /// Assemble the wavefunction. `electrons.len()` must be `2 ×
+    /// spo.n_orbitals()`.
+    pub fn new(
+        mut spo: SpoSet<T>,
+        ions: &ParticleSet,
+        electrons: ParticleSet,
+        j1_functor: BsplineFunctor,
+        j2_functor: BsplineFunctor,
+    ) -> Self {
+        let n_per_spin = spo.n_orbitals();
+        assert_eq!(
+            electrons.len(),
+            2 * n_per_spin,
+            "need 2N electrons for N orbitals"
+        );
+        let n_el = electrons.len();
+        let dist_ee = DistanceTableAA::new(&electrons);
+        let dist_ei = DistanceTableAB::new(ions, &electrons);
+
+        // Build both spin determinants from SPO values.
+        let mut build_det = |spin: usize| -> DiracDeterminant {
+            let mut a = vec![0.0; n_per_spin * n_per_spin];
+            for e in 0..n_per_spin {
+                let v = spo.evaluate_v(electrons.get(spin * n_per_spin + e));
+                a[e * n_per_spin..(e + 1) * n_per_spin].copy_from_slice(v);
+            }
+            DiracDeterminant::build(&a, n_per_spin)
+        };
+        let dets = [build_det(0), build_det(1)];
+
+        let j1 = OneBodyJastrow::new(j1_functor, n_el);
+        let j2 = TwoBodyJastrow::new(j2_functor, n_el);
+
+        let mut wf = Self {
+            spo,
+            electrons,
+            dist_ee,
+            dist_ei,
+            dets,
+            j1,
+            j2,
+            n_per_spin,
+            phi_new: vec![0.0; n_per_spin],
+            pending: None,
+            log_psi: 0.0,
+            timers: Timers::new(),
+        };
+        wf.evaluate_log();
+        wf
+    }
+
+    #[inline]
+    /// N electrons.
+    pub fn n_electrons(&self) -> usize {
+        self.electrons.len()
+    }
+
+    #[inline]
+    /// Electrons.
+    pub fn electrons(&self) -> &ParticleSet {
+        &self.electrons
+    }
+
+    #[inline]
+    /// Log psi.
+    pub fn log_psi(&self) -> f64 {
+        self.log_psi
+    }
+
+    fn spin_of(&self, iel: usize) -> (usize, usize) {
+        (iel / self.n_per_spin, iel % self.n_per_spin)
+    }
+
+    /// Full recompute of `log |ΨT|` (and internal state).
+    pub fn evaluate_log(&mut self) -> f64 {
+        let n_per_spin = self.n_per_spin;
+
+        let (electrons, dist_ee, dist_ei, spo, dets, j1, j2, timers) = (
+            &self.electrons,
+            &mut self.dist_ee,
+            &mut self.dist_ei,
+            &mut self.spo,
+            &mut self.dets,
+            &mut self.j1,
+            &mut self.j2,
+            &mut self.timers,
+        );
+
+        timers.time(Category::Distance, || {
+            dist_ee.rebuild(electrons);
+            dist_ei.rebuild(electrons);
+        });
+
+        for spin in 0..2 {
+            let mut a = vec![0.0; n_per_spin * n_per_spin];
+            for e in 0..n_per_spin {
+                let r = electrons.get(spin * n_per_spin + e);
+                let v = timers.time(Category::Bspline, || spo.evaluate_v(r));
+                a[e * n_per_spin..(e + 1) * n_per_spin].copy_from_slice(v);
+            }
+            timers.time(Category::Determinant, || {
+                dets[spin] = DiracDeterminant::build(&a, n_per_spin);
+            });
+        }
+
+        let mut derivs = JastrowDerivs::zeros(self.electrons.len());
+        let (log_j2, log_j1) = timers.time(Category::Jastrow, || {
+            (
+                j2.evaluate_log(dist_ee, &mut derivs),
+                j1.evaluate_log(dist_ei, &mut derivs),
+            )
+        });
+
+        self.log_psi =
+            log_j1 + log_j2 + self.dets[0].log_det() + self.dets[1].log_det();
+        self.pending = None;
+        self.log_psi
+    }
+
+    /// Propose moving electron `iel` to `rnew`; returns the wavefunction
+    /// ratio `ΨT(R′)/ΨT(R)`.
+    ///
+    /// Uses the VGH kernel for the SPO evaluation (value + gradient, as
+    /// the drift-diffusion phase of the paper does for graphite).
+    pub fn ratio(&mut self, iel: usize, rnew: [f64; 3]) -> f64 {
+        let (spin, e) = self.spin_of(iel);
+        let n = self.n_per_spin;
+
+        let (electrons, dist_ee, dist_ei, spo, dets, j1, j2, timers, phi_new) = (
+            &self.electrons,
+            &mut self.dist_ee,
+            &mut self.dist_ei,
+            &mut self.spo,
+            &mut self.dets,
+            &mut self.j1,
+            &mut self.j2,
+            &mut self.timers,
+            &mut self.phi_new,
+        );
+
+        timers.time(Category::Distance, || {
+            dist_ee.propose(electrons, iel, rnew);
+            dist_ei.propose(iel, rnew);
+        });
+
+        let det_ratio = {
+            let out = timers.time(Category::Bspline, || spo.evaluate_vgl(rnew));
+            phi_new.copy_from_slice(&out.v[..n]);
+            timers.time(Category::Determinant, || dets[spin].ratio(e, phi_new))
+        };
+
+        let (r2, r1) = timers.time(Category::Jastrow, || {
+            (j2.ratio(dist_ee, iel), j1.ratio(dist_ei, iel))
+        });
+
+        let ratio = det_ratio * r1 * r2;
+        self.pending = Some((iel, rnew, ratio));
+        ratio
+    }
+
+    /// Commit the pending move.
+    pub fn accept(&mut self, iel: usize) {
+        let Some((p_iel, rnew, ratio)) = self.pending.take() else {
+            panic!("accept without a pending ratio");
+        };
+        assert_eq!(iel, p_iel, "accept must match the proposed electron");
+        let (spin, e) = self.spin_of(iel);
+
+        let (dist_ee, dist_ei, dets, j1, j2, timers, phi_new) = (
+            &mut self.dist_ee,
+            &mut self.dist_ei,
+            &mut self.dets,
+            &mut self.j1,
+            &mut self.j2,
+            &mut self.timers,
+            &self.phi_new,
+        );
+
+        timers.time(Category::Distance, || {
+            dist_ee.accept(iel);
+            dist_ei.accept(iel);
+        });
+        timers.time(Category::Determinant, || dets[spin].accept(e, phi_new));
+        timers.time(Category::Jastrow, || {
+            j2.accept(iel);
+            j1.accept(iel);
+        });
+        self.electrons.set(iel, rnew);
+        self.log_psi += ratio.abs().ln();
+    }
+
+    /// Discard the pending move.
+    pub fn reject(&mut self) {
+        self.pending = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::particleset::random_electrons;
+    use crate::synthetic::CoralSystem;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// A small graphite-like system: 1×1×1 cell (4 carbons, 16
+    /// electrons, 8 orbitals/spin), coarse grid.
+    fn small_system(seed: u64) -> TrialWaveFunction<f64> {
+        let sys = CoralSystem::new(1, 1, 1, (10, 10, 12));
+        let coefs = sys.orbitals::<f64>(seed);
+        let spo = SpoSet::new(coefs, sys.lattice);
+        let electrons = random_electrons(
+            sys.lattice,
+            sys.n_electrons(),
+            &mut StdRng::seed_from_u64(seed + 1),
+        );
+        let rc = sys.lattice.wigner_seitz_radius() * 0.9;
+        let j1 = BsplineFunctor::rpa_like(0.3, 1.0, rc, 24);
+        let j2 = BsplineFunctor::rpa_like(0.5, 1.2, rc, 24);
+        TrialWaveFunction::new(spo, &sys.ions, electrons, j1, j2)
+    }
+
+    #[test]
+    fn builds_and_is_finite() {
+        let wf = small_system(3);
+        assert_eq!(wf.n_electrons(), 16);
+        assert!(wf.log_psi().is_finite());
+    }
+
+    #[test]
+    fn ratio_matches_full_recompute() {
+        let mut wf = small_system(5);
+        let log0 = wf.log_psi();
+        let iel = 7;
+        let rnew = {
+            let r = wf.electrons().get(iel);
+            [r[0] + 0.21, r[1] - 0.13, r[2] + 0.08]
+        };
+        let ratio = wf.ratio(iel, rnew);
+        wf.accept(iel);
+        let log1 = wf.evaluate_log();
+        assert!(
+            ((log1 - log0) - ratio.abs().ln()).abs() < 1e-7,
+            "Δlog={} vs ln|ratio|={}",
+            log1 - log0,
+            ratio.abs().ln()
+        );
+    }
+
+    #[test]
+    fn reject_leaves_state_unchanged() {
+        let mut wf = small_system(7);
+        let log0 = wf.log_psi();
+        let _ = wf.ratio(3, [0.5, 0.5, 0.5]);
+        wf.reject();
+        let log1 = wf.evaluate_log();
+        assert!((log1 - log0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sweep_keeps_incremental_log_consistent() {
+        let mut wf = small_system(11);
+        let mut rng = StdRng::seed_from_u64(101);
+        let lat = *wf.electrons().lattice();
+        let mut accepted = 0;
+        for step in 0..2 * wf.n_electrons() {
+            let iel = step % wf.n_electrons();
+            let r = wf.electrons().get(iel);
+            let d = 0.4;
+            let rnew = lat.wrap([
+                r[0] + d * (rng.random::<f64>() - 0.5),
+                r[1] + d * (rng.random::<f64>() - 0.5),
+                r[2] + d * (rng.random::<f64>() - 0.5),
+            ]);
+            let ratio = wf.ratio(iel, rnew);
+            if ratio * ratio > rng.random::<f64>() {
+                wf.accept(iel);
+                accepted += 1;
+            } else {
+                wf.reject();
+            }
+        }
+        assert!(accepted > 0, "some moves should be accepted");
+        let tracked = wf.log_psi();
+        let fresh = wf.evaluate_log();
+        assert!(
+            (tracked - fresh).abs() < 1e-6,
+            "tracked {tracked} vs fresh {fresh}"
+        );
+    }
+
+    #[test]
+    fn timers_populated_by_moves() {
+        let mut wf = small_system(13);
+        let _ = wf.ratio(0, [0.3, 0.3, 0.3]);
+        wf.accept(0);
+        for cat in [
+            Category::Bspline,
+            Category::Distance,
+            Category::Jastrow,
+            Category::Determinant,
+        ] {
+            assert!(
+                wf.timers.get(cat) > std::time::Duration::ZERO,
+                "{cat} timer empty"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "pending")]
+    fn accept_without_ratio_panics() {
+        let mut wf = small_system(17);
+        wf.accept(0);
+    }
+}

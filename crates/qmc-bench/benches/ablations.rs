@@ -1,0 +1,109 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * z-unrolled fused inner loop (SoA) vs the 64-point triple loop
+//!   structure (AoS uses it) — isolate via VGL which differs most;
+//! * explicit static tile partitioning vs dynamic rayon scheduling for
+//!   nested threading;
+//! * distance-table layout: AoS scalar pairs vs SoA streamed rows;
+//! * Jastrow over SoA rows vs per-pair AoS accessors.
+
+use bspline::parallel::{nested_generation_time, run_nested};
+use bspline::{BsplineAoSoA, Kernel, WalkerSoA};
+use criterion::{criterion_group, criterion_main, Criterion};
+use miniqmc::distance::aos::DistanceTableAAAoS;
+use miniqmc::distance::soa::DistanceTableAA;
+use miniqmc::jastrow::BsplineFunctor;
+use miniqmc::lattice::Lattice;
+use miniqmc::particleset::random_electrons;
+use qmc_bench::workload::{coefficients, positions};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rayon::prelude::*;
+use std::time::Duration;
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+
+    // --- nested threading: explicit partition vs dynamic rayon ----------
+    let n = 256;
+    let table = coefficients(n, (12, 12, 12), 3);
+    let engine = BsplineAoSoA::from_multi(&table, 16); // 16 tiles
+    let total = std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(2);
+    g.bench_function("nested_static_partition", |b| {
+        b.iter(|| nested_generation_time(&engine, Kernel::Vgh, total, total, 8, 5))
+    });
+    let pos = positions(8, 5);
+    g.bench_function("nested_dynamic_rayon", |b| {
+        b.iter(|| {
+            let mut out = engine.make_out();
+            out.tiles_mut()
+                .par_iter_mut()
+                .enumerate()
+                .for_each(|(t, tile_out)| {
+                    for p in &pos {
+                        engine.eval_tile(t, Kernel::Vgh, *p, tile_out);
+                    }
+                });
+            out
+        })
+    });
+    // Reference: the same work single-threaded through run_nested.
+    g.bench_function("nested_single_thread", |b| {
+        b.iter(|| {
+            let mut walkers = vec![engine.make_out()];
+            let ppw = vec![pos.clone()];
+            run_nested(&engine, Kernel::Vgh, &mut walkers, &ppw, 1)
+        })
+    });
+
+    // --- z-unroll fusion: fused plane kernel vs naive 64-point loop -----
+    let soa_engine = bspline::BsplineSoA::new(coefficients(n, (12, 12, 12), 9));
+    let mut soa_out = WalkerSoA::new(n);
+    g.bench_function("vgh_fused_zunroll", |b| {
+        b.iter(|| {
+            for p in &pos {
+                soa_engine.vgh(*p, &mut soa_out);
+            }
+        })
+    });
+    g.bench_function("vgh_naive_triple_loop", |b| {
+        b.iter(|| {
+            for p in &pos {
+                bspline::soa::vgh_naive(&soa_engine, *p, &mut soa_out);
+            }
+        })
+    });
+
+    // --- distance tables: AoS vs SoA rebuild ----------------------------
+    let lat = Lattice::hexagonal(3.0, 8.0);
+    let ps = random_electrons(lat, 64, &mut StdRng::seed_from_u64(7));
+    let mut aos = DistanceTableAAAoS::new(&ps);
+    let mut soa = DistanceTableAA::new(&ps);
+    g.bench_function("distance_rebuild_aos", |b| b.iter(|| aos.rebuild(&ps)));
+    g.bench_function("distance_rebuild_soa", |b| b.iter(|| soa.rebuild(&ps)));
+
+    // --- Jastrow sum over a row: per-pair accessor vs row slice ---------
+    let u = BsplineFunctor::rpa_like(0.5, 1.2, lat.wigner_seitz_radius() * 0.9, 48);
+    g.bench_function("jastrow_row_aos_accessor", |b| {
+        b.iter(|| {
+            let mut s = 0.0;
+            for j in 0..64 {
+                s += u.value(aos.distance(0, j));
+            }
+            s
+        })
+    });
+    g.bench_function("jastrow_row_soa_slice", |b| {
+        b.iter(|| soa.row(0).iter().map(|&r| u.value(r)).sum::<f64>())
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

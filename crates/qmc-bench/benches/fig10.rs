@@ -1,0 +1,35 @@
+//! Criterion bench for Fig. 10: cost of producing the roofline analysis
+//! (trace simulation + prediction) per optimization step, reduced grid.
+//! Full-scale chart data: the `fig10` binary.
+
+use bspline::Layout;
+use cachesim::Platform;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qmc_bench::{model_prediction, ModelScenario};
+use std::time::Duration;
+
+fn bench_fig10(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10_roofline_model");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
+    let knl = Platform::knl();
+    for (label, layout, nb) in [
+        ("aos", Layout::Aos, 256),
+        ("soa", Layout::Soa, 256),
+        ("aosoa", Layout::AoSoA, 64),
+    ] {
+        g.bench_with_input(BenchmarkId::new("step", label), &layout, |b, &layout| {
+            b.iter(|| {
+                let mut sc = ModelScenario::vgh(layout, 256, nb);
+                sc.grid = (12, 12, 12);
+                sc.n_positions = 6;
+                model_prediction(&knl, &sc)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig10);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion bench for Fig. 7a: AoS vs SoA VGH kernel throughput.
+//! Reduced scale (grid 12³); the full-scale sweep is the `fig7a` binary.
+
+use bspline::engine::SpoEngine;
+use bspline::{BsplineAoS, BsplineSoA, Kernel};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use qmc_bench::workload::{coefficients, positions};
+use std::time::Duration;
+
+fn bench_fig7a(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7a_vgh_aos_vs_soa");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    let pos = positions(16, 11);
+    for n in [64usize, 128, 256] {
+        let table = coefficients(n, (12, 12, 12), n as u64);
+        g.throughput(Throughput::Elements((n * pos.len()) as u64));
+
+        let aos = BsplineAoS::new(table.clone());
+        let mut out = aos.make_out();
+        g.bench_with_input(BenchmarkId::new("AoS", n), &n, |b, _| {
+            b.iter(|| {
+                for p in &pos {
+                    aos.eval(Kernel::Vgh, *p, &mut out);
+                }
+            })
+        });
+
+        let soa = BsplineSoA::new(table);
+        let mut out = soa.make_out();
+        g.bench_with_input(BenchmarkId::new("SoA", n), &n, |b, _| {
+            b.iter(|| {
+                for p in &pos {
+                    soa.eval(Kernel::Vgh, *p, &mut out);
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig7a);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion bench for Fig. 8: per-kernel (V/VGL/VGH) cost in the AoS
+//! baseline vs the AoSoA-optimized implementation. Full-scale: `fig8`
+//! binary.
+
+use bspline::engine::SpoEngine;
+use bspline::{BsplineAoS, BsplineAoSoA, Kernel};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use qmc_bench::workload::{coefficients, positions};
+use std::time::Duration;
+
+fn bench_fig8(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8_kernels");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    let n = 128;
+    let pos = positions(16, 19);
+    let table = coefficients(n, (12, 12, 12), 9);
+    g.throughput(Throughput::Elements((n * pos.len()) as u64));
+
+    let aos = BsplineAoS::new(table.clone());
+    let tiled = BsplineAoSoA::from_multi(&table, 32);
+    for k in Kernel::ALL {
+        let mut out = aos.make_out();
+        g.bench_with_input(BenchmarkId::new(format!("AoS_{k}"), n), &n, |b, _| {
+            b.iter(|| {
+                for p in &pos {
+                    aos.eval(k, *p, &mut out);
+                }
+            })
+        });
+        let mut out = tiled.make_out();
+        g.bench_with_input(BenchmarkId::new(format!("AoSoA_{k}"), n), &n, |b, _| {
+            b.iter(|| tiled.eval_batch_tile_major(k, &pos, &mut out))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion bench for Fig. 9: nested-threading generation time vs
+//! threads-per-walker. Full-scale (host + KNL model): `fig9` binary.
+
+use bspline::parallel::nested_generation_time;
+use bspline::{BsplineAoSoA, Kernel};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qmc_bench::workload::coefficients;
+use std::time::Duration;
+
+fn bench_fig9(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9_nested_threading");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
+    let n = 256;
+    let table = coefficients(n, (12, 12, 12), 31);
+    let engine = BsplineAoSoA::from_multi(&table, 32); // 8 tiles
+    let total = std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(2);
+    let mut nth = 1;
+    while nth <= total {
+        g.bench_with_input(BenchmarkId::new("nth", nth), &nth, |b, &nth| {
+            b.iter(|| nested_generation_time(&engine, Kernel::Vgh, total, nth, 8, 3))
+        });
+        nth *= 2;
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig9);
+criterion_main!(benches);

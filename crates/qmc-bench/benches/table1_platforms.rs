@@ -1,0 +1,30 @@
+//! Criterion bench for Table I: hierarchy instantiation + a reference
+//! access storm on each modelled platform (validates the platform
+//! models' simulation cost). The configuration table itself: `table1`
+//! binary.
+
+use cachesim::Platform;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_platforms(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1_platform_models");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    for p in Platform::all() {
+        g.bench_with_input(BenchmarkId::new("access_storm", p.name), &p, |b, p| {
+            b.iter(|| {
+                let mut h = p.hierarchy(2);
+                for i in 0..20_000u64 {
+                    h.access((i % 2) as usize, (i * 2654435761) % (1 << 24), i % 7 == 0);
+                }
+                h.dram_read_bytes()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_platforms);
+criterion_main!(benches);

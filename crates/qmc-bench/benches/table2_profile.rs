@@ -1,0 +1,20 @@
+//! Criterion bench for Table II: the baseline (all-AoS) pbyp profile
+//! sweep on a shrunk graphite cell. Full CORAL 4×4×1: `table2` binary.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qmc_bench::{run_profile, ProfileConfig, Suite};
+use std::time::Duration;
+
+fn bench_table2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2_baseline_profile");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    g.bench_function("aos_suite_sweep", |b| {
+        b.iter(|| run_profile(Suite::Baseline, &ProfileConfig::small()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Criterion bench for Table III: the optimized-substrate (SoA distance
+//! + Jastrow) pbyp profile sweep. Full CORAL 4×4×1: `table3` binary.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qmc_bench::{run_profile, ProfileConfig, Suite};
+use std::time::Duration;
+
+fn bench_table3(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table3_optimized_profile");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    g.bench_function("soa_suite_sweep", |b| {
+        b.iter(|| run_profile(Suite::OptimizedSubstrate, &ProfileConfig::small()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

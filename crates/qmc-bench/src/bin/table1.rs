@@ -1,0 +1,49 @@
+//! Table I — system configurations of the four modelled platforms.
+
+use cachesim::{Platform, Scope};
+use qmc_bench::Table;
+
+fn level_desc(p: &Platform, idx: usize) -> String {
+    match p.levels.get(idx) {
+        None => "-".into(),
+        Some(l) => {
+            let size = l.cfg.size;
+            let human = if size >= 1024 * 1024 {
+                format!("{} MB", size / 1024 / 1024)
+            } else {
+                format!("{} KB", size / 1024)
+            };
+            match l.scope {
+                Scope::Shared => format!("{human} shared"),
+                Scope::Private(k) => format!("{human}/{k}thr"),
+            }
+        }
+    }
+}
+
+fn main() {
+    let mut t = Table::new(
+        "Table I: system configurations (modelled from the paper)",
+        &[
+            "", "BDW", "KNC", "KNL", "BG/Q",
+        ],
+    );
+    let ps = Platform::all();
+    let row = |label: &str, f: &dyn Fn(&Platform) -> String| -> Vec<String> {
+        let mut cells = vec![label.to_string()];
+        cells.extend(ps.iter().map(f));
+        cells
+    };
+    t.row(row("# of cores", &|p| p.cores.to_string()));
+    t.row(row("threads/core", &|p| p.threads_per_core.to_string()));
+    t.row(row("SIMD width (bits)", &|p| p.simd_bits.to_string()));
+    t.row(row("freq (GHz)", &|p| format!("{:.3}", p.freq_ghz)));
+    t.row(row("L1 (data)", &|p| level_desc(p, 0)));
+    t.row(row("L2", &|p| level_desc(p, 1)));
+    t.row(row("LLC (shared)", &|p| level_desc(p, 2)));
+    t.row(row("stream BW (GB/s)", &|p| format!("{:.0}", p.stream_bw_gbs)));
+    t.row(row("peak SP (GFLOP/s)", &|p| {
+        format!("{:.0}", p.peak_sp_gflops())
+    }));
+    t.print();
+}

@@ -1,0 +1,113 @@
+//! Host throughput measurement for the engines.
+
+use crate::workload::positions;
+use bspline::engine::SpoEngine;
+use bspline::{BsplineAoSoA, Kernel, Throughput};
+use std::time::Instant;
+
+/// Measurement parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct MeasureConfig {
+    /// Random positions per repetition.
+    pub ns: usize,
+    /// Timed repetitions (the best is reported, Criterion-style).
+    pub reps: usize,
+    /// Position RNG seed.
+    pub seed: u64,
+}
+
+impl Default for MeasureConfig {
+    fn default() -> Self {
+        Self {
+            ns: 128,
+            reps: 3,
+            seed: 0xfeed,
+        }
+    }
+}
+
+/// Throughput of `kernel` on `engine`: positions-major loop (AoS/SoA
+/// engines; also valid for AoSoA but see [`measure_tile_major`]).
+pub fn measure_kernel<E: SpoEngine<f32>>(
+    engine: &E,
+    kernel: Kernel,
+    cfg: &MeasureConfig,
+) -> Throughput {
+    let pos = positions(cfg.ns, cfg.seed);
+    let mut out = engine.make_out();
+    // Warm-up pass (touch table + outputs, settle frequencies).
+    for p in &pos {
+        engine.eval(kernel, *p, &mut out);
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..cfg.reps {
+        let t0 = Instant::now();
+        for p in &pos {
+            engine.eval(kernel, *p, &mut out);
+        }
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    Throughput {
+        ops_per_sec: (engine.n_splines() * cfg.ns) as f64 / best,
+    }
+}
+
+/// Throughput of the tiled engine with the paper's Fig. 6 loop order
+/// (tiles outer, positions inner) — the cache-blocking measurement.
+pub fn measure_tile_major(
+    engine: &BsplineAoSoA<f32>,
+    kernel: Kernel,
+    cfg: &MeasureConfig,
+) -> Throughput {
+    let pos = positions(cfg.ns, cfg.seed);
+    let mut out = engine.make_out();
+    engine.eval_batch_tile_major(kernel, &pos, &mut out);
+    let mut best = f64::INFINITY;
+    for _ in 0..cfg.reps {
+        let t0 = Instant::now();
+        engine.eval_batch_tile_major(kernel, &pos, &mut out);
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    Throughput {
+        ops_per_sec: (engine.n_splines() * cfg.ns) as f64 / best,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::coefficients;
+    use bspline::{BsplineAoS, BsplineSoA};
+
+    fn cfg() -> MeasureConfig {
+        MeasureConfig {
+            ns: 8,
+            reps: 2,
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn measures_all_engines() {
+        let table = coefficients(32, (8, 8, 8), 2);
+        let aos = BsplineAoS::new(table.clone());
+        let soa = BsplineSoA::new(table.clone());
+        let tiled = BsplineAoSoA::from_multi(&table, 16);
+        for k in Kernel::ALL {
+            assert!(measure_kernel(&aos, k, &cfg()).ops_per_sec > 0.0);
+            assert!(measure_kernel(&soa, k, &cfg()).ops_per_sec > 0.0);
+            assert!(measure_tile_major(&tiled, k, &cfg()).ops_per_sec > 0.0);
+        }
+    }
+
+    #[test]
+    fn throughput_counts_orbital_evals() {
+        // ops/sec must scale with N for a fixed per-eval time; just check
+        // the bookkeeping: N×ns positions... indirectly via positivity
+        // and N-proportional numerator.
+        let t = coefficients(64, (8, 8, 8), 3);
+        let soa = BsplineSoA::new(t);
+        let m = measure_kernel(&soa, Kernel::V, &cfg());
+        assert!(m.ops_per_sec.is_finite());
+    }
+}

@@ -1,0 +1,130 @@
+//! Modelled-platform predictions: glue between `cachesim` traces, the
+//! roofline FLOP accounting and the experiment binaries.
+
+use bspline::{Kernel, Layout};
+use cachesim::{predict, simulate, Platform, Prediction, TraceConfig};
+use roofline::kernel_cost;
+
+/// One modelled scenario.
+#[derive(Clone, Copy, Debug)]
+pub struct ModelScenario {
+    /// Kernel.
+    pub kernel: Kernel,
+    /// Layout.
+    pub layout: Layout,
+    /// Number of orbitals N.
+    pub n_splines: usize,
+    /// Nb.
+    pub nb: usize,
+    /// Threads per walker (Opt C); 1 otherwise.
+    pub nth: usize,
+    /// Grid (defaults to the paper's 48³ in the binaries; benches shrink
+    /// it).
+    pub grid: (usize, usize, usize),
+    /// Measured positions per walker.
+    pub n_positions: usize,
+}
+
+impl ModelScenario {
+    /// VGH scenario at the paper's grid.
+    pub fn vgh(layout: Layout, n: usize, nb: usize) -> Self {
+        Self {
+            kernel: Kernel::Vgh,
+            layout,
+            n_splines: n,
+            nb,
+            nth: 1,
+            grid: (48, 48, 48),
+            n_positions: 24,
+        }
+    }
+}
+
+/// Number of hardware threads to co-simulate for a platform: enough to
+/// populate one instance of the outermost private cache level (the unit
+/// cell of contention); shared-LLC platforms add the LLC via its real
+/// size, which is a node resource independent of thread count.
+pub fn sim_threads(platform: &Platform) -> usize {
+    platform
+        .levels
+        .iter()
+        .filter_map(|l| match l.scope {
+            cachesim::Scope::Private(k) => Some(k),
+            cachesim::Scope::Shared => None,
+        })
+        .max()
+        .unwrap_or(1)
+}
+
+/// Simulate + predict one scenario on one platform.
+///
+/// For nested scenarios (`nth > 1`) the simulated thread count is
+/// `nth × walkers-in-a-cache-group`, and the compute roof is left at the
+/// full node (walker count drops by `nth`, threads per walker rise by
+/// `nth`: machine utilization is constant, per-generation work drops).
+pub fn model_prediction(platform: &Platform, sc: &ModelScenario) -> Prediction {
+    let base_threads = sim_threads(platform).max(sc.nth);
+    let n_threads = base_threads - (base_threads % sc.nth);
+    let cfg = TraceConfig {
+        kernel: sc.kernel,
+        layout: sc.layout,
+        n_splines: sc.n_splines,
+        nb: sc.nb,
+        grid: sc.grid,
+        n_positions: sc.n_positions,
+        warmup: (sc.n_positions / 4).max(2),
+        n_threads: n_threads.max(sc.nth),
+        threads_per_walker: sc.nth,
+        seed: 0x51ab,
+    };
+    let stats = simulate(&cfg, platform);
+    // SoA-canonical useful work for every layout: layout inefficiency is
+    // folded into the platform's eff constants (see cachesim::model).
+    let cost = kernel_cost(sc.kernel, Layout::Soa, sc.n_splines);
+    let n_tiles = match sc.layout {
+        Layout::AoSoA => sc.n_splines.div_ceil(sc.nb),
+        _ => 1,
+    };
+    predict(
+        platform,
+        sc.layout,
+        &stats,
+        cost.flops,
+        sc.n_splines,
+        n_tiles,
+        1.0,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sim_threads_matches_cache_groups() {
+        assert_eq!(sim_threads(&Platform::bdw()), 2);
+        assert_eq!(sim_threads(&Platform::knc()), 4);
+        assert_eq!(sim_threads(&Platform::knl()), 8);
+        assert_eq!(sim_threads(&Platform::bgq()), 4);
+    }
+
+    #[test]
+    fn model_runs_small_scenario() {
+        let mut sc = ModelScenario::vgh(Layout::AoSoA, 256, 64);
+        sc.grid = (12, 12, 12);
+        sc.n_positions = 8;
+        let p = model_prediction(&Platform::knl(), &sc);
+        assert!(p.throughput > 0.0);
+        assert!(p.bytes_per_eval >= 0.0);
+    }
+
+    #[test]
+    fn nested_scenario_accepts_nth() {
+        let mut sc = ModelScenario::vgh(Layout::AoSoA, 256, 32);
+        sc.grid = (12, 12, 12);
+        sc.n_positions = 6;
+        sc.nth = 4;
+        let p = model_prediction(&Platform::knl(), &sc);
+        assert!(p.throughput > 0.0);
+    }
+}

@@ -1,0 +1,99 @@
+//! Standard workloads: the paper's problem-size sweep and coefficient
+//! tables.
+
+use einspline::MultiCoefs;
+use miniqmc::synthetic::random_coefficients;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The paper's problem-size sweep: N = 128 (the 64-carbon CORAL cell) up
+/// to 4096 (the pre-exascale grand challenge).
+pub const N_SWEEP: [usize; 6] = [128, 256, 512, 1024, 2048, 4096];
+
+/// The fixed evaluation grid of the sweep (Sec. VI): 48³.
+pub const GRID: (usize, usize, usize) = (48, 48, 48);
+
+/// `QMC_BENCH_QUICK=1` shrinks every workload (used by CI/tests and the
+/// Criterion benches).
+pub fn is_quick() -> bool {
+    std::env::var("QMC_BENCH_QUICK").map(|v| v != "0").unwrap_or(false)
+}
+
+/// Grid used by the current run (quick mode shrinks 48³ → 16³).
+pub fn grid() -> (usize, usize, usize) {
+    if is_quick() {
+        (16, 16, 16)
+    } else {
+        GRID
+    }
+}
+
+/// Problem sizes used by the current run.
+pub fn n_sweep() -> Vec<usize> {
+    if is_quick() {
+        vec![128, 256, 512]
+    } else {
+        N_SWEEP.to_vec()
+    }
+}
+
+/// Random-filled coefficient table (the miniQMC benchmark table).
+pub fn coefficients(n: usize, grid: (usize, usize, usize), seed: u64) -> MultiCoefs<f32> {
+    random_coefficients(grid.0, grid.1, grid.2, n, seed)
+}
+
+/// `ns` random fractional positions.
+pub fn positions(ns: usize, seed: u64) -> Vec<[f32; 3]> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..ns)
+        .map(|_| [rng.random::<f32>(), rng.random::<f32>(), rng.random::<f32>()])
+        .collect()
+}
+
+/// Samples per kernel invocation batch — the paper's ns = 512 (Fig. 3).
+///
+/// Keeping the full 512 matters: miniQMC evaluates the *same* position
+/// set every iteration, so the lines a tile touches across ns positions
+/// (≈ ns·64·Nb·4 bytes) are what cache blocking keeps resident between
+/// repetitions. Shrinking ns shrinks that working set and hides the
+/// tiling effect.
+pub fn samples_for(_n: usize) -> usize {
+    if is_quick() {
+        64
+    } else {
+        512
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_matches_paper() {
+        assert_eq!(N_SWEEP[0], 128);
+        assert_eq!(*N_SWEEP.last().unwrap(), 4096);
+    }
+
+    #[test]
+    fn samples_scale_down_with_n() {
+        assert_eq!(samples_for(128), 512);
+        assert!(samples_for(4096) >= 16);
+        assert!(samples_for(4096) <= samples_for(128));
+    }
+
+    #[test]
+    fn positions_in_unit_cube() {
+        for p in positions(50, 3) {
+            for d in 0..3 {
+                assert!((0.0..1.0).contains(&p[d]));
+            }
+        }
+    }
+
+    #[test]
+    fn coefficients_built_to_spec() {
+        let c = coefficients(32, (8, 8, 10), 5);
+        assert_eq!(c.n_splines(), 32);
+    }
+}

@@ -1,0 +1,46 @@
+//! Nested-threading demo (Opt C): one walker's evaluation split across
+//! threads by tiles, machine-wide thread budget fixed, walkers reduced
+//! accordingly — the paper's path to strong scaling (Fig. 9).
+//!
+//! Run: `cargo run --release -p qmc-bench --example strong_scaling`
+
+use bspline::parallel::nested_generation_time;
+use bspline::{BsplineAoSoA, Kernel};
+use qmc_bench::workload::coefficients;
+
+fn main() {
+    let n = 1024;
+    let nb = 64;
+    let table = coefficients(n, (24, 24, 24), 42);
+    let engine = BsplineAoSoA::from_multi(&table, nb);
+    let total = std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(2);
+    println!(
+        "N = {n}, Nb = {nb} ({} tiles), machine threads = {total}",
+        engine.n_tiles()
+    );
+    println!("\nnth  walkers  generation wall  speedup  efficiency");
+    let mut base = None;
+    let mut nth = 1;
+    while nth <= total {
+        let mut best = f64::INFINITY;
+        for _ in 0..3 {
+            best = best.min(
+                nested_generation_time(&engine, Kernel::Vgh, total, nth, 64, 9)
+                    .as_secs_f64(),
+            );
+        }
+        let b = *base.get_or_insert(best);
+        let sp = b / best;
+        println!(
+            "{nth:>3}  {:>7}  {:>13.2} ms  {sp:>6.2}x  {:>9.0} %",
+            total / nth,
+            best * 1e3,
+            100.0 * sp / nth as f64
+        );
+        nth *= 2;
+    }
+    println!("\n(each generation: every walker evaluates 64 VGH positions; walkers");
+    println!(" per node drop by nth, so ideal per-generation speedup = nth)");
+}

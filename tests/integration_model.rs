@@ -1,0 +1,98 @@
+//! Modelled-platform integration: the cachesim + roofline pipeline must
+//! reproduce the paper's qualitative platform behaviour (shape, not
+//! absolute numbers) on scaled-down grids.
+
+use bspline::Layout;
+use cachesim::Platform;
+use qmc_bench::{model_prediction, ModelScenario};
+
+/// Scaled Fig 7c scenario: grid shrunk 48³ → 24³ (capacities scale with
+/// Ng, so the BDW crossover moves from Nb=64…128 to Nb≈512 region —
+/// still an interior optimum below N).
+fn predict(p: &Platform, layout: Layout, n: usize, nb: usize) -> f64 {
+    let mut sc = ModelScenario::vgh(layout, n, nb);
+    sc.grid = (24, 24, 24);
+    sc.n_positions = 12;
+    model_prediction(p, &sc).throughput
+}
+
+#[test]
+fn soa_beats_aos_everywhere() {
+    for p in Platform::all() {
+        let n = 512;
+        let aos = predict(&p, Layout::Aos, n, n);
+        let soa = predict(&p, Layout::Soa, n, n);
+        assert!(soa > aos, "{}: SoA {soa} ≤ AoS {aos}", p.name);
+    }
+}
+
+#[test]
+fn tiling_helps_large_n_on_private_l2_machines() {
+    // Fig 7b at N=4096 on KNC/KNL: untiled outputs thrash the private
+    // L2s shared by the hyperthreads; Nb=512 restores throughput.
+    for p in [Platform::knc(), Platform::knl()] {
+        let untiled = predict(&p, Layout::Soa, 4096, 4096);
+        let tiled = predict(&p, Layout::AoSoA, 4096, 512);
+        assert!(
+            tiled > untiled,
+            "{}: tiled {tiled} ≤ untiled {untiled}",
+            p.name
+        );
+    }
+}
+
+#[test]
+fn shared_llc_machines_prefer_smaller_tiles_than_knl() {
+    // Fig 7c ordering: the BDW optimum sits at a smaller Nb than the
+    // KNL optimum (LLC capacity vs output-block mechanisms).
+    let sweep = [32usize, 64, 128, 256, 512, 1024, 2048];
+    let optimum = |p: &Platform| -> usize {
+        let mut best = (0.0, 0);
+        for &nb in &sweep {
+            let t = predict(p, Layout::AoSoA, 2048, nb);
+            if t > best.0 {
+                best = (t, nb);
+            }
+        }
+        best.1
+    };
+    let bdw = optimum(&Platform::bdw());
+    let knl = optimum(&Platform::knl());
+    assert!(
+        bdw <= knl,
+        "BDW optimal Nb {bdw} should not exceed KNL optimal Nb {knl}"
+    );
+    // Both optima are interior (tiling matters at all).
+    assert!(bdw < 2048, "BDW optimum should be a proper tile");
+}
+
+#[test]
+fn knl_outruns_bgq_substantially() {
+    // Paper Sec. I: KNL peak is an order above a BG/Q node. The
+    // *effective* predicted gap is smaller (both end up compute-bound at
+    // their SIMD-efficiency roofs: ~400 vs ~107 GF/s → ~3.7×), but the
+    // ordering and a wide margin must hold.
+    let knl = predict(&Platform::knl(), Layout::AoSoA, 2048, 512);
+    let bgq = predict(&Platform::bgq(), Layout::AoSoA, 2048, 64);
+    assert!(knl > 3.0 * bgq, "KNL {knl} vs BG/Q {bgq}");
+    // And the raw peaks keep the paper's order-of-magnitude claim.
+    assert!(
+        Platform::knl().peak_sp_gflops() > 7.0 * Platform::bgq().peak_sp_gflops()
+    );
+}
+
+#[test]
+fn nested_threading_preserves_throughput_on_knl() {
+    // Opt C: splitting a walker across nth threads must not collapse
+    // node throughput (paper: ≥90 % parallel efficiency at nth=16).
+    let base = predict(&Platform::knl(), Layout::AoSoA, 2048, 256);
+    let mut sc = ModelScenario::vgh(Layout::AoSoA, 2048, 256);
+    sc.grid = (24, 24, 24);
+    sc.n_positions = 12;
+    sc.nth = 8;
+    let nested = model_prediction(&Platform::knl(), &sc).throughput;
+    assert!(
+        nested > 0.5 * base,
+        "nested throughput {nested} collapsed vs {base}"
+    );
+}

@@ -1,0 +1,103 @@
+//! End-to-end wavefunction integration: the full Slater–Jastrow VMC
+//! pipeline on a graphite cell, checking the Monte Carlo contract that
+//! every kernel the paper optimizes participates in.
+
+use miniqmc::drivers::profile::Category;
+use miniqmc::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn build_wf(seed: u64) -> TrialWaveFunction<f64> {
+    let sys = CoralSystem::new(1, 1, 1, (10, 10, 12));
+    let spo = SpoSet::new(sys.orbitals::<f64>(seed), sys.lattice);
+    let electrons = random_electrons(
+        sys.lattice,
+        sys.n_electrons(),
+        &mut StdRng::seed_from_u64(seed + 100),
+    );
+    let rc = sys.lattice.wigner_seitz_radius() * 0.9;
+    TrialWaveFunction::new(
+        spo,
+        &sys.ions,
+        electrons,
+        BsplineFunctor::rpa_like(0.3, 1.0, rc, 24),
+        BsplineFunctor::rpa_like(0.5, 1.2, rc, 24),
+    )
+}
+
+#[test]
+fn vmc_acceptance_in_physical_range() {
+    let mut wf = build_wf(1);
+    let res = run_vmc(
+        &mut wf,
+        &VmcConfig {
+            n_steps: 5,
+            step_size: 0.4,
+            seed: 2,
+        },
+    );
+    assert!(
+        res.acceptance > 0.2 && res.acceptance < 0.999,
+        "acceptance {}",
+        res.acceptance
+    );
+}
+
+#[test]
+fn tracked_log_psi_matches_recompute_after_vmc() {
+    let mut wf = build_wf(3);
+    let res = run_vmc(
+        &mut wf,
+        &VmcConfig {
+            n_steps: 4,
+            step_size: 0.5,
+            seed: 9,
+        },
+    );
+    let fresh = wf.evaluate_log();
+    assert!(
+        (res.log_psi - fresh).abs() < 1e-6,
+        "incremental {} vs fresh {fresh}",
+        res.log_psi
+    );
+}
+
+#[test]
+fn profile_shares_sum_to_one_and_cover_hot_kernels() {
+    let mut wf = build_wf(5);
+    let res = run_vmc(&mut wf, &VmcConfig::default());
+    let total: f64 = Category::ALL
+        .iter()
+        .map(|&c| res.profile.percent(c))
+        .sum();
+    assert!((total - 100.0).abs() < 1e-6);
+    for cat in [Category::Bspline, Category::Distance, Category::Jastrow] {
+        assert!(res.profile.percent(cat) > 1.0, "{cat} suspiciously small");
+    }
+}
+
+#[test]
+fn larger_step_size_lowers_acceptance() {
+    let small = run_vmc(
+        &mut build_wf(7),
+        &VmcConfig {
+            n_steps: 3,
+            step_size: 0.1,
+            seed: 4,
+        },
+    );
+    let large = run_vmc(
+        &mut build_wf(7),
+        &VmcConfig {
+            n_steps: 3,
+            step_size: 2.5,
+            seed: 4,
+        },
+    );
+    assert!(
+        small.acceptance > large.acceptance,
+        "{} vs {}",
+        small.acceptance,
+        large.acceptance
+    );
+}
