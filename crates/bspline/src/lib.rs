@@ -69,6 +69,7 @@ pub mod prelude {
     pub use crate::layout::{Kernel, Layout, OptStep};
     pub use crate::output::{WalkerAoS, WalkerSoA, WalkerTiled};
     pub use crate::parallel::{run_nested, run_walkers_parallel};
+    pub use crate::soa::BsplineSoA;
     pub use crate::throughput::Throughput;
     pub use crate::tuning::{tune_tile_size, TuneConfig, Wisdom};
     pub use crate::walker::{DriverConfig, KernelTimes};

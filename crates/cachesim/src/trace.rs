@@ -285,7 +285,7 @@ fn pretouch(
 pub fn simulate(cfg: &TraceConfig, platform: &Platform) -> SimStats {
     assert!(cfg.n_threads >= 1);
     assert!(
-        cfg.threads_per_walker >= 1 && cfg.n_threads % cfg.threads_per_walker == 0,
+        cfg.threads_per_walker >= 1 && cfg.n_threads.is_multiple_of(cfg.threads_per_walker),
         "thread count must be a multiple of threads_per_walker"
     );
     let map = AddressMap::new(cfg);

@@ -57,5 +57,6 @@ pub use aligned::{padded_len, AlignedVec, CACHE_LINE};
 pub use grid::{Boundary, Grid1};
 pub use multi::{GridPoint, MultiCoefs};
 pub use real::Real;
+pub use solver1d::{solve_clamped, solve_natural, solve_periodic};
 pub use spline1d::Spline1;
 pub use spline3d::{Spline3, Vgh};

@@ -239,7 +239,7 @@ mod tests {
         let h = 2e-4;
         let out = spo.evaluate_vgl(r).clone();
         let v0 = spo.evaluate_v(r).to_vec();
-        let mut lap_fd = vec![0.0; 2];
+        let mut lap_fd = [0.0; 2];
         for d in 0..3 {
             let mut rp = r;
             rp[d] += h;

@@ -1,7 +1,7 @@
 //! Criterion bench for Fig. 7a: AoS vs SoA VGH kernel throughput.
 //! Reduced scale (grid 12³); the full-scale sweep is the `fig7a` binary.
 
-use bspline::engine::SpoEngine;
+use bspline::SpoEngine;
 use bspline::{BsplineAoS, BsplineSoA, Kernel};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use qmc_bench::workload::{coefficients, positions};

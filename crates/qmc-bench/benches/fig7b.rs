@@ -1,7 +1,7 @@
 //! Criterion bench for Fig. 7b: untiled SoA vs AoSoA tiling (tile-major
 //! batch, Fig. 6 loop order). Full-scale sweep: the `fig7b` binary.
 
-use bspline::engine::SpoEngine;
+use bspline::SpoEngine;
 use bspline::{BsplineAoSoA, BsplineSoA, Kernel};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use qmc_bench::workload::{coefficients, positions};

@@ -2,7 +2,7 @@
 //! baseline vs the AoSoA-optimized implementation. Full-scale: `fig8`
 //! binary.
 
-use bspline::engine::SpoEngine;
+use bspline::SpoEngine;
 use bspline::{BsplineAoS, BsplineAoSoA, Kernel};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use qmc_bench::workload::{coefficients, positions};

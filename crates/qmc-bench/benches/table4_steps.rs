@@ -2,7 +2,7 @@
 //! back-to-back on one workload (AoS baseline → SoA → AoSoA → nested).
 //! Full-scale + modelled platforms: `table4` binary.
 
-use bspline::engine::SpoEngine;
+use bspline::SpoEngine;
 use bspline::parallel::nested_generation_time;
 use bspline::{BsplineAoS, BsplineAoSoA, BsplineSoA, Kernel};
 use criterion::{criterion_group, criterion_main, Criterion};

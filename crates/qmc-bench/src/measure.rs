@@ -1,7 +1,7 @@
 //! Host throughput measurement for the engines.
 
 use crate::workload::positions;
-use bspline::engine::SpoEngine;
+use bspline::SpoEngine;
 use bspline::{BsplineAoSoA, Kernel, Throughput};
 use std::time::Instant;
 

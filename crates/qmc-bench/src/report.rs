@@ -118,6 +118,6 @@ mod tests {
     #[test]
     fn formatting_helpers() {
         assert_eq!(gops(2.5e9), "2.500");
-        assert_eq!(speedup(3.14159), "3.14x");
+        assert_eq!(speedup(3.475), "3.48x");
     }
 }

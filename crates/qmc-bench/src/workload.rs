@@ -85,8 +85,8 @@ mod tests {
     #[test]
     fn positions_in_unit_cube() {
         for p in positions(50, 3) {
-            for d in 0..3 {
-                assert!((0.0..1.0).contains(&p[d]));
+            for x in &p {
+                assert!((0.0..1.0).contains(x));
             }
         }
     }

@@ -45,9 +45,9 @@ fn main() {
         // (i) drift-diffusion on every walker's configuration:
         // x ← x(1 − ατ) + √τ·η  (Langevin step of the importance-sampled
         // diffusion).
-        for w in 0..coords.len() {
+        for c in coords.iter_mut() {
             let eta = rng.random::<f64>() - 0.5;
-            coords[w] = coords[w] * (1.0 - alpha * tau) + (3.0 * tau).sqrt() * eta;
+            *c = *c * (1.0 - alpha * tau) + (3.0 * tau).sqrt() * eta;
         }
         // (ii)+(iii) measurement and branching.
         let (births, deaths) = pop.step(|id| local_energy(&coords, id));

@@ -3,7 +3,7 @@
 //!
 //! Run: `cargo run --release -p qmc-bench --example quickstart`
 
-use bspline::engine::SpoEngine;
+use bspline::SpoEngine;
 use bspline::{BsplineAoS, BsplineAoSoA, BsplineSoA};
 use einspline::{Grid1, MultiCoefs};
 use rand::rngs::StdRng;

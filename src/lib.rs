@@ -1,0 +1,26 @@
+//! `qmc-repro` — umbrella facade over the workspace.
+//!
+//! The real machinery lives in the member crates; this crate exists so
+//! the workspace-level integration tests (`tests/`) and walkthrough
+//! examples (`examples/`) have a package to hang off, and so downstream
+//! users can depend on one crate and reach everything:
+//!
+//! * [`einspline`] — B-spline basis, grids, solvers, the `MultiCoefs`
+//!   coefficient table;
+//! * [`bspline`] — the AoS / SoA / AoSoA orbital evaluation engines and
+//!   nested-threading driver (the paper's Opts A–C);
+//! * [`miniqmc`] — lattice, particles, distance tables, Jastrow,
+//!   determinants, VMC/DMC drivers;
+//! * [`cachesim`] — trace-driven cache models of the paper's platforms;
+//! * [`roofline`] — the analytic roofline model behind Fig. 10;
+//! * [`qmc_bench`] — the table/figure experiment harness.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub use bspline;
+pub use cachesim;
+pub use einspline;
+pub use miniqmc;
+pub use qmc_bench;
+pub use roofline;

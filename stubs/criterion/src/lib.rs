@@ -1,0 +1,284 @@
+//! Offline stand-in for the
+//! [`criterion`](https://crates.io/crates/criterion) crate.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! the criterion API surface its benches use: `benchmark_group`,
+//! `sample_size` / `warm_up_time` / `measurement_time` / `throughput`
+//! chaining, `bench_function`, `bench_with_input`, `Bencher::iter`, and
+//! the `criterion_group!` / `criterion_main!` macros. Measurement is a
+//! simple best-of-samples wall-clock loop (no outlier analysis, no
+//! HTML reports); results print as `name ... time/iter [throughput]`.
+//!
+//! Replace this stub with the real crate by pointing the
+//! `[workspace.dependencies]` entry back at crates.io.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness handle, mirroring `criterion::Criterion`.
+#[derive(Debug)]
+pub struct Criterion {
+    defaults: GroupConfig,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct GroupConfig {
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            defaults: GroupConfig {
+                sample_size: 10,
+                warm_up: Duration::from_millis(100),
+                measurement: Duration::from_millis(500),
+            },
+        }
+    }
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        let cfg = self.defaults;
+        println!("group {name}");
+        BenchmarkGroup {
+            _c: self,
+            name,
+            cfg,
+            throughput: None,
+        }
+    }
+
+    /// Benchmark a function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) -> &mut Self {
+        let cfg = self.defaults;
+        run_benchmark(&format!("{id}"), &cfg, None, |b| f(b));
+        self
+    }
+
+    /// End-of-run hook (report finalization in real criterion).
+    pub fn final_summary(&mut self) {}
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    cfg: GroupConfig,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of measured samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.cfg.sample_size = n.max(1);
+        self
+    }
+
+    /// Warm-up budget before measurement starts.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.cfg.warm_up = d;
+        self
+    }
+
+    /// Total measurement budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.cfg.measurement = d;
+        self
+    }
+
+    /// Units of work per iteration, for derived rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmark a closure under `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_benchmark(&label, &self.cfg, self.throughput, |b| f(b));
+        self
+    }
+
+    /// Benchmark a closure that receives `input` by reference.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_benchmark(&label, &self.cfg, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// A `function-name/parameter` benchmark identifier.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Build an id from a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            label: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Build an id from a parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            label: format!("{parameter}"),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Work performed per iteration, for rate reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Logical elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration (binary units).
+    Bytes(u64),
+    /// Bytes processed per iteration (decimal units).
+    BytesDecimal(u64),
+}
+
+/// Timing handle passed to every benchmark closure.
+pub struct Bencher {
+    /// Per-sample time budget.
+    budget: Duration,
+    /// Best observed time per iteration so far.
+    best: Option<Duration>,
+}
+
+impl Bencher {
+    /// Measure `f`: run it repeatedly within the sample budget and
+    /// record the best mean time per iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        let mut iters: u32 = 0;
+        loop {
+            black_box(f());
+            iters += 1;
+            if start.elapsed() >= self.budget || iters == u32::MAX {
+                break;
+            }
+        }
+        let per_iter = start.elapsed() / iters;
+        if self.best.is_none_or(|b| per_iter < b) {
+            self.best = Some(per_iter);
+        }
+    }
+}
+
+fn run_benchmark(
+    label: &str,
+    cfg: &GroupConfig,
+    throughput: Option<Throughput>,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    // One warm-up sample, then `sample_size` measured samples splitting
+    // the measurement budget.
+    let mut warm = Bencher {
+        budget: cfg.warm_up,
+        best: None,
+    };
+    f(&mut warm);
+    let mut b = Bencher {
+        budget: cfg.measurement / cfg.sample_size as u32,
+        best: None,
+    };
+    for _ in 0..cfg.sample_size {
+        f(&mut b);
+    }
+    let best = b.best.unwrap_or_default();
+    match throughput {
+        Some(Throughput::Elements(n)) if best > Duration::ZERO => {
+            let rate = n as f64 / best.as_secs_f64();
+            println!("{label:<56} {best:>12.2?}/iter  {rate:>14.3e} elem/s");
+        }
+        Some(Throughput::Bytes(n) | Throughput::BytesDecimal(n)) if best > Duration::ZERO => {
+            let rate = n as f64 / best.as_secs_f64() / 1e9;
+            println!("{label:<56} {best:>12.2?}/iter  {rate:>10.3} GB/s");
+        }
+        _ => println!("{label:<56} {best:>12.2?}/iter"),
+    }
+}
+
+/// Mirror of criterion's `criterion_group!`: bundles bench functions
+/// into one runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $config;
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Mirror of criterion's `criterion_main!`: a `main` that runs groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes harness flags (`--bench`, filters);
+            // this minimal harness runs everything unconditionally.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_a_best_time() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("stub");
+        g.sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(4));
+        let mut ran = 0u64;
+        g.bench_function("count", |b| b.iter(|| ran += 1));
+        g.throughput(Throughput::Elements(7));
+        g.bench_with_input(BenchmarkId::new("with_input", 3), &3u32, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        g.finish();
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn benchmark_id_formats_as_function_slash_param() {
+        assert_eq!(BenchmarkId::new("f", 12).to_string(), "f/12");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}

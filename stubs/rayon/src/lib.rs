@@ -1,0 +1,280 @@
+//! Offline stand-in for the [`rayon`](https://crates.io/crates/rayon)
+//! crate.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! the rayon API surface it consumes — `into_par_iter()` on ranges and
+//! vectors with `.map(..).collect()` / `.for_each(..)`, and
+//! `par_iter_mut().enumerate().for_each(..)` on slices — implemented
+//! with `std::thread::scope` over contiguous chunks (one chunk per
+//! hardware thread). That is a static partition rather than rayon's
+//! work-stealing deque, which matches how this workspace uses it: the
+//! paper's Opt C deliberately prefers an explicit static partition
+//! ("avoids any potential overhead from [the] nested run time
+//! environment"), and every call site hands over near-uniform work items.
+//!
+//! Replace this stub with the real crate by pointing the
+//! `[workspace.dependencies]` entry back at crates.io.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+use std::ops::Range;
+use std::thread;
+
+/// Conventional glob-import module, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelSliceMut};
+}
+
+/// Number of worker threads used for parallel regions.
+pub fn current_num_threads() -> usize {
+    thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+fn run_map<I: Send, O: Send, F: Fn(I) -> O + Sync>(items: Vec<I>, f: &F) -> Vec<O> {
+    run_map_with(current_num_threads(), items, f)
+}
+
+fn run_map_with<I: Send, O: Send, F: Fn(I) -> O + Sync>(
+    max_threads: usize,
+    items: Vec<I>,
+    f: &F,
+) -> Vec<O> {
+    let n = items.len();
+    let threads = max_threads.min(n.max(1));
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    let mut chunks: Vec<Vec<I>> = Vec::with_capacity(threads);
+    let mut it = items.into_iter();
+    loop {
+        let c: Vec<I> = it.by_ref().take(chunk).collect();
+        if c.is_empty() {
+            break;
+        }
+        chunks.push(c);
+    }
+    thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| s.spawn(move || c.into_iter().map(f).collect::<Vec<O>>()))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("parallel worker panicked"))
+            .collect()
+    })
+}
+
+fn run_slice<T: Send, F: Fn(usize, &mut T) + Sync>(slice: &mut [T], f: &F) {
+    run_slice_with(current_num_threads(), slice, f)
+}
+
+fn run_slice_with<T: Send, F: Fn(usize, &mut T) + Sync>(
+    max_threads: usize,
+    slice: &mut [T],
+    f: &F,
+) {
+    let n = slice.len();
+    let threads = max_threads.min(n.max(1));
+    if threads <= 1 {
+        for (i, x) in slice.iter_mut().enumerate() {
+            f(i, x);
+        }
+        return;
+    }
+    let chunk = n.div_ceil(threads);
+    thread::scope(|s| {
+        for (ci, c) in slice.chunks_mut(chunk).enumerate() {
+            let base = ci * chunk;
+            s.spawn(move || {
+                for (i, x) in c.iter_mut().enumerate() {
+                    f(base + i, x);
+                }
+            });
+        }
+    });
+}
+
+/// Conversion into a parallel iterator, mirroring
+/// `rayon::iter::IntoParallelIterator`.
+pub trait IntoParallelIterator {
+    /// The produced element type.
+    type Item: Send;
+    /// Materialize the parallel iterator.
+    fn into_par_iter(self) -> IntoParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> IntoParIter<T> {
+        IntoParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> IntoParIter<usize> {
+        IntoParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+/// An owned parallel iterator over materialized items.
+pub struct IntoParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> IntoParIter<T> {
+    /// Apply `f` to every item in parallel; order of the eventual
+    /// collection matches input order.
+    pub fn map<O: Send, F: Fn(T) -> O + Sync>(self, f: F) -> MapIter<T, F> {
+        MapIter {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Run `f` on every item in parallel.
+    pub fn for_each<F: Fn(T) + Sync>(self, f: F) {
+        run_map(self.items, &|x| f(x));
+    }
+
+    /// Collect the items (identity pipeline).
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+}
+
+/// A mapped parallel iterator (`IntoParIter::map`).
+pub struct MapIter<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send, F> MapIter<T, F> {
+    /// Execute the pipeline in parallel and collect in input order.
+    pub fn collect<O, C>(self) -> C
+    where
+        O: Send,
+        F: Fn(T) -> O + Sync,
+        C: FromIterator<O>,
+    {
+        run_map(self.items, &self.f).into_iter().collect()
+    }
+
+    /// Execute the pipeline in parallel, discarding results.
+    pub fn for_each<O>(self, f2: impl Fn(O) + Sync)
+    where
+        O: Send,
+        F: Fn(T) -> O + Sync,
+    {
+        let g = &self.f;
+        run_map(self.items, &|x| f2(g(x)));
+    }
+}
+
+/// Parallel mutable iteration over slices, mirroring
+/// `rayon::iter::IntoParallelRefMutIterator` for `[T]`.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator of `&mut T`.
+    fn par_iter_mut(&mut self) -> IterMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> IterMut<'_, T> {
+        IterMut { slice: self }
+    }
+}
+
+impl<T: Send> ParallelSliceMut<T> for Vec<T> {
+    fn par_iter_mut(&mut self) -> IterMut<'_, T> {
+        IterMut { slice: self }
+    }
+}
+
+/// Borrowed mutable parallel iterator (`par_iter_mut`).
+pub struct IterMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> IterMut<'a, T> {
+    /// Pair every element with its index.
+    pub fn enumerate(self) -> EnumerateMut<'a, T> {
+        EnumerateMut { slice: self.slice }
+    }
+
+    /// Run `f` on every element in parallel.
+    pub fn for_each<F: Fn(&mut T) + Sync>(self, f: F) {
+        run_slice(self.slice, &|_, x| f(x));
+    }
+}
+
+/// Indexed borrowed mutable parallel iterator.
+pub struct EnumerateMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<T: Send> EnumerateMut<'_, T> {
+    /// Run `f` on every `(index, element)` pair in parallel.
+    pub fn for_each<F: Fn((usize, &mut T)) + Sync>(self, f: F) {
+        run_slice(self.slice, &|i, x| f((i, x)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let out: Vec<usize> = (0..1000).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(out.len(), 1000);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * 2);
+        }
+    }
+
+    #[test]
+    fn vec_for_each_visits_everything() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let sum = AtomicUsize::new(0);
+        (1..=100).collect::<Vec<usize>>().into_par_iter().for_each(|x| {
+            sum.fetch_add(x, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 5050);
+    }
+
+    #[test]
+    fn par_iter_mut_enumerate_writes_in_place() {
+        let mut v = vec![0usize; 257]; // deliberately not a multiple of threads
+        v.par_iter_mut().enumerate().for_each(|(i, x)| *x = i * i);
+        for (i, x) in v.iter().enumerate() {
+            assert_eq!(*x, i * i);
+        }
+    }
+
+    #[test]
+    fn forced_multithread_paths_match_sequential() {
+        // `available_parallelism` may be 1 in CI containers, which
+        // would leave the scoped-thread branch uncovered — force it.
+        let inputs: Vec<usize> = (0..1003).collect();
+        let expect: Vec<usize> = inputs.iter().map(|i| i * 3 + 1).collect();
+        let out = crate::run_map_with(7, inputs, &|i| i * 3 + 1);
+        assert_eq!(out, expect);
+
+        let mut v = vec![0usize; 1003];
+        crate::run_slice_with(7, &mut v, &|i, x| *x = i * 3 + 1);
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn empty_and_single_inputs_are_fine() {
+        let out: Vec<usize> = Vec::<usize>::new().into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+        let one: Vec<usize> = (0..1).into_par_iter().map(|x| x + 41).collect();
+        assert_eq!(one, vec![41]);
+    }
+}

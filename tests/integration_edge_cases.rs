@@ -1,7 +1,7 @@
 //! Edge-case integration tests: boundary positions, degenerate sizes,
 //! and numerical-hygiene scenarios across the whole stack.
 
-use bspline::engine::SpoEngine;
+use bspline::SpoEngine;
 use bspline::{BsplineAoS, BsplineAoSoA, BsplineSoA, Kernel};
 use einspline::{Grid1, MultiCoefs};
 use miniqmc::determinant::DiracDeterminant;

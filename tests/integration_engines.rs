@@ -2,7 +2,7 @@
 //! evaluated through every engine layout and every kernel must agree,
 //! and must match the scalar tensor-product reference.
 
-use bspline::engine::SpoEngine;
+use bspline::SpoEngine;
 use bspline::{BsplineAoS, BsplineAoSoA, BsplineSoA, Kernel};
 use einspline::{Grid1, MultiCoefs, Spline3};
 use miniqmc::synthetic::synthetic_orbitals;
@@ -77,12 +77,12 @@ fn multi_engine_matches_scalar_spline_reference() {
         let expect = reference.vgh(p[0], p[1], p[2]);
         assert!((out.value(1) - expect.v).abs() < 1e-12);
         let grad = out.gradient(1);
-        for d in 0..3 {
-            assert!((grad[d] - expect.g[d]).abs() < 1e-10);
+        for (g, e) in grad.iter().zip(&expect.g) {
+            assert!((g - e).abs() < 1e-10);
         }
         let h = out.hessian(1);
-        for r in 0..6 {
-            assert!((h[r] - expect.h[r]).abs() < 1e-9);
+        for (hv, e) in h.iter().zip(&expect.h) {
+            assert!((hv - e).abs() < 1e-9);
         }
         // Empty orbital slots stay exactly zero.
         assert_eq!(out.value(0), 0.0);

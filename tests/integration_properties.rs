@@ -1,10 +1,9 @@
 //! Property-based integration tests (proptest): layout equivalence and
 //! physics invariants under randomized configurations.
 
-use bspline::engine::SpoEngine;
+use bspline::SpoEngine;
 use bspline::{BsplineAoS, BsplineAoSoA, BsplineSoA};
-use einspline::solver1d::{solve_clamped, solve_natural, solve_periodic};
-use einspline::{basis, Grid1, MultiCoefs};
+use einspline::{basis, solve_clamped, solve_natural, solve_periodic, Grid1, MultiCoefs};
 use miniqmc::distance::aos::DistanceTableAAAoS;
 use miniqmc::distance::soa::DistanceTableAA;
 use miniqmc::lattice::Lattice;
