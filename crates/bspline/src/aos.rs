@@ -9,8 +9,8 @@
 //! layout change: no z-unrolling and a temporary workspace allocated per
 //! call.
 
+use crate::batch::{check_batch, BatchOut, Located, PosBlock};
 use crate::output::WalkerAoS;
-use einspline::basis::BasisWeights;
 use einspline::multi::MultiCoefs;
 use einspline::Real;
 
@@ -40,10 +40,12 @@ impl<T: Real> BsplineAoS<T> {
 
     /// Values only.
     pub fn v(&self, pos: [T; 3], out: &mut WalkerAoS<T>) {
-        let p = self.coefs.locate(pos[0], pos[1], pos[2]);
-        let a = einspline::basis::weights(p.tx);
-        let b = einspline::basis::weights(p.ty);
-        let c = einspline::basis::weights(p.tz);
+        let loc = Located::new(&self.coefs, pos);
+        self.v_located(&loc, out);
+    }
+
+    fn v_located(&self, loc: &Located<T>, out: &mut WalkerAoS<T>) {
+        let (a, b, c) = (&loc.wa.a, &loc.wb.a, &loc.wc.a);
         out.zero_v();
         let n = self.n_splines();
         let v = &mut out.v.as_mut_slice()[..n];
@@ -51,7 +53,8 @@ impl<T: Real> BsplineAoS<T> {
             for j in 0..4 {
                 for k in 0..4 {
                     let pre = a[i] * b[j] * c[k];
-                    let line = &self.coefs.line(p.i0 + i, p.j0 + j, p.k0 + k)[..n];
+                    let line =
+                        &self.coefs.line(loc.i0 + i, loc.j0 + j, loc.k0 + k)[..n];
                     for (vn, &pn) in v.iter_mut().zip(line) {
                         *vn = pre.mul_add(pn, *vn);
                     }
@@ -67,16 +70,17 @@ impl<T: Real> BsplineAoS<T> {
     /// (the baseline allocated its workspace inside the loop; the paper
     /// lists hoisting it as one of the VGL-only fixes).
     pub fn vgl(&self, pos: [T; 3], out: &mut WalkerAoS<T>) {
-        let p = self.coefs.locate(pos[0], pos[1], pos[2]);
-        let dinv = self.coefs.delta_inv();
-        let wa = BasisWeights::new(p.tx, dinv[0]);
-        let wb = BasisWeights::new(p.ty, dinv[1]);
-        let wc = BasisWeights::new(p.tz, dinv[2]);
+        let loc = Located::new(&self.coefs, pos);
+        // Baseline wart kept on purpose: fresh workspace every call. The
+        // batched path hoists this allocation across the block.
+        let mut tmp = vec![T::ZERO; self.n_splines()];
+        self.vgl_located(&loc, &mut tmp, out);
+    }
+
+    fn vgl_located(&self, loc: &Located<T>, tmp: &mut [T], out: &mut WalkerAoS<T>) {
+        let (wa, wb, wc) = (&loc.wa, &loc.wb, &loc.wc);
         out.zero_vgl();
         let n = self.n_splines();
-
-        // Baseline wart kept on purpose: fresh workspace every call.
-        let mut tmp = vec![T::ZERO; n];
 
         let v = &mut out.v.as_mut_slice()[..n];
         let g = &mut out.g.as_mut_slice()[..3 * n];
@@ -91,8 +95,9 @@ impl<T: Real> BsplineAoS<T> {
                     let pl = wa.d2a[i] * wb.a[j] * wc.a[k]
                         + wa.a[i] * wb.d2a[j] * wc.a[k]
                         + wa.a[i] * wb.a[j] * wc.d2a[k];
-                    let line = &self.coefs.line(p.i0 + i, p.j0 + j, p.k0 + k)[..n];
-                    tmp.copy_from_slice(line);
+                    let line =
+                        &self.coefs.line(loc.i0 + i, loc.j0 + j, loc.k0 + k)[..n];
+                    tmp[..n].copy_from_slice(line);
                     for nn in 0..n {
                         let pn = tmp[nn];
                         v[nn] = pv.mul_add(pn, v[nn]);
@@ -109,11 +114,12 @@ impl<T: Real> BsplineAoS<T> {
     /// Value + gradient + Hessian with AoS outputs: 13 accumulation
     /// streams per coefficient point, 3- and 9-strided stores (Fig. 4a).
     pub fn vgh(&self, pos: [T; 3], out: &mut WalkerAoS<T>) {
-        let p = self.coefs.locate(pos[0], pos[1], pos[2]);
-        let dinv = self.coefs.delta_inv();
-        let wa = BasisWeights::new(p.tx, dinv[0]);
-        let wb = BasisWeights::new(p.ty, dinv[1]);
-        let wc = BasisWeights::new(p.tz, dinv[2]);
+        let loc = Located::new(&self.coefs, pos);
+        self.vgh_located(&loc, out);
+    }
+
+    fn vgh_located(&self, loc: &Located<T>, out: &mut WalkerAoS<T>) {
+        let (wa, wb, wc) = (&loc.wa, &loc.wb, &loc.wc);
         out.zero_vgh();
         let n = self.n_splines();
 
@@ -133,7 +139,8 @@ impl<T: Real> BsplineAoS<T> {
                     let hyy = wa.a[i] * wb.d2a[j] * wc.a[k];
                     let hyz = wa.a[i] * wb.da[j] * wc.da[k];
                     let hzz = wa.a[i] * wb.a[j] * wc.d2a[k];
-                    let line = &self.coefs.line(p.i0 + i, p.j0 + j, p.k0 + k)[..n];
+                    let line =
+                        &self.coefs.line(loc.i0 + i, loc.j0 + j, loc.k0 + k)[..n];
                     for (nn, &pn) in line.iter().enumerate() {
                         v[nn] = pv.mul_add(pn, v[nn]);
                         let gn = &mut g[3 * nn..3 * nn + 3];
@@ -153,6 +160,38 @@ impl<T: Real> BsplineAoS<T> {
                     }
                 }
             }
+        }
+    }
+
+    /// Values for a whole position block; block `i` of `out` receives
+    /// position `i`. Grid location + basis weights are hoisted out of
+    /// the kernel loop.
+    pub fn v_batch(&self, pos: &PosBlock<T>, out: &mut BatchOut<WalkerAoS<T>>) {
+        check_batch(pos.len(), out.len());
+        let locs = Located::block(&self.coefs, pos);
+        for (loc, block) in locs.iter().zip(out.blocks_mut()) {
+            self.v_located(loc, block);
+        }
+    }
+
+    /// VGL for a whole position block. Unlike the scalar [`Self::vgl`]
+    /// (which keeps the baseline's per-call workspace allocation), the
+    /// batched path allocates the temporary once for the whole block.
+    pub fn vgl_batch(&self, pos: &PosBlock<T>, out: &mut BatchOut<WalkerAoS<T>>) {
+        check_batch(pos.len(), out.len());
+        let locs = Located::block(&self.coefs, pos);
+        let mut tmp = vec![T::ZERO; self.n_splines()];
+        for (loc, block) in locs.iter().zip(out.blocks_mut()) {
+            self.vgl_located(loc, &mut tmp, block);
+        }
+    }
+
+    /// VGH for a whole position block (see [`Self::v_batch`]).
+    pub fn vgh_batch(&self, pos: &PosBlock<T>, out: &mut BatchOut<WalkerAoS<T>>) {
+        check_batch(pos.len(), out.len());
+        let locs = Located::block(&self.coefs, pos);
+        for (loc, block) in locs.iter().zip(out.blocks_mut()) {
+            self.vgh_located(loc, block);
         }
     }
 }

@@ -14,6 +14,7 @@
 //!
 //! The optimal `Nb` depends only on the cache hierarchy, not on N.
 
+use crate::batch::{check_batch, BatchOut, Located, PosBlock};
 use crate::layout::Kernel;
 use crate::output::{WalkerSoA, WalkerTiled};
 use crate::soa::BsplineSoA;
@@ -119,21 +120,89 @@ impl<T: Real> BsplineAoSoA<T> {
         64 * self.tiles[0].stride() * std::mem::size_of::<T>()
     }
 
+    /// Evaluate one tile over a pre-located position — the batched unit
+    /// of work for nested threading (the locate + basis-weight block is
+    /// shared across all tiles instead of recomputed per tile).
+    #[inline]
+    pub(crate) fn eval_tile_located(
+        &self,
+        t: usize,
+        kernel: Kernel,
+        loc: &Located<T>,
+        out: &mut WalkerSoA<T>,
+    ) {
+        self.tiles[t].eval_located(kernel, loc, out);
+    }
+
+    /// Locate every position of a block against the (shared) tile grids.
+    #[inline]
+    pub(crate) fn locate_block(&self, pos: &PosBlock<T>) -> Vec<Located<T>> {
+        // All tiles share the same grids; tile 0 always exists.
+        Located::block(self.tiles[0].coefs(), pos)
+    }
+
     /// Evaluate a batch of positions **tile-major** (paper Fig. 6: the
     /// tile loop outside the position loop), which is the actual
     /// cache-blocking: one tile's coefficient block stays hot across all
-    /// `positions` before the next tile is touched.
+    /// `positions` before the next tile is touched. `out` is overwritten
+    /// per position; after the call it holds the last position's outputs
+    /// (bench/tuning use only).
     pub fn eval_batch_tile_major(
         &self,
         kernel: Kernel,
         positions: &[[T; 3]],
         out: &mut WalkerTiled<T>,
     ) {
+        let coefs = self.tiles[0].coefs();
+        let locs: Vec<Located<T>> =
+            positions.iter().map(|p| Located::new(coefs, *p)).collect();
         for (t, tile_out) in out.tiles_mut().iter_mut().enumerate() {
-            for p in positions {
-                self.eval_tile(t, kernel, *p, tile_out);
+            for loc in &locs {
+                self.eval_tile_located(t, kernel, loc, tile_out);
             }
         }
+    }
+
+    /// Kernel-dispatched batch evaluation, tile-major with per-position
+    /// retained outputs: block `i` of `out` receives position `i`.
+    ///
+    /// This is the cache-blocking transpose of the scalar position-major
+    /// order: the position loop is *innermost*, so one tile's
+    /// coefficient block (`4·Ng·Nb` bytes) and `Nb`-sized output stripe
+    /// stay hot across the whole batch before the next tile is touched,
+    /// and the per-position basis weights are computed once for all `M`
+    /// tiles instead of `M` times.
+    pub fn eval_batch(
+        &self,
+        kernel: Kernel,
+        pos: &PosBlock<T>,
+        out: &mut BatchOut<WalkerTiled<T>>,
+    ) {
+        check_batch(pos.len(), out.len());
+        let locs = self.locate_block(pos);
+        for t in 0..self.tiles.len() {
+            for (loc, block) in locs.iter().zip(out.blocks_mut()) {
+                self.eval_tile_located(t, kernel, loc, block.tile_mut(t));
+            }
+        }
+    }
+
+    /// Values for a whole position block, tile-major (see
+    /// [`Self::eval_batch`]).
+    pub fn v_batch(&self, pos: &PosBlock<T>, out: &mut BatchOut<WalkerTiled<T>>) {
+        self.eval_batch(Kernel::V, pos, out);
+    }
+
+    /// VGL for a whole position block, tile-major (see
+    /// [`Self::eval_batch`]).
+    pub fn vgl_batch(&self, pos: &PosBlock<T>, out: &mut BatchOut<WalkerTiled<T>>) {
+        self.eval_batch(Kernel::Vgl, pos, out);
+    }
+
+    /// VGH for a whole position block, tile-major (see
+    /// [`Self::eval_batch`]).
+    pub fn vgh_batch(&self, pos: &PosBlock<T>, out: &mut BatchOut<WalkerTiled<T>>) {
+        self.eval_batch(Kernel::Vgh, pos, out);
     }
 }
 

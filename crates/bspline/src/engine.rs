@@ -4,6 +4,7 @@
 
 use crate::aos::BsplineAoS;
 use crate::aosoa::BsplineAoSoA;
+use crate::batch::{check_batch, BatchOut, PosBlock};
 use crate::layout::{Kernel, Layout};
 use crate::output::{WalkerAoS, WalkerSoA, WalkerTiled};
 use einspline::Real;
@@ -42,6 +43,51 @@ pub trait SpoEngine<T: Real>: Send + Sync {
             Kernel::V => self.v(pos, out),
             Kernel::Vgl => self.vgl(pos, out),
             Kernel::Vgh => self.vgh(pos, out),
+        }
+    }
+
+    /// Allocate `batch` per-position output blocks for the batched
+    /// entry points. Callers allocate once and reuse across batches.
+    fn make_batch_out(&self, batch: usize) -> BatchOut<Self::Out> {
+        BatchOut::from_blocks((0..batch).map(|_| self.make_out()).collect())
+    }
+
+    /// Values for a whole position block; block `i` of `out` receives
+    /// position `i`. The default loops over the scalar [`Self::v`];
+    /// engines override it with implementations that hoist the
+    /// basis-weight computation and (for AoSoA) batch tile-major.
+    fn v_batch(&self, pos: &PosBlock<T>, out: &mut BatchOut<Self::Out>) {
+        check_batch(pos.len(), out.len());
+        for (i, p) in pos.iter().enumerate() {
+            self.v(p, out.block_mut(i));
+        }
+    }
+
+    /// Value + gradient + Laplacian for a whole position block (see
+    /// [`Self::v_batch`]).
+    fn vgl_batch(&self, pos: &PosBlock<T>, out: &mut BatchOut<Self::Out>) {
+        check_batch(pos.len(), out.len());
+        for (i, p) in pos.iter().enumerate() {
+            self.vgl(p, out.block_mut(i));
+        }
+    }
+
+    /// Value + gradient + Hessian for a whole position block (see
+    /// [`Self::v_batch`]).
+    fn vgh_batch(&self, pos: &PosBlock<T>, out: &mut BatchOut<Self::Out>) {
+        check_batch(pos.len(), out.len());
+        for (i, p) in pos.iter().enumerate() {
+            self.vgh(p, out.block_mut(i));
+        }
+    }
+
+    /// Dispatch a whole position block by kernel tag.
+    #[inline]
+    fn eval_batch(&self, kernel: Kernel, pos: &PosBlock<T>, out: &mut BatchOut<Self::Out>) {
+        match kernel {
+            Kernel::V => self.v_batch(pos, out),
+            Kernel::Vgl => self.vgl_batch(pos, out),
+            Kernel::Vgh => self.vgh_batch(pos, out),
         }
     }
 }
@@ -85,6 +131,18 @@ impl<T: Real> SpoEngine<T> for BsplineAoS<T> {
     fn vgh(&self, pos: [T; 3], out: &mut WalkerAoS<T>) {
         BsplineAoS::vgh(self, pos, out)
     }
+
+    fn v_batch(&self, pos: &PosBlock<T>, out: &mut BatchOut<WalkerAoS<T>>) {
+        BsplineAoS::v_batch(self, pos, out)
+    }
+
+    fn vgl_batch(&self, pos: &PosBlock<T>, out: &mut BatchOut<WalkerAoS<T>>) {
+        BsplineAoS::vgl_batch(self, pos, out)
+    }
+
+    fn vgh_batch(&self, pos: &PosBlock<T>, out: &mut BatchOut<WalkerAoS<T>>) {
+        BsplineAoS::vgh_batch(self, pos, out)
+    }
 }
 
 impl<T: Real> SpoEngine<T> for crate::soa::BsplineSoA<T> {
@@ -117,6 +175,18 @@ impl<T: Real> SpoEngine<T> for crate::soa::BsplineSoA<T> {
     fn vgh(&self, pos: [T; 3], out: &mut WalkerSoA<T>) {
         crate::soa::BsplineSoA::vgh(self, pos, out)
     }
+
+    fn v_batch(&self, pos: &PosBlock<T>, out: &mut BatchOut<WalkerSoA<T>>) {
+        crate::soa::BsplineSoA::v_batch(self, pos, out)
+    }
+
+    fn vgl_batch(&self, pos: &PosBlock<T>, out: &mut BatchOut<WalkerSoA<T>>) {
+        crate::soa::BsplineSoA::vgl_batch(self, pos, out)
+    }
+
+    fn vgh_batch(&self, pos: &PosBlock<T>, out: &mut BatchOut<WalkerSoA<T>>) {
+        crate::soa::BsplineSoA::vgh_batch(self, pos, out)
+    }
 }
 
 impl<T: Real> SpoEngine<T> for BsplineAoSoA<T> {
@@ -148,6 +218,18 @@ impl<T: Real> SpoEngine<T> for BsplineAoSoA<T> {
 
     fn vgh(&self, pos: [T; 3], out: &mut WalkerTiled<T>) {
         BsplineAoSoA::vgh(self, pos, out)
+    }
+
+    fn v_batch(&self, pos: &PosBlock<T>, out: &mut BatchOut<WalkerTiled<T>>) {
+        BsplineAoSoA::v_batch(self, pos, out)
+    }
+
+    fn vgl_batch(&self, pos: &PosBlock<T>, out: &mut BatchOut<WalkerTiled<T>>) {
+        BsplineAoSoA::vgl_batch(self, pos, out)
+    }
+
+    fn vgh_batch(&self, pos: &PosBlock<T>, out: &mut BatchOut<WalkerTiled<T>>) {
+        BsplineAoSoA::vgh_batch(self, pos, out)
     }
 }
 

@@ -12,6 +12,7 @@
 //! | Opt B: AoSoA tiling (Fig. 5b/6) | [`aosoa::BsplineAoSoA`] |
 //! | Opt C: nested threading (Sec. V-C) | [`parallel::run_nested`] |
 //! | miniQMC driver (Fig. 3) | [`walker`] |
+//! | multi-walker batching (Fig. 6 loop order) | [`batch`] |
 //! | throughput metric `T = Nw·N/t` | [`throughput::Throughput`] |
 //!
 //! The paper's thesis — high SIMD efficiency *without* processor-specific
@@ -19,6 +20,38 @@
 //! loops over cache-line-padded slices whose equal lengths are hoisted,
 //! which LLVM auto-vectorizes (the analogue of `#pragma omp simd` on
 //! aligned, padded streams).
+//!
+//! # The batched multi-walker API
+//!
+//! Every engine exposes `v_batch` / `vgl_batch` / `vgh_batch` (and a
+//! kernel-dispatched `eval_batch`) next to the scalar entry points:
+//!
+//! * **Block layout.** Positions travel as a [`batch::PosBlock`] — one
+//!   unit-stride stream per coordinate (the SoA transformation applied
+//!   to the *input* side). Results land in a [`batch::BatchOut`]: one
+//!   per-position output block, indexable after the call.
+//! * **Buffer ownership.** The *caller* owns the output allocation:
+//!   [`engine::SpoEngine::make_batch_out`] allocates once, batched calls
+//!   only overwrite. Drivers reuse one `BatchOut` across every
+//!   generation (and across the ragged tail of a chunked stream — extra
+//!   blocks are simply left untouched).
+//! * **What the engines hoist.** All three engines locate the grid cell
+//!   and build the three `BasisWeights` blocks once per position, up
+//!   front, instead of inside the kernel. For [`aos::BsplineAoS`] the
+//!   batched VGL also hoists the baseline's per-call scratch allocation
+//!   across the block.
+//! * **Why tile-major batching helps AoSoA.** The scalar path is
+//!   position-major: every position touches all `M` coefficient tiles
+//!   before the next position, so each tile's `4·Ng·Nb` input block is
+//!   re-fetched per position. The batched path transposes the loops
+//!   (tiles outer, positions inner — the actual Fig. 6 order): one
+//!   tile's coefficient block and `Nb`-sized output stripes stay
+//!   cache-hot for the whole batch, and the per-position basis weights
+//!   are shared by all tiles instead of recomputed `M` times.
+//!
+//! Results are **bit-identical** to the scalar loop (the batched paths
+//! reorder only independent work), which the workspace property tests
+//! assert for all layouts and batch sizes including 0 and 1.
 //!
 //! # Quick example
 //!
@@ -52,6 +85,7 @@
 
 pub mod aos;
 pub mod aosoa;
+pub mod batch;
 pub mod engine;
 pub mod layout;
 pub mod output;
@@ -65,10 +99,11 @@ pub mod walker;
 pub mod prelude {
     pub use crate::aos::BsplineAoS;
     pub use crate::aosoa::BsplineAoSoA;
+    pub use crate::batch::{BatchOut, PosBlock};
     pub use crate::engine::SpoEngine;
     pub use crate::layout::{Kernel, Layout, OptStep};
     pub use crate::output::{WalkerAoS, WalkerSoA, WalkerTiled};
-    pub use crate::parallel::{run_nested, run_walkers_parallel};
+    pub use crate::parallel::{run_nested, run_nested_dynamic, run_walkers_parallel};
     pub use crate::soa::BsplineSoA;
     pub use crate::throughput::Throughput;
     pub use crate::tuning::{tune_tile_size, TuneConfig, Wisdom};
@@ -77,6 +112,7 @@ pub mod prelude {
 
 pub use aos::BsplineAoS;
 pub use aosoa::BsplineAoSoA;
+pub use batch::{BatchOut, PosBlock};
 pub use engine::SpoEngine;
 pub use layout::{Kernel, Layout, OptStep};
 pub use output::{WalkerAoS, WalkerSoA, WalkerTiled};

@@ -13,12 +13,22 @@
 //! from OpenMP nested run time environment"): work items are
 //! `(walker, tile-chunk)` pairs enumerated up front and handed to rayon
 //! as a flat parallel iterator; no nested pool is spawned.
+//!
+//! Both nested paths flow through the batched evaluation machinery: the
+//! per-position grid location + basis weights are hoisted once per
+//! walker *before* the parallel region, so every tile chunk reuses the
+//! same hoisted `Located` block instead of recomputing it per `(tile,
+//! position)` pair. [`run_nested_dynamic`] is the scheduling ablation:
+//! single-tile work items handed to the rayon stub's grained dynamic
+//! queue (`with_min_len`), for comparing against the static partition
+//! on ragged tile counts.
 
 use crate::aosoa::BsplineAoSoA;
+use crate::batch::{Located, PosBlock};
 use crate::engine::SpoEngine;
 use crate::layout::Kernel;
 use crate::output::{WalkerSoA, WalkerTiled};
-use crate::walker::{random_positions, run_walker, walker_rng, DriverConfig, KernelTimes};
+use crate::walker::{run_walker, walker_rng, DriverConfig, KernelTimes};
 use einspline::Real;
 use rayon::prelude::*;
 use std::time::{Duration, Instant};
@@ -71,24 +81,36 @@ pub fn partition_tiles(m: usize, nth: usize) -> Vec<(usize, usize)> {
     out
 }
 
-/// One nested-threading generation: every walker evaluates `positions`
-/// through `kernel`, with each walker's tiles statically split across
-/// `nth` work items. Returns the wall-clock time of the parallel region.
+/// Hoist the per-position location + basis weights for every walker's
+/// position block (computed serially, outside the timed region — the
+/// batched analogue of the paper's shared read-only inputs).
+fn locate_walkers<T: Real>(
+    engine: &BsplineAoSoA<T>,
+    positions: &[PosBlock<T>],
+) -> Vec<Vec<Located<T>>> {
+    positions.iter().map(|b| engine.locate_block(b)).collect()
+}
+
+/// One nested-threading generation: every walker evaluates its position
+/// block through `kernel`, with each walker's tiles statically split
+/// across `nth` work items. Returns the wall-clock time of the parallel
+/// region.
 ///
 /// `walkers[w]` must have been allocated by [`BsplineAoSoA::make_out`].
 pub fn run_nested<T: Real>(
     engine: &BsplineAoSoA<T>,
     kernel: Kernel,
     walkers: &mut [WalkerTiled<T>],
-    positions: &[Vec<[T; 3]>],
+    positions: &[PosBlock<T>],
     nth: usize,
 ) -> Duration {
     assert_eq!(
         walkers.len(),
         positions.len(),
-        "one position stream per walker"
+        "one position block per walker"
     );
     let ranges = partition_tiles(engine.n_tiles(), nth);
+    let locs = locate_walkers(engine, positions);
 
     // Flatten (walker, chunk) into independent jobs. Splitting each
     // walker's tile buffers keeps &mut disjointness checkable by the
@@ -96,7 +118,7 @@ pub fn run_nested<T: Real>(
     struct Job<'a, T: Real> {
         tiles: &'a mut [WalkerSoA<T>],
         tile_lo: usize,
-        positions: &'a [[T; 3]],
+        locs: &'a [Located<T>],
     }
 
     let mut jobs: Vec<Job<'_, T>> = Vec::with_capacity(walkers.len() * ranges.len());
@@ -109,7 +131,7 @@ pub fn run_nested<T: Real>(
             jobs.push(Job {
                 tiles: chunk,
                 tile_lo: consumed,
-                positions: &positions[w],
+                locs: &locs[w],
             });
             consumed = hi;
         }
@@ -119,9 +141,56 @@ pub fn run_nested<T: Real>(
     jobs.into_par_iter().for_each(|job| {
         for (off, tile_out) in job.tiles.iter_mut().enumerate() {
             let t = job.tile_lo + off;
-            for p in job.positions {
-                engine.eval_tile(t, kernel, *p, tile_out);
+            for loc in job.locs {
+                engine.eval_tile_located(t, kernel, loc, tile_out);
             }
+        }
+    });
+    t0.elapsed()
+}
+
+/// Dynamic-scheduling variant of [`run_nested`]: every `(walker, tile)`
+/// pair is its own work item, pulled from a shared queue in chunks of
+/// `grain` items (the rayon stub's `with_min_len`). On ragged tile
+/// counts this keeps all threads busy where the static partition would
+/// idle some; the ablations bench measures the trade against the
+/// static path's lower scheduling overhead.
+pub fn run_nested_dynamic<T: Real>(
+    engine: &BsplineAoSoA<T>,
+    kernel: Kernel,
+    walkers: &mut [WalkerTiled<T>],
+    positions: &[PosBlock<T>],
+    grain: usize,
+) -> Duration {
+    assert_eq!(
+        walkers.len(),
+        positions.len(),
+        "one position block per walker"
+    );
+    let locs = locate_walkers(engine, positions);
+
+    struct Job<'a, T: Real> {
+        tile: usize,
+        out: &'a mut WalkerSoA<T>,
+        locs: &'a [Located<T>],
+    }
+
+    let mut jobs: Vec<Job<'_, T>> =
+        Vec::with_capacity(walkers.len() * engine.n_tiles());
+    for (w, walker_out) in walkers.iter_mut().enumerate() {
+        for (t, tile_out) in walker_out.tiles_mut().iter_mut().enumerate() {
+            jobs.push(Job {
+                tile: t,
+                out: tile_out,
+                locs: &locs[w],
+            });
+        }
+    }
+
+    let t0 = Instant::now();
+    jobs.into_par_iter().with_min_len(grain).for_each(|job| {
+        for loc in job.locs {
+            engine.eval_tile_located(job.tile, kernel, loc, job.out);
         }
     });
     t0.elapsed()
@@ -141,10 +210,10 @@ pub fn nested_generation_time<T: Real>(
 ) -> Duration {
     let n_walkers = (total_threads / nth).max(1);
     let domain = SpoEngine::<T>::domain(engine);
-    let positions: Vec<Vec<[T; 3]>> = (0..n_walkers)
+    let positions: Vec<PosBlock<T>> = (0..n_walkers)
         .map(|w| {
             let mut rng = walker_rng(seed, w);
-            random_positions(&mut rng, ns, domain)
+            PosBlock::random(&mut rng, ns, domain)
         })
         .collect();
     let mut walkers: Vec<WalkerTiled<T>> =
@@ -164,6 +233,14 @@ mod tests {
         let mut m = MultiCoefs::<f32>::new(g, g, g, n);
         m.fill_random(&mut StdRng::seed_from_u64(77));
         BsplineAoSoA::from_multi(&m, nb)
+    }
+
+    fn random_blocks(engine: &BsplineAoSoA<f32>, n_walkers: usize, ns: usize) -> Vec<PosBlock<f32>> {
+        let domain = SpoEngine::<f32>::domain(engine);
+        let mut rng = StdRng::seed_from_u64(9);
+        (0..n_walkers)
+            .map(|_| PosBlock::random(&mut rng, ns, domain))
+            .collect()
     }
 
     #[test]
@@ -190,18 +267,14 @@ mod tests {
     #[test]
     fn nested_results_match_serial_tiled_eval() {
         let engine = tiled_engine(48, 8);
-        let domain = SpoEngine::<f32>::domain(&engine);
-        let mut rng = StdRng::seed_from_u64(9);
-        let positions: Vec<Vec<[f32; 3]>> = (0..2)
-            .map(|_| random_positions(&mut rng, 3, domain))
-            .collect();
+        let positions = random_blocks(&engine, 2, 3);
 
         // Serial reference: last position's outputs.
         let mut expect: Vec<WalkerTiled<f32>> =
             (0..2).map(|_| engine.make_out()).collect();
         for (w, out) in expect.iter_mut().enumerate() {
-            for p in &positions[w] {
-                engine.vgh(*p, out);
+            for p in positions[w].iter() {
+                engine.vgh(p, out);
             }
         }
 
@@ -223,12 +296,38 @@ mod tests {
     }
 
     #[test]
+    fn dynamic_scheduling_matches_static() {
+        let engine = tiled_engine(56, 8); // 7 tiles: ragged on most nth
+        let positions = random_blocks(&engine, 3, 4);
+        let mut expect: Vec<WalkerTiled<f32>> =
+            (0..3).map(|_| engine.make_out()).collect();
+        run_nested(&engine, Kernel::Vgh, &mut expect, &positions, 4);
+
+        for grain in [1, 2, 5, 100] {
+            let mut walkers: Vec<WalkerTiled<f32>> =
+                (0..3).map(|_| engine.make_out()).collect();
+            run_nested_dynamic(&engine, Kernel::Vgh, &mut walkers, &positions, grain);
+            for w in 0..3 {
+                for n in 0..56 {
+                    assert_eq!(
+                        walkers[w].value(n),
+                        expect[w].value(n),
+                        "grain={grain} w={w} n={n}"
+                    );
+                    assert_eq!(walkers[w].hessian(n), expect[w].hessian(n));
+                }
+            }
+        }
+    }
+
+    #[test]
     fn walker_parallel_matches_walker_serial_workload() {
         let engine = tiled_engine(16, 8);
         let cfg = DriverConfig {
             n_walkers: 3,
             n_samples: 4,
             n_iters: 1,
+            batch: 2,
             seed: 21,
         };
         let run = run_walkers_parallel(&engine, &cfg);

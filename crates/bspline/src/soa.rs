@@ -15,6 +15,8 @@
 //! * the inner trip count is the padded stride (a cache-line multiple),
 //!   so auto-vectorization needs no scalar remainder.
 
+use crate::batch::{check_batch, BatchOut, Located, PosBlock};
+use crate::layout::Kernel;
 use crate::output::WalkerSoA;
 use einspline::basis::BasisWeights;
 use einspline::multi::MultiCoefs;
@@ -218,19 +220,34 @@ impl<T: Real> BsplineSoA<T> {
     /// changes nothing over AoS (paper Sec. VI: "Kernel V … does not need
     /// SoA data layout"); it still benefits from the padded trip count.
     pub fn v(&self, pos: [T; 3], out: &mut WalkerSoA<T>) {
+        let loc = Located::new(&self.coefs, pos);
+        self.v_located(&loc, out);
+    }
+
+    /// Value + gradient + Laplacian into 5 SoA streams.
+    pub fn vgl(&self, pos: [T; 3], out: &mut WalkerSoA<T>) {
+        let loc = Located::new(&self.coefs, pos);
+        self.vgl_located(&loc, out);
+    }
+
+    /// Value + gradient + symmetric Hessian into 10 SoA streams.
+    pub fn vgh(&self, pos: [T; 3], out: &mut WalkerSoA<T>) {
+        let loc = Located::new(&self.coefs, pos);
+        self.vgh_located(&loc, out);
+    }
+
+    /// V kernel body over a pre-located position.
+    pub(crate) fn v_located(&self, loc: &Located<T>, out: &mut WalkerSoA<T>) {
         let m = self.check_out(out);
-        let p = self.coefs.locate(pos[0], pos[1], pos[2]);
-        let a = einspline::basis::weights(p.tx);
-        let b = einspline::basis::weights(p.ty);
-        let c = einspline::basis::weights(p.tz);
+        let (a, b, c) = (&loc.wa.a, &loc.wb.a, &loc.wc.a);
         out.zero_v();
         for i in 0..4 {
             for j in 0..4 {
                 let ab = a[i] * b[j];
-                let p0 = &self.coefs.line(p.i0 + i, p.j0 + j, p.k0)[..m];
-                let p1 = &self.coefs.line(p.i0 + i, p.j0 + j, p.k0 + 1)[..m];
-                let p2 = &self.coefs.line(p.i0 + i, p.j0 + j, p.k0 + 2)[..m];
-                let p3 = &self.coefs.line(p.i0 + i, p.j0 + j, p.k0 + 3)[..m];
+                let p0 = &self.coefs.line(loc.i0 + i, loc.j0 + j, loc.k0)[..m];
+                let p1 = &self.coefs.line(loc.i0 + i, loc.j0 + j, loc.k0 + 1)[..m];
+                let p2 = &self.coefs.line(loc.i0 + i, loc.j0 + j, loc.k0 + 2)[..m];
+                let p3 = &self.coefs.line(loc.i0 + i, loc.j0 + j, loc.k0 + 3)[..m];
                 let v = &mut out.v.as_mut_slice()[..m];
                 for idx in 0..m {
                     let s0 = c[3].mul_add(
@@ -243,14 +260,10 @@ impl<T: Real> BsplineSoA<T> {
         }
     }
 
-    /// Value + gradient + Laplacian into 5 SoA streams.
-    pub fn vgl(&self, pos: [T; 3], out: &mut WalkerSoA<T>) {
+    /// VGL kernel body over a pre-located position.
+    pub(crate) fn vgl_located(&self, loc: &Located<T>, out: &mut WalkerSoA<T>) {
         let m = self.check_out(out);
-        let p = self.coefs.locate(pos[0], pos[1], pos[2]);
-        let dinv = self.coefs.delta_inv();
-        let wa = BasisWeights::new(p.tx, dinv[0]);
-        let wb = BasisWeights::new(p.ty, dinv[1]);
-        let wc = BasisWeights::new(p.tz, dinv[2]);
+        let (wa, wb, wc) = (&loc.wa, &loc.wb, &loc.wc);
         out.zero_vgl();
         for i in 0..4 {
             for j in 0..4 {
@@ -258,25 +271,21 @@ impl<T: Real> BsplineSoA<T> {
                 let pre10 = wa.da[i] * wb.a[j];
                 let pre01 = wa.a[i] * wb.da[j];
                 let pre_lap = wa.d2a[i] * wb.a[j] + wa.a[i] * wb.d2a[j];
-                let p0 = self.coefs.line(p.i0 + i, p.j0 + j, p.k0);
-                let p1 = self.coefs.line(p.i0 + i, p.j0 + j, p.k0 + 1);
-                let p2 = self.coefs.line(p.i0 + i, p.j0 + j, p.k0 + 2);
-                let p3 = self.coefs.line(p.i0 + i, p.j0 + j, p.k0 + 3);
+                let p0 = self.coefs.line(loc.i0 + i, loc.j0 + j, loc.k0);
+                let p1 = self.coefs.line(loc.i0 + i, loc.j0 + j, loc.k0 + 1);
+                let p2 = self.coefs.line(loc.i0 + i, loc.j0 + j, loc.k0 + 2);
+                let p3 = self.coefs.line(loc.i0 + i, loc.j0 + j, loc.k0 + 3);
                 vgl_plane(
-                    &wc, pre00, pre10, pre01, pre_lap, p0, p1, p2, p3, out, m,
+                    wc, pre00, pre10, pre01, pre_lap, p0, p1, p2, p3, out, m,
                 );
             }
         }
     }
 
-    /// Value + gradient + symmetric Hessian into 10 SoA streams.
-    pub fn vgh(&self, pos: [T; 3], out: &mut WalkerSoA<T>) {
+    /// VGH kernel body over a pre-located position.
+    pub(crate) fn vgh_located(&self, loc: &Located<T>, out: &mut WalkerSoA<T>) {
         let m = self.check_out(out);
-        let p = self.coefs.locate(pos[0], pos[1], pos[2]);
-        let dinv = self.coefs.delta_inv();
-        let wa = BasisWeights::new(p.tx, dinv[0]);
-        let wb = BasisWeights::new(p.ty, dinv[1]);
-        let wc = BasisWeights::new(p.tz, dinv[2]);
+        let (wa, wb, wc) = (&loc.wa, &loc.wb, &loc.wc);
         out.zero_vgh();
         for i in 0..4 {
             for j in 0..4 {
@@ -286,15 +295,60 @@ impl<T: Real> BsplineSoA<T> {
                 let pre20 = wa.d2a[i] * wb.a[j];
                 let pre11 = wa.da[i] * wb.da[j];
                 let pre02 = wa.a[i] * wb.d2a[j];
-                let p0 = self.coefs.line(p.i0 + i, p.j0 + j, p.k0);
-                let p1 = self.coefs.line(p.i0 + i, p.j0 + j, p.k0 + 1);
-                let p2 = self.coefs.line(p.i0 + i, p.j0 + j, p.k0 + 2);
-                let p3 = self.coefs.line(p.i0 + i, p.j0 + j, p.k0 + 3);
+                let p0 = self.coefs.line(loc.i0 + i, loc.j0 + j, loc.k0);
+                let p1 = self.coefs.line(loc.i0 + i, loc.j0 + j, loc.k0 + 1);
+                let p2 = self.coefs.line(loc.i0 + i, loc.j0 + j, loc.k0 + 2);
+                let p3 = self.coefs.line(loc.i0 + i, loc.j0 + j, loc.k0 + 3);
                 vgh_plane(
-                    &wc, pre00, pre10, pre01, pre20, pre11, pre02, p0, p1, p2, p3,
+                    wc, pre00, pre10, pre01, pre20, pre11, pre02, p0, p1, p2, p3,
                     out, m,
                 );
             }
+        }
+    }
+
+    /// Kernel-dispatched body over a pre-located position.
+    #[inline]
+    pub(crate) fn eval_located(
+        &self,
+        kernel: Kernel,
+        loc: &Located<T>,
+        out: &mut WalkerSoA<T>,
+    ) {
+        match kernel {
+            Kernel::V => self.v_located(loc, out),
+            Kernel::Vgl => self.vgl_located(loc, out),
+            Kernel::Vgh => self.vgh_located(loc, out),
+        }
+    }
+
+    /// Values for a whole position block; block `i` of `out` receives
+    /// position `i`. Basis weights are hoisted: located once per
+    /// position up front, then the kernel loops run back-to-back over
+    /// the shared coefficient table.
+    pub fn v_batch(&self, pos: &PosBlock<T>, out: &mut BatchOut<WalkerSoA<T>>) {
+        check_batch(pos.len(), out.len());
+        let locs = Located::block(&self.coefs, pos);
+        for (loc, block) in locs.iter().zip(out.blocks_mut()) {
+            self.v_located(loc, block);
+        }
+    }
+
+    /// VGL for a whole position block (see [`Self::v_batch`]).
+    pub fn vgl_batch(&self, pos: &PosBlock<T>, out: &mut BatchOut<WalkerSoA<T>>) {
+        check_batch(pos.len(), out.len());
+        let locs = Located::block(&self.coefs, pos);
+        for (loc, block) in locs.iter().zip(out.blocks_mut()) {
+            self.vgl_located(loc, block);
+        }
+    }
+
+    /// VGH for a whole position block (see [`Self::v_batch`]).
+    pub fn vgh_batch(&self, pos: &PosBlock<T>, out: &mut BatchOut<WalkerSoA<T>>) {
+        check_batch(pos.len(), out.len());
+        let locs = Located::block(&self.coefs, pos);
+        for (loc, block) in locs.iter().zip(out.blocks_mut()) {
+            self.vgh_located(loc, block);
         }
     }
 }

@@ -4,8 +4,12 @@
 //! private stream of random positions; all walkers share the read-only
 //! coefficient table through the engine. The driver replays the paper's
 //! measurement loop: `niters` generations, each evaluating `ns` random
-//! positions per kernel.
+//! positions per kernel — handed to the engine as whole
+//! [`PosBlock`]s of `batch` positions per timed call, so the batched
+//! engine paths (hoisted basis weights, tile-major blocking) are what
+//! the timing regions measure.
 
+use crate::batch::{BatchOut, PosBlock};
 use crate::engine::SpoEngine;
 use crate::layout::Kernel;
 use einspline::Real;
@@ -23,6 +27,9 @@ pub struct DriverConfig {
     pub n_samples: usize,
     /// Monte Carlo generations (`niters`).
     pub n_iters: usize,
+    /// Positions per batched engine call (the per-walker output-block
+    /// working set is `batch` blocks, reused across sub-blocks).
+    pub batch: usize,
     /// Master RNG seed; each walker derives its own stream.
     pub seed: u64,
 }
@@ -33,6 +40,7 @@ impl Default for DriverConfig {
             n_walkers: 1,
             n_samples: 512,
             n_iters: 1,
+            batch: 32,
             seed: 0x9e3779b97f4a7c15,
         }
     }
@@ -93,8 +101,22 @@ pub fn walker_rng(seed: u64, walker: usize) -> StdRng {
     StdRng::seed_from_u64(seed ^ (walker as u64).wrapping_mul(0xa076_1d64_78bd_642f))
 }
 
+/// Split a full sample stream into `batch`-sized [`PosBlock`]s (built
+/// once per walker, outside the timing regions).
+fn sample_blocks<T: Real, R: Rng>(
+    rng: &mut R,
+    ns: usize,
+    batch: usize,
+    domain: [(f64, f64); 3],
+) -> Vec<PosBlock<T>> {
+    let stream: PosBlock<T> = PosBlock::random(rng, ns, domain);
+    stream.chunks(batch).collect()
+}
+
 /// Run one walker's full measurement loop serially; returns per-kernel
-/// time.
+/// time. Each timed region hands the engine whole position blocks
+/// through the batched API (`cfg.batch` positions per call, output
+/// blocks reused across calls).
 pub fn run_walker<T: Real, E: SpoEngine<T>>(
     engine: &E,
     cfg: &DriverConfig,
@@ -102,35 +124,40 @@ pub fn run_walker<T: Real, E: SpoEngine<T>>(
 ) -> KernelTimes {
     let mut rng = walker_rng(cfg.seed, walker);
     let domain = engine.domain();
-    let v_pos: Vec<[T; 3]> = random_positions(&mut rng, cfg.n_samples, domain);
-    let vgl_pos: Vec<[T; 3]> = random_positions(&mut rng, cfg.n_samples, domain);
-    let vgh_pos: Vec<[T; 3]> = random_positions(&mut rng, cfg.n_samples, domain);
-    let mut out = engine.make_out();
+    let batch = cfg.batch.clamp(1, cfg.n_samples.max(1));
+    let v_blocks: Vec<PosBlock<T>> =
+        sample_blocks(&mut rng, cfg.n_samples, batch, domain);
+    let vgl_blocks: Vec<PosBlock<T>> =
+        sample_blocks(&mut rng, cfg.n_samples, batch, domain);
+    let vgh_blocks: Vec<PosBlock<T>> =
+        sample_blocks(&mut rng, cfg.n_samples, batch, domain);
+    let mut out = engine.make_batch_out(batch);
     let mut times = KernelTimes::default();
 
     for _ in 0..cfg.n_iters {
         let t0 = Instant::now();
-        for p in &v_pos {
-            engine.v(*p, &mut out);
+        for b in &v_blocks {
+            engine.v_batch(b, &mut out);
         }
         times.v += t0.elapsed();
 
         let t0 = Instant::now();
-        for p in &vgl_pos {
-            engine.vgl(*p, &mut out);
+        for b in &vgl_blocks {
+            engine.vgl_batch(b, &mut out);
         }
         times.vgl += t0.elapsed();
 
         let t0 = Instant::now();
-        for p in &vgh_pos {
-            engine.vgh(*p, &mut out);
+        for b in &vgh_blocks {
+            engine.vgh_batch(b, &mut out);
         }
         times.vgh += t0.elapsed();
     }
     times
 }
 
-/// Run one kernel over a fixed position set (benchmark inner loop).
+/// Run one kernel over a fixed position set, one scalar call per
+/// position (the pre-batching reference loop for speedup comparisons).
 pub fn run_kernel<T: Real, E: SpoEngine<T>>(
     engine: &E,
     kernel: Kernel,
@@ -140,6 +167,22 @@ pub fn run_kernel<T: Real, E: SpoEngine<T>>(
     let t0 = Instant::now();
     for p in positions {
         engine.eval(kernel, *p, out);
+    }
+    t0.elapsed()
+}
+
+/// Run one kernel over pre-chunked position blocks through the batched
+/// API (benchmark inner loop; `out` must hold at least as many blocks
+/// as the largest position block).
+pub fn run_kernel_batched<T: Real, E: SpoEngine<T>>(
+    engine: &E,
+    kernel: Kernel,
+    blocks: &[PosBlock<T>],
+    out: &mut BatchOut<E::Out>,
+) -> Duration {
+    let t0 = Instant::now();
+    for b in blocks {
+        engine.eval_batch(kernel, b, out);
     }
     t0.elapsed()
 }
@@ -199,12 +242,36 @@ mod tests {
             n_walkers: 1,
             n_samples: 4,
             n_iters: 2,
+            batch: 3, // deliberately ragged: blocks of 3 + 1
             seed: 3,
         };
         let t = run_walker(&e, &cfg, 0);
         assert!(t.v > Duration::ZERO);
         assert!(t.vgl > Duration::ZERO);
         assert!(t.vgh > Duration::ZERO);
+    }
+
+    #[test]
+    fn batched_kernel_loop_bitmatches_scalar() {
+        let e = engine();
+        let mut rng = StdRng::seed_from_u64(4);
+        let pos: Vec<[f32; 3]> =
+            random_positions(&mut rng, 7, SpoEngine::<f32>::domain(&e));
+        let stream = PosBlock::from_positions(&pos);
+        let blocks: Vec<PosBlock<f32>> = stream.chunks(3).collect();
+        assert_eq!(blocks.len(), 3); // 3 + 3 + 1: ragged tail reuses out
+        let mut out = e.make_batch_out(3);
+        run_kernel_batched(&e, Kernel::Vgh, &blocks, &mut out);
+        // After the last (1-position) block, block 0 holds pos[6].
+        let mut scalar = e.make_out();
+        e.vgh(pos[6], &mut scalar);
+        for n in 0..e.n_splines() {
+            assert_eq!(out.block(0).value(n), scalar.value(n));
+            assert_eq!(out.block(0).hessian(n), scalar.hessian(n));
+        }
+        // Blocks 1/2 still hold the previous (full) block's outputs.
+        e.vgh(pos[4], &mut scalar);
+        assert_eq!(out.block(1).value(0), scalar.value(0));
     }
 
     #[test]
@@ -222,6 +289,7 @@ mod tests {
             n_walkers: 1,
             n_samples: 8,
             n_iters: 1,
+            batch: 4,
             seed: 5,
         };
         let cfg3 = DriverConfig {

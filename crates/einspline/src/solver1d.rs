@@ -23,7 +23,7 @@ pub const COEF_PAD: usize = 3;
 
 /// Solve a general tridiagonal system via the Thomas algorithm.
 ///
-/// `sub[i]` multiplies `x[i-1]` in row `i` (sub[0] unused), `diag[i]`
+/// `sub[i]` multiplies `x[i-1]` in row `i` (`sub[0]` unused), `diag[i]`
 /// multiplies `x[i]`, `sup[i]` multiplies `x[i+1]` (last unused).
 ///
 /// Panics if a pivot vanishes (the spline systems are diagonally

@@ -1,7 +1,13 @@
 //! Particle-by-particle variational Monte Carlo driver (the drift-
 //! diffusion + Metropolis structure of paper Sec. III, without the
 //! branching of DMC).
+//!
+//! After every sweep the driver runs the *batched* all-electron VGH
+//! sweep ([`TrialWaveFunction::log_derivs`]): one `vgh_batch` engine
+//! call per spin yields every electron's drift gradient and the kinetic
+//! energy estimator, instead of an engine call per electron.
 
+use crate::drivers::observables::kinetic_energy;
 use crate::drivers::profile::ProfileReport;
 use crate::wavefunction::TrialWaveFunction;
 use einspline::Real;
@@ -36,6 +42,9 @@ pub struct VmcResult {
     pub acceptance: f64,
     /// Final `log |ΨT|`.
     pub log_psi: f64,
+    /// Mean kinetic energy over the sweeps (from the batched
+    /// all-electron VGH measurement after each sweep).
+    pub kinetic: f64,
     /// Per-category profile of the run.
     pub profile: ProfileReport,
 }
@@ -48,6 +57,7 @@ pub fn run_vmc<T: Real>(wf: &mut TrialWaveFunction<T>, cfg: &VmcConfig) -> VmcRe
     let lat = *wf.electrons().lattice();
     let mut accepted = 0usize;
     let mut proposed = 0usize;
+    let mut kinetic_sum = 0.0;
     wf.timers.reset();
 
     for _ in 0..cfg.n_steps {
@@ -67,11 +77,14 @@ pub fn run_vmc<T: Real>(wf: &mut TrialWaveFunction<T>, cfg: &VmcConfig) -> VmcRe
                 wf.reject();
             }
         }
+        // Measurement stage: one batched all-electron VGH sweep.
+        kinetic_sum += kinetic_energy(&wf.log_derivs());
     }
 
     VmcResult {
         acceptance: accepted as f64 / proposed as f64,
         log_psi: wf.log_psi(),
+        kinetic: kinetic_sum / cfg.n_steps.max(1) as f64,
         profile: wf.timers.report(),
     }
 }
@@ -117,6 +130,7 @@ mod tests {
         );
         assert!(res.acceptance > 0.05 && res.acceptance <= 1.0);
         assert!(res.log_psi.is_finite());
+        assert!(res.kinetic.is_finite() && res.kinetic != 0.0);
     }
 
     #[test]

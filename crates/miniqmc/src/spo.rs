@@ -10,7 +10,7 @@
 //! trace of `Hᵤ`).
 
 use crate::lattice::Lattice;
-use bspline::{BsplineSoA, WalkerSoA};
+use bspline::{BatchOut, BsplineSoA, PosBlock, WalkerSoA};
 use einspline::{MultiCoefs, Real};
 
 /// Orbital values + Cartesian gradients + Laplacians for one position —
@@ -52,6 +52,11 @@ pub struct SpoSet<T: Real> {
     metric: [[f64; 3]; 3],
     scratch: WalkerSoA<T>,
     out: SpoVgl,
+    /// Batched-sweep scratch: per-electron engine outputs + position
+    /// block, grown on demand and reused across sweeps.
+    batch_scratch: BatchOut<WalkerSoA<T>>,
+    batch_pos: PosBlock<T>,
+    batch_rows: Vec<SpoVgl>,
 }
 
 impl<T: Real> SpoSet<T> {
@@ -84,6 +89,9 @@ impl<T: Real> SpoSet<T> {
             metric,
             scratch,
             out: SpoVgl::zeros(n),
+            batch_scratch: BatchOut::from_blocks(Vec::new()),
+            batch_pos: PosBlock::new(),
+            batch_rows: Vec::new(),
         }
     }
 
@@ -127,17 +135,28 @@ impl<T: Real> SpoSet<T> {
         let u = self.frac_pos(r);
         self.engine.vgh(u, &mut self.scratch);
         let n = self.n_orbitals();
-        let g = &self.g;
-        let m = &self.metric;
+        Self::pull_back(&self.g, &self.metric, n, &self.scratch, &mut self.out);
+        &self.out
+    }
+
+    /// Pull one engine output block back to Cartesian coordinates:
+    /// `∇ᵣ = G ∇ᵤ`, `lap = Σ_bc M[b][c]·Hᵤ[b][c]` (Hᵤ symmetric,
+    /// 6 streams).
+    fn pull_back(
+        g: &[[f64; 3]; 3],
+        m: &[[f64; 3]; 3],
+        n: usize,
+        scratch: &WalkerSoA<T>,
+        out: &mut SpoVgl,
+    ) {
         for k in 0..n {
-            self.out.v[k] = self.scratch.value(k).to_f64();
-            let gu = self.scratch.gradient(k);
+            out.v[k] = scratch.value(k).to_f64();
+            let gu = scratch.gradient(k);
             let gu = [gu[0].to_f64(), gu[1].to_f64(), gu[2].to_f64()];
-            self.out.gx[k] = g[0][0] * gu[0] + g[0][1] * gu[1] + g[0][2] * gu[2];
-            self.out.gy[k] = g[1][0] * gu[0] + g[1][1] * gu[1] + g[1][2] * gu[2];
-            self.out.gz[k] = g[2][0] * gu[0] + g[2][1] * gu[1] + g[2][2] * gu[2];
-            // lap = Σ_bc M[b][c]·Hᵤ[b][c] (Hᵤ symmetric, 6 streams).
-            let h = self.scratch.hessian(k);
+            out.gx[k] = g[0][0] * gu[0] + g[0][1] * gu[1] + g[0][2] * gu[2];
+            out.gy[k] = g[1][0] * gu[0] + g[1][1] * gu[1] + g[1][2] * gu[2];
+            out.gz[k] = g[2][0] * gu[0] + g[2][1] * gu[1] + g[2][2] * gu[2];
+            let h = scratch.hessian(k);
             let h = [
                 h[0].to_f64(),
                 h[1].to_f64(),
@@ -146,12 +165,63 @@ impl<T: Real> SpoSet<T> {
                 h[4].to_f64(),
                 h[5].to_f64(),
             ];
-            self.out.lap[k] = m[0][0] * h[0]
+            out.lap[k] = m[0][0] * h[0]
                 + m[1][1] * h[3]
                 + m[2][2] * h[5]
                 + 2.0 * (m[0][1] * h[1] + m[0][2] * h[2] + m[1][2] * h[4]);
         }
-        &self.out
+    }
+
+    /// Grow and fill the batched-sweep scratch for `rs.len()` positions.
+    fn prepare_batch(&mut self, rs: &[[f64; 3]]) {
+        self.batch_pos.clear();
+        for &r in rs {
+            let u = self.frac_pos(r);
+            self.batch_pos.push(u);
+        }
+        let n = self.n_orbitals();
+        self.batch_scratch.ensure(rs.len(), || WalkerSoA::new(n));
+        while self.batch_rows.len() < rs.len() {
+            self.batch_rows.push(SpoVgl::zeros(n));
+        }
+    }
+
+    /// Orbital values for a whole block of Cartesian positions (kernel V
+    /// batched): row `e` of the result holds position `e`'s values (only
+    /// the `v` stream is filled). One engine call per block; scratch is
+    /// reused across sweeps.
+    pub fn evaluate_v_batch(&mut self, rs: &[[f64; 3]]) -> &[SpoVgl] {
+        self.prepare_batch(rs);
+        self.engine.v_batch(&self.batch_pos, &mut self.batch_scratch);
+        let n = self.n_orbitals();
+        for (e, row) in self.batch_rows.iter_mut().take(rs.len()).enumerate() {
+            let scratch = self.batch_scratch.block(e);
+            for k in 0..n {
+                row.v[k] = scratch.value(k).to_f64();
+            }
+        }
+        &self.batch_rows[..rs.len()]
+    }
+
+    /// The multi-electron VGH sweep: values + Cartesian gradients +
+    /// Laplacians for every position of the block — one batched engine
+    /// call (`vgh_batch`) followed by the per-row pull-back. This is
+    /// what the VMC/DMC drift-diffusion machinery consumes to get all
+    /// electrons' drift gradients and kinetic Laplacians at once.
+    pub fn evaluate_vgl_batch(&mut self, rs: &[[f64; 3]]) -> &[SpoVgl] {
+        self.prepare_batch(rs);
+        self.engine.vgh_batch(&self.batch_pos, &mut self.batch_scratch);
+        let n = self.n_orbitals();
+        for (e, row) in self.batch_rows.iter_mut().take(rs.len()).enumerate() {
+            Self::pull_back(
+                &self.g,
+                &self.metric,
+                n,
+                self.batch_scratch.block(e),
+                row,
+            );
+        }
+        &self.batch_rows[..rs.len()]
     }
 }
 
@@ -271,6 +341,56 @@ mod tests {
         let h = scratch.hessian(0);
         let expect = h[0] / 4.0 + h[3] / 9.0 + h[5] / 16.0;
         assert!((out.lap[0] - expect).abs() < 1e-10);
+    }
+
+    #[test]
+    fn batched_sweep_matches_scalar_evaluations() {
+        let lat = Lattice::hexagonal(2.5, 6.0);
+        let mut spo = build(lat, 16, 3);
+        let rs: Vec<[f64; 3]> = [
+            [0.11, 0.42, 0.83],
+            [0.57, 0.24, 0.39],
+            [0.91, 0.66, 0.05],
+            [0.33, 0.78, 0.52],
+        ]
+        .iter()
+        .map(|u| lat.to_cart(*u))
+        .collect();
+
+        let scalar: Vec<SpoVgl> =
+            rs.iter().map(|&r| spo.evaluate_vgl(r).clone()).collect();
+        let batch = spo.evaluate_vgl_batch(&rs).to_vec();
+        assert_eq!(batch.len(), rs.len());
+        for (e, (s, b)) in scalar.iter().zip(&batch).enumerate() {
+            for k in 0..3 {
+                assert_eq!(s.v[k], b.v[k], "e={e} k={k}");
+                assert_eq!(s.gx[k], b.gx[k]);
+                assert_eq!(s.gy[k], b.gy[k]);
+                assert_eq!(s.gz[k], b.gz[k]);
+                assert_eq!(s.lap[k], b.lap[k]);
+            }
+        }
+
+        let v_scalar: Vec<Vec<f64>> =
+            rs.iter().map(|&r| spo.evaluate_v(r).to_vec()).collect();
+        let v_batch = spo.evaluate_v_batch(&rs).to_vec();
+        for (e, (s, b)) in v_scalar.iter().zip(&v_batch).enumerate() {
+            assert_eq!(s.as_slice(), &b.v[..3], "e={e}");
+        }
+    }
+
+    #[test]
+    fn batched_sweep_scratch_grows_and_shrinks_view() {
+        let lat = Lattice::cubic(4.0);
+        let mut spo = build(lat, 12, 2);
+        let big: Vec<[f64; 3]> = (0..6)
+            .map(|i| lat.to_cart([0.1 * i as f64, 0.3, 0.5]))
+            .collect();
+        assert_eq!(spo.evaluate_vgl_batch(&big).len(), 6);
+        // Smaller follow-up sweep reuses the grown scratch.
+        assert_eq!(spo.evaluate_vgl_batch(&big[..2]).len(), 2);
+        // Empty sweep is a no-op.
+        assert!(spo.evaluate_vgl_batch(&[]).is_empty());
     }
 
     #[test]

@@ -54,12 +54,15 @@ impl<T: Real> TrialWaveFunction<T> {
         let dist_ee = DistanceTableAA::new(&electrons);
         let dist_ei = DistanceTableAB::new(ions, &electrons);
 
-        // Build both spin determinants from SPO values.
+        // Build both spin determinants from SPO values, one batched
+        // multi-electron evaluation per spin.
         let mut build_det = |spin: usize| -> DiracDeterminant {
+            let rs = Self::spin_positions(&electrons, spin, n_per_spin);
+            let rows = spo.evaluate_v_batch(&rs);
             let mut a = vec![0.0; n_per_spin * n_per_spin];
-            for e in 0..n_per_spin {
-                let v = spo.evaluate_v(electrons.get(spin * n_per_spin + e));
-                a[e * n_per_spin..(e + 1) * n_per_spin].copy_from_slice(v);
+            for (e, row) in rows.iter().enumerate() {
+                a[e * n_per_spin..(e + 1) * n_per_spin]
+                    .copy_from_slice(&row.v[..n_per_spin]);
             }
             DiracDeterminant::build(&a, n_per_spin)
         };
@@ -108,6 +111,17 @@ impl<T: Real> TrialWaveFunction<T> {
         (iel / self.n_per_spin, iel % self.n_per_spin)
     }
 
+    /// Positions of one spin's electrons, in determinant row order.
+    fn spin_positions(
+        electrons: &ParticleSet,
+        spin: usize,
+        n_per_spin: usize,
+    ) -> Vec<[f64; 3]> {
+        (0..n_per_spin)
+            .map(|e| electrons.get(spin * n_per_spin + e))
+            .collect()
+    }
+
     /// Full recompute of `log |ΨT|` (and internal state).
     pub fn evaluate_log(&mut self) -> f64 {
         let n_per_spin = self.n_per_spin;
@@ -129,11 +143,12 @@ impl<T: Real> TrialWaveFunction<T> {
         });
 
         for spin in 0..2 {
+            let rs = Self::spin_positions(electrons, spin, n_per_spin);
+            let rows = timers.time(Category::Bspline, || spo.evaluate_v_batch(&rs));
             let mut a = vec![0.0; n_per_spin * n_per_spin];
-            for e in 0..n_per_spin {
-                let r = electrons.get(spin * n_per_spin + e);
-                let v = timers.time(Category::Bspline, || spo.evaluate_v(r));
-                a[e * n_per_spin..(e + 1) * n_per_spin].copy_from_slice(v);
+            for (e, row) in rows.iter().enumerate() {
+                a[e * n_per_spin..(e + 1) * n_per_spin]
+                    .copy_from_slice(&row.v[..n_per_spin]);
             }
             timers.time(Category::Determinant, || {
                 dets[spin] = DiracDeterminant::build(&a, n_per_spin);
@@ -152,6 +167,65 @@ impl<T: Real> TrialWaveFunction<T> {
             log_j1 + log_j2 + self.dets[0].log_det() + self.dets[1].log_det();
         self.pending = None;
         self.log_psi
+    }
+
+    /// All-electron `∇ᵢ ln|Ψ|` and `∇²ᵢ ln|Ψ|` — the drift-diffusion
+    /// sweep: drift vectors for proposal moves and the input of the
+    /// kinetic-energy estimator. One batched VGH evaluation per spin
+    /// ([`SpoSet::evaluate_vgl_batch`]) replaces the per-electron engine
+    /// calls; determinant and Jastrow contributions are combined per
+    /// electron.
+    ///
+    /// The internal state (determinant inverses, distance tables) must
+    /// be consistent with the current electron positions, i.e. call this
+    /// between sweeps, not with a move pending.
+    pub fn log_derivs(&mut self) -> JastrowDerivs {
+        assert!(self.pending.is_none(), "log_derivs with a move pending");
+        let n_per_spin = self.n_per_spin;
+        let n_el = self.electrons.len();
+        let (electrons, dist_ee, dist_ei, spo, dets, j1, j2, timers) = (
+            &self.electrons,
+            &mut self.dist_ee,
+            &mut self.dist_ei,
+            &mut self.spo,
+            &self.dets,
+            &mut self.j1,
+            &mut self.j2,
+            &mut self.timers,
+        );
+
+        timers.time(Category::Distance, || {
+            dist_ee.rebuild(electrons);
+            dist_ei.rebuild(electrons);
+        });
+        let mut derivs = JastrowDerivs::zeros(n_el);
+        timers.time(Category::Jastrow, || {
+            j2.evaluate_log(dist_ee, &mut derivs);
+            j1.evaluate_log(dist_ei, &mut derivs);
+        });
+
+        for spin in 0..2 {
+            let rs = Self::spin_positions(electrons, spin, n_per_spin);
+            let rows = timers.time(Category::Bspline, || spo.evaluate_vgl_batch(&rs));
+            for (e, row) in rows.iter().enumerate() {
+                let (g, l) = timers.time(Category::Determinant, || {
+                    crate::drivers::observables::det_log_derivs(
+                        &dets[spin],
+                        e,
+                        &row.gx,
+                        &row.gy,
+                        &row.gz,
+                        &row.lap,
+                    )
+                });
+                let iel = spin * n_per_spin + e;
+                for d in 0..3 {
+                    derivs.grad[iel][d] += g[d];
+                }
+                derivs.lap[iel] += l;
+            }
+        }
+        derivs
     }
 
     /// Propose moving electron `iel` to `rnew`; returns the wavefunction
@@ -324,6 +398,56 @@ mod tests {
             (tracked - fresh).abs() < 1e-6,
             "tracked {tracked} vs fresh {fresh}"
         );
+    }
+
+    #[test]
+    fn log_derivs_gradient_matches_finite_difference_of_log_psi() {
+        let mut wf = small_system(41);
+        let derivs = wf.log_derivs();
+        assert_eq!(derivs.grad.len(), wf.n_electrons());
+        let h = 1e-5;
+        for iel in [0usize, 9] {
+            let r0 = wf.electrons().get(iel);
+            for d in 0..3 {
+                let mut rp = r0;
+                rp[d] += h;
+                let ratio_p = wf.ratio(iel, rp);
+                wf.reject();
+                let mut rm = r0;
+                rm[d] -= h;
+                let ratio_m = wf.ratio(iel, rm);
+                wf.reject();
+                let fd = (ratio_p.abs().ln() - ratio_m.abs().ln()) / (2.0 * h);
+                assert!(
+                    (derivs.grad[iel][d] - fd).abs() < 1e-4,
+                    "iel={iel} d={d}: {} vs {fd}",
+                    derivs.grad[iel][d]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn log_derivs_laplacian_matches_finite_difference() {
+        let mut wf = small_system(43);
+        let derivs = wf.log_derivs();
+        let h = 2e-4;
+        let iel = 3;
+        let r0 = wf.electrons().get(iel);
+        let mut lap_fd = 0.0;
+        for d in 0..3 {
+            let mut rp = r0;
+            rp[d] += h;
+            let ratio_p = wf.ratio(iel, rp);
+            wf.reject();
+            let mut rm = r0;
+            rm[d] -= h;
+            let ratio_m = wf.ratio(iel, rm);
+            wf.reject();
+            lap_fd += (ratio_p.abs().ln() + ratio_m.abs().ln()) / (h * h);
+        }
+        let rel = (derivs.lap[iel] - lap_fd).abs() / lap_fd.abs().max(1.0);
+        assert!(rel < 5e-2, "{} vs {lap_fd}", derivs.lap[iel]);
     }
 
     #[test]

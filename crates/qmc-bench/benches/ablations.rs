@@ -7,8 +7,8 @@
 //! * distance-table layout: AoS scalar pairs vs SoA streamed rows;
 //! * Jastrow over SoA rows vs per-pair AoS accessors.
 
-use bspline::parallel::{nested_generation_time, run_nested};
-use bspline::{BsplineAoSoA, Kernel, WalkerSoA};
+use bspline::parallel::{nested_generation_time, run_nested, run_nested_dynamic};
+use bspline::{BsplineAoSoA, Kernel, PosBlock, WalkerSoA};
 use criterion::{criterion_group, criterion_main, Criterion};
 use miniqmc::distance::aos::DistanceTableAAAoS;
 use miniqmc::distance::soa::DistanceTableAA;
@@ -53,13 +53,34 @@ fn bench_ablations(c: &mut Criterion) {
         })
     });
     // Reference: the same work single-threaded through run_nested.
+    let block = PosBlock::from_positions(&pos);
     g.bench_function("nested_single_thread", |b| {
         b.iter(|| {
             let mut walkers = vec![engine.make_out()];
-            let ppw = vec![pos.clone()];
+            let ppw = vec![block.clone()];
             run_nested(&engine, Kernel::Vgh, &mut walkers, &ppw, 1)
         })
     });
+
+    // --- batched nested path: static partition vs dynamic chunk queue --
+    // A deliberately ragged tile count (13 tiles on `total` threads) so
+    // the static partition idles workers where the grained dynamic
+    // queue does not; outputs and position blocks are allocated once
+    // outside the timed region.
+    let ragged = BsplineAoSoA::from_multi(&coefficients(13 * 16, (12, 12, 12), 4), 16);
+    let n_walkers = 2;
+    let blocks: Vec<PosBlock<f32>> = (0..n_walkers).map(|_| block.clone()).collect();
+    let mut walkers: Vec<_> = (0..n_walkers).map(|_| ragged.make_out()).collect();
+    g.bench_function("nested_batched_static_partition", |b| {
+        b.iter(|| run_nested(&ragged, Kernel::Vgh, &mut walkers, &blocks, total))
+    });
+    for grain in [1usize, 4] {
+        g.bench_function(format!("nested_batched_dynamic_grain{grain}"), |b| {
+            b.iter(|| {
+                run_nested_dynamic(&ragged, Kernel::Vgh, &mut walkers, &blocks, grain)
+            })
+        });
+    }
 
     // --- z-unroll fusion: fused plane kernel vs naive 64-point loop -----
     let soa_engine = bspline::BsplineSoA::new(coefficients(n, (12, 12, 12), 9));

@@ -1,8 +1,9 @@
-//! Criterion bench for Fig. 7a: AoS vs SoA VGH kernel throughput.
+//! Criterion bench for Fig. 7a: AoS vs SoA VGH kernel throughput,
+//! scalar loop vs the batched API (`vgh_batch`, hoisted basis weights).
 //! Reduced scale (grid 12³); the full-scale sweep is the `fig7a` binary.
 
 use bspline::SpoEngine;
-use bspline::{BsplineAoS, BsplineSoA, Kernel};
+use bspline::{BsplineAoS, BsplineSoA, Kernel, PosBlock};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use qmc_bench::workload::{coefficients, positions};
 use std::time::Duration;
@@ -13,6 +14,7 @@ fn bench_fig7a(c: &mut Criterion) {
         .warm_up_time(Duration::from_millis(200))
         .measurement_time(Duration::from_millis(800));
     let pos = positions(16, 11);
+    let block = PosBlock::from_positions(&pos);
     for n in [64usize, 128, 256] {
         let table = coefficients(n, (12, 12, 12), n as u64);
         g.throughput(Throughput::Elements((n * pos.len()) as u64));
@@ -26,6 +28,10 @@ fn bench_fig7a(c: &mut Criterion) {
                 }
             })
         });
+        let mut batch_out = aos.make_batch_out(block.len());
+        g.bench_with_input(BenchmarkId::new("AoS_batch", n), &n, |b, _| {
+            b.iter(|| aos.vgh_batch(&block, &mut batch_out))
+        });
 
         let soa = BsplineSoA::new(table);
         let mut out = soa.make_out();
@@ -35,6 +41,10 @@ fn bench_fig7a(c: &mut Criterion) {
                     soa.eval(Kernel::Vgh, *p, &mut out);
                 }
             })
+        });
+        let mut batch_out = soa.make_batch_out(block.len());
+        g.bench_with_input(BenchmarkId::new("SoA_batch", n), &n, |b, _| {
+            b.iter(|| soa.vgh_batch(&block, &mut batch_out))
         });
     }
     g.finish();

@@ -1,9 +1,11 @@
 //! Criterion bench for Fig. 8: per-kernel (V/VGL/VGH) cost in the AoS
-//! baseline vs the AoSoA-optimized implementation. Full-scale: `fig8`
-//! binary.
+//! baseline vs the AoSoA-optimized implementation, plus the batched
+//! per-position-retained AoSoA path (`eval_batch`: tile-major order,
+//! basis weights hoisted once per position for all tiles). Full-scale:
+//! `fig8` binary.
 
 use bspline::SpoEngine;
-use bspline::{BsplineAoS, BsplineAoSoA, Kernel};
+use bspline::{BsplineAoS, BsplineAoSoA, Kernel, PosBlock};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use qmc_bench::workload::{coefficients, positions};
 use std::time::Duration;
@@ -15,6 +17,7 @@ fn bench_fig8(c: &mut Criterion) {
         .measurement_time(Duration::from_millis(800));
     let n = 128;
     let pos = positions(16, 19);
+    let block = PosBlock::from_positions(&pos);
     let table = coefficients(n, (12, 12, 12), 9);
     g.throughput(Throughput::Elements((n * pos.len()) as u64));
 
@@ -33,6 +36,26 @@ fn bench_fig8(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new(format!("AoSoA_{k}"), n), &n, |b, _| {
             b.iter(|| tiled.eval_batch_tile_major(k, &pos, &mut out))
         });
+        let mut batch_out = tiled.make_batch_out(block.len());
+        g.bench_with_input(
+            BenchmarkId::new(format!("AoSoA_batch_{k}"), n),
+            &n,
+            |b, _| b.iter(|| tiled.eval_batch(k, &block, &mut batch_out)),
+        );
+        // Scalar-loop reference with per-position retained outputs (what
+        // the batched path replaces 1:1).
+        let mut batch_out = tiled.make_batch_out(block.len());
+        g.bench_with_input(
+            BenchmarkId::new(format!("AoSoA_scalar_loop_{k}"), n),
+            &n,
+            |b, _| {
+                b.iter(|| {
+                    for (i, p) in pos.iter().enumerate() {
+                        tiled.eval(k, *p, batch_out.block_mut(i));
+                    }
+                })
+            },
+        );
     }
     g.finish();
 }

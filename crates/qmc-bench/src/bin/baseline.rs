@@ -1,0 +1,171 @@
+//! `baseline` — record an in-repo bench baseline (`BENCH_BASELINE.json`).
+//!
+//! Measures the fig7a / fig7b / fig8 host workloads plus the batched
+//! variants of each engine and writes the throughputs (M-evals/s) with
+//! the host CPU and run configuration to a JSON file, so later kernel
+//! PRs can claim measured speedups against committed numbers instead of
+//! test parity alone.
+//!
+//! Run: `cargo run --release -p qmc-bench --bin baseline [-- out.json]`
+//! (`QMC_BENCH_QUICK=1` shrinks the workload for smoke runs.)
+
+use bspline::{BsplineAoS, BsplineAoSoA, BsplineSoA, Kernel};
+use qmc_bench::workload::{batch_size, is_quick};
+use qmc_bench::{
+    coefficients, measure_kernel, measure_kernel_batched, MeasureConfig, Table,
+};
+use std::fmt::Write as _;
+
+/// Throughput in M-evals/s with 2 decimals (host numbers here are in
+/// the 10⁵–10⁷ evals/s range; G-evals would round to zero).
+fn mops(x: f64) -> String {
+    format!("{:.2}", x / 1e6)
+}
+
+fn host_cpu() -> String {
+    std::fs::read_to_string("/proc/cpuinfo")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("model name"))
+                .and_then(|l| l.split(':').nth(1))
+                .map(|v| v.trim().to_string())
+        })
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_BASELINE.json".to_string());
+    let quick = is_quick();
+    let (grid, sweep): ((usize, usize, usize), Vec<usize>) = if quick {
+        ((12, 12, 12), vec![64, 128])
+    } else {
+        ((32, 32, 32), vec![128, 256, 512, 1024])
+    };
+    let nb = 32;
+    let cfg = MeasureConfig {
+        ns: if quick { 32 } else { 128 },
+        reps: 3,
+        seed: 7,
+    };
+    let threads = std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(1);
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"schema\": \"qmc-bench-baseline-v1\",\n");
+    let _ = writeln!(json, "  \"host\": {{ \"cpu\": {:?}, \"threads\": {threads} }},", host_cpu());
+    let _ = writeln!(
+        json,
+        "  \"config\": {{ \"grid\": [{}, {}, {}], \"ns\": {}, \"reps\": {}, \"batch\": {}, \"nb\": {nb}, \"quick\": {quick} }},",
+        grid.0, grid.1, grid.2, cfg.ns, cfg.reps, batch_size()
+    );
+
+    // Fig 7a: AoS vs SoA (VGH), scalar loop vs batched API.
+    let mut t7a = Table::new(
+        "Fig 7a baseline: VGH M-evals/s (AoS vs SoA, scalar vs batch)",
+        &["N", "AoS", "AoS_batch", "SoA", "SoA_batch"],
+    );
+    json.push_str("  \"fig7a_vgh_mevals_per_sec\": [\n");
+    for (idx, &n) in sweep.iter().enumerate() {
+        let table = coefficients(n, grid, 42 + n as u64);
+        let aos = BsplineAoS::new(table.clone());
+        let t_aos = measure_kernel(&aos, Kernel::Vgh, &cfg);
+        let t_aos_b = measure_kernel_batched(&aos, Kernel::Vgh, &cfg);
+        drop(aos);
+        let soa = BsplineSoA::new(table);
+        let t_soa = measure_kernel(&soa, Kernel::Vgh, &cfg);
+        let t_soa_b = measure_kernel_batched(&soa, Kernel::Vgh, &cfg);
+        let _ = writeln!(
+            json,
+            "    {{ \"n\": {n}, \"aos\": {}, \"aos_batch\": {}, \"soa\": {}, \"soa_batch\": {} }}{}",
+            mops(t_aos.ops_per_sec),
+            mops(t_aos_b.ops_per_sec),
+            mops(t_soa.ops_per_sec),
+            mops(t_soa_b.ops_per_sec),
+            if idx + 1 == sweep.len() { "" } else { "," }
+        );
+        t7a.row(vec![
+            n.to_string(),
+            mops(t_aos.ops_per_sec),
+            mops(t_aos_b.ops_per_sec),
+            mops(t_soa.ops_per_sec),
+            mops(t_soa_b.ops_per_sec),
+        ]);
+        eprintln!("fig7a N={n} done");
+    }
+    json.push_str("  ],\n");
+    t7a.print();
+
+    // Fig 7b: SoA vs AoSoA — position-major scalar vs tile-major batch.
+    let mut t7b = Table::new(
+        "Fig 7b baseline: VGH M-evals/s (SoA vs AoSoA Nb=32 scalar vs batch)",
+        &["N", "SoA", "AoSoA_scalar", "AoSoA_batch"],
+    );
+    json.push_str("  \"fig7b_vgh_mevals_per_sec\": [\n");
+    for (idx, &n) in sweep.iter().enumerate() {
+        let table = coefficients(n, grid, 13 + n as u64);
+        let soa = BsplineSoA::new(table.clone());
+        let t_soa = measure_kernel(&soa, Kernel::Vgh, &cfg);
+        drop(soa);
+        let tiled = BsplineAoSoA::from_multi(&table, nb);
+        let t_scalar = measure_kernel(&tiled, Kernel::Vgh, &cfg);
+        let t_batch = measure_kernel_batched(&tiled, Kernel::Vgh, &cfg);
+        let _ = writeln!(
+            json,
+            "    {{ \"n\": {n}, \"nb\": {nb}, \"soa\": {}, \"aosoa_scalar\": {}, \"aosoa_batch\": {} }}{}",
+            mops(t_soa.ops_per_sec),
+            mops(t_scalar.ops_per_sec),
+            mops(t_batch.ops_per_sec),
+            if idx + 1 == sweep.len() { "" } else { "," }
+        );
+        t7b.row(vec![
+            n.to_string(),
+            mops(t_soa.ops_per_sec),
+            mops(t_scalar.ops_per_sec),
+            mops(t_batch.ops_per_sec),
+        ]);
+        eprintln!("fig7b N={n} done");
+    }
+    json.push_str("  ],\n");
+    t7b.print();
+
+    // Fig 8: per-kernel AoS baseline vs AoSoA, scalar vs batched.
+    let n8 = if quick { 128 } else { 512 };
+    let table8 = coefficients(n8, grid, 9);
+    let aos = BsplineAoS::new(table8.clone());
+    let tiled = BsplineAoSoA::from_multi(&table8, nb);
+    let mut t8 = Table::new(
+        format!("Fig 8 baseline: per-kernel M-evals/s (N = {n8})"),
+        &["kernel", "AoS", "AoSoA_scalar", "AoSoA_batch"],
+    );
+    let _ = writeln!(json, "  \"fig8_mevals_per_sec_n{n8}\": [");
+    for (idx, k) in Kernel::ALL.iter().enumerate() {
+        let t_aos = measure_kernel(&aos, *k, &cfg);
+        let t_scalar = measure_kernel(&tiled, *k, &cfg);
+        let t_batch = measure_kernel_batched(&tiled, *k, &cfg);
+        let _ = writeln!(
+            json,
+            "    {{ \"kernel\": \"{k}\", \"aos\": {}, \"aosoa_scalar\": {}, \"aosoa_batch\": {} }}{}",
+            mops(t_aos.ops_per_sec),
+            mops(t_scalar.ops_per_sec),
+            mops(t_batch.ops_per_sec),
+            if idx + 1 == Kernel::ALL.len() { "" } else { "," }
+        );
+        t8.row(vec![
+            k.to_string(),
+            mops(t_aos.ops_per_sec),
+            mops(t_scalar.ops_per_sec),
+            mops(t_batch.ops_per_sec),
+        ]);
+        eprintln!("fig8 {k} done");
+    }
+    json.push_str("  ]\n}\n");
+    t8.print();
+
+    std::fs::write(&out_path, &json).expect("write baseline JSON");
+    println!("wrote {out_path}");
+}

@@ -28,8 +28,10 @@ pub mod profile_suite;
 pub mod report;
 pub mod workload;
 
-pub use measure::{measure_kernel, measure_tile_major, MeasureConfig};
+pub use measure::{
+    measure_kernel, measure_kernel_batched, measure_tile_major, MeasureConfig,
+};
 pub use modelled::{model_prediction, sim_threads, ModelScenario};
 pub use profile_suite::{run_profile, ProfileConfig, Suite};
 pub use report::Table;
-pub use workload::{coefficients, is_quick, positions, N_SWEEP};
+pub use workload::{coefficients, is_quick, pos_block, positions, N_SWEEP};

@@ -1,8 +1,8 @@
 //! Host throughput measurement for the engines.
 
-use crate::workload::positions;
+use crate::workload::{batch_size, pos_block, positions};
 use bspline::SpoEngine;
-use bspline::{BsplineAoSoA, Kernel, Throughput};
+use bspline::{BsplineAoSoA, Kernel, PosBlock, Throughput};
 use std::time::Instant;
 
 /// Measurement parameters.
@@ -44,6 +44,36 @@ pub fn measure_kernel<E: SpoEngine<f32>>(
         let t0 = Instant::now();
         for p in &pos {
             engine.eval(kernel, *p, &mut out);
+        }
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    Throughput {
+        ops_per_sec: (engine.n_splines() * cfg.ns) as f64 / best,
+    }
+}
+
+/// Throughput of `kernel` through the batched API: the position stream
+/// is pre-chunked into [`batch_size`]-sized [`PosBlock`]s and every
+/// timed call hands the engine a whole block (hoisted basis weights;
+/// tile-major blocking for AoSoA). Output blocks are allocated once and
+/// reused across the run.
+pub fn measure_kernel_batched<E: SpoEngine<f32>>(
+    engine: &E,
+    kernel: Kernel,
+    cfg: &MeasureConfig,
+) -> Throughput {
+    let batch = batch_size().min(cfg.ns.max(1));
+    let blocks: Vec<PosBlock<f32>> =
+        pos_block(cfg.ns, cfg.seed).chunks(batch).collect();
+    let mut out = engine.make_batch_out(batch);
+    for b in &blocks {
+        engine.eval_batch(kernel, b, &mut out); // warm-up
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..cfg.reps {
+        let t0 = Instant::now();
+        for b in &blocks {
+            engine.eval_batch(kernel, b, &mut out);
         }
         best = best.min(t0.elapsed().as_secs_f64());
     }
@@ -97,6 +127,9 @@ mod tests {
             assert!(measure_kernel(&aos, k, &cfg()).ops_per_sec > 0.0);
             assert!(measure_kernel(&soa, k, &cfg()).ops_per_sec > 0.0);
             assert!(measure_tile_major(&tiled, k, &cfg()).ops_per_sec > 0.0);
+            assert!(measure_kernel_batched(&aos, k, &cfg()).ops_per_sec > 0.0);
+            assert!(measure_kernel_batched(&soa, k, &cfg()).ops_per_sec > 0.0);
+            assert!(measure_kernel_batched(&tiled, k, &cfg()).ops_per_sec > 0.0);
         }
     }
 

@@ -1,6 +1,7 @@
 //! Standard workloads: the paper's problem-size sweep and coefficient
 //! tables.
 
+use bspline::PosBlock;
 use einspline::MultiCoefs;
 use miniqmc::synthetic::random_coefficients;
 use rand::rngs::StdRng;
@@ -48,6 +49,22 @@ pub fn positions(ns: usize, seed: u64) -> Vec<[f32; 3]> {
     (0..ns)
         .map(|_| [rng.random::<f32>(), rng.random::<f32>(), rng.random::<f32>()])
         .collect()
+}
+
+/// The same `ns` random fractional positions as [`positions`], as a
+/// SoA [`PosBlock`] for the batched engine paths.
+pub fn pos_block(ns: usize, seed: u64) -> PosBlock<f32> {
+    PosBlock::from_positions(&positions(ns, seed))
+}
+
+/// Positions per batched engine call in the batched measurement
+/// variants (the per-call output working set is `batch_size()` blocks).
+pub fn batch_size() -> usize {
+    if is_quick() {
+        16
+    } else {
+        32
+    }
 }
 
 /// Samples per kernel invocation batch — the paper's ns = 512 (Fig. 3).

@@ -2,15 +2,23 @@
 //! threads by tiles, machine-wide thread budget fixed, walkers reduced
 //! accordingly — the paper's path to strong scaling (Fig. 9).
 //!
+//! Flows through the batched API: every walker's generation is one
+//! [`PosBlock`] handed to [`run_nested`], and the per-walker output
+//! blocks + position blocks are allocated once up front and reused
+//! across all repetitions and thread counts (no allocation inside the
+//! measurement loop).
+//!
 //! Run: `cargo run --release -p qmc-bench --example strong_scaling`
 
-use bspline::parallel::nested_generation_time;
-use bspline::{BsplineAoSoA, Kernel};
+use bspline::parallel::run_nested;
+use bspline::walker::walker_rng;
+use bspline::{BsplineAoSoA, Kernel, PosBlock, SpoEngine, WalkerTiled};
 use qmc_bench::workload::coefficients;
 
 fn main() {
     let n = 1024;
     let nb = 64;
+    let ns = 64;
     let table = coefficients(n, (24, 24, 24), 42);
     let engine = BsplineAoSoA::from_multi(&table, nb);
     let total = std::thread::available_parallelism()
@@ -20,27 +28,42 @@ fn main() {
         "N = {n}, Nb = {nb} ({} tiles), machine threads = {total}",
         engine.n_tiles()
     );
+
+    // One position block and one tiled output block per walker at the
+    // maximum walker count, allocated once and reused for every nth.
+    let domain = SpoEngine::<f32>::domain(&engine);
+    let positions: Vec<PosBlock<f32>> = (0..total)
+        .map(|w| PosBlock::random(&mut walker_rng(9, w), ns, domain))
+        .collect();
+    let mut walkers: Vec<WalkerTiled<f32>> =
+        (0..total).map(|_| engine.make_out()).collect();
+
     println!("\nnth  walkers  generation wall  speedup  efficiency");
     let mut base = None;
     let mut nth = 1;
     while nth <= total {
+        let n_walkers = (total / nth).max(1);
         let mut best = f64::INFINITY;
         for _ in 0..3 {
-            best = best.min(
-                nested_generation_time(&engine, Kernel::Vgh, total, nth, 64, 9)
-                    .as_secs_f64(),
+            let d = run_nested(
+                &engine,
+                Kernel::Vgh,
+                &mut walkers[..n_walkers],
+                &positions[..n_walkers],
+                nth,
             );
+            best = best.min(d.as_secs_f64());
         }
         let b = *base.get_or_insert(best);
         let sp = b / best;
         println!(
-            "{nth:>3}  {:>7}  {:>13.2} ms  {sp:>6.2}x  {:>9.0} %",
-            total / nth,
+            "{nth:>3}  {n_walkers:>7}  {:>13.2} ms  {sp:>6.2}x  {:>9.0} %",
             best * 1e3,
             100.0 * sp / nth as f64
         );
         nth *= 2;
     }
-    println!("\n(each generation: every walker evaluates 64 VGH positions; walkers");
-    println!(" per node drop by nth, so ideal per-generation speedup = nth)");
+    println!("\n(each generation: every walker evaluates {ns} VGH positions as one");
+    println!(" batched block; walkers per node drop by nth, so ideal per-generation");
+    println!(" speedup = nth)");
 }

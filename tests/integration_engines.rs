@@ -95,9 +95,9 @@ fn nested_parallel_execution_is_deterministic() {
     let n = 32;
     let table = fitted_table(n, 8, 13);
     let tiled = BsplineAoSoA::from_multi(&table, 8);
-    let positions: Vec<Vec<[f64; 3]>> = vec![
-        vec![[0.1, 0.5, 0.9], [0.3, 0.3, 0.3]],
-        vec![[0.7, 0.2, 0.6], [0.9, 0.9, 0.1]],
+    let positions: Vec<bspline::PosBlock<f64>> = vec![
+        bspline::PosBlock::from_positions(&[[0.1, 0.5, 0.9], [0.3, 0.3, 0.3]]),
+        bspline::PosBlock::from_positions(&[[0.7, 0.2, 0.6], [0.9, 0.9, 0.1]]),
     ];
     let run = |nth: usize| -> Vec<f64> {
         let mut walkers: Vec<_> = (0..2).map(|_| tiled.make_out()).collect();
