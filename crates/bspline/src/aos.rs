@@ -55,9 +55,9 @@ impl<T: Real> BsplineAoS<T> {
                     let pre = a[i] * b[j] * c[k];
                     let line =
                         &self.coefs.line(loc.i0 + i, loc.j0 + j, loc.k0 + k)[..n];
-                    for (vn, &pn) in v.iter_mut().zip(line) {
-                        *vn = pre.mul_add(pn, *vn);
-                    }
+                    // The value stream is unit-stride even in AoS, so the
+                    // per-point accumulation runs at SIMD width.
+                    crate::simd::axpy(pre, line, v, n);
                 }
             }
         }
@@ -98,13 +98,17 @@ impl<T: Real> BsplineAoS<T> {
                     let line =
                         &self.coefs.line(loc.i0 + i, loc.j0 + j, loc.k0 + k)[..n];
                     tmp[..n].copy_from_slice(line);
+                    // SIMD where the layout allows it: the unit-stride
+                    // value/Laplacian streams go through the explicit
+                    // micro-kernel; the 3-strided gradient stores below
+                    // stay scalar — they are exactly the AoS deficiency
+                    // Opt A removes, not something to paper over.
+                    crate::simd::vl_point(pv, pl, &tmp[..n], v, l, n);
                     for nn in 0..n {
                         let pn = tmp[nn];
-                        v[nn] = pv.mul_add(pn, v[nn]);
                         g[3 * nn] = pgx.mul_add(pn, g[3 * nn]);
                         g[3 * nn + 1] = pgy.mul_add(pn, g[3 * nn + 1]);
                         g[3 * nn + 2] = pgz.mul_add(pn, g[3 * nn + 2]);
-                        l[nn] = pl.mul_add(pn, l[nn]);
                     }
                 }
             }

@@ -171,7 +171,12 @@ impl<T: Real> BsplineAoSoA<T> {
     /// coefficient block (`4·Ng·Nb` bytes) and `Nb`-sized output stripe
     /// stay hot across the whole batch before the next tile is touched,
     /// and the per-position basis weights are computed once for all `M`
-    /// tiles instead of `M` times.
+    /// tiles instead of `M` times. Each (tile, position) evaluation runs
+    /// through the explicit-width micro-kernels of [`crate::simd`]: the
+    /// tile's coefficient rows are consumed at full SIMD width with all
+    /// output accumulators in registers, and because tile strides are
+    /// lane-padded ([`crate::layout::max_lanes`]) the inner loops never
+    /// execute a ragged `m % LANES` tail.
     pub fn eval_batch(
         &self,
         kernel: Kernel,

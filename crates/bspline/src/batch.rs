@@ -19,6 +19,13 @@
 //!   AoSoA engine this is the real win: the scalar path recomputes the
 //!   basis weights once per *(tile, position)* pair, the batched
 //!   tile-major path once per position for all `M` tiles.
+//!
+//! The batched entry points are also where the explicit SIMD layer
+//! ([`crate::simd`]) bites hardest: with the locate/weights hoisted
+//! into `Located` blocks, each (tile, position) evaluation is pure
+//! micro-kernel work — one coefficient tile streams through the lane
+//! registers for every position of the block before the next tile is
+//! touched, which is the paper's Fig. 6 loop order at SIMD width.
 
 use einspline::basis::BasisWeights;
 use einspline::multi::MultiCoefs;

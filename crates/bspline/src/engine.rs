@@ -1,6 +1,12 @@
 //! A common interface over the three evaluation engines so drivers,
 //! benches and tests can be written once per kernel instead of once per
 //! layout.
+//!
+//! Every method (scalar and batched, all three layouts) funnels into the
+//! [`crate::simd`] micro-kernels, so the runtime backend selection
+//! (`QMC_SIMD`, [`crate::simd::with_backend`]) applies uniformly behind
+//! this trait — callers never dispatch on the instruction set
+//! themselves.
 
 use crate::aos::BsplineAoS;
 use crate::aosoa::BsplineAoSoA;
@@ -288,6 +294,40 @@ mod tests {
             for n in 0..24 {
                 assert!((va[n] - vs[n]).abs() < 1e-4, "{k} n={n}");
                 assert_eq!(vs[n], vt[n], "{k} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_trait_calls_agree_across_simd_backends() {
+        use crate::batch::PosBlock;
+        use crate::simd::{with_backend, Backend};
+        let t = table(40); // ragged against every lane width
+        let tiled = BsplineAoSoA::from_multi(&t, 16);
+        let block = PosBlock::from_positions(&[[0.3, 0.6, 1.2], [1.7, 0.2, 0.9]]);
+        let reference = with_backend(Backend::Scalar, || {
+            let mut out = tiled.make_batch_out(block.len());
+            tiled.eval_batch(Kernel::Vgh, &block, &mut out);
+            (0..2)
+                .flat_map(|p| (0..40).map(move |n| (p, n)))
+                .map(|(p, n)| out.block(p).value(n))
+                .collect::<Vec<_>>()
+        });
+        for b in Backend::available() {
+            let got = with_backend(b, || {
+                let mut out = tiled.make_batch_out(block.len());
+                tiled.eval_batch(Kernel::Vgh, &block, &mut out);
+                (0..2)
+                    .flat_map(|p| (0..40).map(move |n| (p, n)))
+                    .map(|(p, n)| out.block(p).value(n))
+                    .collect::<Vec<_>>()
+            });
+            for (i, (r, g)) in reference.iter().zip(&got).enumerate() {
+                if b.is_fused() {
+                    assert_eq!(r, g, "{b} idx={i}");
+                } else {
+                    assert!((r - g).abs() < 1e-4, "{b} idx={i}: {r} vs {g}");
+                }
             }
         }
     }

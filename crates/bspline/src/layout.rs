@@ -1,8 +1,35 @@
 //! Names for the paper's data layouts, kernels and optimization steps —
 //! shared vocabulary between the engines, the benchmark harness and the
-//! cache-simulator trace generator.
+//! cache-simulator trace generator — plus the lane-alignment queries the
+//! explicit SIMD kernels rely on.
 
 use std::fmt;
+
+/// Widest lane count any [`crate::simd`] backend may ever use for
+/// element type `T`: one 64-byte cache line (= one AVX-512 register),
+/// i.e. 16 `f32` or 8 `f64` lanes. Coefficient rows and SoA output
+/// streams are padded to a multiple of this, so every present and
+/// future backend (AVX2: 8/4 lanes, SSE2: 4/2) divides the padded
+/// length evenly and the hot path never executes a ragged tail.
+pub const fn max_lanes<T>() -> usize {
+    64 / std::mem::size_of::<T>()
+}
+
+/// `n` rounded up to a multiple of [`max_lanes`] — the guaranteed
+/// padded length of a coefficient row / SoA output stream holding `n`
+/// logical elements. Agrees with `einspline::aligned::padded_len` (the
+/// allocator-side counterpart) by construction; both round to a full
+/// cache line.
+pub const fn lane_padded_len<T>(n: usize) -> usize {
+    let lanes = max_lanes::<T>();
+    n.div_ceil(lanes) * lanes
+}
+
+/// Whether `len` is a whole number of widest-backend lane groups, i.e.
+/// a valid explicit-SIMD trip count with no remainder for any backend.
+pub const fn is_lane_padded<T>(len: usize) -> bool {
+    len.is_multiple_of(max_lanes::<T>())
+}
 
 /// Memory layout of the SPO evaluation (paper Sec. V).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -117,5 +144,26 @@ mod tests {
     fn all_lists_are_complete() {
         assert_eq!(Layout::ALL.len(), 3);
         assert_eq!(Kernel::ALL.len(), 3);
+    }
+
+    #[test]
+    fn lane_padding_covers_every_backend_width() {
+        assert_eq!(max_lanes::<f32>(), 16);
+        assert_eq!(max_lanes::<f64>(), 8);
+        for b in crate::simd::Backend::ALL {
+            assert_eq!(max_lanes::<f32>() % crate::simd::lanes_for::<f32>(b), 0, "{b}");
+            assert_eq!(max_lanes::<f64>() % crate::simd::lanes_for::<f64>(b), 0, "{b}");
+        }
+    }
+
+    #[test]
+    fn lane_padded_len_matches_allocator_padding() {
+        for n in [1usize, 7, 16, 17, 100, 512] {
+            assert_eq!(lane_padded_len::<f32>(n), einspline::aligned::padded_len::<f32>(n));
+            assert_eq!(lane_padded_len::<f64>(n), einspline::aligned::padded_len::<f64>(n));
+            assert!(is_lane_padded::<f32>(lane_padded_len::<f32>(n)));
+            assert!(is_lane_padded::<f64>(lane_padded_len::<f64>(n)));
+        }
+        assert!(!is_lane_padded::<f32>(17));
     }
 }

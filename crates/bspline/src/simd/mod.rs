@@ -1,0 +1,242 @@
+//! Explicit SIMD micro-kernels for the V/VGL/VGH inner loops, with
+//! one-time runtime CPU dispatch.
+//!
+//! The paper gets its headline speedups by consuming each coefficient
+//! stream at full SIMD width (Fig. 6–7, Table 4). Auto-vectorization of
+//! the portable `mul_add` loops cannot deliver that on a baseline
+//! `x86-64` target: without the `fma` target feature LLVM lowers
+//! `f32::mul_add` to a `fmaf` libm call, which blocks vectorization of
+//! the whole loop. This module supplies the hand-written lane-explicit
+//! kernels instead, structured in three layers:
+//!
+//! 1. **Lane abstraction** ([`SimdReal`], in [`lanes`]): a minimal
+//!    "pack of `LANES` reals" trait (`splat` / `load` / `store` /
+//!    `mul` / `mul_add`) implemented by the portable scalar-array pack
+//!    ([`ScalarLanes`]) and, on `x86-64` with the `simd` cargo feature
+//!    (default on), by `std::arch` packs: AVX2+FMA (`f32x8`/`f64x4`)
+//!    and SSE2 (`f32x4`/`f64x2`).
+//! 2. **Generic micro-kernels** (in `kernels`): one `#[inline(always)]`
+//!    body per hot loop, written once against [`SimdReal`]. The SoA
+//!    V/VGL/VGH kernels process a whole evaluation with the orbital
+//!    chunk as the *outer* loop: all output accumulators (`v`, `gx`,
+//!    `gy`, `gz`, `h**`) live in registers across the full 4×4 basis
+//!    unroll and are stored exactly once per orbital chunk, instead of
+//!    read-modified-written once per (i,j) plane. Ragged `m % LANES`
+//!    tails fall back to a scalar loop with the identical operation
+//!    chain.
+//! 3. **Runtime dispatch** ([`Backend`], [`active_backend`],
+//!    [`with_backend`]): the backend is detected once
+//!    (`is_x86_feature_detected!`) and cached; every kernel call goes
+//!    through a per-type `&'static` table of monomorphized function
+//!    pointers (`#[target_feature]` wrappers around the generic
+//!    bodies). `QMC_SIMD=avx2|sse2|scalar` overrides the default for
+//!    A/B testing, and [`with_backend`] forces a backend for the
+//!    current thread (used by the parity tests and the
+//!    scalar-vs-SIMD bench rows).
+//!
+//! # Numerical contract
+//!
+//! Every micro-kernel performs the *same elementwise operation chain*
+//! as the scalar reference — there are no horizontal reductions — so
+//! backends with fused multiply-add ([`Backend::Avx2`] and the scalar
+//! pack, which uses `mul_add`) are **bit-identical** to the portable
+//! code. [`Backend::Sse2`] models a pre-FMA machine (`mulps`+`addps`),
+//! so its results differ from the fused reference by a few ULP per
+//! accumulation step; the parity tests bound it with a relative
+//! tolerance instead of exact equality.
+//!
+//! # Adding a backend (e.g. AVX-512 or NEON)
+//!
+//! 1. Implement [`SimdReal`] for the new pack type(s) in an
+//!    arch-gated sibling of `x86.rs` (`#[inline(always)]` on every
+//!    method so the intrinsics inline into the `#[target_feature]`
+//!    wrappers).
+//! 2. Instantiate the wrapper/table macro for the new feature string
+//!    (see `backend_fns!` in `x86.rs`) — one dispatch table per scalar
+//!    type.
+//! 3. Add a [`Backend`] variant, wire it into `Backend::available()`
+//!    (runtime detection), `dispatch::table_f32`/`table_f64`, and the
+//!    `QMC_SIMD` parser.
+//!
+//! The coefficient tables and SoA output streams are 64-byte aligned
+//! and padded to a full cache line (16 `f32` / 8 `f64`, see
+//! [`crate::layout::max_lanes`]), which is a multiple of every lane
+//! width above — the hot path therefore never executes the ragged
+//! tail; it exists for correctness on arbitrary `m`.
+
+mod dispatch;
+mod kernels;
+pub mod lanes;
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+mod x86;
+
+pub use dispatch::{active_backend, default_backend, lanes_for, with_backend, Backend};
+pub use lanes::{ScalarLanes, SimdReal};
+
+use crate::batch::Located;
+use crate::output::WalkerSoA;
+use einspline::multi::MultiCoefs;
+use einspline::Real;
+
+/// V kernel body over a pre-located position: overwrites `out.v[..m]`.
+#[inline]
+pub(crate) fn v_soa<T: Real>(
+    coefs: &MultiCoefs<T>,
+    loc: &Located<T>,
+    out: &mut WalkerSoA<T>,
+    m: usize,
+) {
+    match dispatch::fns::<T>() {
+        Some(f) => (f.v_soa)(coefs, loc, out, m),
+        None => kernels::v_soa::<T, ScalarLanes<T>>(coefs, loc, out, m),
+    }
+}
+
+/// VGL kernel body over a pre-located position: overwrites the five
+/// `v/gx/gy/gz/l` streams (`[..m]` each).
+#[inline]
+pub(crate) fn vgl_soa<T: Real>(
+    coefs: &MultiCoefs<T>,
+    loc: &Located<T>,
+    out: &mut WalkerSoA<T>,
+    m: usize,
+) {
+    match dispatch::fns::<T>() {
+        Some(f) => (f.vgl_soa)(coefs, loc, out, m),
+        None => kernels::vgl_soa::<T, ScalarLanes<T>>(coefs, loc, out, m),
+    }
+}
+
+/// VGH kernel body over a pre-located position: overwrites the ten
+/// `v/gx/gy/gz/h**` streams (`[..m]` each).
+#[inline]
+pub(crate) fn vgh_soa<T: Real>(
+    coefs: &MultiCoefs<T>,
+    loc: &Located<T>,
+    out: &mut WalkerSoA<T>,
+    m: usize,
+) {
+    match dispatch::fns::<T>() {
+        Some(f) => (f.vgh_soa)(coefs, loc, out, m),
+        None => kernels::vgh_soa::<T, ScalarLanes<T>>(coefs, loc, out, m),
+    }
+}
+
+/// `y[..n] += a · x[..n]` — the AoS baseline's unit-stride value
+/// accumulation (one call per coefficient point).
+#[inline]
+pub(crate) fn axpy<T: Real>(a: T, x: &[T], y: &mut [T], n: usize) {
+    match dispatch::fns::<T>() {
+        Some(f) => (f.axpy)(a, x, y, n),
+        None => kernels::axpy::<T, ScalarLanes<T>>(a, x, y, n),
+    }
+}
+
+/// The unit-stride half of the AoS VGL point accumulation:
+/// `v[..n] += pv·x[..n]`, `l[..n] += pl·x[..n]`. The 3-strided gradient
+/// stores stay scalar in the engine — they are the baseline's layout
+/// deficiency that Opt A removes, not something to hide with shuffles.
+#[inline]
+pub(crate) fn vl_point<T: Real>(pv: T, pl: T, x: &[T], v: &mut [T], l: &mut [T], n: usize) {
+    match dispatch::fns::<T>() {
+        Some(f) => (f.vl_point)(pv, pl, x, v, l, n),
+        None => kernels::vl_point::<T, ScalarLanes<T>>(pv, pl, x, v, l, n),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    //! The engine paths always pass a lane-padded `m` (the padded
+    //! stride, asserted in `MultiCoefs::new`), so the scalar ragged
+    //! tails of the eval-level kernels are unreachable from the
+    //! integration surface. Exercise them directly here: every backend
+    //! × kernel at `m` values that are NOT a multiple of any lane
+    //! width, compared against a full-width scalar-pack run.
+
+    use super::*;
+    use crate::output::WalkerSoA;
+    use einspline::Grid1;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn fixture() -> (MultiCoefs<f32>, Located<f32>) {
+        let g = Grid1::periodic(0.0, 1.0, 5);
+        let mut table = MultiCoefs::<f32>::new(g, g, g, 30);
+        table.fill_random(&mut StdRng::seed_from_u64(9));
+        let loc = Located::new(&table, [0.37, 0.81, 0.14]);
+        (table, loc)
+    }
+
+    #[test]
+    fn ragged_tails_match_full_scalar_reference() {
+        let (table, loc) = fixture();
+        let reference = {
+            let mut out = WalkerSoA::<f32>::new(30);
+            let m = out.stride();
+            kernels::vgh_soa::<f32, ScalarLanes<f32>>(&table, &loc, &mut out, m);
+            out
+        };
+        // m = 1 (pure tail), 7/13 (vector body + tail for every lane
+        // width), 25 (tail after multiple avx2 chunks).
+        for b in Backend::available() {
+            for m in [1usize, 7, 13, 25] {
+                for kernel in 0..3 {
+                    let mut out = WalkerSoA::<f32>::new(30);
+                    with_backend(b, || match kernel {
+                        0 => v_soa(&table, &loc, &mut out, m),
+                        1 => vgl_soa(&table, &loc, &mut out, m),
+                        _ => vgh_soa(&table, &loc, &mut out, m),
+                    });
+                    for idx in 0..m {
+                        let (want, got) = (reference.v[idx], out.v[idx]);
+                        if b.is_fused() {
+                            assert_eq!(want, got, "{b} kernel={kernel} m={m} idx={idx}");
+                        } else {
+                            assert!(
+                                (want - got).abs() < 1e-4,
+                                "{b} kernel={kernel} m={m} idx={idx}: {want} vs {got}"
+                            );
+                        }
+                        if kernel == 2 {
+                            assert!(
+                                (reference.hzz[idx] - out.hzz[idx]).abs() < 1e-4,
+                                "{b} hzz m={m} idx={idx}"
+                            );
+                        }
+                    }
+                    // Elements past m were never written: still zero.
+                    for idx in m..out.stride() {
+                        assert_eq!(out.v[idx], 0.0, "{b} kernel={kernel} m={m} idx={idx}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ragged_tails_axpy_and_vl_point() {
+        let x: Vec<f32> = (0..30).map(|i| (i as f32) * 0.25 - 3.0).collect();
+        for b in Backend::available() {
+            for n in [1usize, 7, 13, 29] {
+                let mut y = vec![1.0f32; 30];
+                let mut v = vec![0.5f32; 30];
+                let mut l = vec![-0.5f32; 30];
+                with_backend(b, || {
+                    axpy(2.0, &x, &mut y, n);
+                    vl_point(3.0, -1.5, &x, &mut v, &mut l, n);
+                });
+                for i in 0..n {
+                    let close = |a: f32, bb: f32| (a - bb).abs() < 1e-5;
+                    assert!(close(y[i], 2.0f32.mul_add(x[i], 1.0)), "{b} axpy n={n} i={i}");
+                    assert!(close(v[i], 3.0f32.mul_add(x[i], 0.5)), "{b} v n={n} i={i}");
+                    assert!(close(l[i], (-1.5f32).mul_add(x[i], -0.5)), "{b} l n={n} i={i}");
+                }
+                for i in n..30 {
+                    assert_eq!(y[i], 1.0, "{b} axpy untouched n={n} i={i}");
+                    assert_eq!(v[i], 0.5);
+                    assert_eq!(l[i], -0.5);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,248 @@
+//! `std::arch` x86-64 lane packs (AVX2+FMA and SSE2) and the
+//! `#[target_feature]` wrapper functions the dispatch tables point at.
+//!
+//! Every [`SimdReal`] method is `#[inline(always)]` so the intrinsic
+//! calls inline into the `#[target_feature]` wrappers below and receive
+//! the wide codegen there. The safe outer wrappers do the one `unsafe`
+//! call; soundness rests on the dispatch layer only ever selecting a
+//! table after `is_x86_feature_detected!` confirmed the features (see
+//! `dispatch.rs`).
+
+use super::dispatch::Fns;
+use super::lanes::SimdReal;
+use super::Backend;
+use std::arch::x86_64::*;
+
+/// Eight `f32` lanes in one AVX2 register, fused `mul_add` (FMA3).
+#[derive(Clone, Copy)]
+pub(crate) struct F32x8(__m256);
+
+impl SimdReal<f32> for F32x8 {
+    const LANES: usize = 8;
+
+    #[inline(always)]
+    fn splat(x: f32) -> Self {
+        // SAFETY: reached only from an avx2+fma wrapper (dispatch-gated).
+        Self(unsafe { _mm256_set1_ps(x) })
+    }
+
+    #[inline(always)]
+    fn load(s: &[f32], at: usize) -> Self {
+        debug_assert!(at + Self::LANES <= s.len());
+        // SAFETY: bounds guaranteed by the kernel chunk loop (debug-asserted).
+        Self(unsafe { _mm256_loadu_ps(s.as_ptr().add(at)) })
+    }
+
+    #[inline(always)]
+    fn store(self, s: &mut [f32], at: usize) {
+        debug_assert!(at + Self::LANES <= s.len());
+        // SAFETY: as for `load`.
+        unsafe { _mm256_storeu_ps(s.as_mut_ptr().add(at), self.0) }
+    }
+
+    #[inline(always)]
+    fn mul(self, a: Self) -> Self {
+        // SAFETY: as for `splat`.
+        Self(unsafe { _mm256_mul_ps(self.0, a.0) })
+    }
+
+    #[inline(always)]
+    fn mul_add(self, a: Self, b: Self) -> Self {
+        // SAFETY: as for `splat`.
+        Self(unsafe { _mm256_fmadd_ps(self.0, a.0, b.0) })
+    }
+}
+
+/// Four `f64` lanes in one AVX2 register, fused `mul_add` (FMA3).
+#[derive(Clone, Copy)]
+pub(crate) struct F64x4(__m256d);
+
+impl SimdReal<f64> for F64x4 {
+    const LANES: usize = 4;
+
+    #[inline(always)]
+    fn splat(x: f64) -> Self {
+        // SAFETY: reached only from an avx2+fma wrapper (dispatch-gated).
+        Self(unsafe { _mm256_set1_pd(x) })
+    }
+
+    #[inline(always)]
+    fn load(s: &[f64], at: usize) -> Self {
+        debug_assert!(at + Self::LANES <= s.len());
+        // SAFETY: bounds guaranteed by the kernel chunk loop (debug-asserted).
+        Self(unsafe { _mm256_loadu_pd(s.as_ptr().add(at)) })
+    }
+
+    #[inline(always)]
+    fn store(self, s: &mut [f64], at: usize) {
+        debug_assert!(at + Self::LANES <= s.len());
+        // SAFETY: as for `load`.
+        unsafe { _mm256_storeu_pd(s.as_mut_ptr().add(at), self.0) }
+    }
+
+    #[inline(always)]
+    fn mul(self, a: Self) -> Self {
+        // SAFETY: as for `splat`.
+        Self(unsafe { _mm256_mul_pd(self.0, a.0) })
+    }
+
+    #[inline(always)]
+    fn mul_add(self, a: Self, b: Self) -> Self {
+        // SAFETY: as for `splat`.
+        Self(unsafe { _mm256_fmadd_pd(self.0, a.0, b.0) })
+    }
+}
+
+/// Four `f32` lanes in one SSE2 register. No FMA: `mul_add` is
+/// `mulps` + `addps`, modelling a pre-AVX machine.
+#[derive(Clone, Copy)]
+pub(crate) struct F32x4(__m128);
+
+impl SimdReal<f32> for F32x4 {
+    const LANES: usize = 4;
+
+    #[inline(always)]
+    fn splat(x: f32) -> Self {
+        // SAFETY: sse2 is part of the x86-64 baseline.
+        Self(unsafe { _mm_set1_ps(x) })
+    }
+
+    #[inline(always)]
+    fn load(s: &[f32], at: usize) -> Self {
+        debug_assert!(at + Self::LANES <= s.len());
+        // SAFETY: bounds guaranteed by the kernel chunk loop (debug-asserted).
+        Self(unsafe { _mm_loadu_ps(s.as_ptr().add(at)) })
+    }
+
+    #[inline(always)]
+    fn store(self, s: &mut [f32], at: usize) {
+        debug_assert!(at + Self::LANES <= s.len());
+        // SAFETY: as for `load`.
+        unsafe { _mm_storeu_ps(s.as_mut_ptr().add(at), self.0) }
+    }
+
+    #[inline(always)]
+    fn mul(self, a: Self) -> Self {
+        // SAFETY: sse2 is part of the x86-64 baseline.
+        Self(unsafe { _mm_mul_ps(self.0, a.0) })
+    }
+
+    #[inline(always)]
+    fn mul_add(self, a: Self, b: Self) -> Self {
+        // SAFETY: sse2 is part of the x86-64 baseline.
+        Self(unsafe { _mm_add_ps(_mm_mul_ps(self.0, a.0), b.0) })
+    }
+}
+
+/// Two `f64` lanes in one SSE2 register (unfused `mul_add`).
+#[derive(Clone, Copy)]
+pub(crate) struct F64x2(__m128d);
+
+impl SimdReal<f64> for F64x2 {
+    const LANES: usize = 2;
+
+    #[inline(always)]
+    fn splat(x: f64) -> Self {
+        // SAFETY: sse2 is part of the x86-64 baseline.
+        Self(unsafe { _mm_set1_pd(x) })
+    }
+
+    #[inline(always)]
+    fn load(s: &[f64], at: usize) -> Self {
+        debug_assert!(at + Self::LANES <= s.len());
+        // SAFETY: bounds guaranteed by the kernel chunk loop (debug-asserted).
+        Self(unsafe { _mm_loadu_pd(s.as_ptr().add(at)) })
+    }
+
+    #[inline(always)]
+    fn store(self, s: &mut [f64], at: usize) {
+        debug_assert!(at + Self::LANES <= s.len());
+        // SAFETY: as for `load`.
+        unsafe { _mm_storeu_pd(s.as_mut_ptr().add(at), self.0) }
+    }
+
+    #[inline(always)]
+    fn mul(self, a: Self) -> Self {
+        // SAFETY: sse2 is part of the x86-64 baseline.
+        Self(unsafe { _mm_mul_pd(self.0, a.0) })
+    }
+
+    #[inline(always)]
+    fn mul_add(self, a: Self, b: Self) -> Self {
+        // SAFETY: sse2 is part of the x86-64 baseline.
+        Self(unsafe { _mm_add_pd(_mm_mul_pd(self.0, a.0), b.0) })
+    }
+}
+
+/// One `#[target_feature]` wrapper per micro-kernel plus the dispatch
+/// table tying them together, generated per (scalar type, lane pack,
+/// feature string). Adding a backend = adding one invocation of this
+/// macro (plus a [`Backend`] variant and its detection).
+macro_rules! backend_fns {
+    ($modname:ident, $backend:expr, $t:ty, $lane:ty, $feat:literal) => {
+        pub(crate) mod $modname {
+            use super::*;
+            use crate::batch::Located;
+            use crate::output::WalkerSoA;
+            use crate::simd::kernels;
+            use einspline::multi::MultiCoefs;
+
+            #[target_feature(enable = $feat)]
+            fn v_soa_tf(c: &MultiCoefs<$t>, l: &Located<$t>, o: &mut WalkerSoA<$t>, m: usize) {
+                kernels::v_soa::<$t, $lane>(c, l, o, m)
+            }
+            #[target_feature(enable = $feat)]
+            fn vgl_soa_tf(c: &MultiCoefs<$t>, l: &Located<$t>, o: &mut WalkerSoA<$t>, m: usize) {
+                kernels::vgl_soa::<$t, $lane>(c, l, o, m)
+            }
+            #[target_feature(enable = $feat)]
+            fn vgh_soa_tf(c: &MultiCoefs<$t>, l: &Located<$t>, o: &mut WalkerSoA<$t>, m: usize) {
+                kernels::vgh_soa::<$t, $lane>(c, l, o, m)
+            }
+            #[target_feature(enable = $feat)]
+            fn axpy_tf(a: $t, x: &[$t], y: &mut [$t], n: usize) {
+                kernels::axpy::<$t, $lane>(a, x, y, n)
+            }
+            #[target_feature(enable = $feat)]
+            fn vl_point_tf(pv: $t, pl: $t, x: &[$t], v: &mut [$t], l: &mut [$t], n: usize) {
+                kernels::vl_point::<$t, $lane>(pv, pl, x, v, l, n)
+            }
+
+            fn v_soa(c: &MultiCoefs<$t>, l: &Located<$t>, o: &mut WalkerSoA<$t>, m: usize) {
+                // SAFETY: this table is only selected after runtime
+                // detection of the required CPU features.
+                unsafe { v_soa_tf(c, l, o, m) }
+            }
+            fn vgl_soa(c: &MultiCoefs<$t>, l: &Located<$t>, o: &mut WalkerSoA<$t>, m: usize) {
+                // SAFETY: as above.
+                unsafe { vgl_soa_tf(c, l, o, m) }
+            }
+            fn vgh_soa(c: &MultiCoefs<$t>, l: &Located<$t>, o: &mut WalkerSoA<$t>, m: usize) {
+                // SAFETY: as above.
+                unsafe { vgh_soa_tf(c, l, o, m) }
+            }
+            fn axpy(a: $t, x: &[$t], y: &mut [$t], n: usize) {
+                // SAFETY: as above.
+                unsafe { axpy_tf(a, x, y, n) }
+            }
+            fn vl_point(pv: $t, pl: $t, x: &[$t], v: &mut [$t], l: &mut [$t], n: usize) {
+                // SAFETY: as above.
+                unsafe { vl_point_tf(pv, pl, x, v, l, n) }
+            }
+
+            pub(crate) static FNS: Fns<$t> = Fns {
+                backend: $backend,
+                v_soa,
+                vgl_soa,
+                vgh_soa,
+                axpy,
+                vl_point,
+            };
+        }
+    };
+}
+
+backend_fns!(avx2_f32, Backend::Avx2, f32, F32x8, "avx2,fma");
+backend_fns!(avx2_f64, Backend::Avx2, f64, F64x4, "avx2,fma");
+backend_fns!(sse2_f32, Backend::Sse2, f32, F32x4, "sse2");
+backend_fns!(sse2_f64, Backend::Sse2, f64, F64x2, "sse2");

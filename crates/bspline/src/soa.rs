@@ -13,7 +13,12 @@
 //!   single pass over the spline dimension, amortizing 4 coefficient
 //!   loads over all 10 accumulations;
 //! * the inner trip count is the padded stride (a cache-line multiple),
-//!   so auto-vectorization needs no scalar remainder.
+//!   so the explicit-width kernels never hit a scalar remainder.
+//!
+//! The kernel bodies live in [`crate::simd`]: explicit lane-width
+//! micro-kernels (AVX2+FMA / SSE2 / portable scalar pack, runtime
+//! dispatched) that keep all output accumulators in registers across
+//! the 4×4 basis unroll and store each stream once per orbital chunk.
 
 use crate::batch::{check_batch, BatchOut, Located, PosBlock};
 use crate::layout::Kernel;
@@ -26,104 +31,6 @@ use einspline::Real;
 #[derive(Clone, Debug)]
 pub struct BsplineSoA<T: Real> {
     coefs: MultiCoefs<T>,
-}
-
-/// One (i,j)-plane accumulation of the VGH kernel over four fused
-/// z-lines. `m` elements of every slice are processed; slices are
-/// re-sliced to `m` up front so the optimizer sees equal lengths and
-/// elides bounds checks in the vector loop.
-#[allow(clippy::too_many_arguments)]
-#[inline(always)]
-fn vgh_plane<T: Real>(
-    wc: &BasisWeights<T>,
-    pre00: T,
-    pre10: T,
-    pre01: T,
-    pre20: T,
-    pre11: T,
-    pre02: T,
-    p0: &[T],
-    p1: &[T],
-    p2: &[T],
-    p3: &[T],
-    out: &mut WalkerSoA<T>,
-    m: usize,
-) {
-    let p0 = &p0[..m];
-    let p1 = &p1[..m];
-    let p2 = &p2[..m];
-    let p3 = &p3[..m];
-    let v = &mut out.v.as_mut_slice()[..m];
-    let gx = &mut out.gx.as_mut_slice()[..m];
-    let gy = &mut out.gy.as_mut_slice()[..m];
-    let gz = &mut out.gz.as_mut_slice()[..m];
-    let hxx = &mut out.hxx.as_mut_slice()[..m];
-    let hxy = &mut out.hxy.as_mut_slice()[..m];
-    let hxz = &mut out.hxz.as_mut_slice()[..m];
-    let hyy = &mut out.hyy.as_mut_slice()[..m];
-    let hyz = &mut out.hyz.as_mut_slice()[..m];
-    let hzz = &mut out.hzz.as_mut_slice()[..m];
-
-    let (c, dc, d2c) = (wc.a, wc.da, wc.d2a);
-    for i in 0..m {
-        let (a0, a1, a2, a3) = (p0[i], p1[i], p2[i], p3[i]);
-        let s0 = c[3].mul_add(a3, c[2].mul_add(a2, c[1].mul_add(a1, c[0] * a0)));
-        let s1 = dc[3].mul_add(a3, dc[2].mul_add(a2, dc[1].mul_add(a1, dc[0] * a0)));
-        let s2 =
-            d2c[3].mul_add(a3, d2c[2].mul_add(a2, d2c[1].mul_add(a1, d2c[0] * a0)));
-        v[i] = pre00.mul_add(s0, v[i]);
-        gx[i] = pre10.mul_add(s0, gx[i]);
-        gy[i] = pre01.mul_add(s0, gy[i]);
-        gz[i] = pre00.mul_add(s1, gz[i]);
-        hxx[i] = pre20.mul_add(s0, hxx[i]);
-        hxy[i] = pre11.mul_add(s0, hxy[i]);
-        hxz[i] = pre10.mul_add(s1, hxz[i]);
-        hyy[i] = pre02.mul_add(s0, hyy[i]);
-        hyz[i] = pre01.mul_add(s1, hyz[i]);
-        hzz[i] = pre00.mul_add(s2, hzz[i]);
-    }
-}
-
-/// One (i,j)-plane accumulation of the VGL kernel (5 streams).
-#[allow(clippy::too_many_arguments)]
-#[inline(always)]
-fn vgl_plane<T: Real>(
-    wc: &BasisWeights<T>,
-    pre00: T,
-    pre10: T,
-    pre01: T,
-    pre_lap: T, // pre20 + pre02: the in-plane Laplacian prefactor
-    p0: &[T],
-    p1: &[T],
-    p2: &[T],
-    p3: &[T],
-    out: &mut WalkerSoA<T>,
-    m: usize,
-) {
-    let p0 = &p0[..m];
-    let p1 = &p1[..m];
-    let p2 = &p2[..m];
-    let p3 = &p3[..m];
-    let v = &mut out.v.as_mut_slice()[..m];
-    let gx = &mut out.gx.as_mut_slice()[..m];
-    let gy = &mut out.gy.as_mut_slice()[..m];
-    let gz = &mut out.gz.as_mut_slice()[..m];
-    let l = &mut out.l.as_mut_slice()[..m];
-
-    let (c, dc, d2c) = (wc.a, wc.da, wc.d2a);
-    for i in 0..m {
-        let (a0, a1, a2, a3) = (p0[i], p1[i], p2[i], p3[i]);
-        let s0 = c[3].mul_add(a3, c[2].mul_add(a2, c[1].mul_add(a1, c[0] * a0)));
-        let s1 = dc[3].mul_add(a3, dc[2].mul_add(a2, dc[1].mul_add(a1, dc[0] * a0)));
-        let s2 =
-            d2c[3].mul_add(a3, d2c[2].mul_add(a2, d2c[1].mul_add(a1, d2c[0] * a0)));
-        v[i] = pre00.mul_add(s0, v[i]);
-        gx[i] = pre10.mul_add(s0, gx[i]);
-        gy[i] = pre01.mul_add(s0, gy[i]);
-        gz[i] = pre00.mul_add(s1, gz[i]);
-        // lap = hxx + hyy + hzz = (pre20 + pre02)·s0 + pre00·s2
-        l[i] = pre_lap.mul_add(s0, pre00.mul_add(s2, l[i]));
-    }
 }
 
 
@@ -236,75 +143,26 @@ impl<T: Real> BsplineSoA<T> {
         self.vgh_located(&loc, out);
     }
 
-    /// V kernel body over a pre-located position.
+    /// V kernel body over a pre-located position. Dispatches to the
+    /// explicit-width micro-kernel for the active
+    /// [`crate::simd::Backend`]; `out.v[..m]` is fully overwritten.
     pub(crate) fn v_located(&self, loc: &Located<T>, out: &mut WalkerSoA<T>) {
         let m = self.check_out(out);
-        let (a, b, c) = (&loc.wa.a, &loc.wb.a, &loc.wc.a);
-        out.zero_v();
-        for i in 0..4 {
-            for j in 0..4 {
-                let ab = a[i] * b[j];
-                let p0 = &self.coefs.line(loc.i0 + i, loc.j0 + j, loc.k0)[..m];
-                let p1 = &self.coefs.line(loc.i0 + i, loc.j0 + j, loc.k0 + 1)[..m];
-                let p2 = &self.coefs.line(loc.i0 + i, loc.j0 + j, loc.k0 + 2)[..m];
-                let p3 = &self.coefs.line(loc.i0 + i, loc.j0 + j, loc.k0 + 3)[..m];
-                let v = &mut out.v.as_mut_slice()[..m];
-                for idx in 0..m {
-                    let s0 = c[3].mul_add(
-                        p3[idx],
-                        c[2].mul_add(p2[idx], c[1].mul_add(p1[idx], c[0] * p0[idx])),
-                    );
-                    v[idx] = (ab).mul_add(s0, v[idx]);
-                }
-            }
-        }
+        crate::simd::v_soa(&self.coefs, loc, out, m);
     }
 
-    /// VGL kernel body over a pre-located position.
+    /// VGL kernel body over a pre-located position (dispatched
+    /// micro-kernel; the five output streams are fully overwritten).
     pub(crate) fn vgl_located(&self, loc: &Located<T>, out: &mut WalkerSoA<T>) {
         let m = self.check_out(out);
-        let (wa, wb, wc) = (&loc.wa, &loc.wb, &loc.wc);
-        out.zero_vgl();
-        for i in 0..4 {
-            for j in 0..4 {
-                let pre00 = wa.a[i] * wb.a[j];
-                let pre10 = wa.da[i] * wb.a[j];
-                let pre01 = wa.a[i] * wb.da[j];
-                let pre_lap = wa.d2a[i] * wb.a[j] + wa.a[i] * wb.d2a[j];
-                let p0 = self.coefs.line(loc.i0 + i, loc.j0 + j, loc.k0);
-                let p1 = self.coefs.line(loc.i0 + i, loc.j0 + j, loc.k0 + 1);
-                let p2 = self.coefs.line(loc.i0 + i, loc.j0 + j, loc.k0 + 2);
-                let p3 = self.coefs.line(loc.i0 + i, loc.j0 + j, loc.k0 + 3);
-                vgl_plane(
-                    wc, pre00, pre10, pre01, pre_lap, p0, p1, p2, p3, out, m,
-                );
-            }
-        }
+        crate::simd::vgl_soa(&self.coefs, loc, out, m);
     }
 
-    /// VGH kernel body over a pre-located position.
+    /// VGH kernel body over a pre-located position (dispatched
+    /// micro-kernel; the ten output streams are fully overwritten).
     pub(crate) fn vgh_located(&self, loc: &Located<T>, out: &mut WalkerSoA<T>) {
         let m = self.check_out(out);
-        let (wa, wb, wc) = (&loc.wa, &loc.wb, &loc.wc);
-        out.zero_vgh();
-        for i in 0..4 {
-            for j in 0..4 {
-                let pre00 = wa.a[i] * wb.a[j];
-                let pre10 = wa.da[i] * wb.a[j];
-                let pre01 = wa.a[i] * wb.da[j];
-                let pre20 = wa.d2a[i] * wb.a[j];
-                let pre11 = wa.da[i] * wb.da[j];
-                let pre02 = wa.a[i] * wb.d2a[j];
-                let p0 = self.coefs.line(loc.i0 + i, loc.j0 + j, loc.k0);
-                let p1 = self.coefs.line(loc.i0 + i, loc.j0 + j, loc.k0 + 1);
-                let p2 = self.coefs.line(loc.i0 + i, loc.j0 + j, loc.k0 + 2);
-                let p3 = self.coefs.line(loc.i0 + i, loc.j0 + j, loc.k0 + 3);
-                vgh_plane(
-                    wc, pre00, pre10, pre01, pre20, pre11, pre02, p0, p1, p2, p3,
-                    out, m,
-                );
-            }
-        }
+        crate::simd::vgh_soa(&self.coefs, loc, out, m);
     }
 
     /// Kernel-dispatched body over a pre-located position.

@@ -11,6 +11,40 @@
 
 use crate::aosoa::BsplineAoSoA;
 use crate::layout::Kernel;
+
+/// Default work-queue grain for
+/// [`run_nested_dynamic`](crate::parallel::run_nested_dynamic) when the
+/// tiles partition evenly across threads. Measured with the `ablations`
+/// bench (`nested_batched_*uniform16*` rows): with no ragged remainder
+/// the queue only adds per-pop overhead, so a coarser grain wins —
+/// grain 4 ran ~2–4% faster than grain 1 (89.6µs vs 91.4µs/iter) and
+/// matched the static partition. (Bench host was single-core, so this
+/// isolates the queue-overhead component; the load-balance component
+/// needs the many-core validation still open in ROADMAP.)
+pub const NESTED_DYNAMIC_GRAIN_UNIFORM: usize = 4;
+
+/// Default work-queue grain for
+/// [`run_nested_dynamic`](crate::parallel::run_nested_dynamic) on
+/// *ragged* tile counts (static partitioning leaves a remainder).
+/// Measured with the `ablations` bench (`nested_batched_*ragged13*`
+/// rows): single-tile work items edged out grain 4 (72.0µs vs
+/// 72.9µs/iter) and beat the static partition by ~5%, and raggedness
+/// is exactly the case where fine-grained stealing pays once threads
+/// contend for the remainder.
+pub const NESTED_DYNAMIC_GRAIN_RAGGED: usize = 1;
+
+/// The measured per-workload grain default for
+/// [`run_nested_dynamic`](crate::parallel::run_nested_dynamic): fine
+/// grain on ragged tile counts (load balance dominates), coarse grain
+/// when the partition is even (queue overhead dominates).
+pub fn default_nested_grain(n_tiles: usize, n_threads: usize) -> usize {
+    let workers = n_threads.max(1).min(n_tiles.max(1));
+    if n_tiles.is_multiple_of(workers) {
+        NESTED_DYNAMIC_GRAIN_UNIFORM
+    } else {
+        NESTED_DYNAMIC_GRAIN_RAGGED
+    }
+}
 use crate::walker::random_positions;
 use einspline::multi::MultiCoefs;
 use einspline::Real;
@@ -343,6 +377,18 @@ mod tests {
         w.record(&t64, Kernel::Vgh, 32);
         assert_eq!(w.lookup(&t128, Kernel::Vgh), None);
         assert_eq!(w.lookup_any_n(&t128, Kernel::Vgh), Some(32));
+    }
+
+    #[test]
+    fn grain_defaults_follow_raggedness() {
+        // 16 tiles on 4 threads: even partition → coarse grain.
+        assert_eq!(default_nested_grain(16, 4), NESTED_DYNAMIC_GRAIN_UNIFORM);
+        // 13 tiles on 4 threads: ragged → single-tile grain.
+        assert_eq!(default_nested_grain(13, 4), NESTED_DYNAMIC_GRAIN_RAGGED);
+        // More threads than tiles: every thread gets ≤1 tile, even.
+        assert_eq!(default_nested_grain(2, 8), NESTED_DYNAMIC_GRAIN_UNIFORM);
+        // Degenerate inputs must not panic.
+        assert_eq!(default_nested_grain(0, 0), NESTED_DYNAMIC_GRAIN_UNIFORM);
     }
 
     #[test]

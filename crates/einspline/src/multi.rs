@@ -75,6 +75,20 @@ impl<T: Real> MultiCoefs<T> {
         );
         let stride_n = padded_len::<T>(n_splines);
         let data = AlignedVec::zeroed(px * py * pz * stride_n);
+        // Explicit-SIMD contract (bspline::simd): every coefficient row
+        // must start on a cache-line boundary and span a whole number of
+        // cache lines (= a multiple of the widest lane count), so the
+        // lane kernels can consume full rows with no ragged tail. Both
+        // hold by construction; assert so a future layout change cannot
+        // silently reintroduce tail-handling cost in the AoSoA path.
+        assert!(
+            (stride_n * std::mem::size_of::<T>()).is_multiple_of(crate::aligned::CACHE_LINE),
+            "spline stride must be padded to a whole cache line"
+        );
+        assert!(
+            (data.as_ptr() as usize).is_multiple_of(crate::aligned::CACHE_LINE),
+            "coefficient table must be cache-line aligned"
+        );
         Self {
             gx,
             gy,

@@ -8,7 +8,7 @@
 //! * Jastrow over SoA rows vs per-pair AoS accessors.
 
 use bspline::parallel::{nested_generation_time, run_nested, run_nested_dynamic};
-use bspline::{BsplineAoSoA, Kernel, PosBlock, WalkerSoA};
+use bspline::{BsplineAoSoA, Kernel, PosBlock, SpoEngine, WalkerSoA};
 use criterion::{criterion_group, criterion_main, Criterion};
 use miniqmc::distance::aos::DistanceTableAAAoS;
 use miniqmc::distance::soa::DistanceTableAA;
@@ -63,21 +63,54 @@ fn bench_ablations(c: &mut Criterion) {
     });
 
     // --- batched nested path: static partition vs dynamic chunk queue --
-    // A deliberately ragged tile count (13 tiles on `total` threads) so
-    // the static partition idles workers where the grained dynamic
-    // queue does not; outputs and position blocks are allocated once
-    // outside the timed region.
-    let ragged = BsplineAoSoA::from_multi(&coefficients(13 * 16, (12, 12, 12), 4), 16);
+    // Measured on BOTH a deliberately ragged tile count (13 tiles on
+    // `total` threads: the static partition idles workers) and a
+    // uniform one (16 tiles: the queue only adds overhead). The winning
+    // grains are recorded as `tuning::NESTED_DYNAMIC_GRAIN_RAGGED` /
+    // `tuning::NESTED_DYNAMIC_GRAIN_UNIFORM` and picked per workload by
+    // `tuning::default_nested_grain`; outputs and position blocks are
+    // allocated once outside the timed region.
     let n_walkers = 2;
     let blocks: Vec<PosBlock<f32>> = (0..n_walkers).map(|_| block.clone()).collect();
-    let mut walkers: Vec<_> = (0..n_walkers).map(|_| ragged.make_out()).collect();
-    g.bench_function("nested_batched_static_partition", |b| {
-        b.iter(|| run_nested(&ragged, Kernel::Vgh, &mut walkers, &blocks, total))
-    });
-    for grain in [1usize, 4] {
-        g.bench_function(format!("nested_batched_dynamic_grain{grain}"), |b| {
+    for (label, n_tiles) in [("ragged13", 13usize), ("uniform16", 16)] {
+        let tiled =
+            BsplineAoSoA::from_multi(&coefficients(n_tiles * 16, (12, 12, 12), 4), 16);
+        let mut walkers: Vec<_> = (0..n_walkers).map(|_| tiled.make_out()).collect();
+        g.bench_function(format!("nested_batched_static_{label}"), |b| {
+            b.iter(|| run_nested(&tiled, Kernel::Vgh, &mut walkers, &blocks, total))
+        });
+        for grain in [1usize, 4] {
+            g.bench_function(format!("nested_batched_dynamic_{label}_grain{grain}"), |b| {
+                b.iter(|| {
+                    run_nested_dynamic(&tiled, Kernel::Vgh, &mut walkers, &blocks, grain)
+                })
+            });
+        }
+        let picked = bspline::tuning::default_nested_grain(n_tiles, total);
+        g.bench_function(
+            format!("nested_batched_dynamic_{label}_default_grain{picked}"),
+            |b| {
+                b.iter(|| {
+                    run_nested_dynamic(&tiled, Kernel::Vgh, &mut walkers, &blocks, picked)
+                })
+            },
+        );
+    }
+
+    // --- SIMD dispatch: active backend vs forced sse2 vs forced scalar
+    let simd_engine = bspline::BsplineSoA::new(coefficients(n, (12, 12, 12), 21));
+    let simd_block = PosBlock::from_positions(&pos);
+    let mut simd_out = simd_engine.make_batch_out(simd_block.len());
+    g.bench_function(
+        format!("vgh_batch_simd_{}", bspline::simd::default_backend()),
+        |b| b.iter(|| simd_engine.vgh_batch(&simd_block, &mut simd_out)),
+    );
+    for backend in bspline::simd::Backend::available() {
+        g.bench_function(format!("vgh_batch_simd_forced_{backend}"), |b| {
             b.iter(|| {
-                run_nested_dynamic(&ragged, Kernel::Vgh, &mut walkers, &blocks, grain)
+                bspline::simd::with_backend(backend, || {
+                    simd_engine.vgh_batch(&simd_block, &mut simd_out)
+                })
             })
         });
     }

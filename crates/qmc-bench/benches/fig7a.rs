@@ -2,6 +2,7 @@
 //! scalar loop vs the batched API (`vgh_batch`, hoisted basis weights).
 //! Reduced scale (grid 12³); the full-scale sweep is the `fig7a` binary.
 
+use bspline::simd::{with_backend, Backend as SimdBackend};
 use bspline::SpoEngine;
 use bspline::{BsplineAoS, BsplineSoA, Kernel, PosBlock};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
@@ -45,6 +46,16 @@ fn bench_fig7a(c: &mut Criterion) {
         let mut batch_out = soa.make_batch_out(block.len());
         g.bench_with_input(BenchmarkId::new("SoA_batch", n), &n, |b, _| {
             b.iter(|| soa.vgh_batch(&block, &mut batch_out))
+        });
+        // Scalar-vs-SIMD ablation row: the same batched workload with
+        // the micro-kernel dispatch forced to the portable scalar pack.
+        let mut batch_out = soa.make_batch_out(block.len());
+        g.bench_with_input(BenchmarkId::new("SoA_batch_simd_off", n), &n, |b, _| {
+            b.iter(|| {
+                with_backend(SimdBackend::Scalar, || {
+                    soa.vgh_batch(&block, &mut batch_out)
+                })
+            })
         });
     }
     g.finish();

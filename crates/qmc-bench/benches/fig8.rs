@@ -4,6 +4,7 @@
 //! basis weights hoisted once per position for all tiles). Full-scale:
 //! `fig8` binary.
 
+use bspline::simd::{with_backend, Backend as SimdBackend};
 use bspline::SpoEngine;
 use bspline::{BsplineAoS, BsplineAoSoA, Kernel, PosBlock};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
@@ -41,6 +42,20 @@ fn bench_fig8(c: &mut Criterion) {
             BenchmarkId::new(format!("AoSoA_batch_{k}"), n),
             &n,
             |b, _| b.iter(|| tiled.eval_batch(k, &block, &mut batch_out)),
+        );
+        // Scalar-vs-SIMD ablation row: the identical tile-major batched
+        // workload with the dispatch forced to the portable scalar pack.
+        let mut batch_out = tiled.make_batch_out(block.len());
+        g.bench_with_input(
+            BenchmarkId::new(format!("AoSoA_batch_simd_off_{k}"), n),
+            &n,
+            |b, _| {
+                b.iter(|| {
+                    with_backend(SimdBackend::Scalar, || {
+                        tiled.eval_batch(k, &block, &mut batch_out)
+                    })
+                })
+            },
         );
         // Scalar-loop reference with per-position retained outputs (what
         // the batched path replaces 1:1).

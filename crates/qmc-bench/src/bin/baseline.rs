@@ -1,20 +1,48 @@
-//! `baseline` — record an in-repo bench baseline (`BENCH_BASELINE.json`).
+//! `baseline` — record an in-repo bench baseline (`BENCH_BASELINE.json`)
+//! and gate kernel PRs against it.
 //!
-//! Measures the fig7a / fig7b / fig8 host workloads plus the batched
-//! variants of each engine and writes the throughputs (M-evals/s) with
-//! the host CPU and run configuration to a JSON file, so later kernel
-//! PRs can claim measured speedups against committed numbers instead of
-//! test parity alone.
+//! Two modes:
 //!
-//! Run: `cargo run --release -p qmc-bench --bin baseline [-- out.json]`
-//! (`QMC_BENCH_QUICK=1` shrinks the workload for smoke runs.)
+//! * **Record** (default): measure the fig7a / fig7b / fig8 host
+//!   workloads through both the scalar reference (`QMC_SIMD=scalar`
+//!   forced per measurement) and the active SIMD backend, and write the
+//!   per-kernel throughputs (M-evals/s) with the host CPU and run
+//!   configuration to a JSON file.
+//!
+//!   `cargo run --release -p qmc-bench --bin baseline [-- out.json]`
+//!
+//! * **Compare**: re-measure the same kernels and print the per-kernel
+//!   speedup against a committed baseline, exiting nonzero if any
+//!   kernel regressed by more than 25% in either the scalar or the
+//!   SIMD column.
+//!
+//!   `cargo run --release -p qmc-bench --bin baseline -- --compare BENCH_BASELINE.json`
+//!
+//! `QMC_BENCH_QUICK=1` shrinks the workload for smoke runs (compare
+//! warns when the committed baseline was recorded at a different
+//! scale).
 
+use bspline::simd::{with_backend, Backend};
 use bspline::{BsplineAoS, BsplineAoSoA, BsplineSoA, Kernel};
 use qmc_bench::workload::{batch_size, is_quick};
 use qmc_bench::{
-    coefficients, measure_kernel, measure_kernel_batched, MeasureConfig, Table,
+    coefficients, measure_kernel, measure_kernel_batched, measure_tile_major,
+    MeasureConfig, Table,
 };
 use std::fmt::Write as _;
+use std::process::ExitCode;
+
+/// Fraction of the committed throughput below which a kernel counts as
+/// regressed (25% slowdown).
+const REGRESSION_FLOOR: f64 = 0.75;
+
+/// One measured kernel row: scalar-backend and SIMD-backend throughput
+/// in evals/s.
+struct Row {
+    name: String,
+    scalar: f64,
+    simd: f64,
+}
 
 /// Throughput in M-evals/s with 2 decimals (host numbers here are in
 /// the 10⁵–10⁷ evals/s range; G-evals would round to zero).
@@ -34,10 +62,20 @@ fn host_cpu() -> String {
         .unwrap_or_else(|| "unknown".to_string())
 }
 
-fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_BASELINE.json".to_string());
+/// Measure one closure under the forced scalar backend and under the
+/// active (best) backend.
+fn ab<F: FnMut() -> f64>(name: impl Into<String>, mut f: F) -> Row {
+    let scalar = with_backend(Backend::Scalar, &mut f);
+    let simd = f(); // process default (QMC_SIMD respected)
+    Row {
+        name: name.into(),
+        scalar,
+        simd,
+    }
+}
+
+/// The full measurement suite (shared by record and compare modes).
+fn measure_all() -> Vec<Row> {
     let quick = is_quick();
     let (grid, sweep): ((usize, usize, usize), Vec<usize>) = if quick {
         ((12, 12, 12), vec![64, 128])
@@ -50,122 +88,267 @@ fn main() {
         reps: 3,
         seed: 7,
     };
-    let threads = std::thread::available_parallelism()
-        .map(|v| v.get())
-        .unwrap_or(1);
-
-    let mut json = String::new();
-    json.push_str("{\n");
-    json.push_str("  \"schema\": \"qmc-bench-baseline-v1\",\n");
-    let _ = writeln!(json, "  \"host\": {{ \"cpu\": {:?}, \"threads\": {threads} }},", host_cpu());
-    let _ = writeln!(
-        json,
-        "  \"config\": {{ \"grid\": [{}, {}, {}], \"ns\": {}, \"reps\": {}, \"batch\": {}, \"nb\": {nb}, \"quick\": {quick} }},",
-        grid.0, grid.1, grid.2, cfg.ns, cfg.reps, batch_size()
-    );
+    let mut rows = Vec::new();
 
     // Fig 7a: AoS vs SoA (VGH), scalar loop vs batched API.
-    let mut t7a = Table::new(
-        "Fig 7a baseline: VGH M-evals/s (AoS vs SoA, scalar vs batch)",
-        &["N", "AoS", "AoS_batch", "SoA", "SoA_batch"],
-    );
-    json.push_str("  \"fig7a_vgh_mevals_per_sec\": [\n");
-    for (idx, &n) in sweep.iter().enumerate() {
+    for &n in &sweep {
         let table = coefficients(n, grid, 42 + n as u64);
         let aos = BsplineAoS::new(table.clone());
-        let t_aos = measure_kernel(&aos, Kernel::Vgh, &cfg);
-        let t_aos_b = measure_kernel_batched(&aos, Kernel::Vgh, &cfg);
+        rows.push(ab(format!("fig7a_vgh_aos_n{n}"), || {
+            measure_kernel(&aos, Kernel::Vgh, &cfg).ops_per_sec
+        }));
+        rows.push(ab(format!("fig7a_vgh_aos_batch_n{n}"), || {
+            measure_kernel_batched(&aos, Kernel::Vgh, &cfg).ops_per_sec
+        }));
         drop(aos);
         let soa = BsplineSoA::new(table);
-        let t_soa = measure_kernel(&soa, Kernel::Vgh, &cfg);
-        let t_soa_b = measure_kernel_batched(&soa, Kernel::Vgh, &cfg);
-        let _ = writeln!(
-            json,
-            "    {{ \"n\": {n}, \"aos\": {}, \"aos_batch\": {}, \"soa\": {}, \"soa_batch\": {} }}{}",
-            mops(t_aos.ops_per_sec),
-            mops(t_aos_b.ops_per_sec),
-            mops(t_soa.ops_per_sec),
-            mops(t_soa_b.ops_per_sec),
-            if idx + 1 == sweep.len() { "" } else { "," }
-        );
-        t7a.row(vec![
-            n.to_string(),
-            mops(t_aos.ops_per_sec),
-            mops(t_aos_b.ops_per_sec),
-            mops(t_soa.ops_per_sec),
-            mops(t_soa_b.ops_per_sec),
-        ]);
+        rows.push(ab(format!("fig7a_vgh_soa_n{n}"), || {
+            measure_kernel(&soa, Kernel::Vgh, &cfg).ops_per_sec
+        }));
+        rows.push(ab(format!("fig7a_vgh_soa_batch_n{n}"), || {
+            measure_kernel_batched(&soa, Kernel::Vgh, &cfg).ops_per_sec
+        }));
         eprintln!("fig7a N={n} done");
     }
-    json.push_str("  ],\n");
-    t7a.print();
 
     // Fig 7b: SoA vs AoSoA — position-major scalar vs tile-major batch.
-    let mut t7b = Table::new(
-        "Fig 7b baseline: VGH M-evals/s (SoA vs AoSoA Nb=32 scalar vs batch)",
-        &["N", "SoA", "AoSoA_scalar", "AoSoA_batch"],
-    );
-    json.push_str("  \"fig7b_vgh_mevals_per_sec\": [\n");
-    for (idx, &n) in sweep.iter().enumerate() {
+    for &n in &sweep {
         let table = coefficients(n, grid, 13 + n as u64);
         let soa = BsplineSoA::new(table.clone());
-        let t_soa = measure_kernel(&soa, Kernel::Vgh, &cfg);
+        rows.push(ab(format!("fig7b_vgh_soa_n{n}"), || {
+            measure_kernel(&soa, Kernel::Vgh, &cfg).ops_per_sec
+        }));
         drop(soa);
         let tiled = BsplineAoSoA::from_multi(&table, nb);
-        let t_scalar = measure_kernel(&tiled, Kernel::Vgh, &cfg);
-        let t_batch = measure_kernel_batched(&tiled, Kernel::Vgh, &cfg);
-        let _ = writeln!(
-            json,
-            "    {{ \"n\": {n}, \"nb\": {nb}, \"soa\": {}, \"aosoa_scalar\": {}, \"aosoa_batch\": {} }}{}",
-            mops(t_soa.ops_per_sec),
-            mops(t_scalar.ops_per_sec),
-            mops(t_batch.ops_per_sec),
-            if idx + 1 == sweep.len() { "" } else { "," }
-        );
-        t7b.row(vec![
-            n.to_string(),
-            mops(t_soa.ops_per_sec),
-            mops(t_scalar.ops_per_sec),
-            mops(t_batch.ops_per_sec),
-        ]);
+        rows.push(ab(format!("fig7b_vgh_aosoa_scalar_loop_n{n}"), || {
+            measure_kernel(&tiled, Kernel::Vgh, &cfg).ops_per_sec
+        }));
+        rows.push(ab(format!("fig7b_vgh_aosoa_batch_n{n}"), || {
+            measure_kernel_batched(&tiled, Kernel::Vgh, &cfg).ops_per_sec
+        }));
         eprintln!("fig7b N={n} done");
     }
-    json.push_str("  ],\n");
-    t7b.print();
 
     // Fig 8: per-kernel AoS baseline vs AoSoA, scalar vs batched.
     let n8 = if quick { 128 } else { 512 };
     let table8 = coefficients(n8, grid, 9);
     let aos = BsplineAoS::new(table8.clone());
     let tiled = BsplineAoSoA::from_multi(&table8, nb);
-    let mut t8 = Table::new(
-        format!("Fig 8 baseline: per-kernel M-evals/s (N = {n8})"),
-        &["kernel", "AoS", "AoSoA_scalar", "AoSoA_batch"],
-    );
-    let _ = writeln!(json, "  \"fig8_mevals_per_sec_n{n8}\": [");
-    for (idx, k) in Kernel::ALL.iter().enumerate() {
-        let t_aos = measure_kernel(&aos, *k, &cfg);
-        let t_scalar = measure_kernel(&tiled, *k, &cfg);
-        let t_batch = measure_kernel_batched(&tiled, *k, &cfg);
-        let _ = writeln!(
-            json,
-            "    {{ \"kernel\": \"{k}\", \"aos\": {}, \"aosoa_scalar\": {}, \"aosoa_batch\": {} }}{}",
-            mops(t_aos.ops_per_sec),
-            mops(t_scalar.ops_per_sec),
-            mops(t_batch.ops_per_sec),
-            if idx + 1 == Kernel::ALL.len() { "" } else { "," }
-        );
-        t8.row(vec![
-            k.to_string(),
-            mops(t_aos.ops_per_sec),
-            mops(t_scalar.ops_per_sec),
-            mops(t_batch.ops_per_sec),
-        ]);
+    for k in Kernel::ALL {
+        let kname = k.to_string().to_lowercase();
+        rows.push(ab(format!("fig8_{kname}_aos_n{n8}"), || {
+            measure_kernel(&aos, k, &cfg).ops_per_sec
+        }));
+        rows.push(ab(format!("fig8_{kname}_aosoa_tile_major_n{n8}"), || {
+            measure_tile_major(&tiled, k, &cfg).ops_per_sec
+        }));
+        rows.push(ab(format!("fig8_{kname}_aosoa_batch_n{n8}"), || {
+            measure_kernel_batched(&tiled, k, &cfg).ops_per_sec
+        }));
         eprintln!("fig8 {k} done");
     }
-    json.push_str("  ]\n}\n");
-    t8.print();
+    rows
+}
 
-    std::fs::write(&out_path, &json).expect("write baseline JSON");
+fn print_rows(rows: &[Row]) {
+    let mut t = Table::new(
+        "Bench baseline: M-evals/s, scalar backend vs active SIMD backend",
+        &["kernel", "scalar", "simd", "simd/scalar"],
+    );
+    for r in rows {
+        t.row(vec![
+            r.name.clone(),
+            mops(r.scalar),
+            mops(r.simd),
+            format!("{:.2}x", r.simd / r.scalar.max(1.0)),
+        ]);
+    }
+    t.print();
+}
+
+fn write_json(rows: &[Row], out_path: &str) {
+    let quick = is_quick();
+    let threads = std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(1);
+    let available: Vec<String> = Backend::available()
+        .iter()
+        .map(|b| b.name().to_string())
+        .collect();
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"schema\": \"qmc-bench-baseline-v2\",\n");
+    let _ = writeln!(
+        json,
+        "  \"host\": {{ \"cpu\": {:?}, \"threads\": {threads} }},",
+        host_cpu()
+    );
+    let _ = writeln!(
+        json,
+        "  \"config\": {{ \"batch\": {}, \"quick\": {quick} }},",
+        batch_size()
+    );
+    let _ = writeln!(
+        json,
+        "  \"simd\": {{ \"active\": \"{}\", \"available\": [{}] }},",
+        bspline::simd::default_backend(),
+        available
+            .iter()
+            .map(|b| format!("\"{b}\""))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    json.push_str("  \"kernels\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{ \"name\": \"{}\", \"scalar\": {}, \"simd\": {} }}{}",
+            r.name,
+            mops(r.scalar),
+            mops(r.simd),
+            if i + 1 == rows.len() { "" } else { "," }
+        );
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(out_path, &json).expect("write baseline JSON");
     println!("wrote {out_path}");
+}
+
+/// Extract `(name, scalar, simd)` triples from a v2 baseline file (the
+/// writer emits one kernel object per line; no JSON dependency needed).
+fn parse_baseline(text: &str) -> Result<Vec<Row>, String> {
+    if !text.contains("qmc-bench-baseline-v2") {
+        return Err(
+            "baseline file is not schema qmc-bench-baseline-v2 — re-record it first".into(),
+        );
+    }
+    fn after<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+        let at = line.find(&format!("\"{key}\":"))?;
+        Some(line[at..].split_once(':')?.1.trim_start())
+    }
+    fn num_after(line: &str, key: &str) -> Option<f64> {
+        let rest = after(line, key)?;
+        let digits: String = rest
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || "+-.eE".contains(*c))
+            .collect();
+        digits.parse().ok()
+    }
+    let mut rows = Vec::new();
+    for line in text.lines() {
+        let Some(name) = after(line, "name") else {
+            continue;
+        };
+        let name = name
+            .trim_start_matches('"')
+            .split('"')
+            .next()
+            .unwrap_or("")
+            .to_string();
+        let scalar = num_after(line, "scalar")
+            .ok_or_else(|| format!("bad scalar field in line: {line}"))?;
+        let simd = num_after(line, "simd")
+            .ok_or_else(|| format!("bad simd field in line: {line}"))?;
+        rows.push(Row {
+            name,
+            scalar: scalar * 1e6,
+            simd: simd * 1e6,
+        });
+    }
+    if rows.is_empty() {
+        return Err("no kernel rows found in baseline file".into());
+    }
+    Ok(rows)
+}
+
+fn compare(baseline_path: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(baseline_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {baseline_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let committed = match parse_baseline(&text) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cannot parse {baseline_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Gating on ratios across different workload scales would compare
+    // nothing about the change (quick mode shrinks the grid and sweep
+    // but keeps the row names), so a scale mismatch is a hard error,
+    // not a warning.
+    let committed_quick = text.contains("\"quick\": true");
+    if committed_quick != is_quick() {
+        eprintln!(
+            "error: baseline was recorded with quick={committed_quick} but this run has \
+             quick={} — the workloads differ; re-run with matching QMC_BENCH_QUICK \
+             (or re-record the baseline) before comparing",
+            is_quick()
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let current = measure_all();
+    let mut t = Table::new(
+        format!("Speedup vs {baseline_path} (M-evals/s; floor {REGRESSION_FLOOR}x)"),
+        &["kernel", "scalar old→new", "ratio", "simd old→new", "ratio", "status"],
+    );
+    let mut regressed = 0usize;
+    let mut compared = 0usize;
+    for new in &current {
+        let Some(old) = committed.iter().find(|r| r.name == new.name) else {
+            continue;
+        };
+        compared += 1;
+        let rs = new.scalar / old.scalar.max(1.0);
+        let rv = new.simd / old.simd.max(1.0);
+        let bad = rs < REGRESSION_FLOOR || rv < REGRESSION_FLOOR;
+        if bad {
+            regressed += 1;
+        }
+        t.row(vec![
+            new.name.clone(),
+            format!("{}→{}", mops(old.scalar), mops(new.scalar)),
+            format!("{rs:.2}x"),
+            format!("{}→{}", mops(old.simd), mops(new.simd)),
+            format!("{rv:.2}x"),
+            if bad { "REGRESSED".into() } else { "ok".into() },
+        ]);
+    }
+    t.print();
+    if compared == 0 {
+        eprintln!("no kernels in common with the committed baseline");
+        return ExitCode::FAILURE;
+    }
+    if regressed > 0 {
+        eprintln!("{regressed}/{compared} kernels regressed by more than 25%");
+        return ExitCode::FAILURE;
+    }
+    println!("all {compared} kernels within the regression floor");
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("--compare") => {
+            let path = args.get(1).cloned().unwrap_or_else(|| "BENCH_BASELINE.json".into());
+            compare(&path)
+        }
+        Some(out) => {
+            let rows = measure_all();
+            print_rows(&rows);
+            write_json(&rows, out);
+            ExitCode::SUCCESS
+        }
+        None => {
+            let rows = measure_all();
+            print_rows(&rows);
+            write_json(&rows, "BENCH_BASELINE.json");
+            ExitCode::SUCCESS
+        }
+    }
 }
