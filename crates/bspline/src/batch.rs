@@ -131,6 +131,20 @@ impl<T: Real> PosBlock<T> {
         (0..self.len()).map(|i| self.get(i))
     }
 
+    /// Convert every position to another scalar width (through `f64`,
+    /// so `f64 -> f32` rounds each coordinate once) — how the
+    /// mixed-precision adapter ([`crate::precision::MixedEngine`])
+    /// narrows a double-precision position block before handing it to
+    /// its single-precision inner engine.
+    pub fn cast<U: Real>(&self) -> PosBlock<U> {
+        let conv = |xs: &[T]| xs.iter().map(|&v| U::from_f64(v.to_f64())).collect();
+        PosBlock {
+            x: conv(&self.x),
+            y: conv(&self.y),
+            z: conv(&self.z),
+        }
+    }
+
     /// Split into consecutive sub-blocks of at most `size` positions
     /// (the driver's per-timing-region unit; the last block may be
     /// shorter).
@@ -218,6 +232,13 @@ impl<O> BatchOut<O> {
         while self.blocks.len() < n {
             self.blocks.push(make());
         }
+    }
+
+    /// Take the blocks back out (the inverse of [`BatchOut::from_blocks`];
+    /// used by adapters that temporarily re-wrap caller-owned blocks for
+    /// an inner engine call).
+    pub fn into_blocks(self) -> Vec<O> {
+        self.blocks
     }
 }
 

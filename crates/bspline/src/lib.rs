@@ -60,6 +60,35 @@
 //! reorder only independent work), which the workspace property tests
 //! assert for all layouts and batch sizes including 0 and 1.
 //!
+//! # Precision model
+//!
+//! The crate supports three precision configurations, mirroring
+//! QMCPACK's production setup (see [`precision`] for the full model and
+//! the derived error budget):
+//!
+//! * **f64** — tables, kernels and outputs all double precision: the
+//!   accuracy reference.
+//! * **f32** — tables, kernels and outputs all single precision: the
+//!   paper's benchmark configuration (`T = f32` engines over a
+//!   [`einspline::MultiCoefs<f32>`] table).
+//! * **mixed** — the production trade: coefficients *solved* in `f64`
+//!   and *stored* in `f32` ([`einspline::MultiCoefs::downcast`]),
+//!   kernels run in `f32` at full SIMD width (twice the lanes of the
+//!   f64 path, half the coefficient bandwidth), and every output widens
+//!   to `f64` at the engine boundary ([`precision::MixedEngine`], an
+//!   [`engine::SpoEngine<f64>`] over any `f32` inner engine, scalar and
+//!   batched). Downstream reductions (miniqmc determinants, drift,
+//!   kinetic energy) accumulate in `f64` — the
+//!   [`einspline::Real::Accum`] contract.
+//!
+//! The f32/mixed deviation from the f64 reference is bounded by
+//! [`precision::F32_REL_ERROR_BUDGET`] relative to the table's
+//! [`precision::spline_scale`]; the bound is derived in the
+//! [`precision`] module docs and enforced by
+//! `tests/integration_precision.rs` across layouts × kernels × SIMD
+//! backends × batch sizes, so the budget is a tested contract, not a
+//! comment.
+//!
 //! # Quick example
 //!
 //! ```
@@ -97,6 +126,7 @@ pub mod engine;
 pub mod layout;
 pub mod output;
 pub mod parallel;
+pub mod precision;
 pub mod simd;
 pub mod soa;
 pub mod throughput;
@@ -112,6 +142,7 @@ pub mod prelude {
     pub use crate::layout::{Kernel, Layout, OptStep};
     pub use crate::output::{WalkerAoS, WalkerSoA, WalkerTiled};
     pub use crate::parallel::{run_nested, run_nested_dynamic, run_walkers_parallel};
+    pub use crate::precision::{MixedEngine, MixedOut, F32_REL_ERROR_BUDGET};
     pub use crate::simd::{active_backend, with_backend, Backend as SimdBackend};
     pub use crate::soa::BsplineSoA;
     pub use crate::throughput::Throughput;

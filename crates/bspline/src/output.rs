@@ -256,6 +256,13 @@ impl<T: Real> WalkerTiled<T> {
         self.tiles.len()
     }
 
+    /// Tile size `Nb` the indices were laid out with (last tile may
+    /// hold fewer splines).
+    #[inline]
+    pub fn nb(&self) -> usize {
+        self.nb
+    }
+
     #[inline]
     /// Tile.
     pub fn tile(&self, t: usize) -> &WalkerSoA<T> {

@@ -224,6 +224,45 @@ impl<T: Real> MultiCoefs<T> {
         out
     }
 
+    /// Down-convert a solved double-precision table to single-precision
+    /// storage — the paper's production configuration (and QMCPACK's
+    /// `--enable-mixed-precision`): coefficients are *solved* in `f64`
+    /// ([`crate::solver1d`] is f64-native) and *stored* in `f32`,
+    /// halving the memory-bandwidth cost that dominates V/VGL/VGH.
+    ///
+    /// Every structural invariant is re-established for the narrower
+    /// element type: the spline stride is re-padded to a whole cache
+    /// line of `f32` (16 lanes, not the f64 table's 8), the allocation
+    /// is 64-byte aligned, and padding lanes beyond `n_splines` stay
+    /// zero. Each stored coefficient rounds once (≤ 0.5 ulp ≈ 6e-8
+    /// relative); the evaluation-side consequences are documented and
+    /// tested against `bspline::precision::F32_REL_ERROR_BUDGET`.
+    pub fn downcast(&self) -> MultiCoefs<f32>
+    where
+        T: Real<Accum = f64>,
+    {
+        let mut out = MultiCoefs::<f32>::new(self.gx, self.gy, self.gz, self.n_splines);
+        let (px, py, pz) = (
+            self.gx.num() + COEF_PAD,
+            self.gy.num() + COEF_PAD,
+            self.gz.num() + COEF_PAD,
+        );
+        for ix in 0..px {
+            for iy in 0..py {
+                for iz in 0..pz {
+                    let src = ix * self.sx + iy * self.sy + iz * self.stride_n;
+                    let dst = ix * out.sx + iy * out.sy + iz * out.stride_n;
+                    let src_line = &self.data.as_slice()[src..src + self.n_splines];
+                    let dst_line = &mut out.data.as_mut_slice()[dst..dst + self.n_splines];
+                    for (d, s) in dst_line.iter_mut().zip(src_line) {
+                        *d = s.to_accum() as f32;
+                    }
+                }
+            }
+        }
+        out
+    }
+
     /// Split into `ceil(N / nb)` tiles of (at most) `nb` splines each.
     pub fn split_tiles(&self, nb: usize) -> Vec<Self> {
         assert!(nb > 0);
@@ -334,6 +373,36 @@ mod tests {
         let tiles = m.split_tiles(16);
         assert_eq!(tiles.len(), 3);
         assert_eq!(tiles[2].n_splines(), 8);
+    }
+
+    #[test]
+    fn downcast_rounds_once_and_repads_for_f32() {
+        let (gx, gy, gz) = small_grids();
+        let mut wide = MultiCoefs::<f64>::new(gx, gy, gz, 20);
+        wide.fill_random(&mut StdRng::seed_from_u64(5));
+        let narrow = wide.downcast();
+        assert_eq!(narrow.n_splines(), 20);
+        // The f64 table pads 20 -> 24 (8 per line); the f32 table must
+        // re-pad to its own cache-line quantum (16 per line -> 32).
+        assert_eq!(wide.stride_n(), 24);
+        assert_eq!(narrow.stride_n(), 32);
+        for ix in [0usize, 4, 8] {
+            for iy in [1usize, 7] {
+                for iz in [0usize, 10] {
+                    let w = wide.line(ix, iy, iz);
+                    let n = narrow.line(ix, iy, iz);
+                    assert_eq!(n.as_ptr() as usize % 64, 0);
+                    for k in 0..20 {
+                        // Exactly one correct rounding per coefficient.
+                        assert_eq!(n[k], w[k] as f32, "ix={ix} iy={iy} iz={iz} k={k}");
+                    }
+                    // Padding lanes stay zero in the narrowed table.
+                    for k in 20..32 {
+                        assert_eq!(n[k], 0.0);
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -15,6 +15,16 @@ use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssi
 /// Implemented for `f32` and `f64`. The bound set mirrors what the hot
 /// loops need: arithmetic, `mul_add` (maps to FMA), and cheap conversions
 /// for setup code that is always done in `f64`.
+///
+/// # Mixed precision
+///
+/// [`Real::Accum`] is the *accumulation* scalar paired with each storage
+/// scalar — the QMC mixed-precision contract (f32 orbital tables, f64
+/// wavefunction-level reductions) expressed in the type system. `f32`
+/// accumulates in `f64`; `f64` accumulates in itself. Kernels that store
+/// in `T` but must not lose accuracy in long reductions widen each
+/// contribution with [`Real::to_accum`] and only narrow (if at all) at
+/// the output boundary with [`Real::from_accum`].
 pub trait Real:
     Copy
     + Send
@@ -36,10 +46,23 @@ pub trait Real:
     + Sum
     + 'static
 {
+    /// The accumulation-precision scalar for this storage scalar:
+    /// wide enough that summing many `Self` contributions does not lose
+    /// the paper's physical accuracy (`f64` for both `f32` and `f64`
+    /// storage).
+    type Accum: Real;
+
     /// ZERO.
     const ZERO: Self;
     /// ONE.
     const ONE: Self;
+
+    /// Widen one stored value into the accumulation precision
+    /// ([`Real::Accum`]). Lossless for both implementations.
+    fn to_accum(self) -> Self::Accum;
+    /// Narrow an accumulated value back to storage precision (rounds
+    /// once for `f32`; identity for `f64`).
+    fn from_accum(x: Self::Accum) -> Self;
 
     /// Lossy conversion from `f64` (setup paths only).
     fn from_f64(x: f64) -> Self;
@@ -62,9 +85,19 @@ pub trait Real:
 macro_rules! impl_real {
     ($t:ty) => {
         impl Real for $t {
+            type Accum = f64;
+
             const ZERO: Self = 0.0;
             const ONE: Self = 1.0;
 
+            #[inline(always)]
+            fn to_accum(self) -> f64 {
+                self as f64
+            }
+            #[inline(always)]
+            fn from_accum(x: f64) -> Self {
+                x as $t
+            }
             #[inline(always)]
             fn from_f64(x: f64) -> Self {
                 x as $t
@@ -137,6 +170,30 @@ mod tests {
     fn generic_sum_works_for_both_widths() {
         assert_eq!(sum_generic(&[1.0f32, 2.0, 3.0]), 6.0);
         assert_eq!(sum_generic(&[1.0f64, 2.0, 3.0]), 6.0);
+    }
+
+    /// Accumulate generically in the paired accumulation precision —
+    /// the shape every mixed-precision consumer uses.
+    fn sum_in_accum<T: Real>(xs: &[T]) -> T::Accum {
+        let mut acc = <T::Accum as Real>::ZERO;
+        for &x in xs {
+            acc += x.to_accum();
+        }
+        acc
+    }
+
+    #[test]
+    fn accum_widens_f32_sums() {
+        // 1 + 2^-30 collapses in f32 but survives an f64 accumulation.
+        let tiny = 2f32.powi(-30);
+        let xs = [1.0f32, tiny, tiny];
+        assert_eq!(xs.iter().copied().sum::<f32>(), 1.0);
+        let wide = sum_in_accum(&xs);
+        assert!(wide > 1.0);
+        assert_eq!(f32::from_accum(wide), 1.0); // narrows back with one rounding
+        // f64 accumulates in itself: identity conversions.
+        assert_eq!(1.25f64.to_accum(), 1.25);
+        assert_eq!(f64::from_accum(1.25), 1.25);
     }
 
     #[test]

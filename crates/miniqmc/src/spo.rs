@@ -42,6 +42,14 @@ impl SpoVgl {
 }
 
 /// A set of N single-particle orbitals over a periodic cell.
+///
+/// `T` is the *orbital* (storage + kernel) precision; everything this
+/// type hands to QMC — values, Cartesian gradients, Laplacians — is
+/// delivered and accumulated in the paired accumulation precision
+/// `T::Accum = f64` (see [`einspline::Real::Accum`]), regardless of
+/// whether the orbital tables are `f32` or `f64`. This is the
+/// mixed-precision contract: storage precision is a bandwidth knob,
+/// never an observable-accuracy knob.
 #[derive(Clone, Debug)]
 pub struct SpoSet<T: Real> {
     engine: BsplineSoA<T>,
@@ -59,7 +67,7 @@ pub struct SpoSet<T: Real> {
     batch_rows: Vec<SpoVgl>,
 }
 
-impl<T: Real> SpoSet<T> {
+impl<T: Real<Accum = f64>> SpoSet<T> {
     /// Wrap a coefficient table whose grids span the unit cube.
     pub fn new(coefs: MultiCoefs<T>, lattice: Lattice) -> Self {
         let (gx, gy, gz) = coefs.grids();
@@ -124,7 +132,7 @@ impl<T: Real> SpoSet<T> {
         self.engine.v(u, &mut self.scratch);
         let n = self.n_orbitals();
         for k in 0..n {
-            self.out.v[k] = self.scratch.value(k).to_f64();
+            self.out.v[k] = self.scratch.value(k).to_accum();
         }
         &self.out.v[..n]
     }
@@ -150,20 +158,20 @@ impl<T: Real> SpoSet<T> {
         out: &mut SpoVgl,
     ) {
         for k in 0..n {
-            out.v[k] = scratch.value(k).to_f64();
+            out.v[k] = scratch.value(k).to_accum();
             let gu = scratch.gradient(k);
-            let gu = [gu[0].to_f64(), gu[1].to_f64(), gu[2].to_f64()];
+            let gu = [gu[0].to_accum(), gu[1].to_accum(), gu[2].to_accum()];
             out.gx[k] = g[0][0] * gu[0] + g[0][1] * gu[1] + g[0][2] * gu[2];
             out.gy[k] = g[1][0] * gu[0] + g[1][1] * gu[1] + g[1][2] * gu[2];
             out.gz[k] = g[2][0] * gu[0] + g[2][1] * gu[1] + g[2][2] * gu[2];
             let h = scratch.hessian(k);
             let h = [
-                h[0].to_f64(),
-                h[1].to_f64(),
-                h[2].to_f64(),
-                h[3].to_f64(),
-                h[4].to_f64(),
-                h[5].to_f64(),
+                h[0].to_accum(),
+                h[1].to_accum(),
+                h[2].to_accum(),
+                h[3].to_accum(),
+                h[4].to_accum(),
+                h[5].to_accum(),
             ];
             out.lap[k] = m[0][0] * h[0]
                 + m[1][1] * h[3]
@@ -197,7 +205,7 @@ impl<T: Real> SpoSet<T> {
         for (e, row) in self.batch_rows.iter_mut().take(rs.len()).enumerate() {
             let scratch = self.batch_scratch.block(e);
             for k in 0..n {
-                row.v[k] = scratch.value(k).to_f64();
+                row.v[k] = scratch.value(k).to_accum();
             }
         }
         &self.batch_rows[..rs.len()]

@@ -16,6 +16,14 @@ use crate::spo::SpoSet;
 use einspline::Real;
 
 /// Slater–Jastrow trial wavefunction over a two-spin electron set.
+///
+/// `T` is the orbital storage/kernel precision only. Every
+/// wavefunction-level quantity — determinant builds and ratios
+/// (`phi_new`), `log ΨT`, drift gradients, kinetic Laplacians
+/// ([`Self::log_derivs`]) — is accumulated in `T::Accum = f64`
+/// regardless of `T`, so a mixed-precision run (f32 tables) changes
+/// memory bandwidth, not observable accuracy beyond the documented
+/// orbital error budget (`bspline::precision`).
 pub struct TrialWaveFunction<T: Real> {
     spo: SpoSet<T>,
     electrons: ParticleSet,
@@ -34,7 +42,7 @@ pub struct TrialWaveFunction<T: Real> {
     pub timers: Timers,
 }
 
-impl<T: Real> TrialWaveFunction<T> {
+impl<T: Real<Accum = f64>> TrialWaveFunction<T> {
     /// Assemble the wavefunction. `electrons.len()` must be `2 ×
     /// spo.n_orbitals()`.
     pub fn new(

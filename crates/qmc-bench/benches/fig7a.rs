@@ -2,11 +2,12 @@
 //! scalar loop vs the batched API (`vgh_batch`, hoisted basis weights).
 //! Reduced scale (grid 12³); the full-scale sweep is the `fig7a` binary.
 
+use bspline::precision::MixedEngine;
 use bspline::simd::{with_backend, Backend as SimdBackend};
 use bspline::SpoEngine;
 use bspline::{BsplineAoS, BsplineSoA, Kernel, PosBlock};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use qmc_bench::workload::{coefficients, positions};
+use qmc_bench::workload::{coefficients, coefficients_in, positions, positions_in};
 use std::time::Duration;
 
 fn bench_fig7a(c: &mut Criterion) {
@@ -56,6 +57,23 @@ fn bench_fig7a(c: &mut Criterion) {
                     soa.vgh_batch(&block, &mut batch_out)
                 })
             })
+        });
+
+        // Per-precision rows over the identical workload shape: the f64
+        // accuracy reference and the mixed adapter (f32 storage + SIMD
+        // compute, f64 delivery) over the downcast of the same table.
+        let pos64 = positions_in::<f64>(16, 11);
+        let block64 = PosBlock::from_positions(&pos64);
+        let table64 = coefficients_in::<f64>(n, (12, 12, 12), n as u64);
+        let soa64 = BsplineSoA::new(table64.clone());
+        let mut batch_out = soa64.make_batch_out(block64.len());
+        g.bench_with_input(BenchmarkId::new("SoA_batch_f64", n), &n, |b, _| {
+            b.iter(|| soa64.vgh_batch(&block64, &mut batch_out))
+        });
+        let mixed = MixedEngine::soa(&table64);
+        let mut batch_out = mixed.make_batch_out(block64.len());
+        g.bench_with_input(BenchmarkId::new("SoA_batch_mixed", n), &n, |b, _| {
+            b.iter(|| mixed.vgh_batch(&block64, &mut batch_out))
         });
     }
     g.finish();

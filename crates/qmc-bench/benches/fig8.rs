@@ -4,11 +4,12 @@
 //! basis weights hoisted once per position for all tiles). Full-scale:
 //! `fig8` binary.
 
+use bspline::precision::MixedEngine;
 use bspline::simd::{with_backend, Backend as SimdBackend};
 use bspline::SpoEngine;
 use bspline::{BsplineAoS, BsplineAoSoA, Kernel, PosBlock};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use qmc_bench::workload::{coefficients, positions};
+use qmc_bench::workload::{coefficients, coefficients_in, positions, positions_in};
 use std::time::Duration;
 
 fn bench_fig8(c: &mut Criterion) {
@@ -24,6 +25,14 @@ fn bench_fig8(c: &mut Criterion) {
 
     let aos = BsplineAoS::new(table.clone());
     let tiled = BsplineAoSoA::from_multi(&table, 32);
+    // Per-precision variants of the batched AoSoA path: f64 accuracy
+    // reference and the mixed adapter over the downcast of one f64
+    // table (same workload shape as the f32 rows).
+    let pos64 = positions_in::<f64>(16, 19);
+    let block64 = PosBlock::from_positions(&pos64);
+    let table64 = coefficients_in::<f64>(n, (12, 12, 12), 9);
+    let tiled64 = BsplineAoSoA::from_multi(&table64, 32);
+    let tiled_mixed = MixedEngine::aosoa(&table64, 32);
     for k in Kernel::ALL {
         let mut out = aos.make_out();
         g.bench_with_input(BenchmarkId::new(format!("AoS_{k}"), n), &n, |b, _| {
@@ -56,6 +65,20 @@ fn bench_fig8(c: &mut Criterion) {
                     })
                 })
             },
+        );
+        // Per-precision rows: identical batched tile-major workload in
+        // f64 and through the mixed adapter.
+        let mut batch_out = tiled64.make_batch_out(block64.len());
+        g.bench_with_input(
+            BenchmarkId::new(format!("AoSoA_batch_f64_{k}"), n),
+            &n,
+            |b, _| b.iter(|| tiled64.eval_batch(k, &block64, &mut batch_out)),
+        );
+        let mut batch_out = tiled_mixed.make_batch_out(block64.len());
+        g.bench_with_input(
+            BenchmarkId::new(format!("AoSoA_batch_mixed_{k}"), n),
+            &n,
+            |b, _| b.iter(|| tiled_mixed.eval_batch(k, &block64, &mut batch_out)),
         );
         // Scalar-loop reference with per-position retained outputs (what
         // the batched path replaces 1:1).

@@ -7,24 +7,44 @@
 //!   workloads through both the scalar reference (`QMC_SIMD=scalar`
 //!   forced per measurement) and the active SIMD backend, and write the
 //!   per-kernel throughputs (M-evals/s) with the host CPU and run
-//!   configuration to a JSON file.
+//!   configuration to a JSON file. Schema v3 adds a `precision` column
+//!   (`f64` / `f32` / `mixed`) and per-precision SoA/AoSoA VGH rows: the
+//!   `f32` rows are the paper's benchmark configuration, `f64` is the
+//!   accuracy reference, and `mixed` is the production trade
+//!   (`bspline::precision::MixedEngine`: f32 storage + SIMD compute,
+//!   f64 delivery).
 //!
 //!   `cargo run --release -p qmc-bench --bin baseline [-- out.json]`
 //!
 //! * **Compare**: re-measure the same kernels and print the per-kernel
 //!   speedup against a committed baseline, exiting nonzero if any
 //!   kernel regressed by more than 25% in either the scalar or the
-//!   SIMD column.
+//!   SIMD column of **any precision**. A row must fail two independent
+//!   measurement passes to count (shared hosts dip transiently; a real
+//!   regression reproduces). Comparison refuses baselines
+//!   whose active SIMD backend differs from this host's (a scalar-host
+//!   file gates nothing about an AVX2 run), and accepts v2 files by
+//!   treating their rows as `f32` (their only precision) with a
+//!   warning that the other precision columns are ungated.
 //!
 //!   `cargo run --release -p qmc-bench --bin baseline -- --compare BENCH_BASELINE.json`
 //!
 //! `QMC_BENCH_QUICK=1` shrinks the workload for smoke runs (compare
-//! warns when the committed baseline was recorded at a different
+//! hard-errors when the committed baseline was recorded at a different
 //! scale).
+//!
+//! On shared/virtualized hosts, sustained throughput can swing 2x
+//! across hours (tenant contention, turbo budgets); the two-pass
+//! peak statistic absorbs minute-scale dips but not regime changes.
+//! When a compare fails with uniform slowdowns across unrelated rows,
+//! suspect the host, re-run, or gate with a relaxed
+//! `QMC_BASELINE_FLOOR`; a real kernel regression shows up as a
+//! *localized, reproducible* deficit instead.
 
+use bspline::precision::MixedEngine;
 use bspline::simd::{with_backend, Backend};
 use bspline::{BsplineAoS, BsplineAoSoA, BsplineSoA, Kernel};
-use qmc_bench::workload::{batch_size, is_quick};
+use qmc_bench::workload::{batch_size, coefficients_in, is_quick};
 use qmc_bench::{
     coefficients, measure_kernel, measure_kernel_batched, measure_tile_major,
     MeasureConfig, Table,
@@ -33,13 +53,25 @@ use std::fmt::Write as _;
 use std::process::ExitCode;
 
 /// Fraction of the committed throughput below which a kernel counts as
-/// regressed (25% slowdown).
+/// regressed (default: 25% slowdown). `QMC_BASELINE_FLOOR` overrides it
+/// — the CI quick-mode round-trip smoke relaxes the floor because its
+/// job is catching schema/parse regressions, not gating performance on
+/// a noisy shared runner.
 const REGRESSION_FLOOR: f64 = 0.75;
 
-/// One measured kernel row: scalar-backend and SIMD-backend throughput
-/// in evals/s.
+fn regression_floor() -> f64 {
+    std::env::var("QMC_BASELINE_FLOOR")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .filter(|f| (0.0..1.0).contains(f))
+        .unwrap_or(REGRESSION_FLOOR)
+}
+
+/// One measured kernel row: precision column plus scalar-backend and
+/// SIMD-backend throughput in evals/s.
 struct Row {
     name: String,
+    precision: String,
     scalar: f64,
     simd: f64,
 }
@@ -63,12 +95,13 @@ fn host_cpu() -> String {
 }
 
 /// Measure one closure under the forced scalar backend and under the
-/// active (best) backend.
-fn ab<F: FnMut() -> f64>(name: impl Into<String>, mut f: F) -> Row {
+/// active (best) backend, tagged with its precision column.
+fn ab<F: FnMut() -> f64>(name: impl Into<String>, precision: &str, mut f: F) -> Row {
     let scalar = with_backend(Backend::Scalar, &mut f);
     let simd = f(); // process default (QMC_SIMD respected)
     Row {
         name: name.into(),
+        precision: precision.into(),
         scalar,
         simd,
     }
@@ -83,9 +116,11 @@ fn measure_all() -> Vec<Row> {
         ((32, 32, 32), vec![128, 256, 512, 1024])
     };
     let nb = 32;
+    // Best-of-5: the per-precision gate (f32/mixed ≥ 1.3× the f64 SIMD
+    // row) needs tighter best-of variance than the old best-of-3 gave.
     let cfg = MeasureConfig {
         ns: if quick { 32 } else { 128 },
-        reps: 3,
+        reps: 5,
         seed: 7,
     };
     let mut rows = Vec::new();
@@ -94,19 +129,39 @@ fn measure_all() -> Vec<Row> {
     for &n in &sweep {
         let table = coefficients(n, grid, 42 + n as u64);
         let aos = BsplineAoS::new(table.clone());
-        rows.push(ab(format!("fig7a_vgh_aos_n{n}"), || {
+        rows.push(ab(format!("fig7a_vgh_aos_n{n}"), "f32", || {
             measure_kernel(&aos, Kernel::Vgh, &cfg).ops_per_sec
         }));
-        rows.push(ab(format!("fig7a_vgh_aos_batch_n{n}"), || {
+        rows.push(ab(format!("fig7a_vgh_aos_batch_n{n}"), "f32", || {
             measure_kernel_batched(&aos, Kernel::Vgh, &cfg).ops_per_sec
         }));
         drop(aos);
         let soa = BsplineSoA::new(table);
-        rows.push(ab(format!("fig7a_vgh_soa_n{n}"), || {
+        rows.push(ab(format!("fig7a_vgh_soa_n{n}"), "f32", || {
             measure_kernel(&soa, Kernel::Vgh, &cfg).ops_per_sec
         }));
-        rows.push(ab(format!("fig7a_vgh_soa_batch_n{n}"), || {
+        rows.push(ab(format!("fig7a_vgh_soa_batch_n{n}"), "f32", || {
             measure_kernel_batched(&soa, Kernel::Vgh, &cfg).ops_per_sec
+        }));
+        drop(soa);
+        // Per-precision rows (same names, different precision column):
+        // the f64 accuracy reference and the mixed adapter over the
+        // downcast of the identical f64 table.
+        let table64 = coefficients_in::<f64>(n, grid, 42 + n as u64);
+        let soa64 = BsplineSoA::new(table64.clone());
+        rows.push(ab(format!("fig7a_vgh_soa_n{n}"), "f64", || {
+            measure_kernel(&soa64, Kernel::Vgh, &cfg).ops_per_sec
+        }));
+        rows.push(ab(format!("fig7a_vgh_soa_batch_n{n}"), "f64", || {
+            measure_kernel_batched(&soa64, Kernel::Vgh, &cfg).ops_per_sec
+        }));
+        drop(soa64);
+        let mixed = MixedEngine::soa(&table64);
+        rows.push(ab(format!("fig7a_vgh_soa_n{n}"), "mixed", || {
+            measure_kernel(&mixed, Kernel::Vgh, &cfg).ops_per_sec
+        }));
+        rows.push(ab(format!("fig7a_vgh_soa_batch_n{n}"), "mixed", || {
+            measure_kernel_batched(&mixed, Kernel::Vgh, &cfg).ops_per_sec
         }));
         eprintln!("fig7a N={n} done");
     }
@@ -115,37 +170,68 @@ fn measure_all() -> Vec<Row> {
     for &n in &sweep {
         let table = coefficients(n, grid, 13 + n as u64);
         let soa = BsplineSoA::new(table.clone());
-        rows.push(ab(format!("fig7b_vgh_soa_n{n}"), || {
+        rows.push(ab(format!("fig7b_vgh_soa_n{n}"), "f32", || {
             measure_kernel(&soa, Kernel::Vgh, &cfg).ops_per_sec
         }));
         drop(soa);
         let tiled = BsplineAoSoA::from_multi(&table, nb);
-        rows.push(ab(format!("fig7b_vgh_aosoa_scalar_loop_n{n}"), || {
+        rows.push(ab(format!("fig7b_vgh_aosoa_scalar_loop_n{n}"), "f32", || {
             measure_kernel(&tiled, Kernel::Vgh, &cfg).ops_per_sec
         }));
-        rows.push(ab(format!("fig7b_vgh_aosoa_batch_n{n}"), || {
+        rows.push(ab(format!("fig7b_vgh_aosoa_batch_n{n}"), "f32", || {
             measure_kernel_batched(&tiled, Kernel::Vgh, &cfg).ops_per_sec
         }));
         eprintln!("fig7b N={n} done");
     }
 
-    // Fig 8: per-kernel AoS baseline vs AoSoA, scalar vs batched.
+    // Fig 8: per-kernel AoS baseline vs AoSoA, scalar vs batched, plus
+    // per-precision AoSoA batch rows.
     let n8 = if quick { 128 } else { 512 };
     let table8 = coefficients(n8, grid, 9);
     let aos = BsplineAoS::new(table8.clone());
     let tiled = BsplineAoSoA::from_multi(&table8, nb);
+    let table8_64 = coefficients_in::<f64>(n8, grid, 9);
+    let tiled64 = BsplineAoSoA::from_multi(&table8_64, nb);
+    let tiled_mixed = MixedEngine::aosoa(&table8_64, nb);
     for k in Kernel::ALL {
         let kname = k.to_string().to_lowercase();
-        rows.push(ab(format!("fig8_{kname}_aos_n{n8}"), || {
+        rows.push(ab(format!("fig8_{kname}_aos_n{n8}"), "f32", || {
             measure_kernel(&aos, k, &cfg).ops_per_sec
         }));
-        rows.push(ab(format!("fig8_{kname}_aosoa_tile_major_n{n8}"), || {
+        rows.push(ab(format!("fig8_{kname}_aosoa_tile_major_n{n8}"), "f32", || {
             measure_tile_major(&tiled, k, &cfg).ops_per_sec
         }));
-        rows.push(ab(format!("fig8_{kname}_aosoa_batch_n{n8}"), || {
+        rows.push(ab(format!("fig8_{kname}_aosoa_batch_n{n8}"), "f32", || {
             measure_kernel_batched(&tiled, k, &cfg).ops_per_sec
         }));
+        rows.push(ab(format!("fig8_{kname}_aosoa_batch_n{n8}"), "f64", || {
+            measure_kernel_batched(&tiled64, k, &cfg).ops_per_sec
+        }));
+        rows.push(ab(format!("fig8_{kname}_aosoa_batch_n{n8}"), "mixed", || {
+            measure_kernel_batched(&tiled_mixed, k, &cfg).ops_per_sec
+        }));
         eprintln!("fig8 {k} done");
+    }
+    rows
+}
+
+/// Record-mode measurement: two independent passes, each row keeping
+/// its faster pass. Shared hosts swing 2x on minute scales; the *peak*
+/// (best-of-reps, best-of-passes) is the stable statistic of the
+/// machine, and compare mode uses the identical statistic (a failing
+/// row gets a second full pass and keeps its best), so both sides of
+/// the gate sample the same distribution. The peak is also what keeps
+/// cross-precision ratios honest — per-precision rows are measured
+/// minutes apart, and pinning each to its peak decorrelates them from
+/// transient dips.
+fn measure_committed() -> Vec<Row> {
+    let mut rows = measure_all();
+    eprintln!("second record pass (committing the per-row best)");
+    let second = measure_all();
+    for (a, b) in rows.iter_mut().zip(second) {
+        debug_assert_eq!((&a.name, &a.precision), (&b.name, &b.precision));
+        a.scalar = a.scalar.max(b.scalar);
+        a.simd = a.simd.max(b.simd);
     }
     rows
 }
@@ -153,11 +239,12 @@ fn measure_all() -> Vec<Row> {
 fn print_rows(rows: &[Row]) {
     let mut t = Table::new(
         "Bench baseline: M-evals/s, scalar backend vs active SIMD backend",
-        &["kernel", "scalar", "simd", "simd/scalar"],
+        &["kernel", "precision", "scalar", "simd", "simd/scalar"],
     );
     for r in rows {
         t.row(vec![
             r.name.clone(),
+            r.precision.clone(),
             mops(r.scalar),
             mops(r.simd),
             format!("{:.2}x", r.simd / r.scalar.max(1.0)),
@@ -177,7 +264,7 @@ fn write_json(rows: &[Row], out_path: &str) {
         .collect();
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"schema\": \"qmc-bench-baseline-v2\",\n");
+    json.push_str("  \"schema\": \"qmc-bench-baseline-v3\",\n");
     let _ = writeln!(
         json,
         "  \"host\": {{ \"cpu\": {:?}, \"threads\": {threads} }},",
@@ -202,8 +289,9 @@ fn write_json(rows: &[Row], out_path: &str) {
     for (i, r) in rows.iter().enumerate() {
         let _ = writeln!(
             json,
-            "    {{ \"name\": \"{}\", \"scalar\": {}, \"simd\": {} }}{}",
+            "    {{ \"name\": \"{}\", \"precision\": \"{}\", \"scalar\": {}, \"simd\": {} }}{}",
             r.name,
+            r.precision,
             mops(r.scalar),
             mops(r.simd),
             if i + 1 == rows.len() { "" } else { "," }
@@ -214,17 +302,41 @@ fn write_json(rows: &[Row], out_path: &str) {
     println!("wrote {out_path}");
 }
 
-/// Extract `(name, scalar, simd)` triples from a v2 baseline file (the
-/// writer emits one kernel object per line; no JSON dependency needed).
-fn parse_baseline(text: &str) -> Result<Vec<Row>, String> {
-    if !text.contains("qmc-bench-baseline-v2") {
+/// A parsed baseline file: kernel rows plus the header fields the
+/// comparison gate needs.
+struct Baseline {
+    rows: Vec<Row>,
+    /// `simd.active` backend name the file was recorded with.
+    active: Option<String>,
+    /// Whether the file predates the precision column (schema v2).
+    v2: bool,
+}
+
+/// Extract rows + header from a v2/v3 baseline file (the writer emits
+/// one kernel object per line; no JSON dependency needed). v2 rows
+/// carry no `precision` field and are treated as `f32` — the only
+/// precision v2 measured.
+fn parse_baseline(text: &str) -> Result<Baseline, String> {
+    let v3 = text.contains("qmc-bench-baseline-v3");
+    let v2 = text.contains("qmc-bench-baseline-v2");
+    if !v3 && !v2 {
         return Err(
-            "baseline file is not schema qmc-bench-baseline-v2 — re-record it first".into(),
+            "baseline file is neither schema v2 nor v3 — re-record it first".into(),
         );
     }
     fn after<'a>(line: &'a str, key: &str) -> Option<&'a str> {
         let at = line.find(&format!("\"{key}\":"))?;
         Some(line[at..].split_once(':')?.1.trim_start())
+    }
+    fn str_after(line: &str, key: &str) -> Option<String> {
+        Some(
+            after(line, key)?
+                .trim_start_matches('"')
+                .split('"')
+                .next()
+                .unwrap_or("")
+                .to_string(),
+        )
     }
     fn num_after(line: &str, key: &str) -> Option<f64> {
         let rest = after(line, key)?;
@@ -235,22 +347,23 @@ fn parse_baseline(text: &str) -> Result<Vec<Row>, String> {
         digits.parse().ok()
     }
     let mut rows = Vec::new();
+    let mut active = None;
     for line in text.lines() {
-        let Some(name) = after(line, "name") else {
+        if line.contains("\"active\":") && active.is_none() {
+            active = str_after(line, "active");
+        }
+        let Some(name) = str_after(line, "name") else {
             continue;
         };
-        let name = name
-            .trim_start_matches('"')
-            .split('"')
-            .next()
-            .unwrap_or("")
-            .to_string();
+        let precision =
+            str_after(line, "precision").unwrap_or_else(|| "f32".to_string());
         let scalar = num_after(line, "scalar")
             .ok_or_else(|| format!("bad scalar field in line: {line}"))?;
         let simd = num_after(line, "simd")
             .ok_or_else(|| format!("bad simd field in line: {line}"))?;
         rows.push(Row {
             name,
+            precision,
             scalar: scalar * 1e6,
             simd: simd * 1e6,
         });
@@ -258,7 +371,11 @@ fn parse_baseline(text: &str) -> Result<Vec<Row>, String> {
     if rows.is_empty() {
         return Err("no kernel rows found in baseline file".into());
     }
-    Ok(rows)
+    Ok(Baseline {
+        rows,
+        active,
+        v2: !v3,
+    })
 }
 
 fn compare(baseline_path: &str) -> ExitCode {
@@ -290,27 +407,102 @@ fn compare(baseline_path: &str) -> ExitCode {
         );
         return ExitCode::FAILURE;
     }
+    // Throughput ratios across different instruction sets measure the
+    // host difference, not the change under test: a scalar-recorded
+    // baseline would flag a phantom "speedup" on an AVX2 host (and an
+    // AVX2 baseline a phantom regression on a scalar host). Refuse
+    // instead of silently comparing.
+    let current_active = bspline::simd::default_backend().name();
+    match committed.active.as_deref() {
+        Some(active) if active != current_active => {
+            eprintln!(
+                "error: baseline {baseline_path} was recorded with simd.active={active} \
+                 but this host/run resolves to {current_active} — the SIMD columns are \
+                 not comparable; re-record the baseline on this configuration (or force \
+                 QMC_SIMD={active} if that backend is available)"
+            );
+            return ExitCode::FAILURE;
+        }
+        Some(_) => {}
+        None => {
+            eprintln!(
+                "warning: baseline has no simd.active field; cannot verify the SIMD \
+                 backends match (current: {current_active})"
+            );
+        }
+    }
+    if committed.v2 {
+        eprintln!(
+            "note: {baseline_path} is schema v2 (no precision column); its rows gate \
+             the f32 precision only — f64/mixed rows of this run are not compared. \
+             Re-record to gate every precision."
+        );
+    }
 
-    let current = measure_all();
+    let floor = regression_floor();
+    let mut current = measure_all();
+    // Flake guard: a shared host can dip 2x for a minute. A row only
+    // counts as regressed if it fails in TWO independent measurement
+    // passes — a real kernel regression reproduces, a tenant-noise dip
+    // does not. The retry pass runs only when the first pass failed
+    // something, and each row keeps its best pass.
+    let needs_retry = current.iter().any(|new| {
+        committed
+            .rows
+            .iter()
+            .find(|r| r.name == new.name && r.precision == new.precision)
+            .is_some_and(|old| {
+                new.scalar / old.scalar.max(1.0) < floor
+                    || new.simd / old.simd.max(1.0) < floor
+            })
+    });
+    if needs_retry {
+        eprintln!(
+            "some rows fell below the {floor}x floor; re-measuring once to \
+             rule out transient host noise"
+        );
+        let second = measure_all();
+        for (a, b) in current.iter_mut().zip(second) {
+            debug_assert_eq!((&a.name, &a.precision), (&b.name, &b.precision));
+            a.scalar = a.scalar.max(b.scalar);
+            a.simd = a.simd.max(b.simd);
+        }
+    }
     let mut t = Table::new(
-        format!("Speedup vs {baseline_path} (M-evals/s; floor {REGRESSION_FLOOR}x)"),
-        &["kernel", "scalar old→new", "ratio", "simd old→new", "ratio", "status"],
+        format!("Speedup vs {baseline_path} (M-evals/s; floor {floor}x)"),
+        &[
+            "kernel",
+            "precision",
+            "scalar old→new",
+            "ratio",
+            "simd old→new",
+            "ratio",
+            "status",
+        ],
     );
-    let mut regressed = 0usize;
+    let mut regressed: Vec<String> = Vec::new();
     let mut compared = 0usize;
     for new in &current {
-        let Some(old) = committed.iter().find(|r| r.name == new.name) else {
+        let Some(old) = committed
+            .rows
+            .iter()
+            .find(|r| r.name == new.name && r.precision == new.precision)
+        else {
             continue;
         };
         compared += 1;
         let rs = new.scalar / old.scalar.max(1.0);
         let rv = new.simd / old.simd.max(1.0);
-        let bad = rs < REGRESSION_FLOOR || rv < REGRESSION_FLOOR;
+        let bad = rs < floor || rv < floor;
         if bad {
-            regressed += 1;
+            regressed.push(format!(
+                "{} [precision={}] scalar {:.2}x simd {:.2}x",
+                new.name, new.precision, rs, rv
+            ));
         }
         t.row(vec![
             new.name.clone(),
+            new.precision.clone(),
             format!("{}→{}", mops(old.scalar), mops(new.scalar)),
             format!("{rs:.2}x"),
             format!("{}→{}", mops(old.simd), mops(new.simd)),
@@ -323,11 +515,17 @@ fn compare(baseline_path: &str) -> ExitCode {
         eprintln!("no kernels in common with the committed baseline");
         return ExitCode::FAILURE;
     }
-    if regressed > 0 {
-        eprintln!("{regressed}/{compared} kernels regressed by more than 25%");
+    if !regressed.is_empty() {
+        eprintln!(
+            "{}/{compared} kernel rows regressed below the {floor}x floor:",
+            regressed.len()
+        );
+        for r in &regressed {
+            eprintln!("  {r}");
+        }
         return ExitCode::FAILURE;
     }
-    println!("all {compared} kernels within the regression floor");
+    println!("all {compared} kernel rows within the regression floor");
     ExitCode::SUCCESS
 }
 
@@ -339,13 +537,13 @@ fn main() -> ExitCode {
             compare(&path)
         }
         Some(out) => {
-            let rows = measure_all();
+            let rows = measure_committed();
             print_rows(&rows);
             write_json(&rows, out);
             ExitCode::SUCCESS
         }
         None => {
-            let rows = measure_all();
+            let rows = measure_committed();
             print_rows(&rows);
             write_json(&rows, "BENCH_BASELINE.json");
             ExitCode::SUCCESS

@@ -34,4 +34,7 @@ pub use measure::{
 pub use modelled::{model_prediction, sim_threads, ModelScenario};
 pub use profile_suite::{run_profile, ProfileConfig, Suite};
 pub use report::Table;
-pub use workload::{coefficients, is_quick, pos_block, positions, N_SWEEP};
+pub use workload::{
+    coefficients, coefficients_in, is_quick, pos_block, pos_block_in, positions,
+    positions_in, N_SWEEP,
+};

@@ -1,8 +1,9 @@
 //! Host throughput measurement for the engines.
 
-use crate::workload::{batch_size, pos_block, positions};
+use crate::workload::{batch_size, pos_block_in, positions_in};
 use bspline::SpoEngine;
 use bspline::{BsplineAoSoA, Kernel, PosBlock, Throughput};
+use einspline::Real;
 use std::time::Instant;
 
 /// Measurement parameters.
@@ -28,12 +29,14 @@ impl Default for MeasureConfig {
 
 /// Throughput of `kernel` on `engine`: positions-major loop (AoS/SoA
 /// engines; also valid for AoSoA but see [`measure_tile_major`]).
-pub fn measure_kernel<E: SpoEngine<f32>>(
+/// Generic over the engine's position precision `T`, so the same
+/// harness times f32, f64 and mixed (`SpoEngine<f64>` adapter) rows.
+pub fn measure_kernel<T: Real, E: SpoEngine<T>>(
     engine: &E,
     kernel: Kernel,
     cfg: &MeasureConfig,
 ) -> Throughput {
-    let pos = positions(cfg.ns, cfg.seed);
+    let pos = positions_in::<T>(cfg.ns, cfg.seed);
     let mut out = engine.make_out();
     // Warm-up pass (touch table + outputs, settle frequencies).
     for p in &pos {
@@ -57,14 +60,14 @@ pub fn measure_kernel<E: SpoEngine<f32>>(
 /// timed call hands the engine a whole block (hoisted basis weights;
 /// tile-major blocking for AoSoA). Output blocks are allocated once and
 /// reused across the run.
-pub fn measure_kernel_batched<E: SpoEngine<f32>>(
+pub fn measure_kernel_batched<T: Real, E: SpoEngine<T>>(
     engine: &E,
     kernel: Kernel,
     cfg: &MeasureConfig,
 ) -> Throughput {
     let batch = batch_size().min(cfg.ns.max(1));
-    let blocks: Vec<PosBlock<f32>> =
-        pos_block(cfg.ns, cfg.seed).chunks(batch).collect();
+    let blocks: Vec<PosBlock<T>> =
+        pos_block_in::<T>(cfg.ns, cfg.seed).chunks(batch).collect();
     let mut out = engine.make_batch_out(batch);
     for b in &blocks {
         engine.eval_batch(kernel, b, &mut out); // warm-up
@@ -84,12 +87,12 @@ pub fn measure_kernel_batched<E: SpoEngine<f32>>(
 
 /// Throughput of the tiled engine with the paper's Fig. 6 loop order
 /// (tiles outer, positions inner) — the cache-blocking measurement.
-pub fn measure_tile_major(
-    engine: &BsplineAoSoA<f32>,
+pub fn measure_tile_major<T: Real>(
+    engine: &BsplineAoSoA<T>,
     kernel: Kernel,
     cfg: &MeasureConfig,
 ) -> Throughput {
-    let pos = positions(cfg.ns, cfg.seed);
+    let pos = positions_in::<T>(cfg.ns, cfg.seed);
     let mut out = engine.make_out();
     engine.eval_batch_tile_major(kernel, &pos, &mut out);
     let mut best = f64::INFINITY;
@@ -131,6 +134,22 @@ mod tests {
             assert!(measure_kernel_batched(&soa, k, &cfg()).ops_per_sec > 0.0);
             assert!(measure_kernel_batched(&tiled, k, &cfg()).ops_per_sec > 0.0);
         }
+    }
+
+    #[test]
+    fn measures_every_precision_through_one_harness() {
+        use crate::workload::coefficients_in;
+        use bspline::precision::MixedEngine;
+        let table64 = coefficients_in::<f64>(16, (6, 6, 6), 4);
+        let soa64 = BsplineSoA::new(table64.clone());
+        let mixed = MixedEngine::soa(&table64);
+        let soa32 = BsplineSoA::new(table64.downcast());
+        assert!(measure_kernel(&soa64, Kernel::Vgh, &cfg()).ops_per_sec > 0.0);
+        assert!(measure_kernel(&soa32, Kernel::Vgh, &cfg()).ops_per_sec > 0.0);
+        assert!(measure_kernel(&mixed, Kernel::Vgh, &cfg()).ops_per_sec > 0.0);
+        assert!(
+            measure_kernel_batched(&mixed, Kernel::Vgh, &cfg()).ops_per_sec > 0.0
+        );
     }
 
     #[test]

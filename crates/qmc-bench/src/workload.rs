@@ -2,7 +2,7 @@
 //! tables.
 
 use bspline::PosBlock;
-use einspline::MultiCoefs;
+use einspline::{MultiCoefs, Real};
 use miniqmc::synthetic::random_coefficients;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -38,23 +38,53 @@ pub fn n_sweep() -> Vec<usize> {
     }
 }
 
+/// Random-filled coefficient table in any storage precision (the
+/// miniQMC benchmark table; the per-precision baseline rows share one
+/// workload shape across `f64` / `f32` / mixed).
+pub fn coefficients_in<T: Real>(
+    n: usize,
+    grid: (usize, usize, usize),
+    seed: u64,
+) -> MultiCoefs<T> {
+    random_coefficients(grid.0, grid.1, grid.2, n, seed)
+}
+
 /// Random-filled coefficient table (the miniQMC benchmark table).
 pub fn coefficients(n: usize, grid: (usize, usize, usize), seed: u64) -> MultiCoefs<f32> {
-    random_coefficients(grid.0, grid.1, grid.2, n, seed)
+    coefficients_in::<f32>(n, grid, seed)
+}
+
+/// `ns` random fractional positions in any precision. The f64 and f32
+/// streams drawn from one seed describe the same points up to one
+/// rounding, so per-precision rows time the same walk.
+pub fn positions_in<T: Real>(ns: usize, seed: u64) -> Vec<[T; 3]> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..ns)
+        .map(|_| {
+            [
+                T::from_f64(rng.random::<f64>()),
+                T::from_f64(rng.random::<f64>()),
+                T::from_f64(rng.random::<f64>()),
+            ]
+        })
+        .collect()
 }
 
 /// `ns` random fractional positions.
 pub fn positions(ns: usize, seed: u64) -> Vec<[f32; 3]> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    (0..ns)
-        .map(|_| [rng.random::<f32>(), rng.random::<f32>(), rng.random::<f32>()])
-        .collect()
+    positions_in::<f32>(ns, seed)
+}
+
+/// The same `ns` random fractional positions as [`positions_in`], as a
+/// SoA [`PosBlock`] for the batched engine paths.
+pub fn pos_block_in<T: Real>(ns: usize, seed: u64) -> PosBlock<T> {
+    PosBlock::from_positions(&positions_in::<T>(ns, seed))
 }
 
 /// The same `ns` random fractional positions as [`positions`], as a
 /// SoA [`PosBlock`] for the batched engine paths.
 pub fn pos_block(ns: usize, seed: u64) -> PosBlock<f32> {
-    PosBlock::from_positions(&positions(ns, seed))
+    pos_block_in::<f32>(ns, seed)
 }
 
 /// Positions per batched engine call in the batched measurement

@@ -2,6 +2,8 @@
 //! evaluated through every engine layout and every kernel must agree,
 //! and must match the scalar tensor-product reference.
 
+mod common;
+
 use bspline::SpoEngine;
 use bspline::{BsplineAoS, BsplineAoSoA, BsplineSoA, Kernel};
 use einspline::{Grid1, MultiCoefs, Spline3};
@@ -33,7 +35,12 @@ fn all_layouts_agree_on_fitted_orbitals() {
             tiled.eval(k, pos, &mut out_t);
         }
         for orb in 0..n {
-            assert!((out_a.value(orb) - out_s.value(orb)).abs() < 1e-10);
+            common::assert_rel_close_f64(
+                out_a.value(orb),
+                out_s.value(orb),
+                1e-10,
+                &format!("orb {orb}: AoS vs SoA value"),
+            );
             assert_eq!(out_s.value(orb), out_t.value(orb));
             let (ga, gs, gt) = (
                 out_a.gradient(orb),
@@ -41,16 +48,21 @@ fn all_layouts_agree_on_fitted_orbitals() {
                 out_t.gradient(orb),
             );
             for d in 0..3 {
-                assert!((ga[d] - gs[d]).abs() < 1e-8, "grad d={d}");
+                common::assert_rel_close_f64(ga[d], gs[d], 1e-8, &format!("grad d={d}"));
                 assert_eq!(gs[d], gt[d]);
             }
-            assert!(
-                (out_a.hessian_trace(orb) - out_s.hessian_trace(orb)).abs() < 1e-7
+            common::assert_rel_close_f64(
+                out_a.hessian_trace(orb),
+                out_s.hessian_trace(orb),
+                1e-7,
+                &format!("orb {orb}: hessian trace"),
             );
             // VGL Laplacian consistent with VGH trace.
-            assert!(
-                (out_s.laplacian(orb) - out_s.hessian_trace(orb)).abs() < 1e-7,
-                "orb={orb}"
+            common::assert_rel_close_f64(
+                out_s.laplacian(orb),
+                out_s.hessian_trace(orb),
+                1e-7,
+                &format!("orb={orb}: VGL laplacian vs VGH trace"),
             );
         }
     }
@@ -75,14 +87,14 @@ fn multi_engine_matches_scalar_spline_reference() {
         let p = [rng.random::<f64>(), rng.random::<f64>(), rng.random::<f64>()];
         soa.vgh(p, &mut out);
         let expect = reference.vgh(p[0], p[1], p[2]);
-        assert!((out.value(1) - expect.v).abs() < 1e-12);
+        common::assert_rel_close_f64(out.value(1), expect.v, 1e-12, "value");
         let grad = out.gradient(1);
         for (g, e) in grad.iter().zip(&expect.g) {
-            assert!((g - e).abs() < 1e-10);
+            common::assert_rel_close_f64(*g, *e, 1e-10, "gradient");
         }
         let h = out.hessian(1);
         for (hv, e) in h.iter().zip(&expect.h) {
-            assert!((hv - e).abs() < 1e-9);
+            common::assert_rel_close_f64(*hv, *e, 1e-9, "hessian");
         }
         // Empty orbital slots stay exactly zero.
         assert_eq!(out.value(0), 0.0);

@@ -117,3 +117,111 @@ proptest! {
         let _ = ParticleSet::new("x", lat, &[[0.0; 3]]);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Threading-ablation substrate (ISSUE 4 satellite): direct property
+// coverage for the static tile partition and the rayon stub's grained
+// dynamic queue — the two scheduling modes the nested-threading
+// ablation compares. Until now only their consumers were tested.
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `partition_tiles(m, nth)` is a balanced, contiguous, complete
+    /// cover of `0..m` for any ragged combination, including
+    /// `nth > m` (chunk count clamps to `m`, never empty ranges).
+    #[test]
+    fn partition_tiles_is_a_balanced_cover(m in 1usize..200, nth in 1usize..64) {
+        let ranges = bspline::parallel::partition_tiles(m, nth);
+        prop_assert_eq!(ranges.len(), nth.min(m));
+        prop_assert_eq!(ranges[0].0, 0);
+        prop_assert_eq!(ranges.last().unwrap().1, m);
+        for w in ranges.windows(2) {
+            prop_assert_eq!(w[0].1, w[1].0); // contiguous
+        }
+        let sizes: Vec<usize> = ranges.iter().map(|(lo, hi)| hi - lo).collect();
+        prop_assert!(sizes.iter().all(|&s| s > 0));
+        let (mn, mx) = (
+            *sizes.iter().min().unwrap(),
+            *sizes.iter().max().unwrap(),
+        );
+        prop_assert!(mx - mn <= 1, "balanced: sizes {:?}", sizes);
+        prop_assert_eq!(sizes.iter().sum::<usize>(), m);
+    }
+
+    /// The rayon stub's `with_min_len(grain)` dynamic queue processes
+    /// every item exactly once for any (count, grain) combination —
+    /// including a grain larger than the whole work list — and its
+    /// mutations match the serial loop.
+    #[test]
+    fn rayon_stub_grained_queue_processes_each_item_once(
+        n in 0usize..200,
+        grain in 1usize..256,
+    ) {
+        use rayon::prelude::*;
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        // Owned-items queue: count visits.
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        (0..n).collect::<Vec<usize>>()
+            .into_par_iter()
+            .with_min_len(grain)
+            .for_each(|i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+        for (i, h) in hits.iter().enumerate() {
+            prop_assert_eq!(h.load(Ordering::Relaxed), 1, "item {} visits", i);
+        }
+
+        // Mutable-slice queue (the `run_nested_dynamic` shape): the
+        // indexed mutation matches the serial result.
+        let mut data: Vec<usize> = vec![0; n];
+        data.par_iter_mut()
+            .with_min_len(grain)
+            .enumerate()
+            .for_each(|(i, x)| *x = 3 * i + 1);
+        let expect: Vec<usize> = (0..n).map(|i| 3 * i + 1).collect();
+        prop_assert_eq!(data, expect);
+    }
+
+    /// Dynamic-queue scheduling of the nested-threading driver agrees
+    /// bit-for-bit with the static partition on ragged tile counts for
+    /// any grain, including one exceeding the total work-item count.
+    #[test]
+    fn nested_dynamic_matches_static_for_any_grain(
+        n_orb in 1usize..48,
+        nb in 1usize..16,
+        grain in 1usize..300,
+        seed in 0u64..200,
+    ) {
+        let g = Grid1::periodic(0.0, 1.0, 5);
+        let mut table = MultiCoefs::<f32>::new(g, g, g, n_orb);
+        table.fill_random(&mut StdRng::seed_from_u64(seed));
+        let engine = BsplineAoSoA::from_multi(&table, nb);
+        let positions = vec![bspline::PosBlock::from_positions(&[
+            [0.2f32, 0.7, 0.4],
+            [0.9, 0.1, 0.6],
+        ])];
+
+        let mut expect = vec![engine.make_out()];
+        bspline::parallel::run_nested(
+            &engine,
+            bspline::Kernel::Vgh,
+            &mut expect,
+            &positions,
+            3,
+        );
+        let mut got = vec![engine.make_out()];
+        bspline::parallel::run_nested_dynamic(
+            &engine,
+            bspline::Kernel::Vgh,
+            &mut got,
+            &positions,
+            grain,
+        );
+        for k in 0..n_orb {
+            prop_assert_eq!(got[0].value(k), expect[0].value(k), "orb {}", k);
+            prop_assert_eq!(got[0].hessian(k), expect[0].hessian(k), "orb {}", k);
+        }
+    }
+}

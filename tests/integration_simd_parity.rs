@@ -10,9 +10,13 @@
 //! bit-identical elementwise chain and must match to ≤ 2 ULP — in fact
 //! exactly. SSE2 models a pre-FMA machine (`mul`+`add`), so each of its
 //! accumulation steps rounds once more than the fused reference; it is
-//! bounded by a scale-aware tolerance instead.
+//! bounded by a scale-aware tolerance instead. The ULP/tolerance
+//! machinery lives in the shared `tests/common` support module.
+
+mod common;
 
 use bspline::simd::{with_backend, Backend};
+use common::BackendTolerance as Parity;
 use bspline::{BsplineAoS, BsplineAoSoA, BsplineSoA, Kernel, PosBlock, SpoEngine};
 use einspline::{Grid1, MultiCoefs, Real};
 use proptest::prelude::*;
@@ -37,73 +41,6 @@ fn random_block<T: Real>(ns: usize, seed: u64) -> PosBlock<T> {
             ]
         })
         .collect()
-}
-
-/// Distance in units-in-the-last-place between two finite floats.
-fn ulp_distance_f32(a: f32, b: f32) -> u32 {
-    let to_ordered = |x: f32| {
-        let bits = x.to_bits() as i32;
-        if bits < 0 {
-            i32::MIN.wrapping_sub(bits)
-        } else {
-            bits
-        }
-    };
-    to_ordered(a).abs_diff(to_ordered(b))
-}
-
-fn ulp_distance_f64(a: f64, b: f64) -> u64 {
-    let to_ordered = |x: f64| {
-        let bits = x.to_bits() as i64;
-        if bits < 0 {
-            i64::MIN.wrapping_sub(bits)
-        } else {
-            bits
-        }
-    };
-    to_ordered(a).abs_diff(to_ordered(b))
-}
-
-trait Parity: Real {
-    /// Assert `got` matches the scalar-reference `want` under the
-    /// backend's tolerance contract.
-    fn assert_close(backend: Backend, want: Self, got: Self, ctx: &str);
-}
-
-impl Parity for f32 {
-    fn assert_close(backend: Backend, want: Self, got: Self, ctx: &str) {
-        if backend.is_fused() {
-            assert!(
-                ulp_distance_f32(want, got) <= 2,
-                "{ctx} [{backend}]: {want} vs {got} ({} ulp)",
-                ulp_distance_f32(want, got)
-            );
-        } else {
-            let tol = 1e-4 * want.abs().max(got.abs()).max(1.0);
-            assert!(
-                (want - got).abs() <= tol,
-                "{ctx} [{backend}]: {want} vs {got}"
-            );
-        }
-    }
-}
-
-impl Parity for f64 {
-    fn assert_close(backend: Backend, want: Self, got: Self, ctx: &str) {
-        if backend.is_fused() {
-            assert!(
-                ulp_distance_f64(want, got) <= 2,
-                "{ctx} [{backend}]: {want} vs {got} ({} ulp)",
-                ulp_distance_f64(want, got)
-            );
-        } else {
-            let tol = 1e-12 * want.abs().max(got.abs()).max(1.0);
-            assert!(
-                (want - got).abs() <= tol,
-                "{ctx} [{backend}]: {want} vs {got}"
-            );
-        }
-    }
 }
 
 /// All kernel outputs of one engine over a position block, flattened,

@@ -2,6 +2,8 @@
 //! directly and through the `qmc_repro` umbrella facade), and the three
 //! engine layouts built from one shared `MultiCoefs` table agree on VGH.
 
+mod common;
+
 use bspline::{BsplineAoS, BsplineAoSoA, BsplineSoA, SpoEngine};
 use einspline::{Grid1, MultiCoefs};
 use rand::rngs::StdRng;
@@ -28,15 +30,20 @@ fn engines_from_one_shared_table_agree_on_vgh() {
         for orb in 0..n {
             // AoS accumulates in a different order: tolerance, not
             // bit-equality. SoA vs AoSoA run the identical plane kernel.
-            assert!(
-                (out_a.value(orb) - out_s.value(orb)).abs() < 2e-4,
-                "orb {orb}: AoS {} vs SoA {}",
+            common::assert_rel_close_f32(
                 out_a.value(orb),
-                out_s.value(orb)
+                out_s.value(orb),
+                2e-4,
+                &format!("orb {orb}: AoS vs SoA value"),
             );
             assert_eq!(out_s.value(orb), out_t.value(orb), "orb {orb}");
             for d in 0..3 {
-                assert!((out_a.gradient(orb)[d] - out_s.gradient(orb)[d]).abs() < 2e-2);
+                common::assert_rel_close_f32(
+                    out_a.gradient(orb)[d],
+                    out_s.gradient(orb)[d],
+                    2e-2,
+                    &format!("orb {orb} d={d}: AoS vs SoA gradient"),
+                );
             }
             assert_eq!(out_s.hessian(orb), out_t.hessian(orb), "orb {orb}");
         }
