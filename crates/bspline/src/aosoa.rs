@@ -157,9 +157,28 @@ impl<T: Real> BsplineAoSoA<T> {
         let locs: Vec<Located<T>> =
             positions.iter().map(|p| Located::new(coefs, *p)).collect();
         for (t, tile_out) in out.tiles_mut().iter_mut().enumerate() {
-            for loc in &locs {
+            for (i, loc) in locs.iter().enumerate() {
+                // Pull the coefficient runs one evaluation ahead into
+                // L2 while the current one computes: the same tile's
+                // next position, or the next tile's first position at
+                // the tile switch (`simd` feature only; no-op
+                // elsewhere).
+                self.prefetch_ahead(t, i, &locs);
                 self.eval_tile_located(t, kernel, loc, tile_out);
             }
+        }
+    }
+
+    /// Prefetch one evaluation ahead of `(t, i)` in a tile-major sweep
+    /// over `locs` (see [`Self::eval_batch_tile_major`]).
+    #[inline]
+    fn prefetch_ahead(&self, t: usize, i: usize, locs: &[Located<T>]) {
+        let (tile, loc) = match locs.get(i + 1) {
+            Some(next) => (self.tiles.get(t), Some(next)),
+            None => (self.tiles.get(t + 1), locs.first()),
+        };
+        if let (Some(tile), Some(loc)) = (tile, loc) {
+            crate::simd::prefetch_tile(tile.coefs(), loc);
         }
     }
 
@@ -186,7 +205,8 @@ impl<T: Real> BsplineAoSoA<T> {
         check_batch(pos.len(), out.len());
         let locs = self.locate_block(pos);
         for t in 0..self.tiles.len() {
-            for (loc, block) in locs.iter().zip(out.blocks_mut()) {
+            for (i, (loc, block)) in locs.iter().zip(out.blocks_mut()).enumerate() {
+                self.prefetch_ahead(t, i, &locs);
                 self.eval_tile_located(t, kernel, loc, block.tile_mut(t));
             }
         }

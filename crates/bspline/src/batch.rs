@@ -255,21 +255,31 @@ pub(crate) fn check_batch(n_pos: usize, n_out: usize) {
 /// the three per-dimension basis-weight blocks (value / first / second
 /// derivative weights, derivative weights pre-scaled by `delta_inv`).
 ///
-/// Computing this once per position and reusing it across tiles (AoSoA)
-/// or kernels is the "hoist basis-coefficient computation" step of the
-/// batched API; the arithmetic is bit-identical to the scalar paths,
-/// which build the same weights inline.
+/// Computing this once per position and reusing it across tiles (AoSoA),
+/// blocks ([`crate::blocked`]) or kernels is the "hoist basis-coefficient
+/// computation" step of the batched API; the arithmetic is bit-identical
+/// to the scalar paths, which build the same weights inline. Public so
+/// block engines ([`crate::blocked::BlockEngine`]) can receive the
+/// shared per-position hoist from schedulers.
 #[derive(Clone, Copy, Debug)]
-pub(crate) struct Located<T> {
+pub struct Located<T> {
+    /// Lower-corner x grid index.
     pub i0: usize,
+    /// Lower-corner y grid index.
     pub j0: usize,
+    /// Lower-corner z grid index.
     pub k0: usize,
+    /// x-dimension basis weights.
     pub wa: BasisWeights<T>,
+    /// y-dimension basis weights.
     pub wb: BasisWeights<T>,
+    /// z-dimension basis weights.
     pub wc: BasisWeights<T>,
 }
 
 impl<T: Real> Located<T> {
+    /// Locate `pos` against `coefs`' grids and build the three
+    /// basis-weight blocks.
     #[inline(always)]
     pub fn new(coefs: &MultiCoefs<T>, pos: [T; 3]) -> Self {
         let p = coefs.locate(pos[0], pos[1], pos[2]);

@@ -1,0 +1,524 @@
+//! `BlockedEngine` — the orbital-block decomposition: one logical
+//! multi-spline object served by `B` independent, cache-budget-sized
+//! spline blocks (paper Sec. IV–V: "multiple spline objects … so that
+//! the block of read-only coefficient data fits in cache", the substrate
+//! of the Fig. 9/10 nested-threading scaling).
+//!
+//! # How it differs from [`crate::aosoa::BsplineAoSoA`]
+//!
+//! The AoSoA engine tiles for *SIMD and output locality* and keeps a
+//! tiled output type ([`crate::output::WalkerTiled`]); consumers index
+//! through an orbital → (tile, offset) map. The blocked engine sits one
+//! level up:
+//!
+//! * **Budget-sized blocks.** The block width comes from a *byte budget*
+//!   ([`einspline::MultiCoefs::block_splines_for_budget`]): the widest
+//!   block whose standalone coefficient slab fits the target cache
+//!   level, quantized to the cache-line padding unit so block tables
+//!   carry no padding waste and block boundaries in the contiguous
+//!   output stay 64-byte aligned.
+//! * **Contiguous caller output.** `Out = `[`WalkerSoA`]` (N orbitals)`:
+//!   each block's V/VGL/VGH streams scatter **in place** into the
+//!   caller's contiguous streams at the block's orbital offset (a
+//!   [`SoAStreamsMut`] sub-range handed to the micro-kernels — no copy,
+//!   no gather on the consumer side). miniqmc's `SpoSet` consumes a
+//!   blocked engine exactly like a monolithic SoA engine.
+//! * **Shared per-position hoist.** The grid locate + basis-weight
+//!   blocks ([`Located`]) are computed once per position and reused by
+//!   every block (the scalar paths of a naive multi-engine split would
+//!   recompute them `B` times).
+//! * **Nested-threading unit.** Blocks share nothing and their output
+//!   ranges are disjoint, so a walker's evaluation splits across
+//!   threads by handing each thread a block range and the matching
+//!   [`WalkerSoA::split_streams_mut`] views
+//!   ([`crate::parallel::run_nested_blocked`]).
+//! * **First-touch placement.** [`BlockedEngine::from_multi`] builds
+//!   each block's coefficient table *on the thread that the static
+//!   nested schedule assigns the block to*, so on a NUMA host the pages
+//!   of a block are first touched (faulted + written) in the domain of
+//!   the thread that will stream them. (With the vendored scoped-thread
+//!   rayon stub this is an approximation — worker `k` of the stub's
+//!   balanced partition owns the same block span every parallel region
+//!   of equal width; with real rayon + a pinned pool it is exact.)
+//! * **Tile prefetch.** The block-major batch loop issues
+//!   `_mm_prefetch` for the *next* block's coefficient runs of the
+//!   position at hand while the current block computes (behind the
+//!   `simd` feature; a no-op elsewhere).
+//!
+//! Results are **bit-identical** to the monolithic SoA engine on the
+//! *fused* backends (the scalar pack and AVX2+FMA) for every kernel
+//! and block width: the per-orbital operation chain only reads that
+//! orbital's own coefficient line elements and the shared weights, so
+//! splitting the spline dimension reorders nothing. The non-FMA SSE2
+//! backend fuses its ragged scalar tail but not its vector body, so a
+//! block boundary can move an orbital between those two paths — there
+//! the agreement is bounded by the shared scale-aware tolerance
+//! instead (`tests/integration_blocked.rs` property-tests both
+//! contracts across budgets, including `B = 1`, ragged last blocks and
+//! blocks narrower than one SIMD register).
+
+use crate::batch::{check_batch, BatchOut, Located, PosBlock};
+use crate::engine::SpoEngine;
+use crate::layout::{Kernel, Layout};
+use crate::output::{SoAStreamsMut, WalkerSoA};
+use crate::soa::BsplineSoA;
+use einspline::multi::{BlockedCoefs, MultiCoefs};
+use einspline::Real;
+use rayon::prelude::*;
+
+/// An engine that can serve as one spline block of a [`BlockedEngine`]:
+/// it exposes its coefficient table (shared-grid locate + prefetch) and
+/// evaluates through a caller-positioned stream view (the in-place
+/// scatter). Implemented by [`BsplineSoA`]; any future engine with SoA
+/// semantics (an AVX-512 specialization, say) plugs in the same way.
+pub trait BlockEngine: SpoEngine<Self::Scalar, Out = WalkerSoA<Self::Scalar>> {
+    /// The scalar (storage + kernel) precision of the block.
+    type Scalar: Real;
+
+    /// The block's coefficient table.
+    fn block_coefs(&self) -> &MultiCoefs<Self::Scalar>;
+
+    /// Evaluate `kernel` over a pre-located position into the view
+    /// (the view length selects how many of this block's orbitals are
+    /// written; `≤` the block's padded stride).
+    fn eval_streams(
+        &self,
+        kernel: Kernel,
+        loc: &Located<Self::Scalar>,
+        out: SoAStreamsMut<'_, Self::Scalar>,
+    );
+}
+
+impl<T: Real> BlockEngine for BsplineSoA<T> {
+    type Scalar = T;
+
+    fn block_coefs(&self) -> &MultiCoefs<T> {
+        self.coefs()
+    }
+
+    fn eval_streams(&self, kernel: Kernel, loc: &Located<T>, out: SoAStreamsMut<'_, T>) {
+        BsplineSoA::eval_streams(self, kernel, loc, out)
+    }
+}
+
+/// Blocked multi-orbital evaluator: `B` cache-sized spline blocks
+/// behind the monolithic [`SpoEngine`] surface (module docs).
+#[derive(Clone, Debug)]
+pub struct BlockedEngine<E> {
+    blocks: Vec<E>,
+    /// Orbital offset of each block plus the total: `bounds[b]` is
+    /// block `b`'s first global orbital, `bounds[B] = N`.
+    bounds: Vec<usize>,
+    nb: usize,
+    n_splines: usize,
+    /// The byte budget the block width was derived from (0 when the
+    /// width was given explicitly).
+    budget: usize,
+}
+
+impl<T: Real> BlockedEngine<BsplineSoA<T>> {
+    /// Split `coefs` into blocks whose coefficient slab fits
+    /// `budget_bytes` and build one [`BsplineSoA`] per block, each
+    /// constructed (allocated **and** written) on the thread the static
+    /// nested schedule assigns it to — the first-touch path.
+    pub fn from_multi(coefs: &MultiCoefs<T>, budget_bytes: usize) -> Self {
+        let nb = coefs.block_splines_for_budget(budget_bytes);
+        Self::build(coefs, nb, budget_bytes)
+    }
+
+    /// Build with an explicit block width (tests and ablations; no
+    /// budget semantics, any `nb ≥ 1` including widths narrower than a
+    /// SIMD register).
+    pub fn with_block_size(coefs: &MultiCoefs<T>, nb: usize) -> Self {
+        assert!(nb > 0, "block width must be positive");
+        Self::build(coefs, nb.min(coefs.n_splines()), 0)
+    }
+
+    /// Wrap per-block tables split ahead of time
+    /// ([`einspline::MultiCoefs::split_blocks`]).
+    pub fn from_blocked(blocked: BlockedCoefs<T>) -> Self {
+        let nb = blocked.nb();
+        let budget = blocked.block_bytes();
+        let blocks: Vec<BsplineSoA<T>> =
+            blocked.into_blocks().into_iter().map(BsplineSoA::new).collect();
+        Self::from_blocks(blocks, nb, budget)
+    }
+
+    fn build(coefs: &MultiCoefs<T>, nb: usize, budget: usize) -> Self {
+        let n = coefs.n_splines();
+        let ranges: Vec<(usize, usize)> = (0..n.div_ceil(nb))
+            .map(|b| (b * nb, ((b + 1) * nb).min(n)))
+            .collect();
+        // Parallel construction = first-touch: the rayon partition that
+        // builds block b is the same balanced static partition the
+        // nested schedule uses to evaluate it, so each worker writes
+        // (first-touches) exactly the slabs it will later stream.
+        let blocks: Vec<BsplineSoA<T>> = ranges
+            .into_par_iter()
+            .map(|(lo, hi)| BsplineSoA::new(coefs.slice_splines(lo, hi)))
+            .collect();
+        Self::from_blocks(blocks, nb, budget)
+    }
+
+    fn from_blocks(blocks: Vec<BsplineSoA<T>>, nb: usize, budget: usize) -> Self {
+        assert!(!blocks.is_empty(), "need at least one block");
+        let mut bounds = Vec::with_capacity(blocks.len() + 1);
+        let mut n_splines = 0;
+        bounds.push(0);
+        for b in &blocks {
+            n_splines += b.n_splines();
+            bounds.push(n_splines);
+        }
+        let g0 = blocks[0].coefs().grids();
+        let grids = (*g0.0, *g0.1, *g0.2);
+        for b in &blocks[1..] {
+            let g = b.coefs().grids();
+            assert_eq!((*g.0, *g.1, *g.2), grids, "blocks must share grids");
+        }
+        Self {
+            blocks,
+            bounds,
+            nb,
+            n_splines,
+            budget,
+        }
+    }
+}
+
+impl<E> BlockedEngine<E> {
+    /// Number of blocks B.
+    #[inline]
+    pub fn n_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Nominal block width (the last block may hold fewer splines).
+    #[inline]
+    pub fn nb(&self) -> usize {
+        self.nb
+    }
+
+    /// The byte budget the decomposition was derived from (0 when the
+    /// block width was explicit).
+    #[inline]
+    pub fn budget_bytes(&self) -> usize {
+        self.budget
+    }
+
+    /// Per-block engines.
+    #[inline]
+    pub fn blocks(&self) -> &[E] {
+        &self.blocks
+    }
+
+    /// Block `b`.
+    #[inline]
+    pub fn block(&self, b: usize) -> &E {
+        &self.blocks[b]
+    }
+
+    /// Global orbital range `[lo, hi)` of block `b`.
+    #[inline]
+    pub fn block_range(&self, b: usize) -> (usize, usize) {
+        (self.bounds[b], self.bounds[b + 1])
+    }
+
+    /// Global orbital range covered by the contiguous block chunk
+    /// `[lo_block, hi_block)` — the nested work-item bound.
+    #[inline]
+    pub fn chunk_range(&self, lo_block: usize, hi_block: usize) -> (usize, usize) {
+        (self.bounds[lo_block], self.bounds[hi_block])
+    }
+
+    /// Map a global orbital index to `(block, offset)`.
+    #[inline]
+    pub fn locate_orbital(&self, n: usize) -> (usize, usize) {
+        debug_assert!(n < self.n_splines, "orbital index out of range");
+        (n / self.nb, n % self.nb)
+    }
+}
+
+impl<E: BlockEngine> BlockedEngine<E> {
+    /// Coefficient-slab bytes of the widest block (what the budget
+    /// bounded).
+    pub fn block_bytes(&self) -> usize {
+        self.blocks
+            .iter()
+            .map(|b| b.block_coefs().bytes())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Locate every position of a block against the (shared) grids —
+    /// the once-per-position hoist every block reuses.
+    #[inline]
+    pub fn locate_block(&self, pos: &PosBlock<E::Scalar>) -> Vec<Located<E::Scalar>> {
+        Located::block(self.blocks[0].block_coefs(), pos)
+    }
+
+    /// Evaluate one block over a pre-located position into the view at
+    /// the block's output range — the nested-threading unit of work
+    /// (the scheduler owns the view arithmetic; `out.len()` must be
+    /// block `b`'s spline count).
+    #[inline]
+    pub fn eval_block_located(
+        &self,
+        b: usize,
+        kernel: Kernel,
+        loc: &Located<E::Scalar>,
+        out: SoAStreamsMut<'_, E::Scalar>,
+    ) {
+        debug_assert_eq!(out.len(), self.bounds[b + 1] - self.bounds[b]);
+        self.blocks[b].eval_streams(kernel, loc, out);
+    }
+
+    /// Prefetch block `b`'s coefficient runs for `loc` (no-op when `b`
+    /// is out of range — callers pass `b + 1` unconditionally).
+    #[inline]
+    pub(crate) fn prefetch_block(&self, b: usize, loc: &Located<E::Scalar>) {
+        if let Some(next) = self.blocks.get(b) {
+            crate::simd::prefetch_tile(next.block_coefs(), loc);
+        }
+    }
+
+    fn check_out(&self, out: &WalkerSoA<E::Scalar>) {
+        assert!(
+            out.stride() >= self.n_splines,
+            "output block ({} orbitals padded) too small for {} orbitals",
+            out.stride(),
+            self.n_splines
+        );
+    }
+
+    /// All blocks over one pre-located position, scattered in place.
+    pub(crate) fn eval_located_all(
+        &self,
+        kernel: Kernel,
+        loc: &Located<E::Scalar>,
+        out: &mut WalkerSoA<E::Scalar>,
+    ) {
+        self.check_out(out);
+        for b in 0..self.blocks.len() {
+            let (lo, hi) = self.block_range(b);
+            self.prefetch_block(b + 1, loc);
+            self.blocks[b].eval_streams(kernel, loc, out.streams_range_mut(lo, hi));
+        }
+    }
+
+    /// Prefetch one evaluation ahead of `(b, i)` in a block-major sweep
+    /// over `locs`: the current block's next position while inside the
+    /// block, the next block's first position at the block switch. One
+    /// evaluation (`64·nb` coefficient reads) is far enough for the
+    /// lines and their TLB entries to arrive, close enough that they
+    /// are not evicted before use. `b_end` is the sweep's exclusive
+    /// upper block (a nested work item's chunk bound): no prefetch is
+    /// issued past it — the next block over the boundary belongs to
+    /// another work item, likely streaming its own slab concurrently.
+    #[inline]
+    pub(crate) fn prefetch_ahead(
+        &self,
+        b: usize,
+        b_end: usize,
+        i: usize,
+        locs: &[Located<E::Scalar>],
+    ) {
+        match locs.get(i + 1) {
+            Some(next) => self.prefetch_block(b, next),
+            None if b + 1 < b_end => {
+                if let Some(first) = locs.first() {
+                    self.prefetch_block(b + 1, first);
+                }
+            }
+            None => {}
+        }
+    }
+
+    /// Batched evaluation, **block-major** (the Fig. 6 loop order at
+    /// block granularity): one block's coefficient slab serves every
+    /// position of the batch before the next block is touched, the
+    /// per-position [`Located`] hoist is shared by all blocks, and the
+    /// coefficient runs one evaluation ahead are prefetched (the same
+    /// block's next position, or the next block's first position at
+    /// the block switch).
+    pub fn eval_batch_blocked(
+        &self,
+        kernel: Kernel,
+        pos: &PosBlock<E::Scalar>,
+        out: &mut BatchOut<WalkerSoA<E::Scalar>>,
+    ) {
+        check_batch(pos.len(), out.len());
+        for o in out.blocks_mut().iter().take(pos.len()) {
+            self.check_out(o);
+        }
+        let locs = self.locate_block(pos);
+        let b_end = self.blocks.len();
+        for b in 0..b_end {
+            let (lo, hi) = self.block_range(b);
+            for (i, (loc, block_out)) in locs.iter().zip(out.blocks_mut()).enumerate() {
+                self.prefetch_ahead(b, b_end, i, &locs);
+                self.blocks[b].eval_streams(kernel, loc, block_out.streams_range_mut(lo, hi));
+            }
+        }
+    }
+}
+
+impl<E: BlockEngine> SpoEngine<E::Scalar> for BlockedEngine<E> {
+    type Out = WalkerSoA<E::Scalar>;
+
+    fn n_splines(&self) -> usize {
+        self.n_splines
+    }
+
+    /// Blocked coefficients behind contiguous SoA outputs; reported as
+    /// [`Layout::AoSoA`] (the input-side decomposition is the AoSoA
+    /// transformation lifted to engine granularity).
+    fn layout(&self) -> Layout {
+        Layout::AoSoA
+    }
+
+    fn domain(&self) -> [(f64, f64); 3] {
+        let (gx, gy, gz) = self.blocks[0].block_coefs().grids();
+        [
+            (gx.start(), gx.end()),
+            (gy.start(), gy.end()),
+            (gz.start(), gz.end()),
+        ]
+    }
+
+    fn make_out(&self) -> WalkerSoA<E::Scalar> {
+        WalkerSoA::new(self.n_splines)
+    }
+
+    fn v(&self, pos: [E::Scalar; 3], out: &mut WalkerSoA<E::Scalar>) {
+        let loc = Located::new(self.blocks[0].block_coefs(), pos);
+        self.eval_located_all(Kernel::V, &loc, out);
+    }
+
+    fn vgl(&self, pos: [E::Scalar; 3], out: &mut WalkerSoA<E::Scalar>) {
+        let loc = Located::new(self.blocks[0].block_coefs(), pos);
+        self.eval_located_all(Kernel::Vgl, &loc, out);
+    }
+
+    fn vgh(&self, pos: [E::Scalar; 3], out: &mut WalkerSoA<E::Scalar>) {
+        let loc = Located::new(self.blocks[0].block_coefs(), pos);
+        self.eval_located_all(Kernel::Vgh, &loc, out);
+    }
+
+    fn v_batch(&self, pos: &PosBlock<E::Scalar>, out: &mut BatchOut<WalkerSoA<E::Scalar>>) {
+        self.eval_batch_blocked(Kernel::V, pos, out);
+    }
+
+    fn vgl_batch(&self, pos: &PosBlock<E::Scalar>, out: &mut BatchOut<WalkerSoA<E::Scalar>>) {
+        self.eval_batch_blocked(Kernel::Vgl, pos, out);
+    }
+
+    fn vgh_batch(&self, pos: &PosBlock<E::Scalar>, out: &mut BatchOut<WalkerSoA<E::Scalar>>) {
+        self.eval_batch_blocked(Kernel::Vgh, pos, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use einspline::Grid1;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn table(n: usize, seed: u64) -> MultiCoefs<f32> {
+        let g = Grid1::periodic(0.0, 1.0, 6);
+        let mut m = MultiCoefs::<f32>::new(g, g, g, n);
+        m.fill_random(&mut StdRng::seed_from_u64(seed));
+        m
+    }
+
+    #[test]
+    fn blocked_bit_matches_monolithic_soa() {
+        let t = table(40, 5);
+        let mono = BsplineSoA::new(t.clone());
+        let pos = [0.31f32, 0.72, 0.18];
+        let mut want = WalkerSoA::new(40);
+        for nb in [1usize, 3, 16, 17, 40] {
+            let blocked = BlockedEngine::with_block_size(&t, nb);
+            let mut got = blocked.make_out();
+            for k in Kernel::ALL {
+                mono.eval_streams(k, &Located::new(&t, pos), want.streams_range_mut(0, want.stride()));
+                blocked.eval(k, pos, &mut got);
+                for n in 0..40 {
+                    assert_eq!(want.value(n), got.value(n), "{k} nb={nb} n={n}");
+                    match k {
+                        Kernel::V => {}
+                        Kernel::Vgl => {
+                            assert_eq!(want.gradient(n), got.gradient(n), "nb={nb} n={n}");
+                            assert_eq!(want.laplacian(n), got.laplacian(n), "nb={nb} n={n}");
+                        }
+                        Kernel::Vgh => {
+                            assert_eq!(want.gradient(n), got.gradient(n), "nb={nb} n={n}");
+                            assert_eq!(want.hessian(n), got.hessian(n), "nb={nb} n={n}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn budget_construction_reports_shape() {
+        let t = table(64, 9);
+        // Budget for two 16-spline quanta per block.
+        let blocked = BlockedEngine::from_multi(&t, 2 * 16 * t.bytes_per_spline());
+        assert_eq!(blocked.nb(), 32);
+        assert_eq!(blocked.n_blocks(), 2);
+        assert_eq!(SpoEngine::<f32>::n_splines(&blocked), 64);
+        assert_eq!(blocked.block_range(1), (32, 64));
+        assert_eq!(blocked.chunk_range(0, 2), (0, 64));
+        assert_eq!(blocked.locate_orbital(33), (1, 1));
+        assert!(blocked.block_bytes() <= blocked.budget_bytes());
+        assert_eq!(SpoEngine::<f32>::layout(&blocked), Layout::AoSoA);
+        assert_eq!(SpoEngine::<f32>::domain(&blocked)[2], (0.0, 1.0));
+    }
+
+    #[test]
+    fn batched_matches_scalar_loop_exactly() {
+        let t = table(21, 13); // ragged against every lane width
+        let blocked = BlockedEngine::with_block_size(&t, 8);
+        let block: PosBlock<f32> =
+            [[0.1f32, 0.5, 0.9], [0.33, 0.66, 0.05], [0.72, 0.2, 0.48]]
+                .into_iter()
+                .collect();
+        let mut bout = blocked.make_batch_out(block.len());
+        blocked.eval_batch(Kernel::Vgh, &block, &mut bout);
+        let mut sout = blocked.make_out();
+        for (i, p) in block.iter().enumerate() {
+            blocked.vgh(p, &mut sout);
+            for n in 0..21 {
+                assert_eq!(bout.block(i).value(n), sout.value(n), "i={i} n={n}");
+                assert_eq!(bout.block(i).hessian(n), sout.hessian(n));
+            }
+        }
+    }
+
+    #[test]
+    fn from_blocked_and_first_touch_builds_agree() {
+        let t = table(40, 21);
+        let serial = BlockedEngine::from_blocked(t.split_blocks(16 * t.bytes_per_spline()));
+        let parallel = BlockedEngine::from_multi(&t, 16 * t.bytes_per_spline());
+        assert_eq!(serial.n_blocks(), parallel.n_blocks());
+        let pos = [0.4f32, 0.8, 0.2];
+        let (mut a, mut b) = (serial.make_out(), parallel.make_out());
+        serial.vgh(pos, &mut a);
+        parallel.vgh(pos, &mut b);
+        for n in 0..40 {
+            assert_eq!(a.value(n), b.value(n));
+            assert_eq!(a.hessian(n), b.hessian(n));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn undersized_output_rejected() {
+        let t = table(40, 2);
+        let blocked = BlockedEngine::with_block_size(&t, 16);
+        let mut small = WalkerSoA::new(16);
+        blocked.vgh([0.5, 0.5, 0.5], &mut small);
+    }
+}

@@ -11,6 +11,7 @@
 //! | Opt A: AoS→SoA outputs (Fig. 4b) | [`soa::BsplineSoA`] |
 //! | Opt B: AoSoA tiling (Fig. 5b/6) | [`aosoa::BsplineAoSoA`] |
 //! | Opt C: nested threading (Sec. V-C) | [`parallel::run_nested`] |
+//! | orbital-block decomposition (Sec. IV, Fig. 9/10 substrate) | [`blocked::BlockedEngine`] |
 //! | miniQMC driver (Fig. 3) | [`walker`] |
 //! | multi-walker batching (Fig. 6 loop order) | [`batch`] |
 //! | explicit vectorization (Fig. 6–7, Table 4) | [`simd`] |
@@ -59,6 +60,61 @@
 //! Results are **bit-identical** to the scalar loop (the batched paths
 //! reorder only independent work), which the workspace property tests
 //! assert for all layouts and batch sizes including 0 and 1.
+//!
+//! # Threading & blocking model
+//!
+//! The scaling substrate (paper Sec. IV–V and Fig. 9/10) is the
+//! **orbital-block decomposition** ([`blocked::BlockedEngine`]): one
+//! logical table of N orbitals served by `B` independent spline blocks,
+//! scheduled as a walker×block grid.
+//!
+//! * **Block-size derivation.** The block width is the widest multiple
+//!   of the cache-line quantum (16 `f32` / 8 `f64` splines) whose
+//!   standalone coefficient slab — `(gx+3)(gy+3)(gz+3) · nb ·
+//!   sizeof(T)` bytes — fits a byte budget
+//!   ([`einspline::MultiCoefs::block_splines_for_budget`]). The budget
+//!   candidates are the cache hierarchy's natural levels
+//!   ([`tuning::BlockBudgets`]): private L2, shared LLC divided by the
+//!   worker count, and the whole table (`B = 1`, the monolithic
+//!   degenerate case). [`tuning::tune_block_budget`] measures the three
+//!   and [`tuning::default_block_budget`] records the winner on the
+//!   baseline host — LLC/workers for super-LLC tables (1.31× over
+//!   monolithic on the recorded N = 2048 nested VGH generation rows),
+//!   the whole table (B = 1) below the LLC — because a generation's
+//!   positions re-touch a resident block slab where the monolithic
+//!   slab thrashes; see its docs for the sweep numbers.
+//! * **Nested schedule.** [`parallel::run_nested_blocked`] partitions
+//!   the `B` blocks into `nth` contiguous chunks
+//!   ([`parallel::partition_tiles`], non-empty chunks only) and crosses
+//!   them with walkers; each `(walker, chunk)` work item owns a
+//!   [`output::WalkerSoA::split_streams_mut`] view of its walker's
+//!   contiguous output over the chunk's orbital range, so disjointness
+//!   is borrow-checked — no atomics, no interior mutability. The
+//!   grid-locate + basis weights are hoisted once per position and
+//!   shared by all blocks. Worker counts come from
+//!   `rayon::current_num_threads()`, pinnable via `QMC_THREADS` (CI
+//!   runs the suite at 1 and 4).
+//! * **First-touch rationale.** [`blocked::BlockedEngine::from_multi`]
+//!   builds each block's table inside the same balanced static
+//!   partition the nested schedule later uses, so each worker allocates
+//!   *and writes* exactly the slabs it will stream — on a NUMA host,
+//!   first-touch page placement puts a block's pages in the domain of
+//!   the thread that reads them every generation. (Exact with a pinned
+//!   rayon pool; approximated by the vendored scoped-thread stub.)
+//! * **Prefetch distance.** The block-/tile-major batch loops issue
+//!   `_mm_prefetch(T1)` for the sixteen (i,j) coefficient runs **one
+//!   evaluation ahead**: the current block's next position while
+//!   sweeping a block, the next block's first position at the block
+//!   switch. One evaluation is `64·nb` coefficient reads — far enough
+//!   for the lines (and their TLB entries) to arrive, close enough
+//!   that they are not evicted before use (`simd` feature only; no-op
+//!   elsewhere).
+//!
+//! Blocked outputs are **bit-identical** to the monolithic engine on
+//! fused backends for every block shape (the per-orbital operation
+//! chain never crosses a block boundary); `tests/integration_blocked.rs`
+//! property-tests this across kernels × backends × budgets × precisions
+//! × scalar/batched/nested entry.
 //!
 //! # Precision model
 //!
@@ -122,6 +178,7 @@
 pub mod aos;
 pub mod aosoa;
 pub mod batch;
+pub mod blocked;
 pub mod engine;
 pub mod layout;
 pub mod output;
@@ -137,24 +194,32 @@ pub mod walker;
 pub mod prelude {
     pub use crate::aos::BsplineAoS;
     pub use crate::aosoa::BsplineAoSoA;
-    pub use crate::batch::{BatchOut, PosBlock};
+    pub use crate::batch::{BatchOut, Located, PosBlock};
+    pub use crate::blocked::{BlockEngine, BlockedEngine};
     pub use crate::engine::SpoEngine;
     pub use crate::layout::{Kernel, Layout, OptStep};
     pub use crate::output::{WalkerAoS, WalkerSoA, WalkerTiled};
-    pub use crate::parallel::{run_nested, run_nested_dynamic, run_walkers_parallel};
+    pub use crate::parallel::{
+        run_nested, run_nested_blocked, run_nested_blocked_dynamic, run_nested_dynamic,
+        run_walkers_parallel,
+    };
     pub use crate::precision::{MixedEngine, MixedOut, F32_REL_ERROR_BUDGET};
     pub use crate::simd::{active_backend, with_backend, Backend as SimdBackend};
     pub use crate::soa::BsplineSoA;
     pub use crate::throughput::Throughput;
-    pub use crate::tuning::{default_nested_grain, tune_tile_size, TuneConfig, Wisdom};
+    pub use crate::tuning::{
+        default_block_budget, default_nested_grain, tune_block_budget, tune_tile_size,
+        BlockBudgets, TuneConfig, Wisdom,
+    };
     pub use crate::walker::{DriverConfig, KernelTimes};
 }
 
 pub use aos::BsplineAoS;
 pub use aosoa::BsplineAoSoA;
 pub use batch::{BatchOut, PosBlock};
+pub use blocked::BlockedEngine;
 pub use engine::SpoEngine;
 pub use layout::{Kernel, Layout, OptStep};
-pub use output::{WalkerAoS, WalkerSoA, WalkerTiled};
+pub use output::{SoAStreamsMut, WalkerAoS, WalkerSoA, WalkerTiled};
 pub use soa::BsplineSoA;
 pub use throughput::Throughput;

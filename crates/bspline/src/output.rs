@@ -223,6 +223,149 @@ impl<T: Real> WalkerSoA<T> {
     }
 }
 
+/// A mutable view over one orbital range of the eleven SoA output
+/// streams — the unit the explicit-SIMD kernels write through.
+///
+/// For the monolithic engines the view spans the whole padded stream
+/// (`[0, stride)`); for the blocked engine ([`crate::blocked`]) each
+/// spline block receives the sub-range at its orbital offset of one
+/// shared contiguous [`WalkerSoA`], so block outputs scatter straight
+/// into the caller's buffer with no copy. Disjoint ranges of one
+/// walker's streams can be handed to different threads
+/// ([`WalkerSoA::split_streams_mut`]), which is what makes the nested
+/// walker×block schedule borrow-checkable without interior mutability.
+///
+/// All eleven slices always have the same length (the kernels only
+/// touch the streams their kernel writes, but the view is uniform so
+/// one type serves V, VGL and VGH).
+#[derive(Debug)]
+pub struct SoAStreamsMut<'a, T> {
+    /// Value stream slice.
+    pub v: &'a mut [T],
+    /// Gradient x-component slice.
+    pub gx: &'a mut [T],
+    /// Gradient y-component slice.
+    pub gy: &'a mut [T],
+    /// Gradient z-component slice.
+    pub gz: &'a mut [T],
+    /// Laplacian slice (VGL).
+    pub l: &'a mut [T],
+    /// Hessian xx slice (VGH).
+    pub hxx: &'a mut [T],
+    /// Hessian xy slice.
+    pub hxy: &'a mut [T],
+    /// Hessian xz slice.
+    pub hxz: &'a mut [T],
+    /// Hessian yy slice.
+    pub hyy: &'a mut [T],
+    /// Hessian yz slice.
+    pub hyz: &'a mut [T],
+    /// Hessian zz slice.
+    pub hzz: &'a mut [T],
+}
+
+impl<'a, T> SoAStreamsMut<'a, T> {
+    /// Orbitals covered by this view (length of every stream slice).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.v.len()
+    }
+
+    /// Whether the view covers no orbitals.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.v.is_empty()
+    }
+
+    /// Reborrow the sub-range `[lo, hi)` of this view (the per-block
+    /// step inside a multi-block nested work item).
+    #[inline]
+    pub fn range_mut(&mut self, lo: usize, hi: usize) -> SoAStreamsMut<'_, T> {
+        SoAStreamsMut {
+            v: &mut self.v[lo..hi],
+            gx: &mut self.gx[lo..hi],
+            gy: &mut self.gy[lo..hi],
+            gz: &mut self.gz[lo..hi],
+            l: &mut self.l[lo..hi],
+            hxx: &mut self.hxx[lo..hi],
+            hxy: &mut self.hxy[lo..hi],
+            hxz: &mut self.hxz[lo..hi],
+            hyy: &mut self.hyy[lo..hi],
+            hyz: &mut self.hyz[lo..hi],
+            hzz: &mut self.hzz[lo..hi],
+        }
+    }
+}
+
+/// Split one stream into the given disjoint ascending `(lo, hi)`
+/// ranges (gaps allowed; the skipped parts stay untouched).
+fn split_ranges<'a, T>(mut s: &'a mut [T], ranges: &[(usize, usize)]) -> Vec<&'a mut [T]> {
+    let mut out = Vec::with_capacity(ranges.len());
+    let mut pos = 0;
+    for &(lo, hi) in ranges {
+        assert!(lo >= pos && hi >= lo, "ranges must be disjoint ascending");
+        let (_, rest) = s.split_at_mut(lo - pos);
+        let (part, rest) = rest.split_at_mut(hi - lo);
+        out.push(part);
+        s = rest;
+        pos = hi;
+    }
+    out
+}
+
+impl<T: Real> WalkerSoA<T> {
+    /// Mutable stream view over the orbital range `[lo, hi)`
+    /// (`hi ≤ stride`).
+    pub fn streams_range_mut(&mut self, lo: usize, hi: usize) -> SoAStreamsMut<'_, T> {
+        SoAStreamsMut {
+            v: &mut self.v.as_mut_slice()[lo..hi],
+            gx: &mut self.gx.as_mut_slice()[lo..hi],
+            gy: &mut self.gy.as_mut_slice()[lo..hi],
+            gz: &mut self.gz.as_mut_slice()[lo..hi],
+            l: &mut self.l.as_mut_slice()[lo..hi],
+            hxx: &mut self.hxx.as_mut_slice()[lo..hi],
+            hxy: &mut self.hxy.as_mut_slice()[lo..hi],
+            hxz: &mut self.hxz.as_mut_slice()[lo..hi],
+            hyy: &mut self.hyy.as_mut_slice()[lo..hi],
+            hyz: &mut self.hyz.as_mut_slice()[lo..hi],
+            hzz: &mut self.hzz.as_mut_slice()[lo..hi],
+        }
+    }
+
+    /// Split the streams into independent mutable views over the given
+    /// disjoint ascending orbital ranges — one view per nested work
+    /// item, hand-off-able to different threads (plain `split_at_mut`
+    /// underneath; no unsafe, no interior mutability).
+    pub fn split_streams_mut(&mut self, ranges: &[(usize, usize)]) -> Vec<SoAStreamsMut<'_, T>> {
+        let mut v = split_ranges(self.v.as_mut_slice(), ranges).into_iter();
+        let mut gx = split_ranges(self.gx.as_mut_slice(), ranges).into_iter();
+        let mut gy = split_ranges(self.gy.as_mut_slice(), ranges).into_iter();
+        let mut gz = split_ranges(self.gz.as_mut_slice(), ranges).into_iter();
+        let mut l = split_ranges(self.l.as_mut_slice(), ranges).into_iter();
+        let mut hxx = split_ranges(self.hxx.as_mut_slice(), ranges).into_iter();
+        let mut hxy = split_ranges(self.hxy.as_mut_slice(), ranges).into_iter();
+        let mut hxz = split_ranges(self.hxz.as_mut_slice(), ranges).into_iter();
+        let mut hyy = split_ranges(self.hyy.as_mut_slice(), ranges).into_iter();
+        let mut hyz = split_ranges(self.hyz.as_mut_slice(), ranges).into_iter();
+        let mut hzz = split_ranges(self.hzz.as_mut_slice(), ranges).into_iter();
+        (0..ranges.len())
+            .map(|_| SoAStreamsMut {
+                v: v.next().unwrap(),
+                gx: gx.next().unwrap(),
+                gy: gy.next().unwrap(),
+                gz: gz.next().unwrap(),
+                l: l.next().unwrap(),
+                hxx: hxx.next().unwrap(),
+                hxy: hxy.next().unwrap(),
+                hxz: hxz.next().unwrap(),
+                hyy: hyy.next().unwrap(),
+                hyz: hyz.next().unwrap(),
+                hzz: hzz.next().unwrap(),
+            })
+            .collect()
+    }
+}
+
 /// Tiled outputs for the AoSoA engine: one [`WalkerSoA`] per tile
 /// (paper Fig. 6: `WalkerSoA w[M](Nb)`).
 #[derive(Clone, Debug)]

@@ -362,6 +362,21 @@ impl MixedEngine<BsplineAoSoA<f32>> {
     }
 }
 
+impl MixedEngine<crate::blocked::BlockedEngine<BsplineSoA<f32>>> {
+    /// Mixed-precision blocked engine from a double-precision table
+    /// (solve in `f64`, store `f32`, orbital-block-decompose to
+    /// `budget_bytes` — [`crate::blocked::BlockedEngine::from_multi`],
+    /// including its first-touch construction). The `f32` budget buys
+    /// twice the orbitals per cache-sized block compared to an `f64`
+    /// decomposition of the same byte budget.
+    pub fn blocked(coefs: &MultiCoefs<f64>, budget_bytes: usize) -> Self {
+        Self::new(crate::blocked::BlockedEngine::from_multi(
+            &coefs.downcast(),
+            budget_bytes,
+        ))
+    }
+}
+
 #[inline]
 fn narrow_pos(pos: [f64; 3]) -> [f32; 3] {
     [pos[0] as f32, pos[1] as f32, pos[2] as f32]
@@ -571,6 +586,37 @@ mod tests {
                 out1.block(0).wide().laplacian(k),
                 scalar.wide().laplacian(k)
             );
+        }
+    }
+
+    #[test]
+    fn mixed_blocked_matches_mixed_soa_exactly() {
+        let t = wide_table(20, 6, 31);
+        let mono = MixedEngine::soa(&t);
+        // Budget of 1 byte floors to one f32 cache-line quantum (16
+        // splines) per block: 2 blocks with a ragged 4-spline tail.
+        let blocked = MixedEngine::blocked(&t, 1);
+        assert_eq!(blocked.inner().n_blocks(), 2);
+        let (mut a, mut b) = (mono.make_out(), blocked.make_out());
+        for pos in [[0.21f64, 0.63, 0.84], [0.95, 0.02, 0.47]] {
+            mono.vgh(pos, &mut a);
+            blocked.vgh(pos, &mut b);
+            for k in 0..20 {
+                assert_eq!(a.wide().value(k), b.wide().value(k), "k={k}");
+                assert_eq!(a.wide().hessian(k), b.wide().hessian(k), "k={k}");
+            }
+        }
+        // Batched path too (block-major inner loop + widening).
+        let block: PosBlock<f64> =
+            [[0.1f64, 0.2, 0.3], [0.7, 0.8, 0.9]].into_iter().collect();
+        let mut bout = blocked.make_batch_out(block.len());
+        blocked.vgl_batch(&block, &mut bout);
+        let mut sout = mono.make_out();
+        for (i, p) in block.iter().enumerate() {
+            mono.vgl(p, &mut sout);
+            for k in 0..20 {
+                assert_eq!(bout.block(i).wide().laplacian(k), sout.wide().laplacian(k));
+            }
         }
     }
 

@@ -6,7 +6,7 @@
 use super::kernels;
 use super::lanes::{ScalarLanes, SimdReal};
 use crate::batch::Located;
-use crate::output::WalkerSoA;
+use crate::output::SoAStreamsMut;
 use einspline::multi::MultiCoefs;
 use einspline::Real;
 use std::any::TypeId;
@@ -168,8 +168,10 @@ pub fn with_backend<R>(backend: Backend, f: impl FnOnce() -> R) -> R {
     f()
 }
 
-/// Signature of the dispatched SoA eval-level kernels.
-type SoaEvalFn<T> = fn(&MultiCoefs<T>, &Located<T>, &mut WalkerSoA<T>, usize);
+/// Signature of the dispatched SoA eval-level kernels: the stream view
+/// carries the orbital range (whole padded streams for the monolithic
+/// engines, one block's sub-range for [`crate::blocked`]).
+type SoaEvalFn<T> = for<'a> fn(&MultiCoefs<T>, &Located<T>, SoAStreamsMut<'a, T>);
 /// Signature of the dispatched AoS V/L point accumulation.
 type VlPointFn<T> = fn(T, T, &[T], &mut [T], &mut [T], usize);
 

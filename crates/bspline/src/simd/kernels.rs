@@ -12,7 +12,7 @@
 
 use super::lanes::SimdReal;
 use crate::batch::Located;
-use crate::output::WalkerSoA;
+use crate::output::SoAStreamsMut;
 use einspline::multi::MultiCoefs;
 use einspline::Real;
 
@@ -32,16 +32,18 @@ fn plane_lines<'a, T: Real>(
     ]
 }
 
-/// V kernel: `out.v[..m]` overwritten.
+/// V kernel: the view's `v` stream overwritten (all `out.len()`
+/// orbitals, evaluated against coefficient-line elements `0..len`).
 #[inline(always)]
 pub(crate) fn v_soa<T: Real, L: SimdReal<T>>(
     coefs: &MultiCoefs<T>,
     loc: &Located<T>,
-    out: &mut WalkerSoA<T>,
-    m: usize,
+    out: SoAStreamsMut<'_, T>,
 ) {
+    let m = out.len();
+    debug_assert!(m <= coefs.stride_n());
     let (wa, wb, wc) = (&loc.wa, &loc.wb, &loc.wc);
-    let v = &mut out.v.as_mut_slice()[..m];
+    let v = out.v;
     let c = wc.a;
     let cv = [L::splat(c[0]), L::splat(c[1]), L::splat(c[2]), L::splat(c[3])];
 
@@ -80,20 +82,19 @@ pub(crate) fn v_soa<T: Real, L: SimdReal<T>>(
     }
 }
 
-/// VGL kernel: the five `v/gx/gy/gz/l` streams overwritten (`[..m]`).
+/// VGL kernel: the view's five `v/gx/gy/gz/l` streams overwritten.
 #[inline(always)]
 pub(crate) fn vgl_soa<T: Real, L: SimdReal<T>>(
     coefs: &MultiCoefs<T>,
     loc: &Located<T>,
-    out: &mut WalkerSoA<T>,
-    m: usize,
+    out: SoAStreamsMut<'_, T>,
 ) {
+    let m = out.len();
+    debug_assert!(m <= coefs.stride_n());
     let (wa, wb, wc) = (&loc.wa, &loc.wb, &loc.wc);
-    let v = &mut out.v.as_mut_slice()[..m];
-    let gx = &mut out.gx.as_mut_slice()[..m];
-    let gy = &mut out.gy.as_mut_slice()[..m];
-    let gz = &mut out.gz.as_mut_slice()[..m];
-    let l = &mut out.l.as_mut_slice()[..m];
+    let SoAStreamsMut {
+        v, gx, gy, gz, l, ..
+    } = out;
     let (c, dc, d2c) = (wc.a, wc.da, wc.d2a);
     let cv = [L::splat(c[0]), L::splat(c[1]), L::splat(c[2]), L::splat(c[3])];
     let dcv = [L::splat(dc[0]), L::splat(dc[1]), L::splat(dc[2]), L::splat(dc[3])];
@@ -175,25 +176,29 @@ pub(crate) fn vgl_soa<T: Real, L: SimdReal<T>>(
     }
 }
 
-/// VGH kernel: the ten `v/gx/gy/gz/h**` streams overwritten (`[..m]`).
+/// VGH kernel: the view's ten `v/gx/gy/gz/h**` streams overwritten.
 #[inline(always)]
 pub(crate) fn vgh_soa<T: Real, L: SimdReal<T>>(
     coefs: &MultiCoefs<T>,
     loc: &Located<T>,
-    out: &mut WalkerSoA<T>,
-    m: usize,
+    out: SoAStreamsMut<'_, T>,
 ) {
+    let m = out.len();
+    debug_assert!(m <= coefs.stride_n());
     let (wa, wb, wc) = (&loc.wa, &loc.wb, &loc.wc);
-    let v = &mut out.v.as_mut_slice()[..m];
-    let gx = &mut out.gx.as_mut_slice()[..m];
-    let gy = &mut out.gy.as_mut_slice()[..m];
-    let gz = &mut out.gz.as_mut_slice()[..m];
-    let hxx = &mut out.hxx.as_mut_slice()[..m];
-    let hxy = &mut out.hxy.as_mut_slice()[..m];
-    let hxz = &mut out.hxz.as_mut_slice()[..m];
-    let hyy = &mut out.hyy.as_mut_slice()[..m];
-    let hyz = &mut out.hyz.as_mut_slice()[..m];
-    let hzz = &mut out.hzz.as_mut_slice()[..m];
+    let SoAStreamsMut {
+        v,
+        gx,
+        gy,
+        gz,
+        hxx,
+        hxy,
+        hxz,
+        hyy,
+        hyz,
+        hzz,
+        ..
+    } = out;
     let (c, dc, d2c) = (wc.a, wc.da, wc.d2a);
     let cv = [L::splat(c[0]), L::splat(c[1]), L::splat(c[2]), L::splat(c[3])];
     let dcv = [L::splat(dc[0]), L::splat(dc[1]), L::splat(dc[2]), L::splat(dc[3])];

@@ -74,51 +74,79 @@ pub use dispatch::{active_backend, default_backend, lanes_for, with_backend, Bac
 pub use lanes::{ScalarLanes, SimdReal};
 
 use crate::batch::Located;
-use crate::output::WalkerSoA;
+use crate::output::SoAStreamsMut;
 use einspline::multi::MultiCoefs;
 use einspline::Real;
 
-/// V kernel body over a pre-located position: overwrites `out.v[..m]`.
+/// V kernel body over a pre-located position: overwrites the view's
+/// `v` stream (the view's length selects the orbital count; blocked
+/// callers pass a sub-range of a shared contiguous output).
 #[inline]
 pub(crate) fn v_soa<T: Real>(
     coefs: &MultiCoefs<T>,
     loc: &Located<T>,
-    out: &mut WalkerSoA<T>,
-    m: usize,
+    out: SoAStreamsMut<'_, T>,
 ) {
     match dispatch::fns::<T>() {
-        Some(f) => (f.v_soa)(coefs, loc, out, m),
-        None => kernels::v_soa::<T, ScalarLanes<T>>(coefs, loc, out, m),
+        Some(f) => (f.v_soa)(coefs, loc, out),
+        None => kernels::v_soa::<T, ScalarLanes<T>>(coefs, loc, out),
     }
 }
 
-/// VGL kernel body over a pre-located position: overwrites the five
-/// `v/gx/gy/gz/l` streams (`[..m]` each).
+/// VGL kernel body over a pre-located position: overwrites the view's
+/// five `v/gx/gy/gz/l` streams.
 #[inline]
 pub(crate) fn vgl_soa<T: Real>(
     coefs: &MultiCoefs<T>,
     loc: &Located<T>,
-    out: &mut WalkerSoA<T>,
-    m: usize,
+    out: SoAStreamsMut<'_, T>,
 ) {
     match dispatch::fns::<T>() {
-        Some(f) => (f.vgl_soa)(coefs, loc, out, m),
-        None => kernels::vgl_soa::<T, ScalarLanes<T>>(coefs, loc, out, m),
+        Some(f) => (f.vgl_soa)(coefs, loc, out),
+        None => kernels::vgl_soa::<T, ScalarLanes<T>>(coefs, loc, out),
     }
 }
 
-/// VGH kernel body over a pre-located position: overwrites the ten
-/// `v/gx/gy/gz/h**` streams (`[..m]` each).
+/// VGH kernel body over a pre-located position: overwrites the view's
+/// ten `v/gx/gy/gz/h**` streams.
 #[inline]
 pub(crate) fn vgh_soa<T: Real>(
     coefs: &MultiCoefs<T>,
     loc: &Located<T>,
-    out: &mut WalkerSoA<T>,
-    m: usize,
+    out: SoAStreamsMut<'_, T>,
 ) {
     match dispatch::fns::<T>() {
-        Some(f) => (f.vgh_soa)(coefs, loc, out, m),
-        None => kernels::vgh_soa::<T, ScalarLanes<T>>(coefs, loc, out, m),
+        Some(f) => (f.vgh_soa)(coefs, loc, out),
+        None => kernels::vgh_soa::<T, ScalarLanes<T>>(coefs, loc, out),
+    }
+}
+
+/// Prefetch the sixteen (i,j) coefficient runs of `loc`'s evaluation
+/// cell into L2 (`_MM_HINT_T1`) — issued by the tile-major /
+/// block-major batch loops **one evaluation ahead** (the same tile's
+/// next position, or the next tile's first position at a tile switch),
+/// so the lines are in flight while the current evaluation computes.
+/// Each (i,j) run is 4 contiguous z-lines; prefetching the run head
+/// pulls the line (and its TLB entry) without displacing the current
+/// tile's L1 working set. Compiles to nothing outside `x86_64` or
+/// without the `simd` feature.
+#[inline]
+pub(crate) fn prefetch_tile<T: Real>(coefs: &MultiCoefs<T>, loc: &Located<T>) {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    {
+        use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T1};
+        for i in 0..4 {
+            for j in 0..4 {
+                let line = coefs.line(loc.i0 + i, loc.j0 + j, loc.k0);
+                // SAFETY: `line` is a live in-bounds slice; prefetch
+                // reads no data and has no architectural side effects.
+                unsafe { _mm_prefetch(line.as_ptr().cast::<i8>(), _MM_HINT_T1) };
+            }
+        }
+    }
+    #[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+    {
+        let _ = (coefs, loc);
     }
 }
 
@@ -173,7 +201,11 @@ mod tests {
         let reference = {
             let mut out = WalkerSoA::<f32>::new(30);
             let m = out.stride();
-            kernels::vgh_soa::<f32, ScalarLanes<f32>>(&table, &loc, &mut out, m);
+            kernels::vgh_soa::<f32, ScalarLanes<f32>>(
+                &table,
+                &loc,
+                out.streams_range_mut(0, m),
+            );
             out
         };
         // m = 1 (pure tail), 7/13 (vector body + tail for every lane
@@ -183,9 +215,9 @@ mod tests {
                 for kernel in 0..3 {
                     let mut out = WalkerSoA::<f32>::new(30);
                     with_backend(b, || match kernel {
-                        0 => v_soa(&table, &loc, &mut out, m),
-                        1 => vgl_soa(&table, &loc, &mut out, m),
-                        _ => vgh_soa(&table, &loc, &mut out, m),
+                        0 => v_soa(&table, &loc, out.streams_range_mut(0, m)),
+                        1 => vgl_soa(&table, &loc, out.streams_range_mut(0, m)),
+                        _ => vgh_soa(&table, &loc, out.streams_range_mut(0, m)),
                     });
                     for idx in 0..m {
                         let (want, got) = (reference.v[idx], out.v[idx]);

@@ -183,21 +183,21 @@ macro_rules! backend_fns {
         pub(crate) mod $modname {
             use super::*;
             use crate::batch::Located;
-            use crate::output::WalkerSoA;
+            use crate::output::SoAStreamsMut;
             use crate::simd::kernels;
             use einspline::multi::MultiCoefs;
 
             #[target_feature(enable = $feat)]
-            fn v_soa_tf(c: &MultiCoefs<$t>, l: &Located<$t>, o: &mut WalkerSoA<$t>, m: usize) {
-                kernels::v_soa::<$t, $lane>(c, l, o, m)
+            fn v_soa_tf(c: &MultiCoefs<$t>, l: &Located<$t>, o: SoAStreamsMut<'_, $t>) {
+                kernels::v_soa::<$t, $lane>(c, l, o)
             }
             #[target_feature(enable = $feat)]
-            fn vgl_soa_tf(c: &MultiCoefs<$t>, l: &Located<$t>, o: &mut WalkerSoA<$t>, m: usize) {
-                kernels::vgl_soa::<$t, $lane>(c, l, o, m)
+            fn vgl_soa_tf(c: &MultiCoefs<$t>, l: &Located<$t>, o: SoAStreamsMut<'_, $t>) {
+                kernels::vgl_soa::<$t, $lane>(c, l, o)
             }
             #[target_feature(enable = $feat)]
-            fn vgh_soa_tf(c: &MultiCoefs<$t>, l: &Located<$t>, o: &mut WalkerSoA<$t>, m: usize) {
-                kernels::vgh_soa::<$t, $lane>(c, l, o, m)
+            fn vgh_soa_tf(c: &MultiCoefs<$t>, l: &Located<$t>, o: SoAStreamsMut<'_, $t>) {
+                kernels::vgh_soa::<$t, $lane>(c, l, o)
             }
             #[target_feature(enable = $feat)]
             fn axpy_tf(a: $t, x: &[$t], y: &mut [$t], n: usize) {
@@ -208,18 +208,18 @@ macro_rules! backend_fns {
                 kernels::vl_point::<$t, $lane>(pv, pl, x, v, l, n)
             }
 
-            fn v_soa(c: &MultiCoefs<$t>, l: &Located<$t>, o: &mut WalkerSoA<$t>, m: usize) {
+            fn v_soa(c: &MultiCoefs<$t>, l: &Located<$t>, o: SoAStreamsMut<'_, $t>) {
                 // SAFETY: this table is only selected after runtime
                 // detection of the required CPU features.
-                unsafe { v_soa_tf(c, l, o, m) }
+                unsafe { v_soa_tf(c, l, o) }
             }
-            fn vgl_soa(c: &MultiCoefs<$t>, l: &Located<$t>, o: &mut WalkerSoA<$t>, m: usize) {
+            fn vgl_soa(c: &MultiCoefs<$t>, l: &Located<$t>, o: SoAStreamsMut<'_, $t>) {
                 // SAFETY: as above.
-                unsafe { vgl_soa_tf(c, l, o, m) }
+                unsafe { vgl_soa_tf(c, l, o) }
             }
-            fn vgh_soa(c: &MultiCoefs<$t>, l: &Located<$t>, o: &mut WalkerSoA<$t>, m: usize) {
+            fn vgh_soa(c: &MultiCoefs<$t>, l: &Located<$t>, o: SoAStreamsMut<'_, $t>) {
                 // SAFETY: as above.
-                unsafe { vgh_soa_tf(c, l, o, m) }
+                unsafe { vgh_soa_tf(c, l, o) }
             }
             fn axpy(a: $t, x: &[$t], y: &mut [$t], n: usize) {
                 // SAFETY: as above.

@@ -148,21 +148,47 @@ impl<T: Real> BsplineSoA<T> {
     /// [`crate::simd::Backend`]; `out.v[..m]` is fully overwritten.
     pub(crate) fn v_located(&self, loc: &Located<T>, out: &mut WalkerSoA<T>) {
         let m = self.check_out(out);
-        crate::simd::v_soa(&self.coefs, loc, out, m);
+        crate::simd::v_soa(&self.coefs, loc, out.streams_range_mut(0, m));
     }
 
     /// VGL kernel body over a pre-located position (dispatched
     /// micro-kernel; the five output streams are fully overwritten).
     pub(crate) fn vgl_located(&self, loc: &Located<T>, out: &mut WalkerSoA<T>) {
         let m = self.check_out(out);
-        crate::simd::vgl_soa(&self.coefs, loc, out, m);
+        crate::simd::vgl_soa(&self.coefs, loc, out.streams_range_mut(0, m));
     }
 
     /// VGH kernel body over a pre-located position (dispatched
     /// micro-kernel; the ten output streams are fully overwritten).
     pub(crate) fn vgh_located(&self, loc: &Located<T>, out: &mut WalkerSoA<T>) {
         let m = self.check_out(out);
-        crate::simd::vgh_soa(&self.coefs, loc, out, m);
+        crate::simd::vgh_soa(&self.coefs, loc, out.streams_range_mut(0, m));
+    }
+
+    /// Kernel body over a pre-located position, writing through a
+    /// caller-positioned stream view instead of a whole [`WalkerSoA`] —
+    /// the entry point the blocked engine ([`crate::blocked`]) uses to
+    /// scatter this engine's orbitals straight into its sub-range of a
+    /// shared contiguous output. The view length selects how many of
+    /// this engine's orbitals are evaluated (`≤ stride`; ragged lengths
+    /// take the micro-kernels' scalar tail).
+    pub fn eval_streams(
+        &self,
+        kernel: Kernel,
+        loc: &Located<T>,
+        out: crate::output::SoAStreamsMut<'_, T>,
+    ) {
+        assert!(
+            out.len() <= self.stride(),
+            "stream view ({}) wider than the coefficient stride ({})",
+            out.len(),
+            self.stride()
+        );
+        match kernel {
+            Kernel::V => crate::simd::v_soa(&self.coefs, loc, out),
+            Kernel::Vgl => crate::simd::vgl_soa(&self.coefs, loc, out),
+            Kernel::Vgh => crate::simd::vgh_soa(&self.coefs, loc, out),
+        }
     }
 
     /// Kernel-dispatched body over a pre-located position.

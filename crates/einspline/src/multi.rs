@@ -271,6 +271,172 @@ impl<T: Real> MultiCoefs<T> {
             .map(|lo| self.slice_splines(lo, (lo + nb).min(self.n_splines)))
             .collect()
     }
+
+    /// Bytes one spline column occupies across the whole (padded) grid:
+    /// the coefficient-slab cost of adding one orbital to a block.
+    pub fn bytes_per_spline(&self) -> usize {
+        let (px, py, pz) = (
+            self.gx.num() + COEF_PAD,
+            self.gy.num() + COEF_PAD,
+            self.gz.num() + COEF_PAD,
+        );
+        px * py * pz * std::mem::size_of::<T>()
+    }
+
+    /// The widest block (spline count) whose standalone coefficient slab
+    /// fits in `budget_bytes`, quantized to the cache-line padding unit
+    /// so per-block tables carry no padding waste and block boundaries
+    /// in a contiguous output stream stay 64-byte aligned. Never less
+    /// than one quantum (a block cannot be narrower than its padded
+    /// stride), never more than N.
+    pub fn block_splines_for_budget(&self, budget_bytes: usize) -> usize {
+        block_splines_for_budget_in::<T>(
+            (self.gx.num(), self.gy.num(), self.gz.num()),
+            self.n_splines,
+            budget_bytes,
+        )
+    }
+
+    /// Split the table along the spline dimension into independent
+    /// cache-budget-sized blocks: each block's coefficient slab is (at
+    /// most) `budget_bytes` (subject to the one-quantum floor of
+    /// [`Self::block_splines_for_budget`]). Every per-block table is
+    /// re-padded and re-aligned to the cache-line quantum by
+    /// construction ([`Self::slice_splines`] allocates through
+    /// [`Self::new`]), and the returned [`BlockedCoefs`] carries the
+    /// orbital → (block, offset) map.
+    pub fn split_blocks(&self, budget_bytes: usize) -> BlockedCoefs<T> {
+        let nb = self.block_splines_for_budget(budget_bytes);
+        BlockedCoefs {
+            blocks: self.split_tiles(nb),
+            nb,
+            n_splines: self.n_splines,
+        }
+    }
+}
+
+/// Table-free twin of [`MultiCoefs::block_splines_for_budget`]: the
+/// block width the decomposition picks for a table of `n_splines`
+/// orbitals on a `grid` (intervals per dimension, pre-padding) under
+/// `budget_bytes` — for model/bench code that must agree with the
+/// engine's sizing without allocating a (possibly gigabyte-scale)
+/// table. Delegated to by the method, so the two cannot drift.
+pub fn block_splines_for_budget_in<T>(
+    grid: (usize, usize, usize),
+    n_splines: usize,
+    budget_bytes: usize,
+) -> usize {
+    let quantum = padded_len::<T>(1);
+    let per_spline = (grid.0 + COEF_PAD)
+        * (grid.1 + COEF_PAD)
+        * (grid.2 + COEF_PAD)
+        * std::mem::size_of::<T>();
+    let fit = budget_bytes / (per_spline * quantum).max(1) * quantum;
+    // Floor at one quantum, cap at N (which may itself be below a
+    // quantum for tiny tables — N wins then: one block).
+    fit.max(quantum).min(n_splines.max(1))
+}
+
+/// Table-free twin of [`MultiCoefs::bytes`]: the coefficient-table
+/// footprint (padded stride included) a table of `n_splines` orbitals
+/// on `grid` would occupy — for model/bench code sizing budgets
+/// without allocating the table.
+pub fn table_bytes_in<T>(grid: (usize, usize, usize), n_splines: usize) -> usize {
+    (grid.0 + COEF_PAD)
+        * (grid.1 + COEF_PAD)
+        * (grid.2 + COEF_PAD)
+        * padded_len::<T>(n_splines)
+        * std::mem::size_of::<T>()
+}
+
+/// A [`MultiCoefs`] table split along its spline dimension into
+/// independent cache-sized blocks (the orbital-block decomposition the
+/// paper's nested threading schedules over), plus the orbital →
+/// (block, offset) map. All blocks except possibly the last hold
+/// exactly [`BlockedCoefs::nb`] splines.
+#[derive(Debug)]
+pub struct BlockedCoefs<T> {
+    blocks: Vec<MultiCoefs<T>>,
+    nb: usize,
+    n_splines: usize,
+}
+
+impl<T: Real> BlockedCoefs<T> {
+    /// Reassemble from per-block tables built elsewhere (the first-touch
+    /// construction path builds each block on its owning thread).
+    /// Panics if the blocks are not a uniform-`nb` partition (last block
+    /// may be ragged) or disagree on grids.
+    pub fn from_blocks(blocks: Vec<MultiCoefs<T>>, nb: usize) -> Self {
+        assert!(!blocks.is_empty(), "need at least one block");
+        assert!(nb > 0, "block width must be positive");
+        let g0 = blocks[0].grids();
+        let grids = (*g0.0, *g0.1, *g0.2);
+        let mut n_splines = 0;
+        for (i, b) in blocks.iter().enumerate() {
+            let g = b.grids();
+            assert_eq!((*g.0, *g.1, *g.2), grids, "block {i} grid mismatch");
+            assert!(
+                b.n_splines() == nb || i + 1 == blocks.len(),
+                "interior block {i} must hold exactly nb={nb} splines"
+            );
+            assert!(b.n_splines() <= nb, "block {i} wider than nb={nb}");
+            n_splines += b.n_splines();
+        }
+        Self {
+            blocks,
+            nb,
+            n_splines,
+        }
+    }
+
+    /// Per-block coefficient tables.
+    #[inline]
+    pub fn blocks(&self) -> &[MultiCoefs<T>] {
+        &self.blocks
+    }
+
+    /// Take the per-block tables out.
+    pub fn into_blocks(self) -> Vec<MultiCoefs<T>> {
+        self.blocks
+    }
+
+    /// Number of blocks B.
+    #[inline]
+    pub fn n_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Block width `nb` the orbital map is laid out with (the last
+    /// block may hold fewer splines).
+    #[inline]
+    pub fn nb(&self) -> usize {
+        self.nb
+    }
+
+    /// Total number of orbitals N across all blocks.
+    #[inline]
+    pub fn n_splines(&self) -> usize {
+        self.n_splines
+    }
+
+    /// Map a global orbital index to `(block, offset)`.
+    #[inline]
+    pub fn locate_orbital(&self, n: usize) -> (usize, usize) {
+        debug_assert!(n < self.n_splines, "orbital index out of range");
+        (n / self.nb, n % self.nb)
+    }
+
+    /// Global orbital offset of block `b`'s first spline.
+    #[inline]
+    pub fn block_offset(&self, b: usize) -> usize {
+        b * self.nb
+    }
+
+    /// Coefficient-slab bytes of the widest block (what the cache
+    /// budget bounded).
+    pub fn block_bytes(&self) -> usize {
+        self.blocks.iter().map(|b| b.bytes()).max().unwrap_or(0)
+    }
 }
 
 #[cfg(test)]
@@ -421,6 +587,82 @@ mod tests {
         a.fill_random(&mut StdRng::seed_from_u64(42));
         b.fill_random(&mut StdRng::seed_from_u64(42));
         assert_eq!(a.line(1, 2, 3), b.line(1, 2, 3));
+    }
+
+    #[test]
+    fn block_budget_quantizes_and_clamps() {
+        let (gx, gy, gz) = small_grids();
+        let m = MultiCoefs::<f32>::new(gx, gy, gz, 100);
+        // 9·9·11 grid points · 4 B = 3564 B per spline column.
+        assert_eq!(m.bytes_per_spline(), 9 * 9 * 11 * 4);
+        // One f32 quantum is 16 splines = 57024 B; a budget below that
+        // still yields one quantum (a block cannot be narrower than its
+        // padded stride).
+        assert_eq!(m.block_splines_for_budget(1), 16);
+        // Room for 2 quanta and a bit: floors to the quantum multiple.
+        assert_eq!(m.block_splines_for_budget(2 * 16 * 3564 + 100), 32);
+        // A huge budget clamps to N.
+        assert_eq!(m.block_splines_for_budget(usize::MAX / 2), 100);
+        // The table-free twin agrees with the method for every case
+        // above (it is the delegation target; assert the public
+        // contract anyway).
+        for budget in [1usize, 2 * 16 * 3564 + 100, usize::MAX / 2] {
+            assert_eq!(
+                block_splines_for_budget_in::<f32>((6, 6, 8), 100, budget),
+                m.block_splines_for_budget(budget),
+                "budget={budget}"
+            );
+        }
+    }
+
+    #[test]
+    fn split_blocks_partitions_and_maps_orbitals() {
+        let (gx, gy, gz) = small_grids();
+        let mut m = MultiCoefs::<f32>::new(gx, gy, gz, 40);
+        m.fill_random(&mut StdRng::seed_from_u64(3));
+        // Budget for exactly one 16-spline quantum per block.
+        let blocked = m.split_blocks(16 * m.bytes_per_spline());
+        assert_eq!(blocked.nb(), 16);
+        assert_eq!(blocked.n_blocks(), 3);
+        assert_eq!(blocked.n_splines(), 40);
+        assert_eq!(blocked.blocks()[2].n_splines(), 8); // ragged tail
+        assert_eq!(blocked.locate_orbital(0), (0, 0));
+        assert_eq!(blocked.locate_orbital(17), (1, 1));
+        assert_eq!(blocked.locate_orbital(39), (2, 7));
+        assert_eq!(blocked.block_offset(2), 32);
+        assert!(blocked.block_bytes() <= 16 * m.bytes_per_spline());
+        // Block contents match the source table columns.
+        for n in [0usize, 17, 39] {
+            let (b, o) = blocked.locate_orbital(n);
+            for (ix, iy, iz) in [(0, 0, 0), (3, 5, 7), (8, 8, 10)] {
+                assert_eq!(
+                    blocked.blocks()[b].line(ix, iy, iz)[o],
+                    m.line(ix, iy, iz)[n],
+                    "n={n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_from_blocks_roundtrip_and_validation() {
+        let (gx, gy, gz) = small_grids();
+        let mut m = MultiCoefs::<f32>::new(gx, gy, gz, 40);
+        m.fill_random(&mut StdRng::seed_from_u64(8));
+        let tiles = m.split_tiles(16);
+        let blocked = BlockedCoefs::from_blocks(tiles, 16);
+        assert_eq!(blocked.n_splines(), 40);
+        assert_eq!(blocked.into_blocks().len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "interior block")]
+    fn blocked_from_blocks_rejects_ragged_interior() {
+        let (gx, gy, gz) = small_grids();
+        let m = MultiCoefs::<f32>::new(gx, gy, gz, 40);
+        let mut tiles = m.split_tiles(16);
+        tiles.swap(1, 2); // ragged 8-spline block now interior
+        let _ = BlockedCoefs::from_blocks(tiles, 16);
     }
 
     #[test]

@@ -10,7 +10,8 @@
 //! trace of `Hᵤ`).
 
 use crate::lattice::Lattice;
-use bspline::{BatchOut, BsplineSoA, PosBlock, WalkerSoA};
+use bspline::blocked::BlockedEngine;
+use bspline::{BatchOut, BsplineSoA, PosBlock, SpoEngine, WalkerSoA};
 use einspline::{MultiCoefs, Real};
 
 /// Orbital values + Cartesian gradients + Laplacians for one position —
@@ -50,9 +51,16 @@ impl SpoVgl {
 /// whether the orbital tables are `f32` or `f64`. This is the
 /// mixed-precision contract: storage precision is a bandwidth knob,
 /// never an observable-accuracy knob.
+///
+/// `E` is the orbital *engine*: any [`SpoEngine`] with contiguous SoA
+/// outputs. The default is the monolithic [`BsplineSoA`]; QMC-scale
+/// runs construct from the cache-budget orbital-block decomposition
+/// instead ([`SpoSet::new_blocked`] → [`BlockedEngine`]), which changes
+/// nothing downstream — blocked outputs scatter into the same
+/// contiguous [`WalkerSoA`] streams the pull-back reads.
 #[derive(Clone, Debug)]
-pub struct SpoSet<T: Real> {
-    engine: BsplineSoA<T>,
+pub struct SpoSet<T: Real, E: SpoEngine<T, Out = WalkerSoA<T>> = BsplineSoA<T>> {
+    engine: E,
     lattice: Lattice,
     /// `G = A⁻¹` (Cartesian→fractional Jacobian).
     g: [[f64; 3]; 3],
@@ -68,17 +76,36 @@ pub struct SpoSet<T: Real> {
 }
 
 impl<T: Real<Accum = f64>> SpoSet<T> {
-    /// Wrap a coefficient table whose grids span the unit cube.
+    /// Wrap a coefficient table whose grids span the unit cube in the
+    /// default monolithic SoA engine.
     pub fn new(coefs: MultiCoefs<T>, lattice: Lattice) -> Self {
-        let (gx, gy, gz) = coefs.grids();
+        Self::with_engine(BsplineSoA::new(coefs), lattice)
+    }
+}
+
+impl<T: Real<Accum = f64>> SpoSet<T, BlockedEngine<BsplineSoA<T>>> {
+    /// Construct from the cache-budget orbital-block decomposition
+    /// ([`BlockedEngine::from_multi`], first-touch parallel block
+    /// construction included): the QMC-scale path where one table of N
+    /// orbitals is served by `⌈N·slab/budget⌉` independent cache-sized
+    /// blocks. Use [`bspline::tuning::default_block_budget`] (table
+    /// size in, budget out) or a [`bspline::tuning::tune_block_budget`]
+    /// sweep for the budget.
+    pub fn new_blocked(coefs: MultiCoefs<T>, lattice: Lattice, budget_bytes: usize) -> Self {
+        Self::with_engine(BlockedEngine::from_multi(&coefs, budget_bytes), lattice)
+    }
+}
+
+impl<T: Real<Accum = f64>, E: SpoEngine<T, Out = WalkerSoA<T>>> SpoSet<T, E> {
+    /// Wrap any SoA-output engine whose domain spans the unit cube of
+    /// fractional coordinates.
+    pub fn with_engine(engine: E, lattice: Lattice) -> Self {
         assert_eq!(
-            (gx.start(), gx.end()),
-            (0.0, 1.0),
+            engine.domain(),
+            [(0.0, 1.0); 3],
             "SPO splines live on fractional coordinates"
         );
-        assert_eq!((gy.start(), gy.end()), (0.0, 1.0));
-        assert_eq!((gz.start(), gz.end()), (0.0, 1.0));
-        let n = coefs.n_splines();
+        let n = engine.n_splines();
         let g = lattice.jacobian();
         let mut metric = [[0.0; 3]; 3];
         for b in 0..3 {
@@ -88,8 +115,7 @@ impl<T: Real<Accum = f64>> SpoSet<T> {
                 }
             }
         }
-        let engine = BsplineSoA::new(coefs);
-        let scratch = WalkerSoA::new(n);
+        let scratch = engine.make_out();
         Self {
             engine,
             lattice,
@@ -117,7 +143,7 @@ impl<T: Real<Accum = f64>> SpoSet<T> {
 
     /// Direct access to the underlying engine (benchmarks).
     #[inline]
-    pub fn engine(&self) -> &BsplineSoA<T> {
+    pub fn engine(&self) -> &E {
         &self.engine
     }
 
@@ -399,6 +425,44 @@ mod tests {
         assert_eq!(spo.evaluate_vgl_batch(&big[..2]).len(), 2);
         // Empty sweep is a no-op.
         assert!(spo.evaluate_vgl_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn blocked_spo_set_matches_monolithic_bit_for_bit() {
+        let lat = Lattice::hexagonal(2.5, 6.0);
+        let mut mono = build(lat, 16, 5);
+        // Rebuild the same coefficients for the blocked path.
+        let coefs = {
+            let spo = build(lat, 16, 5);
+            spo.engine().coefs().clone()
+        };
+        // Budget of 1 byte floors to one cache-line quantum (8 f64
+        // splines) per block: a 5-orbital table still decomposes (B=1
+        // here); use a wider table for a real multi-block split.
+        let mut blocked = SpoSet::new_blocked(coefs, lat, 1);
+        let rs: Vec<[f64; 3]> = [[0.11, 0.42, 0.83], [0.57, 0.24, 0.39]]
+            .iter()
+            .map(|u| lat.to_cart(*u))
+            .collect();
+        for &r in &rs {
+            let a = mono.evaluate_vgl(r).clone();
+            let b = blocked.evaluate_vgl(r).clone();
+            for k in 0..5 {
+                assert_eq!(a.v[k], b.v[k], "k={k}");
+                assert_eq!(a.gx[k], b.gx[k]);
+                assert_eq!(a.lap[k], b.lap[k]);
+            }
+        }
+        // Batched sweep parity through the blocked engine.
+        let am = mono.evaluate_vgl_batch(&rs).to_vec();
+        let ab = blocked.evaluate_vgl_batch(&rs).to_vec();
+        for (e, (x, y)) in am.iter().zip(&ab).enumerate() {
+            for k in 0..5 {
+                assert_eq!(x.v[k], y.v[k], "e={e} k={k}");
+                assert_eq!(x.lap[k], y.lap[k]);
+            }
+        }
+        assert!(blocked.engine().n_blocks() >= 1);
     }
 
     #[test]

@@ -1,29 +1,42 @@
 //! Criterion bench for Fig. 10: cost of producing the roofline analysis
 //! (trace simulation + prediction) per optimization step, reduced grid.
 //! Full-scale chart data: the `fig10` binary.
+//!
+//! Honors `QMC_BENCH_QUICK=1` like the fig7a/fig8 benches (smaller
+//! trace grid and fewer positions), and carries the v4
+//! blocked-vs-monolithic pair: the `soa_monolithic` step is the single
+//! multi-spline object, `blocked` the budget-derived decomposition
+//! modelled as AoSoA at the blocked width.
 
 use bspline::Layout;
 use cachesim::Platform;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qmc_bench::workload::is_quick;
 use qmc_bench::{model_prediction, ModelScenario};
 use std::time::Duration;
 
 fn bench_fig10(c: &mut Criterion) {
+    let quick = is_quick();
     let mut g = c.benchmark_group("fig10_roofline_model");
     g.sample_size(10)
         .warm_up_time(Duration::from_millis(200))
         .measurement_time(Duration::from_secs(1));
     let knl = Platform::knl();
+    let n = if quick { 128 } else { 256 };
+    let (grid, positions) = if quick { ((8, 8, 8), 3) } else { ((12, 12, 12), 6) };
     for (label, layout, nb) in [
-        ("aos", Layout::Aos, 256),
-        ("soa", Layout::Soa, 256),
-        ("aosoa", Layout::AoSoA, 64),
+        ("aos", Layout::Aos, n),
+        ("soa_monolithic", Layout::Soa, n),
+        ("aosoa", Layout::AoSoA, 64.min(n)),
+        // The blocked decomposition at a cache-budget width (16 = one
+        // f32 quantum, what a 2 MiB budget yields on the 48³ grid).
+        ("blocked", Layout::AoSoA, 16),
     ] {
         g.bench_with_input(BenchmarkId::new("step", label), &layout, |b, &layout| {
             b.iter(|| {
-                let mut sc = ModelScenario::vgh(layout, 256, nb);
-                sc.grid = (12, 12, 12);
-                sc.n_positions = 6;
+                let mut sc = ModelScenario::vgh(layout, n, nb);
+                sc.grid = grid;
+                sc.n_positions = positions;
                 model_prediction(&knl, &sc)
             })
         });

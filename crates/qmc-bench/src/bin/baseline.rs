@@ -7,12 +7,19 @@
 //!   workloads through both the scalar reference (`QMC_SIMD=scalar`
 //!   forced per measurement) and the active SIMD backend, and write the
 //!   per-kernel throughputs (M-evals/s) with the host CPU and run
-//!   configuration to a JSON file. Schema v3 adds a `precision` column
+//!   configuration to a JSON file. Schema v3 added a `precision` column
 //!   (`f64` / `f32` / `mixed`) and per-precision SoA/AoSoA VGH rows: the
 //!   `f32` rows are the paper's benchmark configuration, `f64` is the
 //!   accuracy reference, and `mixed` is the production trade
 //!   (`bspline::precision::MixedEngine`: f32 storage + SIMD compute,
-//!   f64 delivery).
+//!   f64 delivery). Schema v4 adds per-row `blocks` / `threads` columns
+//!   and the Fig. 9-style nested-generation rows: `…_nested_monolithic_…`
+//!   (the single multi-spline object, `blocks = 1`) vs
+//!   `…_nested_blocked_…` (the orbital-block decomposition at the
+//!   recorded `tuning::default_block_budget`), both driven at
+//!   `threads = 4` threads-per-walker through the walker×block nested
+//!   schedule. v2 and v3 files stay readable (their rows imply
+//!   `blocks = threads = 1`).
 //!
 //!   `cargo run --release -p qmc-bench --bin baseline [-- out.json]`
 //!
@@ -23,9 +30,11 @@
 //!   measurement passes to count (shared hosts dip transiently; a real
 //!   regression reproduces). Comparison refuses baselines
 //!   whose active SIMD backend differs from this host's (a scalar-host
-//!   file gates nothing about an AVX2 run), and accepts v2 files by
-//!   treating their rows as `f32` (their only precision) with a
-//!   warning that the other precision columns are ungated.
+//!   file gates nothing about an AVX2 run), and accepts v2/v3 files by
+//!   defaulting their missing columns (`precision = f32` for v2;
+//!   `blocks = threads = 1` for both) — rows the older file lacks
+//!   (e.g. the v4 nested blocked rows against a v3 file) are simply
+//!   not gated until the baseline is re-recorded.
 //!
 //!   `cargo run --release -p qmc-bench --bin baseline -- --compare BENCH_BASELINE.json`
 //!
@@ -46,8 +55,8 @@ use bspline::simd::{with_backend, Backend};
 use bspline::{BsplineAoS, BsplineAoSoA, BsplineSoA, Kernel};
 use qmc_bench::workload::{batch_size, coefficients_in, is_quick};
 use qmc_bench::{
-    coefficients, measure_kernel, measure_kernel_batched, measure_tile_major,
-    MeasureConfig, Table,
+    coefficients, measure_kernel, measure_kernel_batched, measure_nested_blocked,
+    measure_nested_monolithic, measure_tile_major, MeasureConfig, NestedConfig, Table,
 };
 use std::fmt::Write as _;
 use std::process::ExitCode;
@@ -67,11 +76,15 @@ fn regression_floor() -> f64 {
         .unwrap_or(REGRESSION_FLOOR)
 }
 
-/// One measured kernel row: precision column plus scalar-backend and
-/// SIMD-backend throughput in evals/s.
+/// One measured kernel row: precision + decomposition/threading shape
+/// columns plus scalar-backend and SIMD-backend throughput in evals/s.
 struct Row {
     name: String,
     precision: String,
+    /// Orbital blocks the engine was decomposed into (1 = monolithic).
+    blocks: usize,
+    /// Threads-per-walker of the nested schedule (1 = flat).
+    threads: usize,
     scalar: f64,
     simd: f64,
 }
@@ -102,9 +115,28 @@ fn ab<F: FnMut() -> f64>(name: impl Into<String>, precision: &str, mut f: F) -> 
     Row {
         name: name.into(),
         precision: precision.into(),
+        blocks: 1,
+        threads: 1,
         scalar,
         simd,
     }
+}
+
+/// [`ab`] for the nested rows, tagging the decomposition/threading
+/// shape. The nested runners re-arm the thread-local backend force in
+/// every worker, so the scalar column is honest even when the rayon
+/// stub fans out.
+fn ab_nested<F: FnMut() -> f64>(
+    name: impl Into<String>,
+    precision: &str,
+    blocks: usize,
+    threads: usize,
+    f: F,
+) -> Row {
+    let mut row = ab(name, precision, f);
+    row.blocks = blocks;
+    row.threads = threads;
+    row
 }
 
 /// The full measurement suite (shared by record and compare modes).
@@ -212,6 +244,45 @@ fn measure_all() -> Vec<Row> {
         }));
         eprintln!("fig8 {k} done");
     }
+    drop((aos, tiled, tiled64, tiled_mixed));
+
+    // Fig 9 nested-generation rows (schema v4): the single multi-spline
+    // object vs the orbital-block decomposition at the recorded default
+    // budget, both through the walker×block nested schedule at 4
+    // threads-per-walker. The generation re-evaluates the same position
+    // set every rep (the miniQMC semantic), so what the blocked rows
+    // measure is per-block slab residency across a generation's
+    // position sweep. N is large enough that the monolithic slab
+    // cannot stay resident.
+    let nth = 4;
+    let nested_sweep: Vec<usize> = if quick { vec![64] } else { vec![512, 2048] };
+    for &n in &nested_sweep {
+        let ncfg = NestedConfig {
+            walkers: if quick { 2 } else { 4 },
+            ns: if quick { 8 } else { 512 },
+            nth,
+            reps: if quick { 1 } else { 3 },
+            seed: 29,
+        };
+        let table = coefficients(n, grid, 23 + n as u64);
+        let budget = bspline::tuning::default_block_budget(table.bytes());
+        let blocks = n.div_ceil(table.block_splines_for_budget(budget));
+        rows.push(ab_nested(
+            format!("fig9_vgh_nested_monolithic_n{n}"),
+            "f32",
+            1,
+            nth,
+            || measure_nested_monolithic(&table, Kernel::Vgh, &ncfg).ops_per_sec,
+        ));
+        rows.push(ab_nested(
+            format!("fig9_vgh_nested_blocked_n{n}"),
+            "f32",
+            blocks,
+            nth,
+            || measure_nested_blocked(&table, Kernel::Vgh, budget, &ncfg).ops_per_sec,
+        ));
+        eprintln!("fig9 nested N={n} done");
+    }
     rows
 }
 
@@ -239,12 +310,14 @@ fn measure_committed() -> Vec<Row> {
 fn print_rows(rows: &[Row]) {
     let mut t = Table::new(
         "Bench baseline: M-evals/s, scalar backend vs active SIMD backend",
-        &["kernel", "precision", "scalar", "simd", "simd/scalar"],
+        &["kernel", "precision", "B", "nth", "scalar", "simd", "simd/scalar"],
     );
     for r in rows {
         t.row(vec![
             r.name.clone(),
             r.precision.clone(),
+            r.blocks.to_string(),
+            r.threads.to_string(),
             mops(r.scalar),
             mops(r.simd),
             format!("{:.2}x", r.simd / r.scalar.max(1.0)),
@@ -264,7 +337,7 @@ fn write_json(rows: &[Row], out_path: &str) {
         .collect();
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"schema\": \"qmc-bench-baseline-v3\",\n");
+    json.push_str("  \"schema\": \"qmc-bench-baseline-v4\",\n");
     let _ = writeln!(
         json,
         "  \"host\": {{ \"cpu\": {:?}, \"threads\": {threads} }},",
@@ -289,9 +362,11 @@ fn write_json(rows: &[Row], out_path: &str) {
     for (i, r) in rows.iter().enumerate() {
         let _ = writeln!(
             json,
-            "    {{ \"name\": \"{}\", \"precision\": \"{}\", \"scalar\": {}, \"simd\": {} }}{}",
+            "    {{ \"name\": \"{}\", \"precision\": \"{}\", \"blocks\": {}, \"threads\": {}, \"scalar\": {}, \"simd\": {} }}{}",
             r.name,
             r.precision,
+            r.blocks,
+            r.threads,
             mops(r.scalar),
             mops(r.simd),
             if i + 1 == rows.len() { "" } else { "," }
@@ -312,16 +387,19 @@ struct Baseline {
     v2: bool,
 }
 
-/// Extract rows + header from a v2/v3 baseline file (the writer emits
-/// one kernel object per line; no JSON dependency needed). v2 rows
-/// carry no `precision` field and are treated as `f32` — the only
-/// precision v2 measured.
+/// Extract rows + header from a v2/v3/v4 baseline file (the writer
+/// emits one kernel object per line; no JSON dependency needed). v2
+/// rows carry no `precision` field and are treated as `f32` — the only
+/// precision v2 measured; v2/v3 rows carry no `blocks`/`threads`
+/// fields and default both to 1 (every pre-v4 row was monolithic and
+/// flat).
 fn parse_baseline(text: &str) -> Result<Baseline, String> {
+    let v4 = text.contains("qmc-bench-baseline-v4");
     let v3 = text.contains("qmc-bench-baseline-v3");
     let v2 = text.contains("qmc-bench-baseline-v2");
-    if !v3 && !v2 {
+    if !v4 && !v3 && !v2 {
         return Err(
-            "baseline file is neither schema v2 nor v3 — re-record it first".into(),
+            "baseline file is not schema v2/v3/v4 — re-record it first".into(),
         );
     }
     fn after<'a>(line: &'a str, key: &str) -> Option<&'a str> {
@@ -357,6 +435,8 @@ fn parse_baseline(text: &str) -> Result<Baseline, String> {
         };
         let precision =
             str_after(line, "precision").unwrap_or_else(|| "f32".to_string());
+        let blocks = num_after(line, "blocks").map_or(1, |v| v as usize);
+        let threads = num_after(line, "threads").map_or(1, |v| v as usize);
         let scalar = num_after(line, "scalar")
             .ok_or_else(|| format!("bad scalar field in line: {line}"))?;
         let simd = num_after(line, "simd")
@@ -364,6 +444,8 @@ fn parse_baseline(text: &str) -> Result<Baseline, String> {
         rows.push(Row {
             name,
             precision,
+            blocks,
+            threads,
             scalar: scalar * 1e6,
             simd: simd * 1e6,
         });
@@ -374,7 +456,7 @@ fn parse_baseline(text: &str) -> Result<Baseline, String> {
     Ok(Baseline {
         rows,
         active,
-        v2: !v3,
+        v2: !v3 && !v4,
     })
 }
 
@@ -548,5 +630,82 @@ fn main() -> ExitCode {
             write_json(&rows, "BENCH_BASELINE.json");
             ExitCode::SUCCESS
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn v4_rows_roundtrip_through_writer_and_parser() {
+        let rows = vec![
+            Row {
+                name: "fig9_vgh_nested_blocked_n512".into(),
+                precision: "f32".into(),
+                blocks: 7,
+                threads: 4,
+                scalar: 1.25e6,
+                simd: 14.5e6,
+            },
+            Row {
+                name: "fig7a_vgh_soa_n128".into(),
+                precision: "mixed".into(),
+                blocks: 1,
+                threads: 1,
+                scalar: 1.0e6,
+                simd: 2.0e6,
+            },
+        ];
+        let tmp = std::env::temp_dir().join("qmc-baseline-v4-roundtrip.json");
+        write_json(&rows, tmp.to_str().unwrap());
+        let text = std::fs::read_to_string(&tmp).unwrap();
+        assert!(text.contains("qmc-bench-baseline-v4"));
+        let parsed = parse_baseline(&text).expect("v4 parses");
+        assert!(!parsed.v2);
+        assert_eq!(parsed.rows.len(), 2);
+        assert_eq!(parsed.rows[0].blocks, 7);
+        assert_eq!(parsed.rows[0].threads, 4);
+        assert_eq!(parsed.rows[1].blocks, 1);
+        // mops() rounds to 2 decimals of M-evals/s.
+        assert!((parsed.rows[0].simd - 14.5e6).abs() < 1e4);
+        let _ = std::fs::remove_file(tmp);
+    }
+
+    #[test]
+    fn v3_files_stay_readable_with_defaulted_shape_columns() {
+        let v3 = r#"{
+  "schema": "qmc-bench-baseline-v3",
+  "simd": { "active": "avx2", "available": ["scalar"] },
+  "kernels": [
+    { "name": "fig8_vgh_aosoa_batch_n512", "precision": "mixed", "scalar": 0.99, "simd": 11.76 }
+  ]
+}"#;
+        let parsed = parse_baseline(v3).expect("v3 parses");
+        assert!(!parsed.v2);
+        assert_eq!(parsed.active.as_deref(), Some("avx2"));
+        assert_eq!(parsed.rows.len(), 1);
+        assert_eq!(parsed.rows[0].blocks, 1);
+        assert_eq!(parsed.rows[0].threads, 1);
+        assert_eq!(parsed.rows[0].precision, "mixed");
+    }
+
+    #[test]
+    fn v2_files_still_default_to_f32(){
+        let v2 = r#"{
+  "schema": "qmc-bench-baseline-v2",
+  "kernels": [
+    { "name": "fig8_v_aos_n512", "scalar": 4.99, "simd": 74.13 }
+  ]
+}"#;
+        let parsed = parse_baseline(v2).expect("v2 parses");
+        assert!(parsed.v2);
+        assert_eq!(parsed.rows[0].precision, "f32");
+        assert_eq!(parsed.rows[0].blocks, 1);
+    }
+
+    #[test]
+    fn unversioned_files_are_rejected() {
+        assert!(parse_baseline("{ \"schema\": \"other\" }").is_err());
     }
 }

@@ -33,14 +33,29 @@ fn main() {
                 "bound",
             ],
         );
-        let steps: [(&str, Layout, usize); 3] = [
+        // The blocked row models the orbital-block decomposition at the
+        // recorded default budget: same AoSoA-style cache behaviour at
+        // the budget-derived block width (blocked-vs-monolithic is the
+        // "B: AoSoA"/"C: blocked" pair of this chart).
+        let model_grid = if quick { (16, 16, 16) } else { (48, 48, 48) };
+        // Table-free sizing twins of the engine's decomposition, so
+        // the model row uses exactly the width the engine would pick
+        // without allocating the gigabyte-scale table.
+        let table_bytes = einspline::multi::table_bytes_in::<f32>(model_grid, n);
+        let nb_budget = einspline::multi::block_splines_for_budget_in::<f32>(
+            model_grid,
+            n,
+            bspline::tuning::default_block_budget(table_bytes),
+        );
+        let steps: [(&str, Layout, usize); 4] = [
             ("baseline AoS", Layout::Aos, n),
-            ("A: SoA", Layout::Soa, n),
+            ("A: SoA (monolithic)", Layout::Soa, n),
             (
                 "B: AoSoA",
                 Layout::AoSoA,
                 if p.name == "BDW" { 64 } else { 512 },
             ),
+            ("C: blocked (budget)", Layout::AoSoA, nb_budget),
         ];
         for (label, layout, nb) in steps {
             let cost = kernel_cost(bspline::Kernel::Vgh, layout, n);

@@ -8,7 +8,8 @@
 //! cachesim traffic at the per-thread tile partition with ideal
 //! work-splitting (the paper's explicit-partition design point).
 
-use bspline::parallel::nested_generation_time;
+use bspline::blocked::BlockedEngine;
+use bspline::parallel::{blocked_generation_time, nested_generation_time};
 use bspline::{BsplineAoSoA, Kernel, Layout};
 use cachesim::Platform;
 use qmc_bench::workload::{grid, samples_for};
@@ -19,9 +20,9 @@ fn main() {
     let n = if quick { 512 } else { 2048 };
     let nb = if quick { 32 } else { 128 };
     let grid = grid();
-    let host_threads = std::thread::available_parallelism()
-        .map(|v| v.get())
-        .unwrap_or(2);
+    // rayon's thread count honors QMC_THREADS, so sweeps are pinnable
+    // (and a single-core host can still drive the nested schedules).
+    let host_threads = rayon::current_num_threads();
 
     // ---- host measurement -------------------------------------------------
     let table = coefficients(n, grid, 99);
@@ -57,6 +58,47 @@ fn main() {
         nth *= 2;
     }
     t.print();
+    drop(engine);
+
+    // ---- blocked vs monolithic (host) -------------------------------------
+    // The schema-v4 baseline rows at bench scale: the single
+    // multi-spline object (one tile — nothing for nested threads to
+    // split) against the orbital-block decomposition at the recorded
+    // default budget, both through the walker×block nested schedule.
+    let table = coefficients(n, grid, 99);
+    let budget = bspline::tuning::default_block_budget(table.bytes());
+    let mono = BsplineAoSoA::from_multi(&table, n);
+    let blocked = BlockedEngine::from_multi(&table, budget);
+    drop(table);
+    let mut b = Table::new(
+        format!(
+            "Fig 9 (blocked vs monolithic): one VGH generation, N={n}, budget={} KiB, B={}",
+            budget / 1024,
+            blocked.n_blocks()
+        ),
+        &["nth", "monolithic (ms)", "blocked (ms)", "blocked speedup"],
+    );
+    let mut nth = 1;
+    while nth <= host_threads {
+        let mut best_m = f64::INFINITY;
+        let mut best_b = f64::INFINITY;
+        for _ in 0..3 {
+            let dm = nested_generation_time(&mono, Kernel::Vgh, host_threads, nth, ns, 5);
+            best_m = best_m.min(dm.as_secs_f64());
+            let db = blocked_generation_time(&blocked, Kernel::Vgh, host_threads, nth, ns, 5);
+            best_b = best_b.min(db.as_secs_f64());
+        }
+        b.row(vec![
+            nth.to_string(),
+            format!("{:.1}", best_m * 1e3),
+            format!("{:.1}", best_b * 1e3),
+            format!("{:.2}x", best_m / best_b),
+        ]);
+        eprintln!("blocked-vs-monolithic nth={nth}");
+        nth *= 2;
+    }
+    b.print();
+    drop((mono, blocked));
 
     // ---- KNL model --------------------------------------------------------
     let knl = Platform::knl();

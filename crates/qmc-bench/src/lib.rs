@@ -29,7 +29,8 @@ pub mod report;
 pub mod workload;
 
 pub use measure::{
-    measure_kernel, measure_kernel_batched, measure_tile_major, MeasureConfig,
+    measure_kernel, measure_kernel_batched, measure_nested_blocked,
+    measure_nested_monolithic, measure_tile_major, MeasureConfig, NestedConfig,
 };
 pub use modelled::{model_prediction, sim_threads, ModelScenario};
 pub use profile_suite::{run_profile, ProfileConfig, Suite};

@@ -1,9 +1,12 @@
 //! Host throughput measurement for the engines.
 
 use crate::workload::{batch_size, pos_block_in, positions_in};
+use bspline::blocked::BlockedEngine;
+use bspline::parallel::{run_nested, run_nested_blocked};
+use bspline::walker::walker_rng;
 use bspline::SpoEngine;
-use bspline::{BsplineAoSoA, Kernel, PosBlock, Throughput};
-use einspline::Real;
+use bspline::{BsplineAoSoA, Kernel, PosBlock, Throughput, WalkerSoA, WalkerTiled};
+use einspline::{MultiCoefs, Real};
 use std::time::Instant;
 
 /// Measurement parameters.
@@ -106,6 +109,89 @@ pub fn measure_tile_major<T: Real>(
     }
 }
 
+/// Shape of a nested-threading generation measurement (Fig. 9-style
+/// blocked-vs-monolithic rows).
+#[derive(Clone, Copy, Debug)]
+pub struct NestedConfig {
+    /// Concurrent walkers (each with its own position block).
+    pub walkers: usize,
+    /// Positions per walker per generation.
+    pub ns: usize,
+    /// Threads-per-walker handed to the nested scheduler (the worker
+    /// count itself comes from the rayon stub / `QMC_THREADS`).
+    pub nth: usize,
+    /// Timed generations (best-of; the same position set every time —
+    /// the miniQMC semantic, so slab residency across a generation is
+    /// what gets measured).
+    pub reps: usize,
+    /// Position RNG seed.
+    pub seed: u64,
+}
+
+fn nested_positions<T: Real, E: SpoEngine<T>>(
+    engine: &E,
+    cfg: &NestedConfig,
+) -> Vec<PosBlock<T>> {
+    let domain = engine.domain();
+    (0..cfg.walkers)
+        .map(|w| {
+            let mut rng = walker_rng(cfg.seed, w);
+            PosBlock::random(&mut rng, cfg.ns, domain)
+        })
+        .collect()
+}
+
+/// Nested-generation throughput (orbital evals/s across all walkers) of
+/// the **monolithic** engine: the single multi-spline object (a 1-tile
+/// AoSoA) driven by [`run_nested`] — with one tile there is nothing to
+/// split, so `nth` threads have one work item per walker. The
+/// comparison baseline for the blocked rows.
+pub fn measure_nested_monolithic<T: Real>(
+    coefs: &MultiCoefs<T>,
+    kernel: Kernel,
+    cfg: &NestedConfig,
+) -> Throughput {
+    let engine = BsplineAoSoA::from_multi(coefs, coefs.n_splines());
+    let positions = nested_positions(&engine, cfg);
+    let mut walkers: Vec<WalkerTiled<T>> =
+        (0..cfg.walkers).map(|_| engine.make_out()).collect();
+    run_nested(&engine, kernel, &mut walkers, &positions, cfg.nth); // warm-up
+    let mut best = f64::INFINITY;
+    for _ in 0..cfg.reps {
+        let d = run_nested(&engine, kernel, &mut walkers, &positions, cfg.nth);
+        best = best.min(d.as_secs_f64());
+    }
+    Throughput {
+        ops_per_sec: (coefs.n_splines() * cfg.walkers * cfg.ns) as f64 / best,
+    }
+}
+
+/// Nested-generation throughput of the **blocked** engine: the
+/// orbital-block decomposition at `budget_bytes` driven by the
+/// walker×block schedule ([`run_nested_blocked`]). Same workload shape
+/// as [`measure_nested_monolithic`]; the ratio of the two is the
+/// blocked-row gate in `BENCH_BASELINE.json`.
+pub fn measure_nested_blocked<T: Real>(
+    coefs: &MultiCoefs<T>,
+    kernel: Kernel,
+    budget_bytes: usize,
+    cfg: &NestedConfig,
+) -> Throughput {
+    let engine = BlockedEngine::from_multi(coefs, budget_bytes);
+    let positions = nested_positions(&engine, cfg);
+    let mut walkers: Vec<WalkerSoA<T>> =
+        (0..cfg.walkers).map(|_| engine.make_out()).collect();
+    run_nested_blocked(&engine, kernel, &mut walkers, &positions, cfg.nth); // warm-up
+    let mut best = f64::INFINITY;
+    for _ in 0..cfg.reps {
+        let d = run_nested_blocked(&engine, kernel, &mut walkers, &positions, cfg.nth);
+        best = best.min(d.as_secs_f64());
+    }
+    Throughput {
+        ops_per_sec: (coefs.n_splines() * cfg.walkers * cfg.ns) as f64 / best,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -150,6 +236,22 @@ mod tests {
         assert!(
             measure_kernel_batched(&mixed, Kernel::Vgh, &cfg()).ops_per_sec > 0.0
         );
+    }
+
+    #[test]
+    fn nested_rows_measure_both_decompositions() {
+        let table = coefficients(48, (8, 8, 8), 6);
+        let cfg = NestedConfig {
+            walkers: 2,
+            ns: 4,
+            nth: 2,
+            reps: 1,
+            seed: 3,
+        };
+        let mono = measure_nested_monolithic(&table, Kernel::Vgh, &cfg);
+        let blocked = measure_nested_blocked(&table, Kernel::Vgh, 1, &cfg);
+        assert!(mono.ops_per_sec > 0.0);
+        assert!(blocked.ops_per_sec > 0.0);
     }
 
     #[test]
