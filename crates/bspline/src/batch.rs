@@ -102,6 +102,35 @@ impl<T: Real> PosBlock<T> {
         self.z.clear();
     }
 
+    /// Reserve room for at least `additional` more positions in every
+    /// coordinate stream. The coalescer calls this with the total size
+    /// of a fused batch before splicing submissions, so the appends in
+    /// [`PosBlock::extend_from_block`] never reallocate mid-batch.
+    pub fn reserve(&mut self, additional: usize) {
+        self.x.reserve(additional);
+        self.y.reserve(additional);
+        self.z.reserve(additional);
+    }
+
+    /// Positions the block can hold without reallocating (the smallest
+    /// per-stream capacity — the streams grow together, but `reserve`
+    /// on a `Vec` may over-allocate each independently).
+    pub fn capacity(&self) -> usize {
+        self.x.capacity().min(self.y.capacity()).min(self.z.capacity())
+    }
+
+    /// Append every position of `other`, stream-wise (three
+    /// `extend_from_slice` calls — no per-position push). This is the
+    /// coalescer's splice: request blocks are fused into one engine
+    /// batch without changing any position's value or order, so the
+    /// fused evaluation is bit-identical to evaluating the requests
+    /// back-to-back.
+    pub fn extend_from_block(&mut self, other: &PosBlock<T>) {
+        self.x.extend_from_slice(&other.x);
+        self.y.extend_from_slice(&other.y);
+        self.z.extend_from_slice(&other.z);
+    }
+
     /// Number of positions in the block.
     #[inline]
     pub fn len(&self) -> usize {
@@ -356,6 +385,62 @@ mod tests {
         let flat: Vec<[f32; 3]> = chunks.iter().flat_map(|c| c.iter()).collect();
         let orig: Vec<[f32; 3]> = b.iter().collect();
         assert_eq!(flat, orig);
+    }
+
+    #[test]
+    fn extend_from_block_splices_in_order() {
+        let a: PosBlock<f32> = (0..3).map(|i| [i as f32, 10.0, 20.0]).collect();
+        let b: PosBlock<f32> = (3..7).map(|i| [i as f32, 30.0, 40.0]).collect();
+        let mut fused = PosBlock::new();
+        fused.extend_from_block(&a);
+        fused.extend_from_block(&b);
+        assert_eq!(fused.len(), 7);
+        let flat: Vec<[f32; 3]> = fused.iter().collect();
+        let expect: Vec<[f32; 3]> = a.iter().chain(b.iter()).collect();
+        assert_eq!(flat, expect);
+        // Appending an empty block is a no-op.
+        fused.extend_from_block(&PosBlock::new());
+        assert_eq!(fused.len(), 7);
+    }
+
+    #[test]
+    fn reserve_prevents_reallocation_during_splice() {
+        let parts: Vec<PosBlock<f32>> = (0..4)
+            .map(|p| (0..5).map(|i| [(p * 5 + i) as f32, 0.0, 0.0]).collect())
+            .collect();
+        let total: usize = parts.iter().map(|b| b.len()).sum();
+        let mut fused = PosBlock::<f32>::new();
+        fused.reserve(total);
+        assert!(fused.capacity() >= total);
+        let cap = fused.capacity();
+        for p in &parts {
+            fused.extend_from_block(p);
+        }
+        assert_eq!(fused.len(), total);
+        assert_eq!(fused.capacity(), cap, "splice must not reallocate");
+        // clear() keeps the reservation for the next coalesced batch.
+        fused.clear();
+        assert!(fused.is_empty());
+        assert_eq!(fused.capacity(), cap);
+    }
+
+    #[test]
+    fn cast_of_spliced_block_equals_splice_of_casts() {
+        // The mixed-precision adapter narrows whole fused blocks; that
+        // must commute with the coalescer's splice.
+        let a: PosBlock<f64> = (0..3).map(|i| [0.1 * i as f64, 0.7, 0.3]).collect();
+        let b: PosBlock<f64> = (0..2).map(|i| [0.9, 0.2 * i as f64, 0.6]).collect();
+        let mut fused = PosBlock::new();
+        fused.extend_from_block(&a);
+        fused.extend_from_block(&b);
+        let narrowed: PosBlock<f32> = fused.cast();
+        let mut expect = PosBlock::<f32>::new();
+        expect.extend_from_block(&a.cast());
+        expect.extend_from_block(&b.cast());
+        assert_eq!(narrowed.len(), expect.len());
+        for i in 0..narrowed.len() {
+            assert_eq!(narrowed.get(i), expect.get(i), "i={i}");
+        }
     }
 
     #[test]

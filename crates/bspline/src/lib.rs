@@ -116,6 +116,44 @@
 //! property-tests this across kernels × backends × budgets × precisions
 //! × scalar/batched/nested entry.
 //!
+//! # Service model
+//!
+//! The closed-loop entry points above borrow an engine per call. The
+//! service layer ([`replica`], [`service`]) inverts the ownership for
+//! open-loop workloads — many independent walker streams submitting at
+//! their own pace:
+//!
+//! * **Ownership.** [`service::SpoService::new`] moves the engine into
+//!   an [`replica::EngineCell`] and spawns long-lived worker threads,
+//!   each owning one [`replica::Replica`] handle. A replica pins the
+//!   SIMD backend active at mint time and re-arms it on the worker for
+//!   every batch, so forced scalar/SIMD A/B measurement works across
+//!   the submission boundary. The fork-join entry points in
+//!   [`parallel`] are generic over [`replica::EngineRef`], so the
+//!   closed-loop (`&engine`) and service (`Replica`) paths share one
+//!   code path.
+//! * **Coalescing policy.** Submissions carry a kernel tag. A worker
+//!   seeds a batch from the queue head and splices every queued
+//!   same-kernel request ([`batch::PosBlock::extend_from_block`]) into
+//!   one fused block, up to `max_batch` positions; holding a *partial*
+//!   batch it waits at most `max_wait` for stragglers before
+//!   evaluating. Fusing never splits a per-orbital accumulation chain,
+//!   so coalesced results are **bit-identical** to a direct `*_batch`
+//!   call on every backend (property-tested in
+//!   `tests/integration_service.rs`).
+//! * **Backpressure.** The queue admits at most `queue_positions`
+//!   pending positions; [`service::SpoService::submit`] blocks until
+//!   space frees (an oversized request is admitted only when the
+//!   service is idle, so it cannot deadlock), and
+//!   [`service::SpoService::try_submit`] returns the request instead of
+//!   blocking. Completion is zero-copy: the caller's
+//!   [`batch::BatchOut`] blocks move into the fused engine call and
+//!   come back filled through the [`service::Ticket`]. Dropping the
+//!   service drains every queued request before joining the workers.
+//! * **Trait adapter.** [`service::ServiceClient`] implements
+//!   [`engine::SpoEngine`] over a shared service, so trait-generic
+//!   drivers (miniqmc's `SpoSet`) run service-backed unchanged.
+//!
 //! # Precision model
 //!
 //! The crate supports three precision configurations, mirroring
@@ -184,6 +222,8 @@ pub mod layout;
 pub mod output;
 pub mod parallel;
 pub mod precision;
+pub mod replica;
+pub mod service;
 pub mod simd;
 pub mod soa;
 pub mod throughput;
@@ -204,6 +244,10 @@ pub mod prelude {
         run_walkers_parallel,
     };
     pub use crate::precision::{MixedEngine, MixedOut, F32_REL_ERROR_BUDGET};
+    pub use crate::replica::{EngineCell, EngineRef, Replica};
+    pub use crate::service::{
+        ServiceClient, ServiceConfig, SpoService, StatsSnapshot, Ticket,
+    };
     pub use crate::simd::{active_backend, with_backend, Backend as SimdBackend};
     pub use crate::soa::BsplineSoA;
     pub use crate::throughput::Throughput;
@@ -221,5 +265,7 @@ pub use blocked::BlockedEngine;
 pub use engine::SpoEngine;
 pub use layout::{Kernel, Layout, OptStep};
 pub use output::{SoAStreamsMut, WalkerAoS, WalkerSoA, WalkerTiled};
+pub use replica::{EngineCell, EngineRef, Replica};
+pub use service::{ServiceClient, ServiceConfig, SpoService, Ticket};
 pub use soa::BsplineSoA;
 pub use throughput::Throughput;

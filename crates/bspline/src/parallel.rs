@@ -22,6 +22,14 @@
 //! single-tile work items handed to the rayon stub's grained dynamic
 //! queue (`with_min_len`), for comparing against the static partition
 //! on ragged tile counts.
+//!
+//! Every entry point is generic over [`EngineRef`], so it runs
+//! identically against a borrowed engine (`&engine`, the classic
+//! closed-loop call — existing call sites compile unchanged) and
+//! against a long-lived [`crate::replica::Replica`] handle (the service
+//! path). The SIMD backend the fan-out workers re-arm comes from the
+//! `EngineRef`: sampled at call time for a borrow, pinned at mint time
+//! for a replica.
 
 use crate::aosoa::BsplineAoSoA;
 use crate::batch::{Located, PosBlock};
@@ -29,6 +37,7 @@ use crate::blocked::{BlockEngine, BlockedEngine};
 use crate::engine::SpoEngine;
 use crate::layout::Kernel;
 use crate::output::{SoAStreamsMut, WalkerSoA, WalkerTiled};
+use crate::replica::EngineRef;
 use crate::walker::{run_walker, walker_rng, DriverConfig, KernelTimes};
 use einspline::Real;
 use rayon::prelude::*;
@@ -45,14 +54,16 @@ pub struct ParallelRun {
 }
 
 /// Walker-only parallelism: the pre-Opt-C execution model.
-pub fn run_walkers_parallel<T: Real, E: SpoEngine<T>>(
-    engine: &E,
+pub fn run_walkers_parallel<T: Real, E: SpoEngine<T>, R: EngineRef<E>>(
+    engine: R,
     cfg: &DriverConfig,
 ) -> ParallelRun {
+    let eng = engine.engine();
+    let backend = engine.backend();
     let t0 = Instant::now();
     let times: Vec<KernelTimes> = (0..cfg.n_walkers)
         .into_par_iter()
-        .map(|w| run_walker(engine, cfg, w))
+        .map(|w| crate::simd::with_backend(backend, || run_walker(eng, cfg, w)))
         .collect();
     let wall = t0.elapsed();
     let mut total = KernelTimes::default();
@@ -104,8 +115,8 @@ fn locate_walkers<T: Real>(
 /// region.
 ///
 /// `walkers[w]` must have been allocated by [`BsplineAoSoA::make_out`].
-pub fn run_nested<T: Real>(
-    engine: &BsplineAoSoA<T>,
+pub fn run_nested<T: Real, R: EngineRef<BsplineAoSoA<T>>>(
+    engine: R,
     kernel: Kernel,
     walkers: &mut [WalkerTiled<T>],
     positions: &[PosBlock<T>],
@@ -116,8 +127,9 @@ pub fn run_nested<T: Real>(
         positions.len(),
         "one position block per walker"
     );
-    let ranges = partition_tiles(engine.n_tiles(), nth);
-    let locs = locate_walkers(engine, positions);
+    let eng = engine.engine();
+    let ranges = partition_tiles(eng.n_tiles(), nth);
+    let locs = locate_walkers(eng, positions);
 
     // Flatten (walker, chunk) into independent jobs. Splitting each
     // walker's tile buffers keeps &mut disjointness checkable by the
@@ -145,16 +157,17 @@ pub fn run_nested<T: Real>(
     }
 
     // The SIMD force ([`crate::simd::with_backend`]) is thread-local;
-    // re-arm it inside every worker so scalar-vs-SIMD A/B rows measure
-    // the forced backend even when the work fans out to other threads.
-    let backend = crate::simd::active_backend();
+    // re-arm the `EngineRef`'s backend inside every worker so
+    // scalar-vs-SIMD A/B rows measure the forced backend even when the
+    // work fans out to other threads.
+    let backend = engine.backend();
     let t0 = Instant::now();
     jobs.into_par_iter().for_each(|job| {
         crate::simd::with_backend(backend, || {
             for (off, tile_out) in job.tiles.iter_mut().enumerate() {
                 let t = job.tile_lo + off;
                 for loc in job.locs {
-                    engine.eval_tile_located(t, kernel, loc, tile_out);
+                    eng.eval_tile_located(t, kernel, loc, tile_out);
                 }
             }
         })
@@ -168,8 +181,8 @@ pub fn run_nested<T: Real>(
 /// counts this keeps all threads busy where the static partition would
 /// idle some; the ablations bench measures the trade against the
 /// static path's lower scheduling overhead.
-pub fn run_nested_dynamic<T: Real>(
-    engine: &BsplineAoSoA<T>,
+pub fn run_nested_dynamic<T: Real, R: EngineRef<BsplineAoSoA<T>>>(
+    engine: R,
     kernel: Kernel,
     walkers: &mut [WalkerTiled<T>],
     positions: &[PosBlock<T>],
@@ -180,7 +193,8 @@ pub fn run_nested_dynamic<T: Real>(
         positions.len(),
         "one position block per walker"
     );
-    let locs = locate_walkers(engine, positions);
+    let eng = engine.engine();
+    let locs = locate_walkers(eng, positions);
 
     struct Job<'a, T: Real> {
         tile: usize,
@@ -189,7 +203,7 @@ pub fn run_nested_dynamic<T: Real>(
     }
 
     let mut jobs: Vec<Job<'_, T>> =
-        Vec::with_capacity(walkers.len() * engine.n_tiles());
+        Vec::with_capacity(walkers.len() * eng.n_tiles());
     for (w, walker_out) in walkers.iter_mut().enumerate() {
         for (t, tile_out) in walker_out.tiles_mut().iter_mut().enumerate() {
             jobs.push(Job {
@@ -200,12 +214,12 @@ pub fn run_nested_dynamic<T: Real>(
         }
     }
 
-    let backend = crate::simd::active_backend();
+    let backend = engine.backend();
     let t0 = Instant::now();
     jobs.into_par_iter().with_min_len(grain).for_each(|job| {
         crate::simd::with_backend(backend, || {
             for loc in job.locs {
-                engine.eval_tile_located(job.tile, kernel, loc, job.out);
+                eng.eval_tile_located(job.tile, kernel, loc, job.out);
             }
         })
     });
@@ -226,8 +240,8 @@ pub fn run_nested_dynamic<T: Real>(
 ///
 /// `walkers[w]` must have been allocated by the engine's `make_out`.
 /// Returns the wall-clock time of the parallel region.
-pub fn run_nested_blocked<E: BlockEngine>(
-    engine: &BlockedEngine<E>,
+pub fn run_nested_blocked<E: BlockEngine, R: EngineRef<BlockedEngine<E>>>(
+    engine: R,
     kernel: Kernel,
     walkers: &mut [WalkerSoA<E::Scalar>],
     positions: &[PosBlock<E::Scalar>],
@@ -238,12 +252,13 @@ pub fn run_nested_blocked<E: BlockEngine>(
         positions.len(),
         "one position block per walker"
     );
-    let ranges = partition_tiles(engine.n_blocks(), nth);
+    let eng = engine.engine();
+    let ranges = partition_tiles(eng.n_blocks(), nth);
     let locs: Vec<Vec<Located<E::Scalar>>> =
-        positions.iter().map(|b| engine.locate_block(b)).collect();
+        positions.iter().map(|b| eng.locate_block(b)).collect();
     let bounds: Vec<(usize, usize)> = ranges
         .iter()
-        .map(|&(lo, hi)| engine.chunk_range(lo, hi))
+        .map(|&(lo, hi)| eng.chunk_range(lo, hi))
         .collect();
 
     struct Job<'a, T: Real> {
@@ -271,17 +286,17 @@ pub fn run_nested_blocked<E: BlockEngine>(
         }
     }
 
-    let backend = crate::simd::active_backend();
+    let backend = engine.backend();
     let t0 = Instant::now();
     jobs.into_par_iter().for_each(|mut job| {
         crate::simd::with_backend(backend, || {
             for b in job.blocks.0..job.blocks.1 {
-                let (lo, hi) = engine.block_range(b);
+                let (lo, hi) = eng.block_range(b);
                 for (i, loc) in job.locs.iter().enumerate() {
                     // One evaluation ahead, bounded by this work item's
                     // chunk (blocks past it belong to other threads).
-                    engine.prefetch_ahead(b, job.blocks.1, i, job.locs);
-                    engine.eval_block_located(
+                    eng.prefetch_ahead(b, job.blocks.1, i, job.locs);
+                    eng.eval_block_located(
                         b,
                         kernel,
                         loc,
@@ -298,8 +313,8 @@ pub fn run_nested_blocked<E: BlockEngine>(
 /// `(walker, block)` pair is its own work item, pulled from the rayon
 /// stub's shared queue in `grain`-sized chunks (`with_min_len`) — the
 /// load-balance ablation for ragged block counts.
-pub fn run_nested_blocked_dynamic<E: BlockEngine>(
-    engine: &BlockedEngine<E>,
+pub fn run_nested_blocked_dynamic<E: BlockEngine, R: EngineRef<BlockedEngine<E>>>(
+    engine: R,
     kernel: Kernel,
     walkers: &mut [WalkerSoA<E::Scalar>],
     positions: &[PosBlock<E::Scalar>],
@@ -310,10 +325,11 @@ pub fn run_nested_blocked_dynamic<E: BlockEngine>(
         positions.len(),
         "one position block per walker"
     );
+    let eng = engine.engine();
     let locs: Vec<Vec<Located<E::Scalar>>> =
-        positions.iter().map(|b| engine.locate_block(b)).collect();
+        positions.iter().map(|b| eng.locate_block(b)).collect();
     let bounds: Vec<(usize, usize)> =
-        (0..engine.n_blocks()).map(|b| engine.block_range(b)).collect();
+        (0..eng.n_blocks()).map(|b| eng.block_range(b)).collect();
 
     struct Job<'a, T: Real> {
         block: usize,
@@ -322,7 +338,7 @@ pub fn run_nested_blocked_dynamic<E: BlockEngine>(
     }
 
     let mut jobs: Vec<Job<'_, E::Scalar>> =
-        Vec::with_capacity(engine.n_blocks() * walkers.len());
+        Vec::with_capacity(eng.n_blocks() * walkers.len());
     for (w, walker_out) in walkers.iter_mut().enumerate() {
         for (b, view) in walker_out.split_streams_mut(&bounds).into_iter().enumerate() {
             jobs.push(Job {
@@ -333,13 +349,13 @@ pub fn run_nested_blocked_dynamic<E: BlockEngine>(
         }
     }
 
-    let backend = crate::simd::active_backend();
+    let backend = engine.backend();
     let t0 = Instant::now();
     jobs.into_par_iter().with_min_len(grain).for_each(|mut job| {
         crate::simd::with_backend(backend, || {
             for loc in job.locs {
                 let len = job.view.len();
-                engine.eval_block_located(
+                eng.eval_block_located(
                     job.block,
                     kernel,
                     loc,
@@ -606,6 +622,56 @@ mod tests {
         with_backend(Backend::Scalar, || {
             run_nested_blocked(&engine, Kernel::Vgh, &mut nested, &positions, 4);
         });
+        for n in 0..24 {
+            assert_eq!(serial.value(n), nested[0].value(n), "n={n}");
+        }
+    }
+
+    #[test]
+    fn replica_handle_drives_the_same_nested_code_path() {
+        use crate::replica::EngineCell;
+        // One code path for closed-loop and service execution: a
+        // Replica handle through run_nested* must be bit-identical to
+        // the borrowed-engine call.
+        let engine = tiled_engine(40, 8);
+        let positions = random_blocks(&engine, 2, 3);
+        let mut borrowed: Vec<WalkerTiled<f32>> =
+            (0..2).map(|_| engine.make_out()).collect();
+        run_nested(&engine, Kernel::Vgh, &mut borrowed, &positions, 4);
+
+        let cell = EngineCell::new(engine);
+        let replica = cell.handle();
+        let mut via: Vec<WalkerTiled<f32>> =
+            (0..2).map(|_| cell.engine().make_out()).collect();
+        run_nested(replica, Kernel::Vgh, &mut via, &positions, 4);
+        for w in 0..2 {
+            for n in 0..40 {
+                assert_eq!(borrowed[w].value(n), via[w].value(n), "w={w} n={n}");
+                assert_eq!(borrowed[w].hessian(n), via[w].hessian(n));
+            }
+        }
+    }
+
+    #[test]
+    fn replica_pinned_backend_survives_the_fan_out() {
+        use crate::replica::EngineCell;
+        use crate::simd::{with_backend, Backend};
+        // A replica minted under a scalar force evaluates scalar even
+        // when the nested run is issued outside the force.
+        let engine = blocked_engine(24, 8);
+        let domain = SpoEngine::<f32>::domain(&engine);
+        let mut rng = StdRng::seed_from_u64(12);
+        let positions = vec![PosBlock::random(&mut rng, 3, domain)];
+        let mut serial = engine.make_out();
+        with_backend(Backend::Scalar, || {
+            for p in positions[0].iter() {
+                engine.vgh(p, &mut serial);
+            }
+        });
+        let cell = EngineCell::new(engine);
+        let replica = with_backend(Backend::Scalar, || cell.handle());
+        let mut nested = vec![cell.engine().make_out()];
+        run_nested_blocked(replica, Kernel::Vgh, &mut nested, &positions, 4);
         for n in 0..24 {
             assert_eq!(serial.value(n), nested[0].value(n), "n={n}");
         }

@@ -1,0 +1,814 @@
+//! `SpoService` — a coalescing orbital-evaluation service over
+//! long-lived engine replicas.
+//!
+//! The fork-join entry points in [`crate::parallel`] are *closed-loop*:
+//! a driver owns the walkers, builds full position blocks itself and
+//! blocks until the generation finishes. The "millions of users" shape
+//! in the ROADMAP is *open-loop*: many independent walker streams
+//! produce small position batches at their own pace, and throughput
+//! comes from fusing those submissions into the full [`PosBlock`]s the
+//! batched engines are fast on. This module is that front-end:
+//!
+//! * **Ownership.** [`SpoService::new`] moves the engine into an
+//!   [`EngineCell`] and spawns
+//!   `replicas` worker threads, each owning one
+//!   [`Replica`] handle for its lifetime.
+//!   Workers re-arm the replica's pinned SIMD backend before every
+//!   batch, so a service built inside a
+//!   [`with_backend`](crate::simd::with_backend) force keeps that
+//!   backend no matter which thread submits.
+//! * **Coalescing.** Submissions carry a kernel tag
+//!   ([`Kernel`]); a worker seeds a batch with the queue head and
+//!   splices every queued same-kernel request
+//!   ([`PosBlock::extend_from_block`]) until the fused block reaches
+//!   `max_batch` positions, waiting at most `max_wait` for stragglers
+//!   once it holds a partial batch. Requests for other kernels are left
+//!   queued for the next worker.
+//! * **Backpressure.** The queue is bounded by `queue_positions`
+//!   pending positions; [`SpoService::submit`] blocks until space is
+//!   available (one oversized request is admitted when the queue is
+//!   empty so it cannot deadlock), and [`SpoService::try_submit`] gives
+//!   the request back instead of blocking.
+//! * **Zero-copy completion.** The caller's [`BatchOut`] blocks are
+//!   moved into the fused engine call and handed back through the
+//!   [`Ticket`] — the engine writes orbitals directly into the
+//!   submitter's buffers; nothing is copied out.
+//! * **Determinism.** Fusing blocks never splits a per-orbital
+//!   accumulation chain, so coalesced results are **bit-identical** to
+//!   a direct `*_batch` call on every backend — property-tested in
+//!   `tests/integration_service.rs`.
+//! * **Shutdown.** Dropping the service (or calling
+//!   [`SpoService::shutdown`]) wakes all workers, drains every queued
+//!   request, and joins the threads; every issued ticket completes.
+
+use crate::batch::{check_batch, BatchOut, PosBlock};
+use crate::engine::SpoEngine;
+use crate::layout::Kernel;
+use crate::replica::{EngineCell, EngineRef, Replica};
+use einspline::Real;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Lock, recovering the guard if a panicking submitter poisoned the
+/// mutex (a submit-side assertion fires *before* any state mutation, so
+/// the state is still consistent — and [`SpoService::shutdown`] runs
+/// from `Drop`, where a second panic would abort).
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Service shape: replica count, coalescing policy, queue bound.
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceConfig {
+    /// Worker threads, each owning one engine replica handle.
+    pub replicas: usize,
+    /// Fused-batch target: a worker stops coalescing once the fused
+    /// block holds at least this many positions.
+    pub max_batch: usize,
+    /// How long a worker holding a *partial* batch waits for more
+    /// same-kernel submissions before evaluating what it has.
+    pub max_wait: Duration,
+    /// Backpressure bound: pending positions (queued, including those a
+    /// worker is still coalescing) the service admits before `submit`
+    /// blocks.
+    pub queue_positions: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            replicas: 1,
+            max_batch: 32,
+            max_wait: Duration::from_micros(200),
+            queue_positions: 1024,
+        }
+    }
+}
+
+/// Aggregate service counters (monotonic; relaxed atomics).
+#[derive(Debug, Default)]
+struct Stats {
+    requests: AtomicUsize,
+    batches: AtomicUsize,
+    positions: AtomicUsize,
+    coalesced: AtomicUsize,
+}
+
+/// A point-in-time copy of the service counters.
+#[derive(Clone, Copy, Debug)]
+pub struct StatsSnapshot {
+    /// Requests submitted (excluding empty ones, which complete
+    /// immediately without queueing).
+    pub requests: usize,
+    /// Fused engine calls issued.
+    pub batches: usize,
+    /// Positions evaluated.
+    pub positions: usize,
+    /// Requests that shared their engine call with at least one other
+    /// request.
+    pub coalesced: usize,
+}
+
+impl StatsSnapshot {
+    /// Mean positions per fused engine call.
+    pub fn mean_batch_positions(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.positions as f64 / self.batches as f64
+        }
+    }
+}
+
+/// What a completed request hands back: the submitted positions, the
+/// caller's filled output blocks, and the instant the worker finished
+/// (stamped service-side so latency measurement does not charge the
+/// submitter's reaping delay).
+type Completed<T, O> = (PosBlock<T>, BatchOut<O>, Instant);
+
+/// Completion slot shared between a [`Ticket`] and the worker.
+struct Done<T: Real, O> {
+    slot: Mutex<Option<Completed<T, O>>>,
+    cv: Condvar,
+}
+
+impl<T: Real, O> Done<T, O> {
+    fn new() -> Self {
+        Self {
+            slot: Mutex::new(None),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn complete(&self, pos: PosBlock<T>, out: BatchOut<O>, at: Instant) {
+        let mut slot = lock_recover(&self.slot);
+        debug_assert!(slot.is_none(), "a request completes once");
+        *slot = Some((pos, out, at));
+        self.cv.notify_all();
+    }
+}
+
+/// Claim on an in-flight submission: redeem it with [`Ticket::wait`]
+/// to get the position block and filled output blocks back.
+pub struct Ticket<T: Real, O> {
+    done: Arc<Done<T, O>>,
+}
+
+impl<T: Real, O> Ticket<T, O> {
+    /// Block until the request completes; returns the submitted
+    /// positions and the caller's output blocks, now filled.
+    pub fn wait(self) -> (PosBlock<T>, BatchOut<O>) {
+        let (pos, out, _) = self.wait_timed();
+        (pos, out)
+    }
+
+    /// [`Ticket::wait`] plus the instant the worker finished the
+    /// request — taken inside the service, so open-loop latency
+    /// measurement does not charge the submitter's reaping delay to
+    /// the service.
+    pub fn wait_timed(self) -> Completed<T, O> {
+        let mut slot = lock_recover(&self.done.slot);
+        loop {
+            if let Some(r) = slot.take() {
+                return r;
+            }
+            slot = self.done.cv.wait(slot).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Whether the request has already completed (non-blocking).
+    pub fn is_done(&self) -> bool {
+        lock_recover(&self.done.slot).is_some()
+    }
+}
+
+struct Request<T: Real, O> {
+    kernel: Kernel,
+    pos: PosBlock<T>,
+    out: Vec<O>,
+    done: Arc<Done<T, O>>,
+}
+
+struct State<T: Real, O> {
+    queue: VecDeque<Request<T, O>>,
+    /// Positions admitted but not yet evaluated (queued + coalescing).
+    pending_positions: usize,
+    shutdown: bool,
+}
+
+struct Shared<T: Real, O> {
+    state: Mutex<State<T, O>>,
+    /// Signals workers: new work queued, or shutdown.
+    work: Condvar,
+    /// Signals submitters: pending positions dropped below the bound.
+    space: Condvar,
+    cfg: ServiceConfig,
+    stats: Stats,
+}
+
+/// The coalescing evaluation service. See the [module docs](self) for
+/// the model.
+pub struct SpoService<T: Real, E: SpoEngine<T> + 'static>
+where
+    E::Out: 'static,
+{
+    shared: Arc<Shared<T, E::Out>>,
+    cell: EngineCell<E>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl<T: Real, E: SpoEngine<T> + 'static> SpoService<T, E>
+where
+    E::Out: 'static,
+{
+    /// Move `engine` into a replica cell and spawn the worker threads.
+    ///
+    /// The workers' SIMD backend is pinned here (replica mint time), so
+    /// building the service inside a
+    /// [`with_backend`](crate::simd::with_backend) force pins that
+    /// backend for the service's lifetime.
+    pub fn new(engine: E, cfg: ServiceConfig) -> Self {
+        assert!(cfg.replicas > 0, "need at least one service replica");
+        assert!(cfg.max_batch > 0, "fused batches must hold positions");
+        assert!(cfg.queue_positions > 0, "queue bound must be positive");
+        let cell = EngineCell::new(engine);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                pending_positions: 0,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            space: Condvar::new(),
+            cfg,
+            stats: Stats::default(),
+        });
+        let workers = cell
+            .handles(cfg.replicas)
+            .into_iter()
+            .map(|replica| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(replica, shared))
+            })
+            .collect();
+        Self {
+            shared,
+            cell,
+            workers,
+        }
+    }
+
+    /// Service with the default [`ServiceConfig`].
+    pub fn with_default_config(engine: E) -> Self {
+        Self::new(engine, ServiceConfig::default())
+    }
+
+    /// The shared engine (configuration queries, buffer allocation).
+    pub fn engine(&self) -> &E {
+        self.cell.engine()
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> ServiceConfig {
+        self.shared.cfg
+    }
+
+    /// Point-in-time counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        let s = &self.shared.stats;
+        StatsSnapshot {
+            requests: s.requests.load(Ordering::Relaxed),
+            batches: s.batches.load(Ordering::Relaxed),
+            positions: s.positions.load(Ordering::Relaxed),
+            coalesced: s.coalesced.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Enqueue `pos` for `kernel`, handing the service the caller's
+    /// output blocks (`out` needs one block per position; extra blocks
+    /// ride along untouched, matching the ragged-tail contract of the
+    /// direct batched calls). Blocks while the queue is over its
+    /// position bound. Panics if called after [`SpoService::shutdown`].
+    pub fn submit(
+        &self,
+        kernel: Kernel,
+        pos: PosBlock<T>,
+        out: BatchOut<E::Out>,
+    ) -> Ticket<T, E::Out> {
+        check_batch(pos.len(), out.len());
+        let done = Arc::new(Done::new());
+        if pos.is_empty() {
+            // Nothing to evaluate: complete immediately, never queue.
+            done.complete(pos, out, Instant::now());
+            return Ticket { done };
+        }
+        let mut st = lock_recover(&self.shared.state);
+        loop {
+            assert!(!st.shutdown, "submit on a shut-down SpoService");
+            // Admit when under the bound — or unconditionally when the
+            // service is idle, so one request larger than the whole
+            // bound cannot deadlock.
+            if st.pending_positions == 0
+                || st.pending_positions + pos.len() <= self.shared.cfg.queue_positions
+            {
+                break;
+            }
+            st = self.shared.space.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+        st.pending_positions += pos.len();
+        st.queue.push_back(Request {
+            kernel,
+            pos,
+            out: out.into_blocks(),
+            done: Arc::clone(&done),
+        });
+        self.shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+        drop(st);
+        self.shared.work.notify_one();
+        Ticket { done }
+    }
+
+    /// Non-blocking [`SpoService::submit`]: if admitting `pos` would
+    /// exceed the queue bound, the request is handed back unevaluated.
+    #[allow(clippy::type_complexity)]
+    pub fn try_submit(
+        &self,
+        kernel: Kernel,
+        pos: PosBlock<T>,
+        out: BatchOut<E::Out>,
+    ) -> Result<Ticket<T, E::Out>, (PosBlock<T>, BatchOut<E::Out>)> {
+        check_batch(pos.len(), out.len());
+        let done = Arc::new(Done::new());
+        if pos.is_empty() {
+            done.complete(pos, out, Instant::now());
+            return Ok(Ticket { done });
+        }
+        let mut st = lock_recover(&self.shared.state);
+        assert!(!st.shutdown, "submit on a shut-down SpoService");
+        if st.pending_positions != 0
+            && st.pending_positions + pos.len() > self.shared.cfg.queue_positions
+        {
+            return Err((pos, out));
+        }
+        st.pending_positions += pos.len();
+        st.queue.push_back(Request {
+            kernel,
+            pos,
+            out: out.into_blocks(),
+            done: Arc::clone(&done),
+        });
+        self.shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+        drop(st);
+        self.shared.work.notify_one();
+        Ok(Ticket { done })
+    }
+
+    /// Drain every queued request and join the workers. Idempotent;
+    /// also runs on drop. Every ticket issued before the call completes.
+    pub fn shutdown(&mut self) {
+        {
+            let mut st = lock_recover(&self.shared.state);
+            if st.shutdown && self.workers.is_empty() {
+                return;
+            }
+            st.shutdown = true;
+        }
+        self.shared.work.notify_all();
+        self.shared.space.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl<T: Real, E: SpoEngine<T> + 'static> Drop for SpoService<T, E>
+where
+    E::Out: 'static,
+{
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// One service worker: pop → coalesce → evaluate → complete, forever.
+fn worker_loop<T: Real, E: SpoEngine<T>>(
+    replica: Replica<E>,
+    shared: Arc<Shared<T, E::Out>>,
+) {
+    // Reused across batches: the fused position block (reserve keeps
+    // the splice allocation-free in steady state).
+    let mut fused_pos = PosBlock::<T>::new();
+    loop {
+        let mut st = lock_recover(&shared.state);
+        // Seed a batch with the queue head (or exit once the queue is
+        // drained after shutdown — in-flight work always completes).
+        let first = loop {
+            if let Some(r) = st.queue.pop_front() {
+                break r;
+            }
+            if st.shutdown {
+                return;
+            }
+            st = shared.work.wait(st).unwrap_or_else(PoisonError::into_inner);
+        };
+        let kernel = first.kernel;
+        let mut total = first.pos.len();
+        let mut batch = vec![first];
+        let deadline = Instant::now() + shared.cfg.max_wait;
+        // Coalesce: splice in every queued same-kernel request, waiting
+        // (bounded by max_wait) for more while the batch is partial.
+        // Other kernels stay queued for the next worker.
+        loop {
+            let mut i = 0;
+            while i < st.queue.len() && total < shared.cfg.max_batch {
+                if st.queue[i].kernel == kernel {
+                    let r = st.queue.remove(i).expect("index in bounds");
+                    total += r.pos.len();
+                    batch.push(r);
+                } else {
+                    i += 1;
+                }
+            }
+            if total >= shared.cfg.max_batch || st.shutdown {
+                break;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let (guard, _timeout) = shared
+                .work
+                .wait_timeout(st, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner);
+            st = guard;
+        }
+        // The batch leaves the queue but its positions stay counted
+        // until evaluated, so the backpressure bound covers coalescing
+        // and in-flight work too.
+        st.pending_positions -= total;
+        drop(st);
+        shared.space.notify_all();
+        execute(&replica, kernel, batch, total, &mut fused_pos, &shared.stats);
+    }
+}
+
+/// Evaluate one coalesced batch and complete every member request.
+fn execute<T: Real, E: SpoEngine<T>>(
+    replica: &Replica<E>,
+    kernel: Kernel,
+    mut batch: Vec<Request<T, E::Out>>,
+    total: usize,
+    fused_pos: &mut PosBlock<T>,
+    stats: &Stats,
+) {
+    stats.batches.fetch_add(1, Ordering::Relaxed);
+    stats.positions.fetch_add(total, Ordering::Relaxed);
+    if batch.len() == 1 {
+        // Single-request fast path: evaluate straight into the caller's
+        // blocks, no splice.
+        let req = batch.pop().expect("one request");
+        let mut out = BatchOut::from_blocks(req.out);
+        replica.run(|| replica.engine().eval_batch(kernel, &req.pos, &mut out));
+        req.done.complete(req.pos, out, Instant::now());
+        return;
+    }
+    stats.coalesced.fetch_add(batch.len(), Ordering::Relaxed);
+    // Fuse: splice positions, move each caller's first pos.len() output
+    // blocks into one BatchOut (extra ragged-tail blocks are parked and
+    // reattached untouched).
+    fused_pos.clear();
+    fused_pos.reserve(total);
+    let mut blocks: Vec<E::Out> = Vec::with_capacity(total);
+    let mut extras: Vec<Vec<E::Out>> = Vec::with_capacity(batch.len());
+    for req in &mut batch {
+        fused_pos.extend_from_block(&req.pos);
+        let mut mine = std::mem::take(&mut req.out);
+        extras.push(mine.split_off(req.pos.len()));
+        blocks.append(&mut mine);
+    }
+    let mut fused_out = BatchOut::from_blocks(blocks);
+    replica.run(|| replica.engine().eval_batch(kernel, fused_pos, &mut fused_out));
+    // Unfuse: hand each request its own blocks back in submit order.
+    let mut rest = fused_out.into_blocks();
+    for (req, extra) in batch.into_iter().zip(extras) {
+        let tail = rest.split_off(req.pos.len());
+        let mut mine = std::mem::replace(&mut rest, tail);
+        mine.extend(extra);
+        req.done
+            .complete(req.pos, BatchOut::from_blocks(mine), Instant::now());
+    }
+    debug_assert!(rest.is_empty(), "every output block returned");
+}
+
+/// An [`SpoEngine`] adapter over a shared service: scalar and batched
+/// calls become service submissions, so any driver written against the
+/// trait (e.g. `miniqmc`'s `SpoSet`) runs service-backed unchanged.
+///
+/// Scalar calls borrow a pooled dummy block to swap with the caller's
+/// buffer (the trait's `&mut` contract meets the service's move-based
+/// zero-copy contract); batched calls clone the position block (the
+/// trait borrows it, the service takes ownership) but move the output
+/// blocks both ways.
+pub struct ServiceClient<T: Real, E: SpoEngine<T> + 'static>
+where
+    E::Out: 'static,
+{
+    service: Arc<SpoService<T, E>>,
+    /// Dummy blocks for the scalar-call swap trick; steady state reuses
+    /// one allocation per concurrent scalar caller.
+    pool: Mutex<Vec<E::Out>>,
+}
+
+impl<T: Real, E: SpoEngine<T> + 'static> ServiceClient<T, E>
+where
+    E::Out: 'static,
+{
+    /// Wrap a shared service handle.
+    pub fn new(service: Arc<SpoService<T, E>>) -> Self {
+        Self {
+            service,
+            pool: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The underlying service.
+    pub fn service(&self) -> &SpoService<T, E> {
+        &self.service
+    }
+
+    fn submit_one(&self, kernel: Kernel, pos: [T; 3], out: &mut E::Out) {
+        let dummy = {
+            let mut pool = lock_recover(&self.pool);
+            pool.pop()
+        }
+        .unwrap_or_else(|| self.service.engine().make_out());
+        let block = std::mem::replace(out, dummy);
+        let mut pb = PosBlock::with_capacity(1);
+        pb.push(pos);
+        let ticket = self
+            .service
+            .submit(kernel, pb, BatchOut::from_blocks(vec![block]));
+        let (_, res) = ticket.wait();
+        let mut blocks = res.into_blocks();
+        let dummy = std::mem::replace(out, blocks.pop().expect("one block back"));
+        lock_recover(&self.pool).push(dummy);
+    }
+
+    fn submit_batch(
+        &self,
+        kernel: Kernel,
+        pos: &PosBlock<T>,
+        out: &mut BatchOut<E::Out>,
+    ) {
+        check_batch(pos.len(), out.len());
+        let owned = std::mem::replace(out, BatchOut::from_blocks(Vec::new()));
+        let ticket = self.service.submit(kernel, pos.clone(), owned);
+        let (_, res) = ticket.wait();
+        *out = res;
+    }
+}
+
+impl<T: Real, E: SpoEngine<T> + 'static> Clone for ServiceClient<T, E>
+where
+    E::Out: 'static,
+{
+    fn clone(&self) -> Self {
+        Self::new(Arc::clone(&self.service))
+    }
+}
+
+impl<T: Real, E: SpoEngine<T> + 'static> SpoEngine<T> for ServiceClient<T, E>
+where
+    E::Out: 'static,
+{
+    type Out = E::Out;
+
+    fn n_splines(&self) -> usize {
+        self.service.engine().n_splines()
+    }
+
+    fn layout(&self) -> crate::layout::Layout {
+        self.service.engine().layout()
+    }
+
+    fn domain(&self) -> [(f64, f64); 3] {
+        self.service.engine().domain()
+    }
+
+    fn make_out(&self) -> E::Out {
+        self.service.engine().make_out()
+    }
+
+    fn v(&self, pos: [T; 3], out: &mut E::Out) {
+        self.submit_one(Kernel::V, pos, out);
+    }
+
+    fn vgl(&self, pos: [T; 3], out: &mut E::Out) {
+        self.submit_one(Kernel::Vgl, pos, out);
+    }
+
+    fn vgh(&self, pos: [T; 3], out: &mut E::Out) {
+        self.submit_one(Kernel::Vgh, pos, out);
+    }
+
+    fn v_batch(&self, pos: &PosBlock<T>, out: &mut BatchOut<E::Out>) {
+        self.submit_batch(Kernel::V, pos, out);
+    }
+
+    fn vgl_batch(&self, pos: &PosBlock<T>, out: &mut BatchOut<E::Out>) {
+        self.submit_batch(Kernel::Vgl, pos, out);
+    }
+
+    fn vgh_batch(&self, pos: &PosBlock<T>, out: &mut BatchOut<E::Out>) {
+        self.submit_batch(Kernel::Vgh, pos, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::soa::BsplineSoA;
+    use einspline::{Grid1, MultiCoefs};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn soa(n: usize) -> BsplineSoA<f32> {
+        let g = Grid1::periodic(0.0, 1.0, 6);
+        let mut m = MultiCoefs::<f32>::new(g, g, g, n);
+        m.fill_random(&mut StdRng::seed_from_u64(23));
+        BsplineSoA::new(m)
+    }
+
+    fn block(ns: usize, seed: u64) -> PosBlock<f32> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        PosBlock::random(&mut rng, ns, [(0.0, 1.0); 3])
+    }
+
+    #[test]
+    fn single_submission_matches_direct_batch() {
+        let engine = soa(24);
+        let pos = block(5, 1);
+        let mut direct = engine.make_batch_out(5);
+        engine.eval_batch(Kernel::Vgh, &pos, &mut direct);
+
+        let service = SpoService::with_default_config(soa(24));
+        let out = service.engine().make_batch_out(5);
+        let (_, got) = service.submit(Kernel::Vgh, pos, out).wait();
+        for p in 0..5 {
+            for n in 0..24 {
+                assert_eq!(
+                    direct.block(p).value(n),
+                    got.block(p).value(n),
+                    "p={p} n={n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_submission_completes_immediately() {
+        let service = SpoService::with_default_config(soa(8));
+        let ticket = service.submit(
+            Kernel::V,
+            PosBlock::new(),
+            BatchOut::from_blocks(Vec::new()),
+        );
+        assert!(ticket.is_done());
+        let (pos, out) = ticket.wait();
+        assert!(pos.is_empty() && out.is_empty());
+        assert_eq!(service.stats().requests, 0, "empty requests never queue");
+    }
+
+    #[test]
+    fn coalesced_submissions_return_each_callers_blocks() {
+        // Submissions outnumbering max_batch force at least one fused
+        // call; every caller must get exactly its own positions back.
+        let engine = soa(16);
+        let service = SpoService::new(
+            engine,
+            ServiceConfig {
+                replicas: 1,
+                max_batch: 8,
+                max_wait: Duration::from_millis(5),
+                queue_positions: 64,
+            },
+        );
+        let tickets: Vec<_> = (0..6)
+            .map(|i| {
+                let pos = block(3, 100 + i as u64);
+                let out = service.engine().make_batch_out(3);
+                (pos.clone(), service.submit(Kernel::Vgl, pos, out))
+            })
+            .collect();
+        for (sent, ticket) in tickets {
+            let (pos, out) = ticket.wait();
+            assert_eq!(pos.len(), 3);
+            assert_eq!(out.len(), 3);
+            for i in 0..3 {
+                assert_eq!(pos.get(i), sent.get(i), "positions round-trip");
+            }
+        }
+        let stats = service.stats();
+        assert_eq!(stats.requests, 6);
+        assert_eq!(stats.positions, 18);
+        assert!(stats.batches <= 6);
+    }
+
+    #[test]
+    fn ragged_tail_blocks_ride_along_untouched() {
+        let service = SpoService::with_default_config(soa(8));
+        let pos = block(2, 9);
+        // 4 blocks for 2 positions: the extra 2 must come back.
+        let out = service.engine().make_batch_out(4);
+        let (_, got) = service.submit(Kernel::V, pos, out).wait();
+        assert_eq!(got.len(), 4);
+    }
+
+    #[test]
+    fn try_submit_hands_back_over_bound_requests() {
+        let engine = soa(8);
+        let service = SpoService::new(
+            engine,
+            ServiceConfig {
+                replicas: 1,
+                max_batch: 4,
+                // Long window: the first request is still pending when
+                // the second arrives.
+                max_wait: Duration::from_millis(200),
+                queue_positions: 4,
+            },
+        );
+        let first = service.submit(Kernel::V, block(4, 1), service.engine().make_batch_out(4));
+        // The worker holds 4 pending positions; a second 4-position
+        // request exceeds the bound while the service is non-idle.
+        // (It may also have already drained — then submission succeeds.)
+        match service.try_submit(Kernel::V, block(4, 2), service.engine().make_batch_out(4)) {
+            Ok(t) => {
+                t.wait();
+            }
+            Err((pos, out)) => {
+                assert_eq!(pos.len(), 4);
+                assert_eq!(out.len(), 4);
+            }
+        }
+        first.wait();
+    }
+
+    #[test]
+    fn shutdown_drains_in_flight_work() {
+        let mut service = SpoService::new(
+            soa(12),
+            ServiceConfig {
+                replicas: 2,
+                max_batch: 64,
+                max_wait: Duration::from_millis(50),
+                queue_positions: 1024,
+            },
+        );
+        let tickets: Vec<_> = (0..8)
+            .map(|i| {
+                let pos = block(2, i);
+                let out = service.engine().make_batch_out(2);
+                service.submit(Kernel::Vgh, pos, out)
+            })
+            .collect();
+        service.shutdown();
+        for t in tickets {
+            let (pos, out) = t.wait();
+            assert_eq!(pos.len(), 2);
+            assert!(out.len() >= 2);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "shut-down SpoService")]
+    fn submit_after_shutdown_panics() {
+        let mut service = SpoService::with_default_config(soa(4));
+        service.shutdown();
+        let out = service.engine().make_batch_out(1);
+        service.submit(Kernel::V, block(1, 0), out);
+    }
+
+    #[test]
+    fn service_client_scalar_calls_match_direct_engine() {
+        let engine = soa(20);
+        let mut direct = engine.make_out();
+        engine.vgh([0.3, 0.6, 0.9], &mut direct);
+
+        let service = Arc::new(SpoService::with_default_config(soa(20)));
+        let client = ServiceClient::new(service);
+        let mut via = client.make_out();
+        client.vgh([0.3, 0.6, 0.9], &mut via);
+        for n in 0..20 {
+            assert_eq!(direct.value(n), via.value(n), "n={n}");
+            assert_eq!(direct.hessian(n), via.hessian(n), "n={n}");
+        }
+        // Pool reuse: a second call must not grow the pool.
+        client.v([0.1, 0.2, 0.3], &mut via);
+        client.v([0.4, 0.5, 0.6], &mut via);
+        assert_eq!(client.pool.lock().unwrap().len(), 1);
+    }
+}

@@ -11,8 +11,10 @@
 
 use crate::lattice::Lattice;
 use bspline::blocked::BlockedEngine;
+use bspline::service::{ServiceClient, ServiceConfig, SpoService};
 use bspline::{BatchOut, BsplineSoA, PosBlock, SpoEngine, WalkerSoA};
 use einspline::{MultiCoefs, Real};
+use std::sync::Arc;
 
 /// Orbital values + Cartesian gradients + Laplacians for one position —
 /// the determinant-facing view, in `f64`.
@@ -93,6 +95,29 @@ impl<T: Real<Accum = f64>> SpoSet<T, BlockedEngine<BsplineSoA<T>>> {
     /// sweep for the budget.
     pub fn new_blocked(coefs: MultiCoefs<T>, lattice: Lattice, budget_bytes: usize) -> Self {
         Self::with_engine(BlockedEngine::from_multi(&coefs, budget_bytes), lattice)
+    }
+}
+
+impl<T: Real<Accum = f64>> SpoSet<T, ServiceClient<T, BsplineSoA<T>>> {
+    /// Construct service-backed: the orbital engine is owned by a
+    /// [`SpoService`]'s long-lived workers, and every evaluation this
+    /// set performs is a service submission — coalescable with other
+    /// walkers' submissions to the same service. Results are
+    /// bit-identical to the direct [`SpoSet::new`] path (fusing never
+    /// splits a per-orbital accumulation chain).
+    pub fn new_service(coefs: MultiCoefs<T>, lattice: Lattice, cfg: ServiceConfig) -> Self {
+        let service = Arc::new(SpoService::new(BsplineSoA::new(coefs), cfg));
+        Self::with_service(service, lattice)
+    }
+
+    /// Wrap an existing shared service (several `SpoSet`s — one per
+    /// walker stream — submitting to one service is the coalescing
+    /// scenario the service exists for).
+    pub fn with_service(
+        service: Arc<SpoService<T, BsplineSoA<T>>>,
+        lattice: Lattice,
+    ) -> Self {
+        Self::with_engine(ServiceClient::new(service), lattice)
     }
 }
 
@@ -463,6 +488,57 @@ mod tests {
             }
         }
         assert!(blocked.engine().n_blocks() >= 1);
+    }
+
+    #[test]
+    fn service_backed_spo_set_matches_direct_bit_for_bit() {
+        use bspline::service::ServiceConfig;
+        use std::time::Duration;
+        let lat = Lattice::hexagonal(2.5, 6.0);
+        let mut direct = build(lat, 16, 4);
+        let coefs = {
+            let spo = build(lat, 16, 4);
+            spo.engine().coefs().clone()
+        };
+        let mut served = SpoSet::new_service(
+            coefs,
+            lat,
+            ServiceConfig {
+                replicas: 2,
+                max_batch: 8,
+                max_wait: Duration::from_micros(50),
+                queue_positions: 64,
+            },
+        );
+        let rs: Vec<[f64; 3]> = [[0.11, 0.42, 0.83], [0.57, 0.24, 0.39], [0.91, 0.66, 0.05]]
+            .iter()
+            .map(|u| lat.to_cart(*u))
+            .collect();
+        // Scalar path (single-position submissions).
+        for &r in &rs {
+            let a = direct.evaluate_vgl(r).clone();
+            let b = served.evaluate_vgl(r).clone();
+            for k in 0..4 {
+                assert_eq!(a.v[k], b.v[k], "k={k}");
+                assert_eq!(a.gx[k], b.gx[k]);
+                assert_eq!(a.lap[k], b.lap[k]);
+            }
+        }
+        // Batched sweep (whole-block submission).
+        let am = direct.evaluate_vgl_batch(&rs).to_vec();
+        let ab = served.evaluate_vgl_batch(&rs).to_vec();
+        for (e, (x, y)) in am.iter().zip(&ab).enumerate() {
+            for k in 0..4 {
+                assert_eq!(x.v[k], y.v[k], "e={e} k={k}");
+                assert_eq!(x.gz[k], y.gz[k]);
+                assert_eq!(x.lap[k], y.lap[k]);
+            }
+        }
+        let av = direct.evaluate_v_batch(&rs).to_vec();
+        let bv = served.evaluate_v_batch(&rs).to_vec();
+        for (x, y) in av.iter().zip(&bv) {
+            assert_eq!(&x.v[..4], &y.v[..4]);
+        }
     }
 
     #[test]

@@ -18,15 +18,27 @@
 //!   `…_nested_blocked_…` (the orbital-block decomposition at the
 //!   recorded `tuning::default_block_budget`), both driven at
 //!   `threads = 4` threads-per-walker through the walker×block nested
-//!   schedule. v2 and v3 files stay readable (their rows imply
-//!   `blocks = threads = 1`).
+//!   schedule. Schema v5 adds the coalescing-service rows
+//!   (`service_vgh_soa_sat_n…` at saturation and
+//!   `service_vgh_soa_open_n…` at a fixed offered rate) with SLO-style
+//!   open-loop latency percentiles (`p50_us` / `p95_us` / `p99_us`)
+//!   next to the throughput columns; for service rows the `threads`
+//!   column records the replica worker count. A
+//!   `service_vgh_soa_closed_n…` row re-measures the direct batched
+//!   VGH call adjacent to the service rows so the printed saturation
+//!   ratio is time-aligned (this host drifts 2x over the minutes that
+//!   separate the fig7a rows from the service rows). Older files stay
+//!   readable (pre-v4 rows imply `blocks = threads = 1`; pre-v5 rows
+//!   carry no latency and are gated on throughput only).
 //!
 //!   `cargo run --release -p qmc-bench --bin baseline [-- out.json]`
 //!
 //! * **Compare**: re-measure the same kernels and print the per-kernel
 //!   speedup against a committed baseline, exiting nonzero if any
 //!   kernel regressed by more than 25% in either the scalar or the
-//!   SIMD column of **any precision**. A row must fail two independent
+//!   SIMD column of **any precision** — or, for service rows, if the
+//!   p99 open-loop latency inflated past the same floor
+//!   (`old_p99 / new_p99 < floor`). A row must fail two independent
 //!   measurement passes to count (shared hosts dip transiently; a real
 //!   regression reproduces). Comparison refuses baselines
 //!   whose active SIMD backend differs from this host's (a scalar-host
@@ -51,15 +63,18 @@
 //! *localized, reproducible* deficit instead.
 
 use bspline::precision::MixedEngine;
+use bspline::service::{ServiceConfig, SpoService};
 use bspline::simd::{with_backend, Backend};
 use bspline::{BsplineAoS, BsplineAoSoA, BsplineSoA, Kernel};
 use qmc_bench::workload::{batch_size, coefficients_in, is_quick};
 use qmc_bench::{
     coefficients, measure_kernel, measure_kernel_batched, measure_nested_blocked,
-    measure_nested_monolithic, measure_tile_major, MeasureConfig, NestedConfig, Table,
+    measure_nested_monolithic, measure_service, measure_tile_major, MeasureConfig,
+    NestedConfig, ServiceLoadConfig, Table,
 };
 use std::fmt::Write as _;
 use std::process::ExitCode;
+use std::time::Duration;
 
 /// Fraction of the committed throughput below which a kernel counts as
 /// regressed (default: 25% slowdown). `QMC_BASELINE_FLOOR` overrides it
@@ -83,10 +98,15 @@ struct Row {
     precision: String,
     /// Orbital blocks the engine was decomposed into (1 = monolithic).
     blocks: usize,
-    /// Threads-per-walker of the nested schedule (1 = flat).
+    /// Threads-per-walker of the nested schedule (1 = flat); for
+    /// service rows, the replica worker count.
     threads: usize,
     scalar: f64,
     simd: f64,
+    /// Open-loop request-latency percentiles `[p50, p95, p99]` in µs,
+    /// measured on the SIMD (production) pass. `None` for closed-loop
+    /// rows and for rows parsed from pre-v5 files.
+    lat: Option<[f64; 3]>,
 }
 
 /// Throughput in M-evals/s with 2 decimals (host numbers here are in
@@ -119,6 +139,32 @@ fn ab<F: FnMut() -> f64>(name: impl Into<String>, precision: &str, mut f: F) -> 
         threads: 1,
         scalar,
         simd,
+        lat: None,
+    }
+}
+
+/// [`ab`] for the service rows. The closure builds a fresh
+/// [`SpoService`] per pass so the replica workers pin the backend in
+/// force at *construction* time — that is what makes the scalar column
+/// honest (replicas minted under `with_backend(Scalar, …)` stay scalar
+/// for the whole load run). Returns `(evals/s, [p50, p95, p99] µs)`;
+/// the latency kept in the row comes from the SIMD (production) pass.
+fn ab_service<F: FnMut() -> (f64, [f64; 3])>(
+    name: impl Into<String>,
+    precision: &str,
+    replicas: usize,
+    mut f: F,
+) -> Row {
+    let (scalar, _) = with_backend(Backend::Scalar, &mut f);
+    let (simd, lat) = f();
+    Row {
+        name: name.into(),
+        precision: precision.into(),
+        blocks: 1,
+        threads: replicas,
+        scalar,
+        simd,
+        lat: Some(lat),
     }
 }
 
@@ -283,6 +329,79 @@ fn measure_all() -> Vec<Row> {
         ));
         eprintln!("fig9 nested N={n} done");
     }
+
+    // Service rows (schema v5): the coalescing evaluation service over
+    // the same N SoA engine the fig7a/fig8 closed-loop rows measure.
+    // `sat` drives submitters back-to-back (peak throughput — the
+    // acceptance bar is ≥ 0.9x the closed-loop batched VGH row); `open`
+    // offers a fixed rate well under the *forced-scalar* capacity so
+    // both A/B passes run unsaturated and the latency percentiles mean
+    // "service under load", not "queue growing without bound".
+    let svc_replicas = std::thread::available_parallelism().map_or(1, |v| v.get().min(2));
+    // Fuse up to 4 closed-loop batches per engine call: the per-call
+    // fixed cost (queue pop, condvar wakeups, completion notify) is
+    // what the service adds over the closed loop, and the saturation
+    // bar is met by amortizing it over a deeper batch. The submitters'
+    // combined in-flight positions (submitters × pipeline ×
+    // positions_per_request) exactly fill one fused batch.
+    let svc_cfg = ServiceConfig {
+        replicas: svc_replicas,
+        max_batch: 4 * batch_size(),
+        max_wait: Duration::from_micros(200),
+        queue_positions: 4096,
+    };
+    // pipeline = 4: 4 submitters × 4 in-flight × (batch_size/2)
+    // positions keeps two fused batches outstanding — enough to keep
+    // the worker fed without cycling a multi-MB output working set the
+    // closed loop never pays. reps = 5 matches the closed-loop rows'
+    // best-of statistic, so the printed saturation ratio compares like
+    // with like.
+    let svc_load = ServiceLoadConfig {
+        submitters: 4,
+        requests_per_submitter: if quick { 16 } else { 48 },
+        positions_per_request: batch_size() / 2,
+        offered_rps: None,
+        pipeline: 4,
+        // 4 submitters × 2 distinct blocks × 16 positions = the same
+        // 128-position working set the closed-loop rows re-evaluate
+        // every rep, so the saturation ratio compares the service
+        // mechanism, not table cache residency.
+        distinct_blocks: 2,
+        reps: 5,
+        seed: 0x5e71ce,
+    };
+    // Time-aligned closed-loop reference for the saturation bar: this
+    // host swings 2x on minute scales, and the fig7a rows run minutes
+    // earlier in the pass, so gating the service ratio on them charges
+    // host drift to the service. Re-measure the direct batched call
+    // here, adjacent to the saturation run, with the fig7a config.
+    let soa8 = BsplineSoA::new(table8.clone());
+    rows.push(ab(format!("service_vgh_soa_closed_n{n8}"), "f32", || {
+        measure_kernel_batched(&soa8, Kernel::Vgh, &cfg).ops_per_sec
+    }));
+    drop(soa8);
+    // The open-loop offered rate must sit below the *forced-scalar*
+    // capacity (~1 M-evals/s for SoA VGH on this class of host): at
+    // 60 req/s × 16 pos × N=512 ≈ 0.5 M-evals/s the scalar pass runs
+    // at ~50% utilization, so its percentiles measure service latency,
+    // not an unboundedly growing queue.
+    for (tag, rps) in [("sat", None), ("open", Some(60.0))] {
+        let load = ServiceLoadConfig {
+            offered_rps: rps,
+            ..svc_load
+        };
+        rows.push(ab_service(
+            format!("service_vgh_soa_{tag}_n{n8}"),
+            "f32",
+            svc_replicas,
+            || {
+                let svc = SpoService::new(BsplineSoA::new(table8.clone()), svc_cfg);
+                let l = measure_service(&svc, Kernel::Vgh, &load);
+                (l.evals_per_sec, [l.p50_us, l.p95_us, l.p99_us])
+            },
+        ));
+        eprintln!("service {tag} N={n8} done");
+    }
     rows
 }
 
@@ -295,22 +414,62 @@ fn measure_all() -> Vec<Row> {
 /// cross-precision ratios honest — per-precision rows are measured
 /// minutes apart, and pinning each to its peak decorrelates them from
 /// transient dips.
-fn measure_committed() -> Vec<Row> {
+fn measure_committed() -> (Vec<Row>, Option<ServiceRatio>) {
     let mut rows = measure_all();
+    let mut ratio = service_ratio(&rows);
     eprintln!("second record pass (committing the per-row best)");
     let second = measure_all();
+    // The saturation ratio is taken within a single pass (the sat and
+    // closed-reference rows are measured back-to-back there) — merging
+    // rows first would pair maxima from *different* host regimes and
+    // understate the service on a drifting machine.
+    ratio = match (ratio, service_ratio(&second)) {
+        (Some(a), Some(b)) => Some(if b.simd > a.simd { b } else { a }),
+        (a, b) => a.or(b),
+    };
     for (a, b) in rows.iter_mut().zip(second) {
         debug_assert_eq!((&a.name, &a.precision), (&b.name, &b.precision));
-        a.scalar = a.scalar.max(b.scalar);
-        a.simd = a.simd.max(b.simd);
+        merge_best(a, &b);
     }
-    rows
+    (rows, ratio)
+}
+
+/// Keep the better of two measurement passes in `a`: max throughput
+/// per column, min latency per percentile (both are the "peak of the
+/// machine" statistic — host noise only ever slows a pass down or
+/// stretches its tail).
+fn merge_best(a: &mut Row, b: &Row) {
+    a.scalar = a.scalar.max(b.scalar);
+    a.simd = a.simd.max(b.simd);
+    a.lat = match (a.lat, b.lat) {
+        (Some(x), Some(y)) => {
+            Some([x[0].min(y[0]), x[1].min(y[1]), x[2].min(y[2])])
+        }
+        (x, y) => x.or(y),
+    };
+}
+
+/// `old_p99 / new_p99` when both rows carry latency percentiles —
+/// oriented like the throughput ratios (bigger is better, `< floor`
+/// regresses). `None` when either side predates v5 or is closed-loop.
+fn latency_ratio(old: &Row, new: &Row) -> Option<f64> {
+    let (o, n) = (old.lat?, new.lat?);
+    Some(o[2] / n[2].max(1e-9))
 }
 
 fn print_rows(rows: &[Row]) {
     let mut t = Table::new(
         "Bench baseline: M-evals/s, scalar backend vs active SIMD backend",
-        &["kernel", "precision", "B", "nth", "scalar", "simd", "simd/scalar"],
+        &[
+            "kernel",
+            "precision",
+            "B",
+            "nth",
+            "scalar",
+            "simd",
+            "simd/scalar",
+            "p50/p95/p99 µs",
+        ],
     );
     for r in rows {
         t.row(vec![
@@ -321,9 +480,50 @@ fn print_rows(rows: &[Row]) {
             mops(r.scalar),
             mops(r.simd),
             format!("{:.2}x", r.simd / r.scalar.max(1.0)),
+            r.lat.map_or_else(
+                || "-".to_string(),
+                |l| format!("{:.0}/{:.0}/{:.0}", l[0], l[1], l[2]),
+            ),
         ]);
     }
     t.print();
+}
+
+/// The tentpole acceptance statistic: saturation service throughput
+/// over the time-aligned closed-loop batched VGH reference
+/// (`service_vgh_soa_closed_n…`, measured adjacent to the service rows
+/// in the same pass).
+struct ServiceRatio {
+    n: String,
+    simd: f64,
+    scalar: f64,
+}
+
+/// Extract the saturation-vs-closed ratio from one measurement pass's
+/// rows. `None` when the pass lacks either row (pre-v5 shapes).
+fn service_ratio(rows: &[Row]) -> Option<ServiceRatio> {
+    let sat = rows
+        .iter()
+        .find(|r| r.name.starts_with("service_vgh_soa_sat_n"))?;
+    let (_, n) = sat.name.rsplit_once("_n")?;
+    let closed = format!("service_vgh_soa_closed_n{n}");
+    let direct = rows
+        .iter()
+        .find(|r| r.name == closed && r.precision == "f32")?;
+    Some(ServiceRatio {
+        n: n.to_string(),
+        simd: sat.simd / direct.simd.max(1.0),
+        scalar: sat.scalar / direct.scalar.max(1.0),
+    })
+}
+
+/// Record-mode summary line for the tentpole acceptance bar.
+fn print_service_ratio(r: &ServiceRatio) {
+    println!(
+        "service saturation vs closed-loop batched VGH (SoA f32, N={}): \
+         {:.2}x simd, {:.2}x scalar (best time-aligned pass; bar: >= 0.90x at saturation)",
+        r.n, r.simd, r.scalar,
+    );
 }
 
 fn write_json(rows: &[Row], out_path: &str) {
@@ -337,7 +537,7 @@ fn write_json(rows: &[Row], out_path: &str) {
         .collect();
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"schema\": \"qmc-bench-baseline-v4\",\n");
+    json.push_str("  \"schema\": \"qmc-bench-baseline-v5\",\n");
     let _ = writeln!(
         json,
         "  \"host\": {{ \"cpu\": {:?}, \"threads\": {threads} }},",
@@ -360,15 +560,24 @@ fn write_json(rows: &[Row], out_path: &str) {
     );
     json.push_str("  \"kernels\": [\n");
     for (i, r) in rows.iter().enumerate() {
+        // Latency fields only appear on open-loop service rows; the
+        // parser treats their absence as "throughput-gated only".
+        let lat = r.lat.map_or_else(String::new, |l| {
+            format!(
+                ", \"p50_us\": {:.1}, \"p95_us\": {:.1}, \"p99_us\": {:.1}",
+                l[0], l[1], l[2]
+            )
+        });
         let _ = writeln!(
             json,
-            "    {{ \"name\": \"{}\", \"precision\": \"{}\", \"blocks\": {}, \"threads\": {}, \"scalar\": {}, \"simd\": {} }}{}",
+            "    {{ \"name\": \"{}\", \"precision\": \"{}\", \"blocks\": {}, \"threads\": {}, \"scalar\": {}, \"simd\": {}{} }}{}",
             r.name,
             r.precision,
             r.blocks,
             r.threads,
             mops(r.scalar),
             mops(r.simd),
+            lat,
             if i + 1 == rows.len() { "" } else { "," }
         );
     }
@@ -387,21 +596,21 @@ struct Baseline {
     v2: bool,
 }
 
-/// Extract rows + header from a v2/v3/v4 baseline file (the writer
-/// emits one kernel object per line; no JSON dependency needed). v2
-/// rows carry no `precision` field and are treated as `f32` — the only
+/// Extract rows + header from a v2–v5 baseline file (the writer emits
+/// one kernel object per line; no JSON dependency needed). v2 rows
+/// carry no `precision` field and are treated as `f32` — the only
 /// precision v2 measured; v2/v3 rows carry no `blocks`/`threads`
 /// fields and default both to 1 (every pre-v4 row was monolithic and
-/// flat).
+/// flat); pre-v5 rows carry no latency percentiles and are gated on
+/// throughput only.
 fn parse_baseline(text: &str) -> Result<Baseline, String> {
-    let v4 = text.contains("qmc-bench-baseline-v4");
-    let v3 = text.contains("qmc-bench-baseline-v3");
-    let v2 = text.contains("qmc-bench-baseline-v2");
-    if !v4 && !v3 && !v2 {
+    let known = (2..=5).any(|v| text.contains(&format!("qmc-bench-baseline-v{v}")));
+    if !known {
         return Err(
-            "baseline file is not schema v2/v3/v4 — re-record it first".into(),
+            "baseline file is not schema v2/v3/v4/v5 — re-record it first".into(),
         );
     }
+    let v2 = text.contains("qmc-bench-baseline-v2");
     fn after<'a>(line: &'a str, key: &str) -> Option<&'a str> {
         let at = line.find(&format!("\"{key}\":"))?;
         Some(line[at..].split_once(':')?.1.trim_start())
@@ -441,6 +650,14 @@ fn parse_baseline(text: &str) -> Result<Baseline, String> {
             .ok_or_else(|| format!("bad scalar field in line: {line}"))?;
         let simd = num_after(line, "simd")
             .ok_or_else(|| format!("bad simd field in line: {line}"))?;
+        let lat = match (
+            num_after(line, "p50_us"),
+            num_after(line, "p95_us"),
+            num_after(line, "p99_us"),
+        ) {
+            (Some(p50), Some(p95), Some(p99)) => Some([p50, p95, p99]),
+            _ => None,
+        };
         rows.push(Row {
             name,
             precision,
@@ -448,16 +665,13 @@ fn parse_baseline(text: &str) -> Result<Baseline, String> {
             threads,
             scalar: scalar * 1e6,
             simd: simd * 1e6,
+            lat,
         });
     }
     if rows.is_empty() {
         return Err("no kernel rows found in baseline file".into());
     }
-    Ok(Baseline {
-        rows,
-        active,
-        v2: !v3 && !v4,
-    })
+    Ok(Baseline { rows, active, v2 })
 }
 
 fn compare(baseline_path: &str) -> ExitCode {
@@ -536,6 +750,7 @@ fn compare(baseline_path: &str) -> ExitCode {
             .is_some_and(|old| {
                 new.scalar / old.scalar.max(1.0) < floor
                     || new.simd / old.simd.max(1.0) < floor
+                    || latency_ratio(old, new).is_some_and(|r| r < floor)
             })
     });
     if needs_retry {
@@ -546,8 +761,7 @@ fn compare(baseline_path: &str) -> ExitCode {
         let second = measure_all();
         for (a, b) in current.iter_mut().zip(second) {
             debug_assert_eq!((&a.name, &a.precision), (&b.name, &b.precision));
-            a.scalar = a.scalar.max(b.scalar);
-            a.simd = a.simd.max(b.simd);
+            merge_best(a, &b);
         }
     }
     let mut t = Table::new(
@@ -559,6 +773,7 @@ fn compare(baseline_path: &str) -> ExitCode {
             "ratio",
             "simd old→new",
             "ratio",
+            "p99µs old→new",
             "status",
         ],
     );
@@ -575,11 +790,19 @@ fn compare(baseline_path: &str) -> ExitCode {
         compared += 1;
         let rs = new.scalar / old.scalar.max(1.0);
         let rv = new.simd / old.simd.max(1.0);
-        let bad = rs < floor || rv < floor;
+        // Latency gate (service rows, both sides v5): `old/new` so the
+        // ratio reads like the throughput ones — < floor means the new
+        // p99 inflated beyond 1/floor of the committed tail.
+        let rl = latency_ratio(old, new);
+        let bad = rs < floor || rv < floor || rl.is_some_and(|r| r < floor);
         if bad {
             regressed.push(format!(
-                "{} [precision={}] scalar {:.2}x simd {:.2}x",
-                new.name, new.precision, rs, rv
+                "{} [precision={}] scalar {:.2}x simd {:.2}x{}",
+                new.name,
+                new.precision,
+                rs,
+                rv,
+                rl.map_or_else(String::new, |r| format!(" p99 {r:.2}x")),
             ));
         }
         t.row(vec![
@@ -589,6 +812,10 @@ fn compare(baseline_path: &str) -> ExitCode {
             format!("{rs:.2}x"),
             format!("{}→{}", mops(old.simd), mops(new.simd)),
             format!("{rv:.2}x"),
+            match (old.lat, new.lat) {
+                (Some(o), Some(n)) => format!("{:.0}→{:.0}", o[2], n[2]),
+                _ => "-".into(),
+            },
             if bad { "REGRESSED".into() } else { "ok".into() },
         ]);
     }
@@ -611,6 +838,16 @@ fn compare(baseline_path: &str) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn record(out_path: &str) -> ExitCode {
+    let (rows, ratio) = measure_committed();
+    print_rows(&rows);
+    if let Some(r) = &ratio {
+        print_service_ratio(r);
+    }
+    write_json(&rows, out_path);
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -618,18 +855,8 @@ fn main() -> ExitCode {
             let path = args.get(1).cloned().unwrap_or_else(|| "BENCH_BASELINE.json".into());
             compare(&path)
         }
-        Some(out) => {
-            let rows = measure_committed();
-            print_rows(&rows);
-            write_json(&rows, out);
-            ExitCode::SUCCESS
-        }
-        None => {
-            let rows = measure_committed();
-            print_rows(&rows);
-            write_json(&rows, "BENCH_BASELINE.json");
-            ExitCode::SUCCESS
-        }
+        Some(out) => record(out),
+        None => record("BENCH_BASELINE.json"),
     }
 }
 
@@ -638,7 +865,7 @@ mod tests {
     use super::*;
 
     #[test]
-    fn v4_rows_roundtrip_through_writer_and_parser() {
+    fn v5_rows_roundtrip_through_writer_and_parser() {
         let rows = vec![
             Row {
                 name: "fig9_vgh_nested_blocked_n512".into(),
@@ -647,29 +874,95 @@ mod tests {
                 threads: 4,
                 scalar: 1.25e6,
                 simd: 14.5e6,
+                lat: None,
             },
             Row {
-                name: "fig7a_vgh_soa_n128".into(),
-                precision: "mixed".into(),
+                name: "service_vgh_soa_open_n512".into(),
+                precision: "f32".into(),
                 blocks: 1,
-                threads: 1,
+                threads: 2,
                 scalar: 1.0e6,
                 simd: 2.0e6,
+                lat: Some([110.5, 340.0, 612.25]),
             },
         ];
-        let tmp = std::env::temp_dir().join("qmc-baseline-v4-roundtrip.json");
+        let tmp = std::env::temp_dir().join("qmc-baseline-v5-roundtrip.json");
         write_json(&rows, tmp.to_str().unwrap());
         let text = std::fs::read_to_string(&tmp).unwrap();
-        assert!(text.contains("qmc-bench-baseline-v4"));
-        let parsed = parse_baseline(&text).expect("v4 parses");
+        assert!(text.contains("qmc-bench-baseline-v5"));
+        let parsed = parse_baseline(&text).expect("v5 parses");
         assert!(!parsed.v2);
         assert_eq!(parsed.rows.len(), 2);
         assert_eq!(parsed.rows[0].blocks, 7);
         assert_eq!(parsed.rows[0].threads, 4);
-        assert_eq!(parsed.rows[1].blocks, 1);
+        assert_eq!(parsed.rows[0].lat, None);
+        assert_eq!(parsed.rows[1].threads, 2);
+        // Latency fields round-trip at 0.1 µs precision.
+        let lat = parsed.rows[1].lat.expect("service row keeps latency");
+        assert!((lat[0] - 110.5).abs() < 0.05);
+        assert!((lat[1] - 340.0).abs() < 0.05);
+        assert!((lat[2] - 612.25).abs() < 0.1);
         // mops() rounds to 2 decimals of M-evals/s.
         assert!((parsed.rows[0].simd - 14.5e6).abs() < 1e4);
         let _ = std::fs::remove_file(tmp);
+    }
+
+    #[test]
+    fn v4_files_stay_readable_without_latency_columns() {
+        let v4 = r#"{
+  "schema": "qmc-bench-baseline-v4",
+  "simd": { "active": "avx2", "available": ["scalar", "avx2"] },
+  "kernels": [
+    { "name": "fig9_vgh_nested_blocked_n512", "precision": "f32", "blocks": 7, "threads": 4, "scalar": 1.25, "simd": 14.50 }
+  ]
+}"#;
+        let parsed = parse_baseline(v4).expect("v4 parses");
+        assert!(!parsed.v2);
+        assert_eq!(parsed.rows.len(), 1);
+        assert_eq!(parsed.rows[0].blocks, 7);
+        assert_eq!(parsed.rows[0].lat, None);
+    }
+
+    #[test]
+    fn latency_ratio_gates_only_double_v5_rows() {
+        let mk = |lat| Row {
+            name: "service_vgh_soa_open_n512".into(),
+            precision: "f32".into(),
+            blocks: 1,
+            threads: 2,
+            scalar: 1.0e6,
+            simd: 2.0e6,
+            lat,
+        };
+        // Pre-v5 committed row: no gate even if the new run has latency.
+        assert_eq!(latency_ratio(&mk(None), &mk(Some([1.0, 2.0, 3.0]))), None);
+        assert_eq!(latency_ratio(&mk(Some([1.0, 2.0, 3.0])), &mk(None)), None);
+        // Tail doubled: ratio 0.5 — below any sane floor.
+        let r = latency_ratio(&mk(Some([100.0, 200.0, 300.0])), &mk(Some([100.0, 200.0, 600.0])))
+            .unwrap();
+        assert!((r - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_best_keeps_peak_throughput_and_min_latency() {
+        let mk = |scalar, simd, lat| Row {
+            name: "service_vgh_soa_sat_n512".into(),
+            precision: "f32".into(),
+            blocks: 1,
+            threads: 2,
+            scalar,
+            simd,
+            lat,
+        };
+        let mut a = mk(1.0, 5.0, Some([120.0, 300.0, 900.0]));
+        let b = mk(2.0, 4.0, Some([150.0, 250.0, 800.0]));
+        merge_best(&mut a, &b);
+        assert_eq!((a.scalar, a.simd), (2.0, 5.0));
+        assert_eq!(a.lat, Some([120.0, 250.0, 800.0]));
+        // A lone latency pass survives a latency-less partner.
+        let mut c = mk(1.0, 1.0, None);
+        merge_best(&mut c, &mk(1.0, 1.0, Some([1.0, 2.0, 3.0])));
+        assert_eq!(c.lat, Some([1.0, 2.0, 3.0]));
     }
 
     #[test]

@@ -37,17 +37,34 @@ pub mod prelude {
 /// autotuner and CI pin reproducible thread counts — including counts
 /// *above* the core count (the scoped-thread workers simply timeshare),
 /// which is how a single-core host still exercises every nested
-/// scheduling path. `QMC_THREADS=0` or an unparsable value falls back
-/// to the detected parallelism.
+/// scheduling path.
+///
+/// The override is parsed **strictly**: `QMC_THREADS=0` or a
+/// non-numeric value panics with a message naming the variable. A
+/// silent fallback here would make a mistyped CI matrix leg (or a
+/// `QMC_THREADS=O4` typo) measure the wrong thread count while
+/// claiming the pinned one.
 pub fn current_num_threads() -> usize {
     static OVERRIDE: OnceLock<Option<usize>> = OnceLock::new();
-    let forced = *OVERRIDE.get_or_init(|| {
-        std::env::var("QMC_THREADS")
-            .ok()
-            .and_then(|v| v.trim().parse::<usize>().ok())
-            .filter(|&n| n > 0)
-    });
+    let forced = *OVERRIDE
+        .get_or_init(|| std::env::var("QMC_THREADS").ok().map(|v| parse_threads(&v)));
     forced.unwrap_or_else(|| thread::available_parallelism().map_or(1, |n| n.get()))
+}
+
+/// Strictly parse a `QMC_THREADS` value: a positive integer, or panic
+/// naming the variable and the offending value.
+fn parse_threads(raw: &str) -> usize {
+    match raw.trim().parse::<usize>() {
+        Ok(0) => panic!(
+            "QMC_THREADS must be a positive thread count, got 0 \
+             (unset the variable to use the detected parallelism)"
+        ),
+        Ok(n) => n,
+        Err(_) => panic!(
+            "QMC_THREADS must be a positive integer, got {raw:?} \
+             (unset the variable to use the detected parallelism)"
+        ),
+    }
 }
 
 /// Balanced static partition: split `n` items into at most `threads`
@@ -545,6 +562,24 @@ mod tests {
         {
             assert_eq!(n, k);
         }
+    }
+
+    #[test]
+    fn thread_override_parses_strictly() {
+        assert_eq!(crate::parse_threads("4"), 4);
+        assert_eq!(crate::parse_threads(" 16 "), 16, "whitespace trimmed");
+    }
+
+    #[test]
+    #[should_panic(expected = "QMC_THREADS must be a positive thread count, got 0")]
+    fn zero_thread_override_panics() {
+        crate::parse_threads("0");
+    }
+
+    #[test]
+    #[should_panic(expected = "QMC_THREADS must be a positive integer")]
+    fn non_numeric_thread_override_panics() {
+        crate::parse_threads("four");
     }
 
     #[test]

@@ -1,0 +1,319 @@
+//! Coalescing-service conformance suite (ISSUE 6 tentpole): results
+//! that arrive through [`bspline::service::SpoService`] must be
+//! **bit-identical** to a single direct `eval_batch` call over the same
+//! positions — coalescing splices whole position blocks and fusing
+//! never splits a per-orbital accumulation chain, so exact equality
+//! holds on *every* backend, not just the fused ones.
+//!
+//! Covered here (the unit tests in `bspline::service` cover the
+//! single-service mechanics; this file stresses the cross-thread
+//! contract):
+//!
+//! 1. many submitters × small submissions ≡ one big direct batch,
+//!    bit-for-bit, across kernels × precisions (`f32` / `f64`);
+//! 2. a mixed V/VGL/VGH submission stream — the coalescer may only
+//!    fuse like-kinded requests, and every caller gets its own blocks
+//!    back;
+//! 3. a tiny `queue_positions` bound: backpressure throttles but never
+//!    deadlocks, and an oversized request is still admitted when the
+//!    service drains idle;
+//! 4. `PosBlock::chunks` edge cases (the splitter submitters use to
+//!    shard a walker's positions): empty block, ragged tail, chunk
+//!    size ≥ length, and the positive-size contract;
+//! 5. a proptest partition property: any chunking of any position
+//!    block, pipelined through the service, reassembles to the direct
+//!    batch.
+
+use bspline::service::{ServiceConfig, SpoService};
+use bspline::{BsplineSoA, Kernel, PosBlock, SpoEngine, WalkerSoA};
+use einspline::{Grid1, MultiCoefs, Real};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+fn random_table<T: Real>(n: usize, seed: u64) -> MultiCoefs<T> {
+    let g = Grid1::periodic(0.0, 1.0, 5);
+    let mut table = MultiCoefs::<T>::new(g, g, g, n);
+    table.fill_random(&mut StdRng::seed_from_u64(seed));
+    table
+}
+
+fn random_block<T: Real>(ns: usize, seed: u64) -> PosBlock<T> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..ns)
+        .map(|_| {
+            [
+                T::from_f64(rng.random::<f64>()),
+                T::from_f64(rng.random::<f64>()),
+                T::from_f64(rng.random::<f64>()),
+            ]
+        })
+        .collect()
+}
+
+/// Assert the kernel-relevant fields of two walker blocks are
+/// bit-identical (exact `==`, no tolerance).
+fn assert_blocks_bitmatch<T: Real>(
+    kernel: Kernel,
+    n: usize,
+    got: &WalkerSoA<T>,
+    want: &WalkerSoA<T>,
+    ctx: &str,
+) {
+    for k in 0..n {
+        assert_eq!(got.value(k), want.value(k), "{ctx} v[{k}]");
+        match kernel {
+            Kernel::V => {}
+            Kernel::Vgl => {
+                assert_eq!(got.gradient(k), want.gradient(k), "{ctx} g[{k}]");
+                assert_eq!(got.laplacian(k), want.laplacian(k), "{ctx} l[{k}]");
+            }
+            Kernel::Vgh => {
+                assert_eq!(got.gradient(k), want.gradient(k), "{ctx} g[{k}]");
+                assert_eq!(got.hessian(k), want.hessian(k), "{ctx} h[{k}]");
+            }
+        }
+    }
+}
+
+/// The direct reference: one `eval_batch` over the whole block.
+fn direct_batch<T: Real>(
+    engine: &BsplineSoA<T>,
+    kernel: Kernel,
+    pos: &PosBlock<T>,
+) -> bspline::BatchOut<WalkerSoA<T>> {
+    let mut out = engine.make_batch_out(pos.len());
+    engine.eval_batch(kernel, pos, &mut out);
+    out
+}
+
+/// Shard `pos` into `chunk`-sized requests, fire them at `service`
+/// from `submitters` concurrent threads, and assert every returned
+/// block bit-matches the direct big-batch reference at its global
+/// position index.
+fn stress_service<T: Real>(
+    service: &SpoService<T, BsplineSoA<T>>,
+    kernel: Kernel,
+    pos: &PosBlock<T>,
+    chunk: usize,
+    submitters: usize,
+) {
+    let n = service.engine().n_splines();
+    let reference = direct_batch(service.engine(), kernel, pos);
+    let chunks: Vec<PosBlock<T>> = pos.chunks(chunk).collect();
+    std::thread::scope(|s| {
+        for w in 0..submitters {
+            let my_chunks: Vec<(usize, PosBlock<T>)> = chunks
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % submitters == w)
+                .map(|(i, c)| (i, c.clone()))
+                .collect();
+            let reference = &reference;
+            s.spawn(move || {
+                for (i, sub) in my_chunks {
+                    let len = sub.len();
+                    let out = service.engine().make_batch_out(len);
+                    let (_, out) = service.submit(kernel, sub, out).wait();
+                    for j in 0..len {
+                        assert_blocks_bitmatch(
+                            kernel,
+                            n,
+                            out.block(j),
+                            reference.block(i * chunk + j),
+                            &format!("{kernel} chunk={i} pos={j}"),
+                        );
+                    }
+                }
+            });
+        }
+    });
+}
+
+fn small_service<T: Real>(
+    table: MultiCoefs<T>,
+    queue_positions: usize,
+) -> SpoService<T, BsplineSoA<T>> {
+    SpoService::new(
+        BsplineSoA::new(table),
+        ServiceConfig {
+            replicas: 2,
+            max_batch: 32,
+            max_wait: Duration::from_micros(200),
+            queue_positions,
+        },
+    )
+}
+
+#[test]
+fn many_small_submissions_equal_one_big_batch_f32() {
+    let n = 24;
+    let service = small_service(random_table::<f32>(n, 0xf32), 4096);
+    let pos = random_block::<f32>(96, 0xf32 ^ 0xabcd);
+    for kernel in Kernel::ALL {
+        stress_service(&service, kernel, &pos, 4, 6);
+    }
+    // Every position went through the service exactly once per kernel.
+    let stats = service.stats();
+    assert_eq!(stats.positions, 3 * 96);
+    assert_eq!(stats.requests, 3 * 24);
+}
+
+#[test]
+fn many_small_submissions_equal_one_big_batch_f64() {
+    let n = 17;
+    let service = small_service(random_table::<f64>(n, 0xf64), 4096);
+    let pos = random_block::<f64>(60, 0xf64 ^ 0xabcd);
+    for kernel in Kernel::ALL {
+        stress_service(&service, kernel, &pos, 5, 4);
+    }
+}
+
+#[test]
+fn mixed_kernel_stream_returns_each_callers_own_results() {
+    let n = 12;
+    let service = small_service(random_table::<f32>(n, 0x717), 4096);
+    let pos = random_block::<f32>(72, 0x717 ^ 0xabcd);
+    let references: Vec<_> = Kernel::ALL
+        .into_iter()
+        .map(|k| direct_batch(service.engine(), k, &pos))
+        .collect();
+    let chunks: Vec<PosBlock<f32>> = pos.chunks(3).collect();
+    // Three submitters, each cycling through the kernels out of phase
+    // with the others, so the queue always holds a kernel mix and the
+    // coalescer must match like kinds from anywhere in it.
+    std::thread::scope(|s| {
+        for w in 0..3usize {
+            let chunks = &chunks;
+            let references = &references;
+            let service = &service;
+            s.spawn(move || {
+                for (i, sub) in chunks.iter().enumerate() {
+                    let ki = (i + w) % Kernel::ALL.len();
+                    let kernel = Kernel::ALL[ki];
+                    let out = service.engine().make_batch_out(sub.len());
+                    let (_, out) = service.submit(kernel, sub.clone(), out).wait();
+                    for j in 0..sub.len() {
+                        assert_blocks_bitmatch(
+                            kernel,
+                            n,
+                            out.block(j),
+                            references[ki].block(i * 3 + j),
+                            &format!("submitter={w} {kernel} chunk={i} pos={j}"),
+                        );
+                    }
+                }
+            });
+        }
+    });
+}
+
+#[test]
+fn tiny_queue_bound_throttles_without_deadlock() {
+    let n = 9;
+    // Queue bound of 4 positions against 4-position requests from 4
+    // threads: at most one request is ever admitted at a time, every
+    // other submitter blocks in `submit` — progress proves the worker
+    // wakes blocked submitters as it drains.
+    let service = small_service(random_table::<f32>(n, 0x404), 4);
+    let pos = random_block::<f32>(64, 0x404 ^ 0xabcd);
+    stress_service(&service, Kernel::Vgh, &pos, 4, 4);
+    // An oversized request (8 positions > bound 4) is still admitted
+    // once the service drains idle, instead of blocking forever.
+    let big = random_block::<f32>(8, 0x404 ^ 0x1111);
+    let reference = direct_batch(service.engine(), Kernel::Vgl, &big);
+    let out = service.engine().make_batch_out(big.len());
+    let (_, out) = service.submit(Kernel::Vgl, big, out).wait();
+    for j in 0..8 {
+        assert_blocks_bitmatch(
+            Kernel::Vgl,
+            n,
+            out.block(j),
+            reference.block(j),
+            &format!("oversized pos={j}"),
+        );
+    }
+}
+
+#[test]
+fn chunks_of_empty_block_yield_nothing() {
+    let empty = PosBlock::<f32>::new();
+    assert_eq!(empty.chunks(4).count(), 0);
+}
+
+#[test]
+fn chunks_cover_ragged_tail_exactly_once() {
+    let pos = random_block::<f64>(10, 3);
+    let chunks: Vec<_> = pos.chunks(4).collect();
+    assert_eq!(
+        chunks.iter().map(PosBlock::len).collect::<Vec<_>>(),
+        vec![4, 4, 2]
+    );
+    let mut rebuilt = PosBlock::new();
+    for c in &chunks {
+        rebuilt.extend_from_block(c);
+    }
+    assert_eq!(rebuilt.streams(), pos.streams());
+}
+
+#[test]
+fn chunk_size_at_or_above_len_is_one_whole_chunk() {
+    let pos = random_block::<f32>(5, 9);
+    for size in [5usize, 6, 100] {
+        let chunks: Vec<_> = pos.chunks(size).collect();
+        assert_eq!(chunks.len(), 1, "size={size}");
+        assert_eq!(chunks[0].streams(), pos.streams(), "size={size}");
+    }
+}
+
+#[test]
+#[should_panic(expected = "chunk size must be positive")]
+fn zero_chunk_size_panics() {
+    let pos = random_block::<f32>(3, 1);
+    let _ = pos.chunks(0).count();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Partition property: any chunking of any position block,
+    /// submitted through the service (pipelined: all tickets issued
+    /// before any is reaped), reassembles bit-for-bit into the direct
+    /// big-batch result.
+    #[test]
+    fn any_partition_reassembles_to_the_direct_batch(
+        n in 1usize..20,
+        ns in 0usize..40,
+        chunk in 1usize..12,
+        seed in 0u64..1000,
+    ) {
+        let service = small_service(random_table::<f32>(n, seed), 4096);
+        let pos = random_block::<f32>(ns, seed ^ 0x5eed);
+        for kernel in Kernel::ALL {
+            let reference = direct_batch(service.engine(), kernel, &pos);
+            let tickets: Vec<_> = pos
+                .chunks(chunk)
+                .map(|sub| {
+                    let out = service.engine().make_batch_out(sub.len());
+                    service.submit(kernel, sub, out)
+                })
+                .collect();
+            let mut at = 0usize;
+            for (i, t) in tickets.into_iter().enumerate() {
+                let (sub, out) = t.wait();
+                for j in 0..sub.len() {
+                    assert_blocks_bitmatch(
+                        kernel,
+                        n,
+                        out.block(j),
+                        reference.block(at + j),
+                        &format!("{kernel} chunk={i} pos={j}"),
+                    );
+                }
+                at += sub.len();
+            }
+            prop_assert_eq!(at, pos.len());
+        }
+    }
+}
