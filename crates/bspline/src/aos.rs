@@ -20,6 +20,36 @@ pub struct BsplineAoS<T: Real> {
     coefs: MultiCoefs<T>,
 }
 
+/// Reusable VGL workspace for [`BsplineAoS`]: hoists the baseline's
+/// per-call temporary `Vec` out of the hot path. Allocate once per
+/// walker (or thread) and pass to [`BsplineAoS::vgl_with`]; the buffer
+/// grows on first use and is reused allocation-free afterwards. The
+/// scalar [`BsplineAoS::vgl`] deliberately keeps the per-call
+/// allocation (it *is* the measured baseline deficiency); every other
+/// path — batched, one-move, and callers holding this handle — avoids
+/// it.
+#[derive(Clone, Debug, Default)]
+pub struct AosScratch<T: Real> {
+    tmp: Vec<T>,
+}
+
+impl<T: Real> AosScratch<T> {
+    /// Empty handle; the workspace is grown on first use.
+    pub fn new() -> Self {
+        Self { tmp: Vec::new() }
+    }
+
+    /// Workspace of at least `n` elements (contents are overwritten by
+    /// the kernel before use, so no zeroing is needed).
+    #[inline]
+    fn for_n(&mut self, n: usize) -> &mut [T] {
+        if self.tmp.len() < n {
+            self.tmp.resize(n, T::ZERO);
+        }
+        &mut self.tmp[..n]
+    }
+}
+
 impl<T: Real> BsplineAoS<T> {
     /// Create a new instance.
     pub fn new(coefs: MultiCoefs<T>) -> Self {
@@ -44,7 +74,7 @@ impl<T: Real> BsplineAoS<T> {
         self.v_located(&loc, out);
     }
 
-    fn v_located(&self, loc: &Located<T>, out: &mut WalkerAoS<T>) {
+    pub(crate) fn v_located(&self, loc: &Located<T>, out: &mut WalkerAoS<T>) {
         let (a, b, c) = (&loc.wa.a, &loc.wb.a, &loc.wc.a);
         out.zero_v();
         let n = self.n_splines();
@@ -72,12 +102,20 @@ impl<T: Real> BsplineAoS<T> {
     pub fn vgl(&self, pos: [T; 3], out: &mut WalkerAoS<T>) {
         let loc = Located::new(&self.coefs, pos);
         // Baseline wart kept on purpose: fresh workspace every call. The
-        // batched path hoists this allocation across the block.
+        // batched path, the one-move path and [`Self::vgl_with`] all
+        // hoist this allocation behind a reusable handle.
         let mut tmp = vec![T::ZERO; self.n_splines()];
         self.vgl_located(&loc, &mut tmp, out);
     }
 
-    fn vgl_located(&self, loc: &Located<T>, tmp: &mut [T], out: &mut WalkerAoS<T>) {
+    /// [`Self::vgl`] through a caller-owned [`AosScratch`]: identical
+    /// results, no per-call allocation.
+    pub fn vgl_with(&self, scratch: &mut AosScratch<T>, pos: [T; 3], out: &mut WalkerAoS<T>) {
+        let loc = Located::new(&self.coefs, pos);
+        self.vgl_located(&loc, scratch.for_n(self.n_splines()), out);
+    }
+
+    pub(crate) fn vgl_located(&self, loc: &Located<T>, tmp: &mut [T], out: &mut WalkerAoS<T>) {
         let (wa, wb, wc) = (&loc.wa, &loc.wb, &loc.wc);
         out.zero_vgl();
         let n = self.n_splines();
@@ -122,7 +160,7 @@ impl<T: Real> BsplineAoS<T> {
         self.vgh_located(&loc, out);
     }
 
-    fn vgh_located(&self, loc: &Located<T>, out: &mut WalkerAoS<T>) {
+    pub(crate) fn vgh_located(&self, loc: &Located<T>, out: &mut WalkerAoS<T>) {
         let (wa, wb, wc) = (&loc.wa, &loc.wb, &loc.wc);
         out.zero_vgh();
         let n = self.n_splines();
@@ -288,6 +326,23 @@ mod tests {
             assert_eq!(h[1], h[3]);
             assert_eq!(h[2], h[6]);
             assert_eq!(h[5], h[7]);
+        }
+    }
+
+    #[test]
+    fn vgl_with_scratch_matches_allocating_vgl() {
+        let (engine, _) = test_engine(4);
+        let mut scratch = AosScratch::new();
+        let mut a = WalkerAoS::new(4);
+        let mut b = WalkerAoS::new(4);
+        for pos in [[0.1f64, 0.2, 0.3], [0.9, 0.5, 0.7], [0.4, 0.4, 0.4]] {
+            engine.vgl(pos, &mut a);
+            engine.vgl_with(&mut scratch, pos, &mut b);
+            for n in 0..4 {
+                assert_eq!(a.value(n), b.value(n));
+                assert_eq!(a.gradient(n), b.gradient(n));
+                assert_eq!(a.laplacian(n), b.laplacian(n));
+            }
         }
     }
 

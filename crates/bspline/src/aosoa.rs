@@ -141,6 +141,26 @@ impl<T: Real> BsplineAoSoA<T> {
         Located::block(self.tiles[0].coefs(), pos)
     }
 
+    /// All tiles over one pre-located position — the one-move body: the
+    /// locate/weights hoist is shared by every tile (the scalar paths
+    /// recompute it per tile on the same floats, so results are
+    /// bit-identical), and each tile's coefficient runs are prefetched
+    /// while the previous tile computes.
+    #[inline]
+    pub(crate) fn eval_one_located(
+        &self,
+        kernel: Kernel,
+        loc: &Located<T>,
+        out: &mut WalkerTiled<T>,
+    ) {
+        for t in 0..self.tiles.len() {
+            if let Some(next) = self.tiles.get(t + 1) {
+                crate::simd::prefetch_tile(next.coefs(), loc);
+            }
+            self.eval_tile_located(t, kernel, loc, out.tile_mut(t));
+        }
+    }
+
     /// Evaluate a batch of positions **tile-major** (paper Fig. 6: the
     /// tile loop outside the position loop), which is the actual
     /// cache-blocking: one tile's coefficient block stays hot across all

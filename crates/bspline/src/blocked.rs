@@ -60,6 +60,7 @@
 use crate::batch::{check_batch, BatchOut, Located, PosBlock};
 use crate::engine::SpoEngine;
 use crate::layout::{Kernel, Layout};
+use crate::onemove::MoveContext;
 use crate::output::{SoAStreamsMut, WalkerSoA};
 use crate::soa::BsplineSoA;
 use einspline::multi::{BlockedCoefs, MultiCoefs};
@@ -414,6 +415,36 @@ impl<E: BlockEngine> SpoEngine<E::Scalar> for BlockedEngine<E> {
 
     fn vgh_batch(&self, pos: &PosBlock<E::Scalar>, out: &mut BatchOut<WalkerSoA<E::Scalar>>) {
         self.eval_batch_blocked(Kernel::Vgh, pos, out);
+    }
+
+    fn v_one(
+        &self,
+        ctx: &mut MoveContext<E::Scalar>,
+        pos: [E::Scalar; 3],
+        out: &mut WalkerSoA<E::Scalar>,
+    ) {
+        let loc = ctx.located(self.blocks[0].block_coefs(), pos);
+        self.eval_located_all(Kernel::V, &loc, out);
+    }
+
+    fn vgl_one(
+        &self,
+        ctx: &mut MoveContext<E::Scalar>,
+        pos: [E::Scalar; 3],
+        out: &mut WalkerSoA<E::Scalar>,
+    ) {
+        let loc = ctx.located(self.blocks[0].block_coefs(), pos);
+        self.eval_located_all(Kernel::Vgl, &loc, out);
+    }
+
+    fn vgh_one(
+        &self,
+        ctx: &mut MoveContext<E::Scalar>,
+        pos: [E::Scalar; 3],
+        out: &mut WalkerSoA<E::Scalar>,
+    ) {
+        let loc = ctx.located(self.blocks[0].block_coefs(), pos);
+        self.eval_located_all(Kernel::Vgh, &loc, out);
     }
 }
 

@@ -12,6 +12,7 @@ use crate::aos::BsplineAoS;
 use crate::aosoa::BsplineAoSoA;
 use crate::batch::{check_batch, BatchOut, PosBlock};
 use crate::layout::{Kernel, Layout};
+use crate::onemove::MoveContext;
 use crate::output::{WalkerAoS, WalkerSoA, WalkerTiled};
 use einspline::Real;
 
@@ -96,6 +97,46 @@ pub trait SpoEngine<T: Real>: Send + Sync {
             Kernel::Vgh => self.vgh_batch(pos, out),
         }
     }
+
+    /// Values only for one proposed move (the determinant-ratio side of
+    /// the single-electron protocol). The grid locate + basis weights
+    /// are cached in `ctx` keyed by `pos`, so the accept-side
+    /// [`Self::vgl_one`]/[`Self::vgh_one`] on the *same* position reuses
+    /// them without recomputation. Results are bit-identical to
+    /// [`Self::v`] on every backend, cache hit or miss.
+    ///
+    /// The default ignores `ctx` and falls back to the scalar path;
+    /// engines with a pre-located kernel body override it.
+    fn v_one(&self, ctx: &mut MoveContext<T>, pos: [T; 3], out: &mut Self::Out) {
+        let _ = ctx;
+        self.v(pos, out);
+    }
+
+    /// Value + gradient + Laplacian for one move, reusing the
+    /// locate/weights cached by a prior [`Self::v_one`] at the same
+    /// position (see [`Self::v_one`]; bit-identical to [`Self::vgl`]).
+    fn vgl_one(&self, ctx: &mut MoveContext<T>, pos: [T; 3], out: &mut Self::Out) {
+        let _ = ctx;
+        self.vgl(pos, out);
+    }
+
+    /// Value + gradient + Hessian for one move, reusing the
+    /// locate/weights cached by a prior [`Self::v_one`] at the same
+    /// position (see [`Self::v_one`]; bit-identical to [`Self::vgh`]).
+    fn vgh_one(&self, ctx: &mut MoveContext<T>, pos: [T; 3], out: &mut Self::Out) {
+        let _ = ctx;
+        self.vgh(pos, out);
+    }
+
+    /// Dispatch one move by kernel tag (see [`Self::v_one`]).
+    #[inline]
+    fn eval_one(&self, kernel: Kernel, ctx: &mut MoveContext<T>, pos: [T; 3], out: &mut Self::Out) {
+        match kernel {
+            Kernel::V => self.v_one(ctx, pos, out),
+            Kernel::Vgl => self.vgl_one(ctx, pos, out),
+            Kernel::Vgh => self.vgh_one(ctx, pos, out),
+        }
+    }
 }
 
 fn grids_domain<T: Real>(coefs: &einspline::MultiCoefs<T>) -> [(f64, f64); 3] {
@@ -149,6 +190,26 @@ impl<T: Real> SpoEngine<T> for BsplineAoS<T> {
     fn vgh_batch(&self, pos: &PosBlock<T>, out: &mut BatchOut<WalkerAoS<T>>) {
         BsplineAoS::vgh_batch(self, pos, out)
     }
+
+    fn v_one(&self, ctx: &mut MoveContext<T>, pos: [T; 3], out: &mut WalkerAoS<T>) {
+        let loc = ctx.located(self.coefs(), pos);
+        self.v_located(&loc, out);
+    }
+
+    /// Unlike the scalar [`BsplineAoS::vgl`] (which keeps the baseline's
+    /// per-call workspace allocation on purpose), the one-move path runs
+    /// through the context's reusable scratch — allocation-free in
+    /// steady state.
+    fn vgl_one(&self, ctx: &mut MoveContext<T>, pos: [T; 3], out: &mut WalkerAoS<T>) {
+        let loc = ctx.located(self.coefs(), pos);
+        let n = BsplineAoS::n_splines(self);
+        self.vgl_located(&loc, ctx.scratch(n), out);
+    }
+
+    fn vgh_one(&self, ctx: &mut MoveContext<T>, pos: [T; 3], out: &mut WalkerAoS<T>) {
+        let loc = ctx.located(self.coefs(), pos);
+        self.vgh_located(&loc, out);
+    }
 }
 
 impl<T: Real> SpoEngine<T> for crate::soa::BsplineSoA<T> {
@@ -193,6 +254,21 @@ impl<T: Real> SpoEngine<T> for crate::soa::BsplineSoA<T> {
     fn vgh_batch(&self, pos: &PosBlock<T>, out: &mut BatchOut<WalkerSoA<T>>) {
         crate::soa::BsplineSoA::vgh_batch(self, pos, out)
     }
+
+    fn v_one(&self, ctx: &mut MoveContext<T>, pos: [T; 3], out: &mut WalkerSoA<T>) {
+        let loc = ctx.located(self.coefs(), pos);
+        self.eval_one_located(Kernel::V, &loc, out);
+    }
+
+    fn vgl_one(&self, ctx: &mut MoveContext<T>, pos: [T; 3], out: &mut WalkerSoA<T>) {
+        let loc = ctx.located(self.coefs(), pos);
+        self.eval_one_located(Kernel::Vgl, &loc, out);
+    }
+
+    fn vgh_one(&self, ctx: &mut MoveContext<T>, pos: [T; 3], out: &mut WalkerSoA<T>) {
+        let loc = ctx.located(self.coefs(), pos);
+        self.eval_one_located(Kernel::Vgh, &loc, out);
+    }
 }
 
 impl<T: Real> SpoEngine<T> for BsplineAoSoA<T> {
@@ -236,6 +312,21 @@ impl<T: Real> SpoEngine<T> for BsplineAoSoA<T> {
 
     fn vgh_batch(&self, pos: &PosBlock<T>, out: &mut BatchOut<WalkerTiled<T>>) {
         BsplineAoSoA::vgh_batch(self, pos, out)
+    }
+
+    fn v_one(&self, ctx: &mut MoveContext<T>, pos: [T; 3], out: &mut WalkerTiled<T>) {
+        let loc = ctx.located(self.tiles()[0].coefs(), pos);
+        self.eval_one_located(Kernel::V, &loc, out);
+    }
+
+    fn vgl_one(&self, ctx: &mut MoveContext<T>, pos: [T; 3], out: &mut WalkerTiled<T>) {
+        let loc = ctx.located(self.tiles()[0].coefs(), pos);
+        self.eval_one_located(Kernel::Vgl, &loc, out);
+    }
+
+    fn vgh_one(&self, ctx: &mut MoveContext<T>, pos: [T; 3], out: &mut WalkerTiled<T>) {
+        let loc = ctx.located(self.tiles()[0].coefs(), pos);
+        self.eval_one_located(Kernel::Vgh, &loc, out);
     }
 }
 

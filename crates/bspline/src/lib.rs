@@ -154,6 +154,75 @@
 //!   [`engine::SpoEngine`] over a shared service, so trait-generic
 //!   drivers (miniqmc's `SpoSet`) run service-backed unchanged.
 //!
+//! # Per-move evaluation
+//!
+//! Real VMC/DMC traffic is dominated by **single-electron** moves, and
+//! the batched API pessimizes that batch-of-1 shape: every scalar call
+//! re-runs the grid locate and rebuilds the basis weights, and the same
+//! position is evaluated twice per accepted move (V for the ratio test,
+//! then VGL/VGH for drift). The one-move path ([`onemove`]) makes the
+//! propose→accept pair first-class:
+//!
+//! ```text
+//!   propose r'  ──►  v_one(ctx, r')        locate + weights computed,
+//!                    │                     cached in ctx keyed by r'
+//!                    ▼
+//!               ratio = det ratio from V
+//!                    │
+//!        ┌───────────┴───────────┐
+//!     accept                   reject
+//!        │                        │
+//!        ▼                        ▼
+//!   vgl_one(ctx, r')         (nothing: the stale cache entry is
+//!    │  cache HIT — locate    simply overwritten by the next
+//!    │  + weights reused,     proposal's v_one)
+//!    │  kernel only
+//!    ▼
+//!   rank-1 determinant update, drift from G
+//! ```
+//!
+//! * **What is cached where.** A [`onemove::MoveContext`] lives with
+//!   the *walker* (one per walker × engine): the hoisted
+//!   [`batch::Located`] for the last proposed position (keyed by the
+//!   exact floats), reusable scratch for the AoS VGL workspace, and a
+//!   lazily built `f32` sub-context for [`precision::MixedEngine`]
+//!   (positions narrow once per move). Nothing allocates on the hot
+//!   path in steady state.
+//! * **Two protocols, picked by table residency.** For cache-resident
+//!   tables the split protocol above is right: the propose-side V is
+//!   cheap and the accept-side VGL rides warm lines. For
+//!   streaming-sized tables (paper-scale: N = 512 at a 32³ grid is a
+//!   ~67 MB table, ~128 KB touched per evaluation) every pass is
+//!   DRAM-bound, so the accept-side pass re-streams what propose just
+//!   read; there the **fused** variant wins — `vgl_one` on propose
+//!   computes V for the ratio *and* G/L for the drift in one streaming
+//!   pass (the extra arithmetic hides under the line traffic), and the
+//!   accept side reads the context-cached output streams with no
+//!   further kernel call, making the pair's cost one cold pass
+//!   regardless of acceptance rate (measured ~1.6× the scalar
+//!   `v`+`vgl` sequence; `qmc-bench`'s `onemove_vgl_…` rows).
+//! * **Engine coverage.** [`engine::SpoEngine::v_one`] /
+//!   [`engine::SpoEngine::vgl_one`] / [`engine::SpoEngine::vgh_one`]
+//!   have native overrides in all layout engines ([`soa::BsplineSoA`]
+//!   through a dedicated single-position kernel whose streaming-V walk
+//!   software-prefetches the next orbital chunk's 64 line segments —
+//!   a batch-of-1 eval has no neighbor position to overlap with and
+//!   its 64 concurrent z-line streams defeat the hardware prefetcher,
+//!   [`aos::BsplineAoS`], [`aosoa::BsplineAoSoA`] with one-tile-ahead
+//!   prefetch), [`blocked::BlockedEngine`] (per-block scatter through
+//!   [`output::SoAStreamsMut`] with next-block prefetch),
+//!   [`precision::MixedEngine`] (narrow-in / widen-out per move) and
+//!   [`service::ServiceClient`] (single-position submissions ride the
+//!   coalescer). Engines without an override fall back to the scalar
+//!   path — the default is always correct, just slower.
+//! * **Bit-identity.** The context only caches what the scalar paths
+//!   recompute identically ([`batch::Located::new`] on the same
+//!   floats), so one-move results are bit-identical to `v`/`vgl`/`vgh`
+//!   on every backend, cache hit or miss — property-tested in
+//!   `tests/integration_onemove.rs` across layouts × backends ×
+//!   precisions, including accept/reject sequences and grid-cell
+//!   boundary positions.
+//!
 //! # Precision model
 //!
 //! The crate supports three precision configurations, mirroring
@@ -219,6 +288,7 @@ pub mod batch;
 pub mod blocked;
 pub mod engine;
 pub mod layout;
+pub mod onemove;
 pub mod output;
 pub mod parallel;
 pub mod precision;
@@ -238,6 +308,7 @@ pub mod prelude {
     pub use crate::blocked::{BlockEngine, BlockedEngine};
     pub use crate::engine::SpoEngine;
     pub use crate::layout::{Kernel, Layout, OptStep};
+    pub use crate::onemove::MoveContext;
     pub use crate::output::{WalkerAoS, WalkerSoA, WalkerTiled};
     pub use crate::parallel::{
         run_nested, run_nested_blocked, run_nested_blocked_dynamic, run_nested_dynamic,
@@ -264,6 +335,7 @@ pub use batch::{BatchOut, PosBlock};
 pub use blocked::BlockedEngine;
 pub use engine::SpoEngine;
 pub use layout::{Kernel, Layout, OptStep};
+pub use onemove::MoveContext;
 pub use output::{SoAStreamsMut, WalkerAoS, WalkerSoA, WalkerTiled};
 pub use replica::{EngineCell, EngineRef, Replica};
 pub use service::{ServiceClient, ServiceConfig, SpoService, Ticket};

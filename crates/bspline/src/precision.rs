@@ -392,6 +392,22 @@ where
         out.narrow.widen_into(kernel, &mut out.wide);
     }
 
+    /// One-move body: narrow the position once per move, run the inner
+    /// engine's fast path with the `f32` sub-context (so the inner
+    /// locate/weights are cached across the propose→accept pair), widen
+    /// at the boundary.
+    fn eval_one_mixed(
+        &self,
+        kernel: Kernel,
+        ctx: &mut crate::onemove::MoveContext<f64>,
+        pos: [f64; 3],
+        out: &mut MixedOut<O>,
+    ) {
+        self.inner
+            .eval_one(kernel, ctx.narrow(), narrow_pos(pos), &mut out.narrow);
+        out.narrow.widen_into(kernel, &mut out.wide);
+    }
+
     fn eval_batched(
         &self,
         kernel: Kernel,
@@ -466,6 +482,33 @@ where
 
     fn vgh_batch(&self, pos: &PosBlock<f64>, out: &mut BatchOut<MixedOut<O>>) {
         self.eval_batched(Kernel::Vgh, pos, out);
+    }
+
+    fn v_one(
+        &self,
+        ctx: &mut crate::onemove::MoveContext<f64>,
+        pos: [f64; 3],
+        out: &mut MixedOut<O>,
+    ) {
+        self.eval_one_mixed(Kernel::V, ctx, pos, out);
+    }
+
+    fn vgl_one(
+        &self,
+        ctx: &mut crate::onemove::MoveContext<f64>,
+        pos: [f64; 3],
+        out: &mut MixedOut<O>,
+    ) {
+        self.eval_one_mixed(Kernel::Vgl, ctx, pos, out);
+    }
+
+    fn vgh_one(
+        &self,
+        ctx: &mut crate::onemove::MoveContext<f64>,
+        pos: [f64; 3],
+        out: &mut MixedOut<O>,
+    ) {
+        self.eval_one_mixed(Kernel::Vgh, ctx, pos, out);
     }
 }
 

@@ -44,6 +44,7 @@
 use crate::batch::{check_batch, BatchOut, PosBlock};
 use crate::engine::SpoEngine;
 use crate::layout::Kernel;
+use crate::onemove::MoveContext;
 use crate::replica::{EngineCell, EngineRef, Replica};
 use einspline::Real;
 use std::collections::VecDeque;
@@ -624,6 +625,25 @@ where
 
     fn vgh_batch(&self, pos: &PosBlock<T>, out: &mut BatchOut<E::Out>) {
         self.submit_batch(Kernel::Vgh, pos, out);
+    }
+
+    // Single-position submissions ride the existing coalescer: a
+    // per-move call is one kernel-tagged block of one position, fused
+    // with whatever same-kernel traffic the replicas see in the same
+    // max-wait window. The context's locate cache is server-side state
+    // the client cannot use, so it is deliberately ignored — what the
+    // one-move protocol buys here is the V-before-VGL kernel split, not
+    // the weight reuse.
+    fn v_one(&self, _ctx: &mut MoveContext<T>, pos: [T; 3], out: &mut E::Out) {
+        self.submit_one(Kernel::V, pos, out);
+    }
+
+    fn vgl_one(&self, _ctx: &mut MoveContext<T>, pos: [T; 3], out: &mut E::Out) {
+        self.submit_one(Kernel::Vgl, pos, out);
+    }
+
+    fn vgh_one(&self, _ctx: &mut MoveContext<T>, pos: [T; 3], out: &mut E::Out) {
+        self.submit_one(Kernel::Vgh, pos, out);
     }
 }
 

@@ -6,6 +6,7 @@
 use super::kernels;
 use super::lanes::{ScalarLanes, SimdReal};
 use crate::batch::Located;
+use crate::layout::Kernel;
 use crate::output::SoAStreamsMut;
 use einspline::multi::MultiCoefs;
 use einspline::Real;
@@ -172,6 +173,9 @@ pub fn with_backend<R>(backend: Backend, f: impl FnOnce() -> R) -> R {
 /// carries the orbital range (whole padded streams for the monolithic
 /// engines, one block's sub-range for [`crate::blocked`]).
 type SoaEvalFn<T> = for<'a> fn(&MultiCoefs<T>, &Located<T>, SoAStreamsMut<'a, T>);
+/// Signature of the dispatched single-position (one-move) kernel: one
+/// function covers V/VGL/VGH via the leading selector.
+type OneSoaFn<T> = for<'a> fn(Kernel, &MultiCoefs<T>, &Located<T>, SoAStreamsMut<'a, T>);
 /// Signature of the dispatched AoS V/L point accumulation.
 type VlPointFn<T> = fn(T, T, &[T], &mut [T], &mut [T], usize);
 
@@ -184,6 +188,7 @@ pub(crate) struct Fns<T: Real> {
     pub v_soa: SoaEvalFn<T>,
     pub vgl_soa: SoaEvalFn<T>,
     pub vgh_soa: SoaEvalFn<T>,
+    pub one_soa: OneSoaFn<T>,
     pub axpy: fn(T, &[T], &mut [T], usize),
     pub vl_point: VlPointFn<T>,
 }
@@ -195,6 +200,7 @@ macro_rules! scalar_fns {
             v_soa: kernels::v_soa::<$t, ScalarLanes<$t>>,
             vgl_soa: kernels::vgl_soa::<$t, ScalarLanes<$t>>,
             vgh_soa: kernels::vgh_soa::<$t, ScalarLanes<$t>>,
+            one_soa: kernels::one_soa::<$t, ScalarLanes<$t>>,
             axpy: kernels::axpy::<$t, ScalarLanes<$t>>,
             vl_point: kernels::vl_point::<$t, ScalarLanes<$t>>,
         }

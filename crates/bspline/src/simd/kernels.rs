@@ -12,6 +12,7 @@
 
 use super::lanes::SimdReal;
 use crate::batch::Located;
+use crate::layout::Kernel;
 use crate::output::SoAStreamsMut;
 use einspline::multi::MultiCoefs;
 use einspline::Real;
@@ -38,16 +39,32 @@ fn plane_lines<'a, T: Real>(
 pub(crate) fn v_soa<T: Real, L: SimdReal<T>>(
     coefs: &MultiCoefs<T>,
     loc: &Located<T>,
-    out: SoAStreamsMut<'_, T>,
+    mut out: SoAStreamsMut<'_, T>,
 ) {
     let m = out.len();
+    v_soa_range::<T, L>(coefs, loc, &mut out, 0, m);
+}
+
+/// The V kernel body over orbital sub-range `[from, to)` — both the
+/// per-orbital operation chain and the lane partition are identical to
+/// a full-range call, because every accumulator is lane-private: any
+/// split at a lane-multiple boundary is bit-identical to no split.
+#[inline(always)]
+fn v_soa_range<T: Real, L: SimdReal<T>>(
+    coefs: &MultiCoefs<T>,
+    loc: &Located<T>,
+    out: &mut SoAStreamsMut<'_, T>,
+    from: usize,
+    to: usize,
+) {
+    let m = to;
     debug_assert!(m <= coefs.stride_n());
     let (wa, wb, wc) = (&loc.wa, &loc.wb, &loc.wc);
-    let v = out.v;
+    let v = &mut *out.v;
     let c = wc.a;
     let cv = [L::splat(c[0]), L::splat(c[1]), L::splat(c[2]), L::splat(c[3])];
 
-    let mut base = 0;
+    let mut base = from;
     while base + L::LANES <= m {
         let mut acc = L::splat(T::ZERO);
         for i in 0..4 {
@@ -87,14 +104,34 @@ pub(crate) fn v_soa<T: Real, L: SimdReal<T>>(
 pub(crate) fn vgl_soa<T: Real, L: SimdReal<T>>(
     coefs: &MultiCoefs<T>,
     loc: &Located<T>,
-    out: SoAStreamsMut<'_, T>,
+    mut out: SoAStreamsMut<'_, T>,
 ) {
     let m = out.len();
+    vgl_soa_range::<T, L>(coefs, loc, &mut out, 0, m);
+}
+
+/// VGL kernel body over orbital sub-range `[from, to)` (bit-identical
+/// to the full-range call for any lane-multiple split — see
+/// [`v_soa_range`]).
+#[inline(always)]
+fn vgl_soa_range<T: Real, L: SimdReal<T>>(
+    coefs: &MultiCoefs<T>,
+    loc: &Located<T>,
+    out: &mut SoAStreamsMut<'_, T>,
+    from: usize,
+    to: usize,
+) {
+    let m = to;
     debug_assert!(m <= coefs.stride_n());
     let (wa, wb, wc) = (&loc.wa, &loc.wb, &loc.wc);
     let SoAStreamsMut {
-        v, gx, gy, gz, l, ..
-    } = out;
+        ref mut v,
+        ref mut gx,
+        ref mut gy,
+        ref mut gz,
+        ref mut l,
+        ..
+    } = *out;
     let (c, dc, d2c) = (wc.a, wc.da, wc.d2a);
     let cv = [L::splat(c[0]), L::splat(c[1]), L::splat(c[2]), L::splat(c[3])];
     let dcv = [L::splat(dc[0]), L::splat(dc[1]), L::splat(dc[2]), L::splat(dc[3])];
@@ -105,7 +142,7 @@ pub(crate) fn vgl_soa<T: Real, L: SimdReal<T>>(
         L::splat(d2c[3]),
     ];
 
-    let mut base = 0;
+    let mut base = from;
     while base + L::LANES <= m {
         let mut av = L::splat(T::ZERO);
         let mut agx = L::splat(T::ZERO);
@@ -181,24 +218,39 @@ pub(crate) fn vgl_soa<T: Real, L: SimdReal<T>>(
 pub(crate) fn vgh_soa<T: Real, L: SimdReal<T>>(
     coefs: &MultiCoefs<T>,
     loc: &Located<T>,
-    out: SoAStreamsMut<'_, T>,
+    mut out: SoAStreamsMut<'_, T>,
 ) {
     let m = out.len();
+    vgh_soa_range::<T, L>(coefs, loc, &mut out, 0, m);
+}
+
+/// VGH kernel body over orbital sub-range `[from, to)` (bit-identical
+/// to the full-range call for any lane-multiple split — see
+/// [`v_soa_range`]).
+#[inline(always)]
+fn vgh_soa_range<T: Real, L: SimdReal<T>>(
+    coefs: &MultiCoefs<T>,
+    loc: &Located<T>,
+    out: &mut SoAStreamsMut<'_, T>,
+    from: usize,
+    to: usize,
+) {
+    let m = to;
     debug_assert!(m <= coefs.stride_n());
     let (wa, wb, wc) = (&loc.wa, &loc.wb, &loc.wc);
     let SoAStreamsMut {
-        v,
-        gx,
-        gy,
-        gz,
-        hxx,
-        hxy,
-        hxz,
-        hyy,
-        hyz,
-        hzz,
+        ref mut v,
+        ref mut gx,
+        ref mut gy,
+        ref mut gz,
+        ref mut hxx,
+        ref mut hxy,
+        ref mut hxz,
+        ref mut hyy,
+        ref mut hyz,
+        ref mut hzz,
         ..
-    } = out;
+    } = *out;
     let (c, dc, d2c) = (wc.a, wc.da, wc.d2a);
     let cv = [L::splat(c[0]), L::splat(c[1]), L::splat(c[2]), L::splat(c[3])];
     let dcv = [L::splat(dc[0]), L::splat(dc[1]), L::splat(dc[2]), L::splat(dc[3])];
@@ -209,7 +261,7 @@ pub(crate) fn vgh_soa<T: Real, L: SimdReal<T>>(
         L::splat(d2c[3]),
     ];
 
-    let mut base = 0;
+    let mut base = from;
     while base + L::LANES <= m {
         let mut av = L::splat(T::ZERO);
         let mut agx = L::splat(T::ZERO);
@@ -310,6 +362,99 @@ pub(crate) fn vgh_soa<T: Real, L: SimdReal<T>>(
         hyy[idx] = ahyy;
         hyz[idx] = ahyz;
         hzz[idx] = ahzz;
+    }
+}
+
+/// Prefetch the byte span covering orbitals `[from, to)` of all 64
+/// coefficient z-lines of `loc`'s evaluation cell into L1
+/// (`_MM_HINT_T0`). Compiles to nothing outside x86-64 / without the
+/// `simd` feature.
+#[inline(always)]
+fn prefetch_span<T: Real>(coefs: &MultiCoefs<T>, loc: &Located<T>, from: usize, to: usize) {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    {
+        use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+        if from >= to {
+            return;
+        }
+        const CACHE_LINE: usize = 64;
+        let lo = from * std::mem::size_of::<T>();
+        let hi = to * std::mem::size_of::<T>();
+        for i in 0..4 {
+            for j in 0..4 {
+                for line in plane_lines(coefs, loc, i, j) {
+                    let base = line.as_ptr().cast::<i8>();
+                    let mut off = lo;
+                    while off < hi {
+                        // SAFETY: `off < hi ≤ line byte length`; prefetch
+                        // reads no data and has no architectural effects.
+                        unsafe { _mm_prefetch(base.add(off), _MM_HINT_T0) };
+                        off += CACHE_LINE;
+                    }
+                }
+            }
+        }
+    }
+    #[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+    {
+        let _ = (coefs, loc, from, to);
+    }
+}
+
+/// Orbitals per look-ahead block of [`one_soa`]: 64·4 B = one 256 B
+/// segment per z-line in f32 (512 B in f64) — small enough that the
+/// prefetched next block displaces little of L1, large enough that one
+/// block's compute covers the 64 outstanding DRAM round-trips. Always
+/// a multiple of every pack's lane count, so the chunked lane
+/// partition equals the monolithic one.
+const ONE_BLOCK: usize = 64;
+
+/// Coefficient tables at least this large are treated as streaming
+/// (not cache-resident) by [`one_soa`]: a batch-of-1 V evaluation of
+/// such a table stalls on DRAM and benefits from explicit look-ahead,
+/// while smaller tables stay hot in cache and the prefetch µops are
+/// pure overhead.
+const STREAMING_BYTES: usize = 8 << 20;
+
+/// Single-position ("one-move") kernel: the same per-orbital operation
+/// chains as [`v_soa`]/[`vgl_soa`]/[`vgh_soa`] — results are
+/// bit-identical (the per-orbital accumulators are lane-private, so
+/// any lane-aligned range partition reproduces the monolithic walk).
+///
+/// The V kernel on a streaming-sized table walks the orbital range in
+/// [`ONE_BLOCK`] chunks with the *next* chunk's 64 coefficient
+/// segments software-prefetched while the current chunk computes: a
+/// batch-of-1 evaluation has no neighbor position to overlap with and
+/// its 64 concurrent z-line streams exceed the hardware prefetcher's
+/// stream capacity, so without the look-ahead every chunk stalls on
+/// DRAM latency. VGL/VGH carry 3–6× the arithmetic per coefficient
+/// and already cover the same latency with compute — for them (and
+/// for cache-resident tables, where every prefetch is a hit) the
+/// look-ahead µops measurably *cost* time, so those cases run the
+/// plain full-range bodies.
+#[inline(always)]
+pub(crate) fn one_soa<T: Real, L: SimdReal<T>>(
+    kernel: Kernel,
+    coefs: &MultiCoefs<T>,
+    loc: &Located<T>,
+    mut out: SoAStreamsMut<'_, T>,
+) {
+    let m = out.len();
+    let streaming = coefs.bytes() >= STREAMING_BYTES;
+    match kernel {
+        Kernel::V if streaming => {
+            let mut cs = 0usize;
+            prefetch_span(coefs, loc, 0, ONE_BLOCK.min(m));
+            while cs < m {
+                let ce = (cs + ONE_BLOCK).min(m);
+                prefetch_span(coefs, loc, ce, (ce + ONE_BLOCK).min(m));
+                v_soa_range::<T, L>(coefs, loc, &mut out, cs, ce);
+                cs = ce;
+            }
+        }
+        Kernel::V => v_soa_range::<T, L>(coefs, loc, &mut out, 0, m),
+        Kernel::Vgl => vgl_soa_range::<T, L>(coefs, loc, &mut out, 0, m),
+        Kernel::Vgh => vgh_soa_range::<T, L>(coefs, loc, &mut out, 0, m),
     }
 }
 

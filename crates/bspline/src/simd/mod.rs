@@ -121,6 +121,25 @@ pub(crate) fn vgh_soa<T: Real>(
     }
 }
 
+/// Single-position (one-move) kernel body over a pre-located position:
+/// the same per-orbital chains as the batched bodies — bit-identical
+/// results — restructured into look-ahead chunks whose next 64
+/// coefficient segments are software-prefetched while the current
+/// chunk computes (see `kernels::one_soa`). The fast path under
+/// [`crate::onemove::MoveContext`].
+#[inline]
+pub(crate) fn one_soa<T: Real>(
+    kernel: crate::layout::Kernel,
+    coefs: &MultiCoefs<T>,
+    loc: &Located<T>,
+    out: SoAStreamsMut<'_, T>,
+) {
+    match dispatch::fns::<T>() {
+        Some(f) => (f.one_soa)(kernel, coefs, loc, out),
+        None => kernels::one_soa::<T, ScalarLanes<T>>(kernel, coefs, loc, out),
+    }
+}
+
 /// Prefetch the sixteen (i,j) coefficient runs of `loc`'s evaluation
 /// cell into L2 (`_MM_HINT_T1`) — issued by the tile-major /
 /// block-major batch loops **one evaluation ahead** (the same tile's

@@ -183,6 +183,7 @@ macro_rules! backend_fns {
         pub(crate) mod $modname {
             use super::*;
             use crate::batch::Located;
+            use crate::layout::Kernel;
             use crate::output::SoAStreamsMut;
             use crate::simd::kernels;
             use einspline::multi::MultiCoefs;
@@ -198,6 +199,10 @@ macro_rules! backend_fns {
             #[target_feature(enable = $feat)]
             fn vgh_soa_tf(c: &MultiCoefs<$t>, l: &Located<$t>, o: SoAStreamsMut<'_, $t>) {
                 kernels::vgh_soa::<$t, $lane>(c, l, o)
+            }
+            #[target_feature(enable = $feat)]
+            fn one_soa_tf(k: Kernel, c: &MultiCoefs<$t>, l: &Located<$t>, o: SoAStreamsMut<'_, $t>) {
+                kernels::one_soa::<$t, $lane>(k, c, l, o)
             }
             #[target_feature(enable = $feat)]
             fn axpy_tf(a: $t, x: &[$t], y: &mut [$t], n: usize) {
@@ -221,6 +226,10 @@ macro_rules! backend_fns {
                 // SAFETY: as above.
                 unsafe { vgh_soa_tf(c, l, o) }
             }
+            fn one_soa(k: Kernel, c: &MultiCoefs<$t>, l: &Located<$t>, o: SoAStreamsMut<'_, $t>) {
+                // SAFETY: as above.
+                unsafe { one_soa_tf(k, c, l, o) }
+            }
             fn axpy(a: $t, x: &[$t], y: &mut [$t], n: usize) {
                 // SAFETY: as above.
                 unsafe { axpy_tf(a, x, y, n) }
@@ -235,6 +244,7 @@ macro_rules! backend_fns {
                 v_soa,
                 vgl_soa,
                 vgh_soa,
+                one_soa,
                 axpy,
                 vl_point,
             };

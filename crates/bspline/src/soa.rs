@@ -165,6 +165,22 @@ impl<T: Real> BsplineSoA<T> {
         crate::simd::vgh_soa(&self.coefs, loc, out.streams_range_mut(0, m));
     }
 
+    /// Single-position kernel body over a pre-located position: same
+    /// per-orbital chains as the `*_located` bodies (bit-identical
+    /// results), but chunked with one-block-ahead software prefetch of
+    /// the 64 coefficient segments — the batch-of-1 fast path under
+    /// [`crate::onemove::MoveContext`], where there is no neighbor
+    /// position to overlap memory latency with.
+    pub(crate) fn eval_one_located(
+        &self,
+        kernel: Kernel,
+        loc: &Located<T>,
+        out: &mut WalkerSoA<T>,
+    ) {
+        let m = self.check_out(out);
+        crate::simd::one_soa(kernel, &self.coefs, loc, out.streams_range_mut(0, m));
+    }
+
     /// Kernel body over a pre-located position, writing through a
     /// caller-positioned stream view instead of a whole [`WalkerSoA`] —
     /// the entry point the blocked engine ([`crate::blocked`]) uses to

@@ -2,6 +2,15 @@
 //! diffusion + Metropolis structure of paper Sec. III, without the
 //! branching of DMC).
 //!
+//! The inner loop runs the wavefunction's move protocol, which defaults
+//! to the single-electron fast path
+//! ([`EvalMode::PerElectron`](crate::wavefunction::EvalMode)): a V-only
+//! engine call for each ratio, with the grid locate and basis weights
+//! cached in the walker's move context and reused by the accept-side
+//! VGL. Call
+//! [`TrialWaveFunction::set_eval_mode`] before `run_vmc` to A/B against
+//! the legacy all-electron propose path.
+//!
 //! After every sweep the driver runs the *batched* all-electron VGH
 //! sweep ([`TrialWaveFunction::log_derivs`]): one `vgh_batch` engine
 //! call per spin yields every electron's drift gradient and the kinetic

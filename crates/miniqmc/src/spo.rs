@@ -12,7 +12,7 @@
 use crate::lattice::Lattice;
 use bspline::blocked::BlockedEngine;
 use bspline::service::{ServiceClient, ServiceConfig, SpoService};
-use bspline::{BatchOut, BsplineSoA, PosBlock, SpoEngine, WalkerSoA};
+use bspline::{BatchOut, BsplineSoA, MoveContext, PosBlock, SpoEngine, WalkerSoA};
 use einspline::{MultiCoefs, Real};
 use std::sync::Arc;
 
@@ -75,6 +75,10 @@ pub struct SpoSet<T: Real, E: SpoEngine<T, Out = WalkerSoA<T>> = BsplineSoA<T>> 
     batch_scratch: BatchOut<WalkerSoA<T>>,
     batch_pos: PosBlock<T>,
     batch_rows: Vec<SpoVgl>,
+    /// Per-walker single-electron move state: the cached locate/weights
+    /// the propose (`evaluate_v_one`) and accept (`evaluate_vgl_one`)
+    /// sides of one move share.
+    move_ctx: MoveContext<T>,
 }
 
 impl<T: Real<Accum = f64>> SpoSet<T> {
@@ -151,6 +155,7 @@ impl<T: Real<Accum = f64>, E: SpoEngine<T, Out = WalkerSoA<T>>> SpoSet<T, E> {
             batch_scratch: BatchOut::from_blocks(Vec::new()),
             batch_pos: PosBlock::new(),
             batch_rows: Vec::new(),
+            move_ctx: MoveContext::new(),
         }
     }
 
@@ -193,6 +198,36 @@ impl<T: Real<Accum = f64>, E: SpoEngine<T, Out = WalkerSoA<T>>> SpoSet<T, E> {
     pub fn evaluate_vgl(&mut self, r: [f64; 3]) -> &SpoVgl {
         let u = self.frac_pos(r);
         self.engine.vgh(u, &mut self.scratch);
+        let n = self.n_orbitals();
+        Self::pull_back(&self.g, &self.metric, n, &self.scratch, &mut self.out);
+        &self.out
+    }
+
+    /// Orbital values at `r` through the single-electron fast path
+    /// ([`SpoEngine::v_one`]): the grid locate + basis weights for the
+    /// fractional position are cached in this walker's move context, so
+    /// the accept-side [`Self::evaluate_vgl_one`] at the *same* `r`
+    /// reuses them without recomputation. Bit-identical to
+    /// [`Self::evaluate_v`].
+    pub fn evaluate_v_one(&mut self, r: [f64; 3]) -> &[f64] {
+        let u = self.frac_pos(r);
+        self.engine.v_one(&mut self.move_ctx, u, &mut self.scratch);
+        let n = self.n_orbitals();
+        for k in 0..n {
+            self.out.v[k] = self.scratch.value(k).to_accum();
+        }
+        &self.out.v[..n]
+    }
+
+    /// Values + Cartesian gradients + Laplacians at `r` through the
+    /// single-electron fast path: the engine runs the VGH kernel
+    /// ([`SpoEngine::vgh_one`] — the hexagonal-cell Laplacian pull-back
+    /// needs the full Hessian) over the locate/weights cached by a
+    /// prior [`Self::evaluate_v_one`] at the same position. Bit-identical
+    /// to [`Self::evaluate_vgl`].
+    pub fn evaluate_vgl_one(&mut self, r: [f64; 3]) -> &SpoVgl {
+        let u = self.frac_pos(r);
+        self.engine.vgh_one(&mut self.move_ctx, u, &mut self.scratch);
         let n = self.n_orbitals();
         Self::pull_back(&self.g, &self.metric, n, &self.scratch, &mut self.out);
         &self.out
@@ -538,6 +573,33 @@ mod tests {
         let bv = served.evaluate_v_batch(&rs).to_vec();
         for (x, y) in av.iter().zip(&bv) {
             assert_eq!(&x.v[..4], &y.v[..4]);
+        }
+    }
+
+    #[test]
+    fn one_move_path_matches_scalar_bit_for_bit() {
+        let lat = Lattice::hexagonal(2.5, 6.0);
+        let mut spo = build(lat, 16, 3);
+        let rs: Vec<[f64; 3]> = [[0.11, 0.42, 0.83], [0.57, 0.24, 0.39], [0.91, 0.66, 0.05]]
+            .iter()
+            .map(|u| lat.to_cart(*u))
+            .collect();
+        for &r in &rs {
+            // Propose side: V through the move context...
+            let v_one = spo.evaluate_v_one(r).to_vec();
+            let v_scalar = spo.evaluate_v(r).to_vec();
+            assert_eq!(v_scalar, v_one);
+            // ...then the accept side reuses the cached weights (the
+            // interleaved evaluate_v above did not touch the context).
+            let one = spo.evaluate_vgl_one(r).clone();
+            let scalar = spo.evaluate_vgl(r).clone();
+            for k in 0..3 {
+                assert_eq!(scalar.v[k], one.v[k], "k={k}");
+                assert_eq!(scalar.gx[k], one.gx[k]);
+                assert_eq!(scalar.gy[k], one.gy[k]);
+                assert_eq!(scalar.gz[k], one.gz[k]);
+                assert_eq!(scalar.lap[k], one.lap[k]);
+            }
         }
     }
 

@@ -27,9 +27,17 @@
 //!   `service_vgh_soa_closed_n…` row re-measures the direct batched
 //!   VGH call adjacent to the service rows so the printed saturation
 //!   ratio is time-aligned (this host drifts 2x over the minutes that
-//!   separate the fig7a rows from the service rows). Older files stay
-//!   readable (pre-v4 rows imply `blocks = threads = 1`; pre-v5 rows
-//!   carry no latency and are gated on throughput only).
+//!   separate the fig7a rows from the service rows). Schema v6 adds the
+//!   single-electron fast-path rows (`onemove_v_…` per-move V-only
+//!   ratio latency, `onemove_vgl_…` the propose/accept pair with
+//!   cached locate/weights, `onemove_legacy_vgl_…` the pre-fast-path
+//!   scalar `v`+`vgl` comparator) with per-move latency percentiles in
+//!   the same `p50/p95/p99` columns (µs); the printed fast-path ratio
+//!   (pair vs legacy, per *move*) is the tentpole acceptance statistic
+//!   (bar: ≥ 1.5x). Older files stay readable (pre-v4 rows imply
+//!   `blocks = threads = 1`; pre-v5 rows carry no latency and are
+//!   gated on throughput only; pre-v6 files simply lack the onemove
+//!   rows, which go ungated until re-recorded).
 //!
 //!   `cargo run --release -p qmc-bench --bin baseline [-- out.json]`
 //!
@@ -66,11 +74,13 @@ use bspline::precision::MixedEngine;
 use bspline::service::{ServiceConfig, SpoService};
 use bspline::simd::{with_backend, Backend};
 use bspline::{BsplineAoS, BsplineAoSoA, BsplineSoA, Kernel};
+use bspline::blocked::BlockedEngine;
 use qmc_bench::workload::{batch_size, coefficients_in, is_quick};
 use qmc_bench::{
     coefficients, measure_kernel, measure_kernel_batched, measure_nested_blocked,
-    measure_nested_monolithic, measure_service, measure_tile_major, MeasureConfig,
-    NestedConfig, ServiceLoadConfig, Table,
+    measure_nested_monolithic, measure_onemove, measure_service, measure_tile_major,
+    MeasureConfig, NestedConfig, OneMoveConfig, OneMovePath, OneMoveStats,
+    ServiceLoadConfig, Table,
 };
 use std::fmt::Write as _;
 use std::process::ExitCode;
@@ -162,6 +172,28 @@ fn ab_service<F: FnMut() -> (f64, [f64; 3])>(
         precision: precision.into(),
         blocks: 1,
         threads: replicas,
+        scalar,
+        simd,
+        lat: Some(lat),
+    }
+}
+
+/// [`ab`] for the one-move rows: the closure returns `(evals/s,
+/// [p50, p95, p99])` with *per-move* latency percentiles in µs (the
+/// same columns the service rows use for request latency). The kept
+/// latency comes from the SIMD (production) pass.
+fn ab_onemove<F: FnMut() -> (f64, [f64; 3])>(
+    name: impl Into<String>,
+    precision: &str,
+    mut f: F,
+) -> Row {
+    let (scalar, _) = with_backend(Backend::Scalar, &mut f);
+    let (simd, lat) = f();
+    Row {
+        name: name.into(),
+        precision: precision.into(),
+        blocks: 1,
+        threads: 1,
         scalar,
         simd,
         lat: Some(lat),
@@ -402,6 +434,69 @@ fn measure_all() -> Vec<Row> {
         ));
         eprintln!("service {tag} N={n8} done");
     }
+
+    // One-move rows (schema v6): the single-electron fast path at the
+    // fig8 N. `onemove_v_…` is the per-move V-only ratio latency
+    // (`v_one` through a MoveContext), `onemove_vgl_…` the fused
+    // propose/accept pair (one `vgl_one` per move; the accept side
+    // reads the context-cached streams with no further kernel call),
+    // and `onemove_legacy_vgl_…` the pre-fast-path comparator (scalar
+    // `v`+`vgl` both run every move) — measured back-to-back so the
+    // printed fast-path ratio is time-aligned. Throughput columns are
+    // evals/s like every other row; the latency columns carry
+    // per-*move* percentiles in µs.
+    let om_cfg = OneMoveConfig {
+        moves: if quick { 64 } else { 256 },
+        reps: 5,
+        seed: 0x10e5,
+    };
+    let om = |s: OneMoveStats| {
+        (
+            s.evals_per_sec,
+            [s.p50_ns / 1e3, s.p95_ns / 1e3, s.p99_ns / 1e3],
+        )
+    };
+    {
+        let soa = BsplineSoA::new(table8.clone());
+        rows.push(ab_onemove(format!("onemove_v_soa_n{n8}"), "f32", || {
+            om(measure_onemove(&soa, OneMovePath::FastV, &om_cfg))
+        }));
+        rows.push(ab_onemove(format!("onemove_vgl_soa_n{n8}"), "f32", || {
+            om(measure_onemove(&soa, OneMovePath::FastPair, &om_cfg))
+        }));
+        rows.push(ab_onemove(
+            format!("onemove_legacy_vgl_soa_n{n8}"),
+            "f32",
+            || om(measure_onemove(&soa, OneMovePath::ScalarPair, &om_cfg)),
+        ));
+        let aos = BsplineAoS::new(table8.clone());
+        rows.push(ab_onemove(format!("onemove_v_aos_n{n8}"), "f32", || {
+            om(measure_onemove(&aos, OneMovePath::FastV, &om_cfg))
+        }));
+        rows.push(ab_onemove(format!("onemove_vgl_aos_n{n8}"), "f32", || {
+            om(measure_onemove(&aos, OneMovePath::FastPair, &om_cfg))
+        }));
+        let tiled = BsplineAoSoA::from_multi(&table8, nb);
+        rows.push(ab_onemove(format!("onemove_vgl_aosoa_n{n8}"), "f32", || {
+            om(measure_onemove(&tiled, OneMovePath::FastPair, &om_cfg))
+        }));
+        let budget = bspline::tuning::default_block_budget(table8.bytes());
+        let blocked = BlockedEngine::from_multi(&table8, budget);
+        rows.push(ab_onemove(
+            format!("onemove_vgl_blocked_n{n8}"),
+            "f32",
+            || om(measure_onemove(&blocked, OneMovePath::FastPair, &om_cfg)),
+        ));
+        let soa64 = BsplineSoA::new(table8_64.clone());
+        rows.push(ab_onemove(format!("onemove_vgl_soa_n{n8}"), "f64", || {
+            om(measure_onemove(&soa64, OneMovePath::FastPair, &om_cfg))
+        }));
+        let mixed = MixedEngine::soa(&table8_64);
+        rows.push(ab_onemove(format!("onemove_vgl_soa_n{n8}"), "mixed", || {
+            om(measure_onemove(&mixed, OneMovePath::FastPair, &om_cfg))
+        }));
+        eprintln!("onemove N={n8} done");
+    }
     rows
 }
 
@@ -414,16 +509,21 @@ fn measure_all() -> Vec<Row> {
 /// cross-precision ratios honest — per-precision rows are measured
 /// minutes apart, and pinning each to its peak decorrelates them from
 /// transient dips.
-fn measure_committed() -> (Vec<Row>, Option<ServiceRatio>) {
+fn measure_committed() -> (Vec<Row>, Option<ServiceRatio>, Option<OneMoveRatio>) {
     let mut rows = measure_all();
     let mut ratio = service_ratio(&rows);
+    let mut om_ratio = onemove_ratio(&rows);
     eprintln!("second record pass (committing the per-row best)");
     let second = measure_all();
-    // The saturation ratio is taken within a single pass (the sat and
-    // closed-reference rows are measured back-to-back there) — merging
+    // The saturation and fast-path ratios are taken within a single
+    // pass (each pair of rows is measured back-to-back there) — merging
     // rows first would pair maxima from *different* host regimes and
-    // understate the service on a drifting machine.
+    // understate the mechanism on a drifting machine.
     ratio = match (ratio, service_ratio(&second)) {
+        (Some(a), Some(b)) => Some(if b.simd > a.simd { b } else { a }),
+        (a, b) => a.or(b),
+    };
+    om_ratio = match (om_ratio, onemove_ratio(&second)) {
         (Some(a), Some(b)) => Some(if b.simd > a.simd { b } else { a }),
         (a, b) => a.or(b),
     };
@@ -431,7 +531,7 @@ fn measure_committed() -> (Vec<Row>, Option<ServiceRatio>) {
         debug_assert_eq!((&a.name, &a.precision), (&b.name, &b.precision));
         merge_best(a, &b);
     }
-    (rows, ratio)
+    (rows, ratio, om_ratio)
 }
 
 /// Keep the better of two measurement passes in `a`: max throughput
@@ -526,6 +626,47 @@ fn print_service_ratio(r: &ServiceRatio) {
     );
 }
 
+/// The fast-path acceptance statistic: per-*move* throughput of the
+/// one-move propose/accept pair over the scalar `v`+`vgl` comparator.
+struct OneMoveRatio {
+    n: String,
+    simd: f64,
+    scalar: f64,
+}
+
+/// Extract the per-move fast-vs-legacy ratio from one pass's rows. The
+/// rows store evals/s; the fused fast pair runs exactly 1 engine call
+/// per move (`vgl_one` on propose, accept reads the context-cached
+/// streams) against the legacy path's 2 (`v` + `vgl`), so moves/s =
+/// evals/s ÷ (calls-per-move × N) and the per-move ratio is the evals
+/// ratio × 2/1. `None` for pre-v6 row sets.
+fn onemove_ratio(rows: &[Row]) -> Option<OneMoveRatio> {
+    let fast = rows
+        .iter()
+        .find(|r| r.name.starts_with("onemove_vgl_soa_n") && r.precision == "f32")?;
+    let (_, n) = fast.name.rsplit_once("_n")?;
+    let legacy_name = format!("onemove_legacy_vgl_soa_n{n}");
+    let legacy = rows
+        .iter()
+        .find(|r| r.name == legacy_name && r.precision == "f32")?;
+    const CALLS_PER_MOVE: f64 = 2.0 / 1.0;
+    Some(OneMoveRatio {
+        n: n.to_string(),
+        simd: fast.simd / legacy.simd.max(1.0) * CALLS_PER_MOVE,
+        scalar: fast.scalar / legacy.scalar.max(1.0) * CALLS_PER_MOVE,
+    })
+}
+
+/// Record-mode summary line for the fast-path acceptance bar.
+fn print_onemove_ratio(r: &OneMoveRatio) {
+    println!(
+        "single-electron fast path: per-move VGL propose/accept pair (fused vgl_one, \
+         accept from cache) vs scalar v+vgl (SoA f32, N={}): {:.2}x simd, {:.2}x scalar \
+         (best time-aligned pass; bar: >= 1.5x)",
+        r.n, r.simd, r.scalar,
+    );
+}
+
 fn write_json(rows: &[Row], out_path: &str) {
     let quick = is_quick();
     let threads = std::thread::available_parallelism()
@@ -537,7 +678,7 @@ fn write_json(rows: &[Row], out_path: &str) {
         .collect();
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"schema\": \"qmc-bench-baseline-v5\",\n");
+    json.push_str("  \"schema\": \"qmc-bench-baseline-v6\",\n");
     let _ = writeln!(
         json,
         "  \"host\": {{ \"cpu\": {:?}, \"threads\": {threads} }},",
@@ -596,18 +737,19 @@ struct Baseline {
     v2: bool,
 }
 
-/// Extract rows + header from a v2–v5 baseline file (the writer emits
+/// Extract rows + header from a v2–v6 baseline file (the writer emits
 /// one kernel object per line; no JSON dependency needed). v2 rows
 /// carry no `precision` field and are treated as `f32` — the only
 /// precision v2 measured; v2/v3 rows carry no `blocks`/`threads`
 /// fields and default both to 1 (every pre-v4 row was monolithic and
 /// flat); pre-v5 rows carry no latency percentiles and are gated on
-/// throughput only.
+/// throughput only; pre-v6 files lack the `onemove_…` rows, which are
+/// simply not gated until the baseline is re-recorded.
 fn parse_baseline(text: &str) -> Result<Baseline, String> {
-    let known = (2..=5).any(|v| text.contains(&format!("qmc-bench-baseline-v{v}")));
+    let known = (2..=6).any(|v| text.contains(&format!("qmc-bench-baseline-v{v}")));
     if !known {
         return Err(
-            "baseline file is not schema v2/v3/v4/v5 — re-record it first".into(),
+            "baseline file is not schema v2–v6 — re-record it first".into(),
         );
     }
     let v2 = text.contains("qmc-bench-baseline-v2");
@@ -839,10 +981,13 @@ fn compare(baseline_path: &str) -> ExitCode {
 }
 
 fn record(out_path: &str) -> ExitCode {
-    let (rows, ratio) = measure_committed();
+    let (rows, ratio, om_ratio) = measure_committed();
     print_rows(&rows);
     if let Some(r) = &ratio {
         print_service_ratio(r);
+    }
+    if let Some(r) = &om_ratio {
+        print_onemove_ratio(r);
     }
     write_json(&rows, out_path);
     ExitCode::SUCCESS
@@ -865,7 +1010,7 @@ mod tests {
     use super::*;
 
     #[test]
-    fn v5_rows_roundtrip_through_writer_and_parser() {
+    fn v6_rows_roundtrip_through_writer_and_parser() {
         let rows = vec![
             Row {
                 name: "fig9_vgh_nested_blocked_n512".into(),
@@ -885,14 +1030,23 @@ mod tests {
                 simd: 2.0e6,
                 lat: Some([110.5, 340.0, 612.25]),
             },
+            Row {
+                name: "onemove_vgl_soa_n512".into(),
+                precision: "f32".into(),
+                blocks: 1,
+                threads: 1,
+                scalar: 3.0e6,
+                simd: 24.0e6,
+                lat: Some([4.5, 7.0, 11.25]),
+            },
         ];
-        let tmp = std::env::temp_dir().join("qmc-baseline-v5-roundtrip.json");
+        let tmp = std::env::temp_dir().join("qmc-baseline-v6-roundtrip.json");
         write_json(&rows, tmp.to_str().unwrap());
         let text = std::fs::read_to_string(&tmp).unwrap();
-        assert!(text.contains("qmc-bench-baseline-v5"));
-        let parsed = parse_baseline(&text).expect("v5 parses");
+        assert!(text.contains("qmc-bench-baseline-v6"));
+        let parsed = parse_baseline(&text).expect("v6 parses");
         assert!(!parsed.v2);
-        assert_eq!(parsed.rows.len(), 2);
+        assert_eq!(parsed.rows.len(), 3);
         assert_eq!(parsed.rows[0].blocks, 7);
         assert_eq!(parsed.rows[0].threads, 4);
         assert_eq!(parsed.rows[0].lat, None);
@@ -902,9 +1056,56 @@ mod tests {
         assert!((lat[0] - 110.5).abs() < 0.05);
         assert!((lat[1] - 340.0).abs() < 0.05);
         assert!((lat[2] - 612.25).abs() < 0.1);
+        // Per-move latency percentiles survive the onemove row too.
+        let om = parsed.rows[2].lat.expect("onemove row keeps latency");
+        assert!((om[0] - 4.5).abs() < 0.05);
+        assert!((om[2] - 11.25).abs() < 0.1);
         // mops() rounds to 2 decimals of M-evals/s.
         assert!((parsed.rows[0].simd - 14.5e6).abs() < 1e4);
         let _ = std::fs::remove_file(tmp);
+    }
+
+    #[test]
+    fn v5_files_stay_readable_without_onemove_rows() {
+        let v5 = r#"{
+  "schema": "qmc-bench-baseline-v5",
+  "simd": { "active": "avx2", "available": ["scalar", "avx2"] },
+  "kernels": [
+    { "name": "service_vgh_soa_open_n512", "precision": "f32", "blocks": 1, "threads": 2, "scalar": 1.00, "simd": 2.00, "p50_us": 110.5, "p95_us": 340.0, "p99_us": 612.2 }
+  ]
+}"#;
+        let parsed = parse_baseline(v5).expect("v5 parses");
+        assert!(!parsed.v2);
+        assert_eq!(parsed.rows.len(), 1);
+        assert!(parsed.rows[0].lat.is_some());
+        // No onemove rows in the file → the ratio (and their gating) is
+        // simply absent until re-recorded.
+        assert!(onemove_ratio(&parsed.rows).is_none());
+    }
+
+    #[test]
+    fn onemove_ratio_converts_evals_to_per_move() {
+        let mk = |name: &str, scalar: f64, simd: f64| Row {
+            name: name.into(),
+            precision: "f32".into(),
+            blocks: 1,
+            threads: 1,
+            scalar,
+            simd,
+            lat: Some([1.0, 2.0, 3.0]),
+        };
+        // Equal evals/s: the fused fast pair makes 1 call/move vs the
+        // legacy 2, so equal evals-throughput means 2x the moves/s.
+        let rows = vec![
+            mk("onemove_vgl_soa_n512", 3.0e6, 24.0e6),
+            mk("onemove_legacy_vgl_soa_n512", 3.0e6, 24.0e6),
+        ];
+        let r = onemove_ratio(&rows).expect("both rows present");
+        assert_eq!(r.n, "512");
+        assert!((r.simd - 2.0).abs() < 1e-12);
+        assert!((r.scalar - 2.0).abs() < 1e-12);
+        // Legacy-only rows: no ratio.
+        assert!(onemove_ratio(&rows[1..]).is_none());
     }
 
     #[test]

@@ -6,7 +6,9 @@ use bspline::parallel::{run_nested, run_nested_blocked};
 use bspline::service::SpoService;
 use bspline::walker::walker_rng;
 use bspline::SpoEngine;
-use bspline::{BsplineAoSoA, Kernel, PosBlock, Throughput, WalkerSoA, WalkerTiled};
+use bspline::{
+    BsplineAoSoA, Kernel, MoveContext, PosBlock, Throughput, WalkerSoA, WalkerTiled,
+};
 use einspline::{MultiCoefs, Real};
 use std::time::{Duration, Instant};
 
@@ -107,6 +109,133 @@ pub fn measure_tile_major<T: Real>(
     }
     Throughput {
         ops_per_sec: (engine.n_splines() * cfg.ns) as f64 / best,
+    }
+}
+
+/// Which evaluation protocol [`measure_onemove`] times per move.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OneMovePath {
+    /// `v_one` per move — the ratio-only latency of the fast path.
+    FastV,
+    /// The fast-path propose/accept pair, fused: one `vgl_one` per
+    /// move computes the ratio's V and the drift's G/L in a single
+    /// streaming pass (G/L cost ~15 % over V alone while the
+    /// coefficient lines move from DRAM), and the accept side reads
+    /// the `MoveContext`-cached streams with **zero** further kernel
+    /// calls — so the pair's cost is one cold pass regardless of the
+    /// acceptance rate, vs the comparator's two.
+    FastPair,
+    /// Scalar `v` per move — the pre-fast-path ratio comparator.
+    ScalarV,
+    /// Scalar `v` + `vgl` per move — the pre-fast-path propose/accept
+    /// pair (ratio pass, then a full derivative pass over the same
+    /// lines), the comparator of the fast-path speedup gate.
+    ScalarPair,
+}
+
+/// Shape of a per-move latency measurement.
+#[derive(Clone, Copy, Debug)]
+pub struct OneMoveConfig {
+    /// Single-electron moves per repetition (each at a fresh position,
+    /// the propose-side cache-miss pattern of a real sweep).
+    pub moves: usize,
+    /// Timed repetitions (best is reported, Criterion-style).
+    pub reps: usize,
+    /// Position RNG seed.
+    pub seed: u64,
+}
+
+impl Default for OneMoveConfig {
+    fn default() -> Self {
+        Self {
+            moves: 256,
+            reps: 3,
+            seed: 0x10e5,
+        }
+    }
+}
+
+/// Result of one [`measure_onemove`] run: sweep throughput plus the
+/// per-move latency distribution.
+#[derive(Clone, Copy, Debug)]
+pub struct OneMoveStats {
+    /// Single-electron moves per second (a move = the full
+    /// propose/accept pair of its path).
+    pub moves_per_sec: f64,
+    /// Orbital evaluations per second (`N ×` engine calls / wall);
+    /// comparable with the [`Throughput`] rows.
+    pub evals_per_sec: f64,
+    /// Median per-move latency, nanoseconds.
+    pub p50_ns: f64,
+    /// 95th-percentile per-move latency, nanoseconds.
+    pub p95_ns: f64,
+    /// 99th-percentile per-move latency, nanoseconds.
+    pub p99_ns: f64,
+}
+
+/// Per-move latency and throughput of the single-electron protocol:
+/// `cfg.moves` propose steps, each at a fresh position (the
+/// propose-side cache-miss pattern of a real sweep). The fast paths
+/// thread one [`MoveContext`] through the whole run (the per-walker
+/// usage): the fused pair runs one `vgl_one` per move and the accept
+/// side reuses the context-cached streams without another kernel
+/// call, so its cost is acceptance-independent. The scalar paths are
+/// the pre-fast-path comparators on the same position stream.
+pub fn measure_onemove<T: Real, E: SpoEngine<T>>(
+    engine: &E,
+    path: OneMovePath,
+    cfg: &OneMoveConfig,
+) -> OneMoveStats {
+    assert!(cfg.moves > 0);
+    let pos = positions_in::<T>(cfg.moves, cfg.seed);
+    let mut out = engine.make_out();
+    let mut ctx = MoveContext::new();
+
+    let mut best_wall = f64::INFINITY;
+    let mut best_lat: Vec<f64> = Vec::new();
+    let mut calls = 0usize;
+    // First pass is the warm-up (rep < 0 semantics via reps+1 passes).
+    for rep in 0..cfg.reps.max(1) + 1 {
+        let mut lat = Vec::with_capacity(cfg.moves);
+        let mut pass_calls = 0usize;
+        let t0 = Instant::now();
+        for p in pos.iter() {
+            let m0 = Instant::now();
+            pass_calls += match path {
+                OneMovePath::FastV => {
+                    engine.v_one(&mut ctx, *p, &mut out);
+                    1
+                }
+                OneMovePath::FastPair => {
+                    engine.vgl_one(&mut ctx, *p, &mut out);
+                    1
+                }
+                OneMovePath::ScalarV => {
+                    engine.v(*p, &mut out);
+                    1
+                }
+                OneMovePath::ScalarPair => {
+                    engine.v(*p, &mut out);
+                    engine.vgl(*p, &mut out);
+                    2
+                }
+            };
+            lat.push(m0.elapsed().as_nanos() as f64);
+        }
+        let wall = t0.elapsed().as_secs_f64();
+        if rep > 0 && wall < best_wall {
+            best_wall = wall;
+            best_lat = lat;
+            calls = pass_calls;
+        }
+    }
+    best_lat.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    OneMoveStats {
+        moves_per_sec: cfg.moves as f64 / best_wall,
+        evals_per_sec: (engine.n_splines() * calls) as f64 / best_wall,
+        p50_ns: percentile(&best_lat, 50.0),
+        p95_ns: percentile(&best_lat, 95.0),
+        p99_ns: percentile(&best_lat, 99.0),
     }
 }
 
@@ -544,6 +673,44 @@ mod tests {
         );
         assert_eq!(open.requests, 8);
         assert!(open.p99_us > 0.0);
+    }
+
+    #[test]
+    fn onemove_measures_every_path() {
+        let table = coefficients(32, (8, 8, 8), 5);
+        let soa = BsplineSoA::new(table.clone());
+        let aos = BsplineAoS::new(table);
+        let cfg = OneMoveConfig {
+            moves: 16,
+            reps: 2,
+            seed: 9,
+        };
+        for path in [
+            OneMovePath::FastV,
+            OneMovePath::FastPair,
+            OneMovePath::ScalarV,
+            OneMovePath::ScalarPair,
+        ] {
+            for stats in [
+                measure_onemove(&soa, path, &cfg),
+                measure_onemove(&aos, path, &cfg),
+            ] {
+                assert!(stats.moves_per_sec > 0.0, "{path:?}");
+                assert!(stats.evals_per_sec > 0.0, "{path:?}");
+                assert!(stats.p50_ns > 0.0 && stats.p50_ns <= stats.p95_ns);
+                assert!(stats.p95_ns <= stats.p99_ns);
+            }
+        }
+        // The fused pair runs one engine call per move; the scalar
+        // comparator runs two — evals/s accounting must reflect that.
+        let fused = measure_onemove(&soa, OneMovePath::FastPair, &cfg);
+        let only_v = measure_onemove(&soa, OneMovePath::FastV, &cfg);
+        let fused_calls = fused.evals_per_sec / fused.moves_per_sec;
+        let v_calls = only_v.evals_per_sec / only_v.moves_per_sec;
+        assert!(
+            (fused_calls - v_calls).abs() < 1e-6 * v_calls,
+            "fused pair charges exactly one call per move"
+        );
     }
 
     #[test]
