@@ -63,7 +63,7 @@ use crate::layout::{Kernel, Layout};
 use crate::onemove::MoveContext;
 use crate::output::{SoAStreamsMut, WalkerSoA};
 use crate::soa::BsplineSoA;
-use einspline::multi::{BlockedCoefs, MultiCoefs};
+use einspline::multi::{BlockedCoefs, MultiCoefs, ShardMap};
 use einspline::Real;
 use rayon::prelude::*;
 
@@ -143,6 +143,44 @@ impl<T: Real> BlockedEngine<BsplineSoA<T>> {
         let blocks: Vec<BsplineSoA<T>> =
             blocked.into_blocks().into_iter().map(BsplineSoA::new).collect();
         Self::from_blocks(blocks, nb, budget)
+    }
+
+    /// [`BlockedEngine::from_multi`] with the block set built **one
+    /// NUMA shard at a time**: domain `d`'s contiguous block range
+    /// ([`ShardMap::blocks_of`]) is constructed as its own parallel
+    /// pass before the next domain's begins, so on a host whose worker
+    /// pool is pinned per domain, every page of a shard's slabs is
+    /// first-touched — and therefore placed — in the domain whose
+    /// replicas the router will steer at it. (With the vendored
+    /// unpinned pool this is an ordering guarantee only, like the
+    /// single-pass first-touch path.) The resulting engine is
+    /// bit-identical to the single-pass construction.
+    pub fn from_multi_sharded(
+        coefs: &MultiCoefs<T>,
+        budget_bytes: usize,
+        shards: &ShardMap,
+    ) -> Self {
+        let nb = coefs.block_splines_for_budget(budget_bytes);
+        let n = coefs.n_splines();
+        let n_blocks = n.div_ceil(nb);
+        assert_eq!(
+            shards.n_blocks(),
+            n_blocks,
+            "shard map must partition exactly this decomposition's blocks"
+        );
+        let mut blocks: Vec<BsplineSoA<T>> = Vec::with_capacity(n_blocks);
+        for d in 0..shards.n_domains() {
+            let ranges: Vec<(usize, usize)> = shards
+                .blocks_of(d)
+                .map(|b| (b * nb, ((b + 1) * nb).min(n)))
+                .collect();
+            let built: Vec<BsplineSoA<T>> = ranges
+                .into_par_iter()
+                .map(|(lo, hi)| BsplineSoA::new(coefs.slice_splines(lo, hi)))
+                .collect();
+            blocks.extend(built);
+        }
+        Self::from_blocks(blocks, nb, budget_bytes)
     }
 
     fn build(coefs: &MultiCoefs<T>, nb: usize, budget: usize) -> Self {
@@ -236,6 +274,13 @@ impl<E> BlockedEngine<E> {
     pub fn locate_orbital(&self, n: usize) -> (usize, usize) {
         debug_assert!(n < self.n_splines, "orbital index out of range");
         (n / self.nb, n % self.nb)
+    }
+
+    /// Partition this decomposition's blocks across `n_domains` NUMA
+    /// domains ([`ShardMap::balanced`]) — the ownership map
+    /// [`BlockedEngine::from_multi_sharded`] constructs against.
+    pub fn shard_map(&self, n_domains: usize) -> ShardMap {
+        ShardMap::balanced(self.blocks.len(), n_domains)
     }
 }
 
@@ -542,6 +587,35 @@ mod tests {
             assert_eq!(a.value(n), b.value(n));
             assert_eq!(a.hessian(n), b.hessian(n));
         }
+    }
+
+    #[test]
+    fn sharded_construction_is_bit_identical_to_single_pass() {
+        let t = table(40, 21); // ragged: 3 blocks of nb = 16
+        let budget = 16 * t.bytes_per_spline();
+        let single = BlockedEngine::from_multi(&t, budget);
+        for domains in [1, 2, 3, 5] {
+            let map = single.shard_map(domains);
+            let sharded = BlockedEngine::from_multi_sharded(&t, budget, &map);
+            assert_eq!(sharded.n_blocks(), single.n_blocks());
+            assert_eq!(sharded.nb(), single.nb());
+            let pos = [0.4f32, 0.8, 0.2];
+            let (mut a, mut b) = (single.make_out(), sharded.make_out());
+            single.vgh(pos, &mut a);
+            sharded.vgh(pos, &mut b);
+            for n in 0..40 {
+                assert_eq!(a.value(n), b.value(n), "domains={domains} n={n}");
+                assert_eq!(a.hessian(n), b.hessian(n), "domains={domains} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "shard map must partition")]
+    fn sharded_construction_rejects_mismatched_map() {
+        let t = table(40, 21);
+        let map = einspline::ShardMap::balanced(7, 2); // decomposition has 3 blocks
+        let _ = BlockedEngine::from_multi_sharded(&t, 16 * t.bytes_per_spline(), &map);
     }
 
     #[test]

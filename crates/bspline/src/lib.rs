@@ -154,6 +154,47 @@
 //!   [`engine::SpoEngine`] over a shared service, so trait-generic
 //!   drivers (miniqmc's `SpoSet`) run service-backed unchanged.
 //!
+//! # Sharding & routing
+//!
+//! On a multi-domain host one FIFO queue squanders the locality the
+//! blocked layout worked for: submitters with disjoint working sets
+//! interleave in arrival order, so consecutive fused batches sweep
+//! unrelated coefficient regions and every batch re-streams from DRAM.
+//! The routing layer ([`service::RoutingPolicy`]) splits the service
+//! into per-domain shard queues and routes each submission to the
+//! shard whose replicas keep its coefficient region warm:
+//!
+//! * **Shards.** [`service::ServiceConfig::routing`] selects the shard
+//!   count: `Fifo` forces one queue (the pre-routing behavior, and the
+//!   recorded-baseline configuration), `Auto` matches the detected
+//!   NUMA domain count ([`tuning::numa_domains`], overridable via
+//!   `QMC_NUMA_DOMAINS`), `Affinity { domains }` pins it explicitly.
+//!   Replica workers are minted round-robin across domains
+//!   ([`replica::EngineCell::handles_for_domains`]) and drain their
+//!   *home* shard queue first.
+//! * **Affinity scoring.** Each submitted block's positions are
+//!   quantized onto a small per-axis lattice over the engine's domain;
+//!   an [`einspline::ShardMap`] partitions the lattice cells across
+//!   shards. A strict majority of positions in one shard's cells wins;
+//!   otherwise a content hash of the cell sequence decides, so
+//!   identical blocks always land on the same queue and the coalescer
+//!   fuses them adjacently (cache-distance reuse of the same
+//!   coefficient lines).
+//! * **Spill policy.** Affinity yields to load: when the scored queue
+//!   already holds more than `max(max_batch, queue_positions/shards)`
+//!   positions and a strictly cooler queue exists, the request spills
+//!   to the least-loaded queue. Idle workers steal from other shards
+//!   in rotation order, so a hot shard never serializes the service.
+//!   Both events are counted ([`service::StatsSnapshot::spilled`],
+//!   [`service::StatsSnapshot::stolen`]).
+//! * **Single-domain no-op contract.** Routing picks *where a request
+//!   waits*, never how it is split or fused — so every routed result
+//!   is **bit-identical** to a direct `*_batch` call, and with one
+//!   shard (single-domain hosts, or `Fifo`) the router degenerates to
+//!   exactly the old single-queue FIFO: no classification, no spills,
+//!   no steals (property-tested across policies in
+//!   `tests/integration_service.rs`).
+//!
 //! # Per-move evaluation
 //!
 //! Real VMC/DMC traffic is dominated by **single-electron** moves, and
@@ -317,7 +358,7 @@ pub mod prelude {
     pub use crate::precision::{MixedEngine, MixedOut, F32_REL_ERROR_BUDGET};
     pub use crate::replica::{EngineCell, EngineRef, Replica};
     pub use crate::service::{
-        ServiceClient, ServiceConfig, SpoService, StatsSnapshot, Ticket,
+        RoutingPolicy, ServiceClient, ServiceConfig, SpoService, StatsSnapshot, Ticket,
     };
     pub use crate::simd::{active_backend, with_backend, Backend as SimdBackend};
     pub use crate::soa::BsplineSoA;
@@ -338,6 +379,6 @@ pub use layout::{Kernel, Layout, OptStep};
 pub use onemove::MoveContext;
 pub use output::{SoAStreamsMut, WalkerAoS, WalkerSoA, WalkerTiled};
 pub use replica::{EngineCell, EngineRef, Replica};
-pub use service::{ServiceClient, ServiceConfig, SpoService, Ticket};
+pub use service::{RoutingPolicy, ServiceClient, ServiceConfig, SpoService, Ticket};
 pub use soa::BsplineSoA;
 pub use throughput::Throughput;

@@ -77,16 +77,33 @@ impl<E> EngineCell<E> {
     /// replica for its whole lifetime — on whatever thread it later
     /// evaluates.
     pub fn handle(&self) -> Replica<E> {
+        self.handle_for_domain(0)
+    }
+
+    /// Mint one replica handle keyed to NUMA `domain` — the shard the
+    /// routed service steers this replica's batches toward. Same
+    /// backend-pinning contract as [`EngineCell::handle`].
+    pub fn handle_for_domain(&self, domain: usize) -> Replica<E> {
         Replica {
             engine: Arc::clone(&self.inner),
             backend: simd::active_backend(),
             id: self.next_id.fetch_add(1, Ordering::Relaxed),
+            domain,
         }
     }
 
     /// Mint `n` replica handles (service worker startup).
     pub fn handles(&self, n: usize) -> Vec<Replica<E>> {
         (0..n).map(|_| self.handle()).collect()
+    }
+
+    /// Mint `n` replica handles spread round-robin over `n_domains`
+    /// NUMA domains (replica `i` serves domain `i % n_domains`) — the
+    /// per-shard replica set the routed service workers own. With one
+    /// domain this is exactly [`EngineCell::handles`].
+    pub fn handles_for_domains(&self, n: usize, n_domains: usize) -> Vec<Replica<E>> {
+        assert!(n_domains > 0, "need at least one domain");
+        (0..n).map(|i| self.handle_for_domain(i % n_domains)).collect()
     }
 }
 
@@ -102,6 +119,7 @@ pub struct Replica<E> {
     engine: Arc<E>,
     backend: Backend,
     id: usize,
+    domain: usize,
 }
 
 impl<E> Clone for Replica<E> {
@@ -110,6 +128,7 @@ impl<E> Clone for Replica<E> {
             engine: Arc::clone(&self.engine),
             backend: self.backend,
             id: self.id,
+            domain: self.domain,
         }
     }
 }
@@ -124,9 +143,16 @@ impl<E> std::ops::Deref for Replica<E> {
 
 impl<E> Replica<E> {
     /// Routing id (mint order within the cell): stable for the handle's
-    /// lifetime, the future NUMA-domain key.
+    /// lifetime.
     pub fn id(&self) -> usize {
         self.id
+    }
+
+    /// The NUMA domain this replica serves
+    /// ([`EngineCell::handle_for_domain`]; 0 for plain handles) — the
+    /// home shard the routed service's worker drains first.
+    pub fn domain(&self) -> usize {
+        self.domain
     }
 
     /// The SIMD backend pinned at mint time.
@@ -215,6 +241,19 @@ mod tests {
             EngineRef::engine(&b) as *const _
         ));
         assert_eq!(cell.handles(3).len(), 3);
+    }
+
+    #[test]
+    fn domain_minting_spreads_round_robin() {
+        let cell = EngineCell::new(soa(8));
+        assert_eq!(cell.handle().domain(), 0);
+        let spread = cell.handles_for_domains(5, 2);
+        let domains: Vec<usize> = spread.iter().map(|r| r.domain()).collect();
+        assert_eq!(domains, vec![0, 1, 0, 1, 0]);
+        // Ids still mint from the one shared sequence.
+        assert!(spread.windows(2).all(|w| w[0].id() < w[1].id()));
+        // Single-domain spread is the plain handles() shape.
+        assert!(cell.handles_for_domains(3, 1).iter().all(|r| r.domain() == 0));
     }
 
     #[test]

@@ -33,6 +33,22 @@
 //!   moved into the fused engine call and handed back through the
 //!   [`Ticket`] — the engine writes orbitals directly into the
 //!   submitter's buffers; nothing is copied out.
+//! * **Routing.** With more than one shard ([`RoutingPolicy`]), the
+//!   service keeps one queue per NUMA-domain shard and classifies each
+//!   submission by the table region its positions fall in: positions
+//!   quantize onto a small lattice of cells, a [`ShardMap`] assigns
+//!   cells to shards, and the submission lands on the shard owning the
+//!   strict majority of its positions (spatially uniform blocks route
+//!   by a deterministic content hash instead, so *identical* blocks
+//!   always land on the same shard and coalesce adjacently). A
+//!   load-balance escape hatch spills submissions off a shard whose
+//!   queue is over its spill limit onto the least-loaded one, so a hot
+//!   region cannot starve the rest. Workers drain their replica's home
+//!   shard first and steal round-robin otherwise. Routing only decides
+//!   *where* a batch runs — never how it is split — so routed results
+//!   stay bit-identical to the FIFO path. With one shard (the
+//!   [`RoutingPolicy::Auto`] default on a single-domain host) the
+//!   service is exactly the single-queue FIFO coalescer.
 //! * **Determinism.** Fusing blocks never splits a per-orbital
 //!   accumulation chain, so coalesced results are **bit-identical** to
 //!   a direct `*_batch` call on every backend — property-tested in
@@ -46,7 +62,8 @@ use crate::engine::SpoEngine;
 use crate::layout::Kernel;
 use crate::onemove::MoveContext;
 use crate::replica::{EngineCell, EngineRef, Replica};
-use einspline::Real;
+use crate::tuning;
+use einspline::{Real, ShardMap};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
@@ -61,7 +78,42 @@ fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
-/// Service shape: replica count, coalescing policy, queue bound.
+/// How submissions map onto shard queues (see the [module docs](self)
+/// **Routing** bullet).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum RoutingPolicy {
+    /// One queue, strict submit order — the pre-routing coalescer.
+    Fifo,
+    /// Shard by the host's detected NUMA domain count
+    /// ([`tuning::numa_domains`]; override with `QMC_NUMA_DOMAINS`).
+    /// On a single-domain host this is exactly [`RoutingPolicy::Fifo`]
+    /// — the single-domain no-op contract.
+    #[default]
+    Auto,
+    /// Affinity routing over an explicit shard count, regardless of
+    /// what the host reports (ablations, tests).
+    Affinity {
+        /// Number of shard queues (must be positive).
+        domains: usize,
+    },
+}
+
+impl RoutingPolicy {
+    /// The shard-queue count this policy resolves to on this host.
+    pub fn shards(self) -> usize {
+        match self {
+            Self::Fifo => 1,
+            Self::Auto => tuning::numa_domains(),
+            Self::Affinity { domains } => {
+                assert!(domains > 0, "affinity routing needs at least one domain");
+                domains
+            }
+        }
+    }
+}
+
+/// Service shape: replica count, coalescing policy, queue bound,
+/// routing policy.
 #[derive(Clone, Copy, Debug)]
 pub struct ServiceConfig {
     /// Worker threads, each owning one engine replica handle.
@@ -74,8 +126,10 @@ pub struct ServiceConfig {
     pub max_wait: Duration,
     /// Backpressure bound: pending positions (queued, including those a
     /// worker is still coalescing) the service admits before `submit`
-    /// blocks.
+    /// blocks. The bound is global across all shard queues.
     pub queue_positions: usize,
+    /// How submissions map onto shard queues.
+    pub routing: RoutingPolicy,
 }
 
 impl Default for ServiceConfig {
@@ -85,7 +139,99 @@ impl Default for ServiceConfig {
             max_batch: 32,
             max_wait: Duration::from_micros(200),
             queue_positions: 1024,
+            routing: RoutingPolicy::default(),
         }
+    }
+}
+
+/// Cells per axis of the routing lattice: classification quantizes
+/// every position into one of `ROUTER_CELLS³` table regions, and a
+/// [`ShardMap`] partitions those regions across the shard queues.
+const ROUTER_CELLS: usize = 4;
+
+/// The routing decision state: lattice → shard ownership plus the
+/// spill threshold. Immutable after service construction.
+struct Router {
+    /// Lattice cells → shards (balanced contiguous partition, the same
+    /// shape [`crate::blocked::BlockedEngine::from_multi_sharded`] uses
+    /// for coefficient placement).
+    map: ShardMap,
+    /// Engine evaluation domain the lattice spans.
+    domain: [(f64, f64); 3],
+    /// Per-shard queued-position level above which a submission may
+    /// escape to the least-loaded shard.
+    spill_limit: usize,
+}
+
+impl Router {
+    fn n_shards(&self) -> usize {
+        self.map.n_domains()
+    }
+
+    /// Quantize one position into its lattice cell (out-of-domain
+    /// positions clamp to the boundary cells).
+    fn cell_of<T: Real>(&self, p: [T; 3]) -> usize {
+        let mut cell = 0;
+        for k in 0..3 {
+            let (lo, hi) = self.domain[k];
+            let frac = ((p[k].to_f64() - lo) / (hi - lo)).clamp(0.0, 1.0);
+            let idx = ((frac * ROUTER_CELLS as f64) as usize).min(ROUTER_CELLS - 1);
+            cell = cell * ROUTER_CELLS + idx;
+        }
+        cell
+    }
+
+    /// The shard this block has affinity with: the owner of a strict
+    /// majority of its positions' cells, else (spatially uniform
+    /// blocks) a deterministic content hash over the cell sequence —
+    /// so identical blocks always classify identically and coalesce
+    /// adjacently on one shard's queue.
+    fn classify<T: Real>(&self, pos: &PosBlock<T>) -> usize {
+        let shards = self.n_shards();
+        let mut votes = vec![0usize; shards];
+        // FNV-1a over the cell sequence as the content key.
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for i in 0..pos.len() {
+            let cell = self.cell_of(pos.get(i));
+            votes[self.map.domain_of(cell)] += 1;
+            hash = (hash ^ cell as u64).wrapping_mul(0x100_0000_01b3);
+        }
+        let (leader, &n) = votes
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, n)| *n)
+            .expect("at least one shard");
+        if 2 * n > pos.len() {
+            leader
+        } else {
+            (hash % shards as u64) as usize
+        }
+    }
+}
+
+/// The load-balance escape hatch: keep `classified` unless its queue
+/// would exceed `limit` positions *and* some other queue is strictly
+/// cooler — then route to the least-loaded queue. Returns the target
+/// and whether it spilled.
+fn spill_target(
+    classified: usize,
+    len: usize,
+    queued: &[usize],
+    limit: usize,
+) -> (usize, bool) {
+    if queued[classified] + len <= limit {
+        return (classified, false);
+    }
+    let coolest = queued
+        .iter()
+        .enumerate()
+        .min_by_key(|&(_, n)| *n)
+        .map(|(q, _)| q)
+        .expect("at least one shard");
+    if queued[coolest] < queued[classified] {
+        (coolest, true)
+    } else {
+        (classified, false)
     }
 }
 
@@ -96,6 +242,8 @@ struct Stats {
     batches: AtomicUsize,
     positions: AtomicUsize,
     coalesced: AtomicUsize,
+    spilled: AtomicUsize,
+    stolen: AtomicUsize,
 }
 
 /// A point-in-time copy of the service counters.
@@ -111,6 +259,12 @@ pub struct StatsSnapshot {
     /// Requests that shared their engine call with at least one other
     /// request.
     pub coalesced: usize,
+    /// Requests routed off their affinity shard by the load-balance
+    /// escape hatch (always 0 with one shard).
+    pub spilled: usize,
+    /// Batches a worker seeded from a shard other than its home
+    /// (always 0 with one shard).
+    pub stolen: usize,
 }
 
 impl StatsSnapshot {
@@ -194,8 +348,13 @@ struct Request<T: Real, O> {
 }
 
 struct State<T: Real, O> {
-    queue: VecDeque<Request<T, O>>,
-    /// Positions admitted but not yet evaluated (queued + coalescing).
+    /// One queue per shard; index 0 is the only queue under FIFO.
+    queues: Vec<VecDeque<Request<T, O>>>,
+    /// Positions currently sitting in each shard queue (drops as soon
+    /// as a worker removes the request) — the router's load signal.
+    queued_positions: Vec<usize>,
+    /// Positions admitted but not yet evaluated (queued + coalescing),
+    /// summed across shards — the backpressure signal.
     pending_positions: usize,
     shutdown: bool,
 }
@@ -207,6 +366,7 @@ struct Shared<T: Real, O> {
     /// Signals submitters: pending positions dropped below the bound.
     space: Condvar,
     cfg: ServiceConfig,
+    router: Router,
     stats: Stats,
 }
 
@@ -235,20 +395,30 @@ where
         assert!(cfg.replicas > 0, "need at least one service replica");
         assert!(cfg.max_batch > 0, "fused batches must hold positions");
         assert!(cfg.queue_positions > 0, "queue bound must be positive");
+        let n_shards = cfg.routing.shards();
+        let router = Router {
+            map: ShardMap::balanced(ROUTER_CELLS * ROUTER_CELLS * ROUTER_CELLS, n_shards),
+            domain: engine.domain(),
+            // A shard is "hot" once it holds more than its fair share
+            // of the queue bound (but never less than one full batch).
+            spill_limit: cfg.max_batch.max(cfg.queue_positions / n_shards),
+        };
         let cell = EngineCell::new(engine);
         let shared = Arc::new(Shared {
             state: Mutex::new(State {
-                queue: VecDeque::new(),
+                queues: (0..n_shards).map(|_| VecDeque::new()).collect(),
+                queued_positions: vec![0; n_shards],
                 pending_positions: 0,
                 shutdown: false,
             }),
             work: Condvar::new(),
             space: Condvar::new(),
             cfg,
+            router,
             stats: Stats::default(),
         });
         let workers = cell
-            .handles(cfg.replicas)
+            .handles_for_domains(cfg.replicas, n_shards)
             .into_iter()
             .map(|replica| {
                 let shared = Arc::clone(&shared);
@@ -277,6 +447,11 @@ where
         self.shared.cfg
     }
 
+    /// The shard-queue count the routing policy resolved to.
+    pub fn n_shards(&self) -> usize {
+        self.shared.router.n_shards()
+    }
+
     /// Point-in-time counters.
     pub fn stats(&self) -> StatsSnapshot {
         let s = &self.shared.stats;
@@ -285,7 +460,50 @@ where
             batches: s.batches.load(Ordering::Relaxed),
             positions: s.positions.load(Ordering::Relaxed),
             coalesced: s.coalesced.load(Ordering::Relaxed),
+            spilled: s.spilled.load(Ordering::Relaxed),
+            stolen: s.stolen.load(Ordering::Relaxed),
         }
+    }
+
+    /// Route the admitted request onto its shard queue (the caller
+    /// holds the lock and has already passed admission control).
+    /// `class` is the pre-lock classification (`None` with one shard).
+    fn enqueue_locked(
+        &self,
+        st: &mut State<T, E::Out>,
+        class: Option<usize>,
+        kernel: Kernel,
+        pos: PosBlock<T>,
+        out: BatchOut<E::Out>,
+        done: &Arc<Done<T, E::Out>>,
+    ) {
+        let (target, spilled) = match class {
+            Some(c) => spill_target(
+                c,
+                pos.len(),
+                &st.queued_positions,
+                self.shared.router.spill_limit,
+            ),
+            None => (0, false),
+        };
+        if spilled {
+            self.shared.stats.spilled.fetch_add(1, Ordering::Relaxed);
+        }
+        st.pending_positions += pos.len();
+        st.queued_positions[target] += pos.len();
+        st.queues[target].push_back(Request {
+            kernel,
+            pos,
+            out: out.into_blocks(),
+            done: Arc::clone(done),
+        });
+        self.shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Classify `pos` outside the state lock (`None` = single shard,
+    /// nothing to decide).
+    fn classify(&self, pos: &PosBlock<T>) -> Option<usize> {
+        (self.shared.router.n_shards() > 1).then(|| self.shared.router.classify(pos))
     }
 
     /// Enqueue `pos` for `kernel`, handing the service the caller's
@@ -306,6 +524,7 @@ where
             done.complete(pos, out, Instant::now());
             return Ticket { done };
         }
+        let class = self.classify(&pos);
         let mut st = lock_recover(&self.shared.state);
         loop {
             assert!(!st.shutdown, "submit on a shut-down SpoService");
@@ -319,14 +538,7 @@ where
             }
             st = self.shared.space.wait(st).unwrap_or_else(PoisonError::into_inner);
         }
-        st.pending_positions += pos.len();
-        st.queue.push_back(Request {
-            kernel,
-            pos,
-            out: out.into_blocks(),
-            done: Arc::clone(&done),
-        });
-        self.shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+        self.enqueue_locked(&mut st, class, kernel, pos, out, &done);
         drop(st);
         self.shared.work.notify_one();
         Ticket { done }
@@ -347,6 +559,7 @@ where
             done.complete(pos, out, Instant::now());
             return Ok(Ticket { done });
         }
+        let class = self.classify(&pos);
         let mut st = lock_recover(&self.shared.state);
         assert!(!st.shutdown, "submit on a shut-down SpoService");
         if st.pending_positions != 0
@@ -354,14 +567,7 @@ where
         {
             return Err((pos, out));
         }
-        st.pending_positions += pos.len();
-        st.queue.push_back(Request {
-            kernel,
-            pos,
-            out: out.into_blocks(),
-            done: Arc::clone(&done),
-        });
-        self.shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+        self.enqueue_locked(&mut st, class, kernel, pos, out, &done);
         drop(st);
         self.shared.work.notify_one();
         Ok(Ticket { done })
@@ -395,38 +601,56 @@ where
 }
 
 /// One service worker: pop → coalesce → evaluate → complete, forever.
+///
+/// With shards, a worker seeds from its replica's home shard queue
+/// first and steals round-robin from the others when home is empty;
+/// the coalescing scan is scoped to the seed's queue, so only
+/// same-shard (spatially adjacent or identical) requests fuse.
 fn worker_loop<T: Real, E: SpoEngine<T>>(
     replica: Replica<E>,
     shared: Arc<Shared<T, E::Out>>,
 ) {
+    let n_shards = shared.router.n_shards();
+    let home = replica.domain() % n_shards;
     // Reused across batches: the fused position block (reserve keeps
     // the splice allocation-free in steady state).
     let mut fused_pos = PosBlock::<T>::new();
     loop {
         let mut st = lock_recover(&shared.state);
-        // Seed a batch with the queue head (or exit once the queue is
-        // drained after shutdown — in-flight work always completes).
-        let first = loop {
-            if let Some(r) = st.queue.pop_front() {
-                break r;
+        // Seed a batch from home, else steal (or exit once every queue
+        // is drained after shutdown — in-flight work always completes).
+        let (from, first) = loop {
+            if let Some(r) = st.queues[home].pop_front() {
+                break (home, r);
+            }
+            let stolen = (1..n_shards).find_map(|off| {
+                let q = (home + off) % n_shards;
+                st.queues[q].pop_front().map(|r| (q, r))
+            });
+            if let Some(hit) = stolen {
+                shared.stats.stolen.fetch_add(1, Ordering::Relaxed);
+                break hit;
             }
             if st.shutdown {
                 return;
             }
             st = shared.work.wait(st).unwrap_or_else(PoisonError::into_inner);
         };
+        st.queued_positions[from] -= first.pos.len();
         let kernel = first.kernel;
         let mut total = first.pos.len();
         let mut batch = vec![first];
         let deadline = Instant::now() + shared.cfg.max_wait;
-        // Coalesce: splice in every queued same-kernel request, waiting
-        // (bounded by max_wait) for more while the batch is partial.
-        // Other kernels stay queued for the next worker.
+        // Coalesce: splice in every same-kernel request queued on the
+        // seed's shard, waiting (bounded by max_wait) for more while
+        // the batch is partial. Other kernels — and other shards —
+        // stay queued for the next worker.
         loop {
             let mut i = 0;
-            while i < st.queue.len() && total < shared.cfg.max_batch {
-                if st.queue[i].kernel == kernel {
-                    let r = st.queue.remove(i).expect("index in bounds");
+            while i < st.queues[from].len() && total < shared.cfg.max_batch {
+                if st.queues[from][i].kernel == kernel {
+                    let r = st.queues[from].remove(i).expect("index in bounds");
+                    st.queued_positions[from] -= r.pos.len();
                     total += r.pos.len();
                     batch.push(r);
                 } else {
@@ -447,8 +671,8 @@ fn worker_loop<T: Real, E: SpoEngine<T>>(
             st = guard;
         }
         // The batch leaves the queue but its positions stay counted
-        // until evaluated, so the backpressure bound covers coalescing
-        // and in-flight work too.
+        // (pending) until evaluated, so the backpressure bound covers
+        // coalescing and in-flight work too.
         st.pending_positions -= total;
         drop(st);
         shared.space.notify_all();
@@ -714,6 +938,7 @@ mod tests {
                 max_batch: 8,
                 max_wait: Duration::from_millis(5),
                 queue_positions: 64,
+                routing: RoutingPolicy::Auto,
             },
         );
         let tickets: Vec<_> = (0..6)
@@ -759,6 +984,7 @@ mod tests {
                 // the second arrives.
                 max_wait: Duration::from_millis(200),
                 queue_positions: 4,
+                routing: RoutingPolicy::Auto,
             },
         );
         let first = service.submit(Kernel::V, block(4, 1), service.engine().make_batch_out(4));
@@ -786,6 +1012,7 @@ mod tests {
                 max_batch: 64,
                 max_wait: Duration::from_millis(50),
                 queue_positions: 1024,
+                routing: RoutingPolicy::Auto,
             },
         );
         let tickets: Vec<_> = (0..8)
@@ -810,6 +1037,142 @@ mod tests {
         service.shutdown();
         let out = service.engine().make_batch_out(1);
         service.submit(Kernel::V, block(1, 0), out);
+    }
+
+    #[test]
+    fn routing_policies_resolve_shard_counts() {
+        let fifo = SpoService::new(
+            soa(8),
+            ServiceConfig {
+                routing: RoutingPolicy::Fifo,
+                ..ServiceConfig::default()
+            },
+        );
+        assert_eq!(fifo.n_shards(), 1);
+        let pinned = SpoService::new(
+            soa(8),
+            ServiceConfig {
+                routing: RoutingPolicy::Affinity { domains: 3 },
+                ..ServiceConfig::default()
+            },
+        );
+        assert_eq!(pinned.n_shards(), 3);
+        // Auto resolves to whatever the host (or QMC_NUMA_DOMAINS)
+        // reports — at least one shard, whatever that is.
+        let auto = SpoService::with_default_config(soa(8));
+        assert!(auto.n_shards() >= 1);
+        assert_eq!(auto.n_shards(), crate::tuning::numa_domains());
+    }
+
+    #[test]
+    fn classification_is_deterministic_and_separates_corners() {
+        let router = Router {
+            map: ShardMap::balanced(ROUTER_CELLS * ROUTER_CELLS * ROUTER_CELLS, 2),
+            domain: [(0.0, 1.0); 3],
+            spill_limit: 1024,
+        };
+        // A block concentrated near the origin owns cell 0 → shard 0;
+        // one at the far corner owns the last cell → shard 1.
+        let mut near = PosBlock::<f32>::new();
+        let mut far = PosBlock::<f32>::new();
+        for i in 0..5 {
+            let eps = 0.01 * i as f32;
+            near.push([0.05 + eps; 3]);
+            far.push([0.95 - eps; 3]);
+        }
+        assert_eq!(router.classify(&near), 0);
+        assert_eq!(router.classify(&far), 1);
+        // Deterministic: the same content classifies identically, even
+        // for a spatially uniform block (hash tie-break path).
+        let uniform = block(32, 7);
+        let shard = router.classify(&uniform);
+        assert!(shard < 2);
+        assert_eq!(router.classify(&uniform), shard);
+        assert_eq!(router.classify(&block(32, 7)), shard);
+    }
+
+    #[test]
+    fn spill_escapes_hot_shard_to_least_loaded() {
+        // Under the limit: stay on the affinity shard.
+        assert_eq!(spill_target(0, 8, &[10, 0], 32), (0, false));
+        // Over the limit with a cooler shard available: spill.
+        assert_eq!(spill_target(0, 8, &[100, 2], 32), (1, true));
+        // Everything hot: the least-loaded still wins.
+        assert_eq!(spill_target(1, 8, &[100, 200], 32), (0, true));
+        // No strictly cooler shard: stay put (never bounce between
+        // equally loaded queues).
+        assert_eq!(spill_target(0, 8, &[50, 50], 32), (0, false));
+    }
+
+    #[test]
+    fn affinity_routed_results_match_direct_batch() {
+        let engine = soa(24);
+        let service = SpoService::new(
+            soa(24),
+            ServiceConfig {
+                replicas: 2,
+                max_batch: 16,
+                max_wait: Duration::from_millis(2),
+                queue_positions: 256,
+                routing: RoutingPolicy::Affinity { domains: 3 },
+            },
+        );
+        let tickets: Vec<_> = (0..9)
+            .map(|i| {
+                // Blocks concentrated in alternating corners exercise
+                // the majority path; uniform ones the hash tie-break.
+                let pos = if i % 3 == 2 {
+                    block(4, 40 + i as u64)
+                } else {
+                    let lo = if i % 2 == 0 { 0.02 } else { 0.7 };
+                    let mut rng = StdRng::seed_from_u64(40 + i as u64);
+                    PosBlock::random(&mut rng, 4, [(lo, lo + 0.2); 3])
+                };
+                let out = service.engine().make_batch_out(4);
+                (pos.clone(), service.submit(Kernel::Vgh, pos, out))
+            })
+            .collect();
+        for (sent, ticket) in tickets {
+            let (pos, out) = ticket.wait();
+            let mut direct = engine.make_batch_out(4);
+            engine.eval_batch(Kernel::Vgh, &sent, &mut direct);
+            for p in 0..4 {
+                assert_eq!(pos.get(p), sent.get(p), "positions round-trip");
+                for n in 0..24 {
+                    assert_eq!(
+                        direct.block(p).value(n),
+                        out.block(p).value(n),
+                        "routed result bit-identical, p={p} n={n}"
+                    );
+                    assert_eq!(
+                        direct.block(p).hessian(n),
+                        out.block(p).hessian(n),
+                        "p={p} n={n}"
+                    );
+                }
+            }
+        }
+        assert_eq!(service.stats().requests, 9);
+    }
+
+    #[test]
+    fn single_shard_affinity_never_spills_or_steals() {
+        let service = SpoService::new(
+            soa(8),
+            ServiceConfig {
+                routing: RoutingPolicy::Affinity { domains: 1 },
+                ..ServiceConfig::default()
+            },
+        );
+        for i in 0..6 {
+            let pos = block(3, i);
+            let out = service.engine().make_batch_out(3);
+            service.submit(Kernel::V, pos, out).wait();
+        }
+        let stats = service.stats();
+        assert_eq!(stats.spilled, 0);
+        assert_eq!(stats.stolen, 0);
+        assert_eq!(stats.requests, 6);
     }
 
     #[test]

@@ -65,6 +65,9 @@ const FALLBACK_L2: usize = 1 << 20;
 /// Fallback shared-LLC size when sysfs is unreadable (bytes).
 const FALLBACK_L3: usize = 32 << 20;
 
+/// The live sysfs root the cache and NUMA probes read under.
+const SYSFS_ROOT: &str = "/sys/devices/system";
+
 /// Parse a sysfs cache-size string (`"2048K"`, `"260M"`).
 fn parse_cache_size(s: &str) -> Option<usize> {
     let s = s.trim();
@@ -77,9 +80,17 @@ fn parse_cache_size(s: &str) -> Option<usize> {
     digits.trim().parse::<usize>().ok().map(|v| v * mult)
 }
 
-fn read_cache_size(index: usize) -> Option<usize> {
-    let path = format!("/sys/devices/system/cpu/cpu0/cache/index{index}/size");
+/// Read `<root>/cpu/cpu0/cache/index{index}/size` — the injectable-root
+/// core of [`read_cache_size`], unit-testable against fixture trees
+/// (missing files and garbage sizes both yield `None`, so the callers'
+/// fallbacks apply).
+fn read_cache_size_at(root: &std::path::Path, index: usize) -> Option<usize> {
+    let path = root.join(format!("cpu/cpu0/cache/index{index}/size"));
     parse_cache_size(&std::fs::read_to_string(path).ok()?)
+}
+
+fn read_cache_size(index: usize) -> Option<usize> {
+    read_cache_size_at(std::path::Path::new(SYSFS_ROOT), index)
 }
 
 /// The three block-budget candidates of the paper's sizing story:
@@ -102,9 +113,21 @@ impl BlockBudgets {
     /// worker count from `rayon::current_num_threads()` (which honors
     /// `QMC_THREADS`, so tuning runs are pinnable).
     pub fn detect(table_bytes: usize) -> Self {
-        let l2 = read_cache_size(2).unwrap_or(FALLBACK_L2);
-        let l3 = read_cache_size(3).unwrap_or(FALLBACK_L3);
-        let cores = rayon::current_num_threads().max(1);
+        Self::detect_at(
+            std::path::Path::new(SYSFS_ROOT),
+            table_bytes,
+            rayon::current_num_threads(),
+        )
+    }
+
+    /// The injectable-root core of [`BlockBudgets::detect`]: read the
+    /// cache sizes under `root` (a sysfs tree or a test fixture) and
+    /// divide the LLC among `workers`. Missing or unparsable size files
+    /// fall back exactly as the live path does.
+    pub fn detect_at(root: &std::path::Path, table_bytes: usize, workers: usize) -> Self {
+        let l2 = read_cache_size_at(root, 2).unwrap_or(FALLBACK_L2);
+        let l3 = read_cache_size_at(root, 3).unwrap_or(FALLBACK_L3);
+        let cores = workers.max(1);
         Self {
             l2: l2.max(1),
             l3_per_core: (l3 / cores).max(1),
@@ -116,6 +139,57 @@ impl BlockBudgets {
     pub fn candidates(&self) -> [usize; 3] {
         [self.l2, self.l3_per_core, self.whole_table]
     }
+}
+
+// ---------------------------------------------------------------------------
+// NUMA-domain detection (the sharding counterpart of the cache probes
+// above; consumed by the service router's shard resolution).
+
+/// Count the memory domains under `<root>/node` (`node0`, `node1`, …) —
+/// the injectable-root core of [`numa_domains`], unit-testable against
+/// fixture trees. A missing or empty node directory reads as one
+/// domain (UMA / off-Linux).
+pub fn numa_domains_at(root: &std::path::Path) -> usize {
+    let Ok(entries) = std::fs::read_dir(root.join("node")) else {
+        return 1;
+    };
+    entries
+        .filter_map(|e| e.ok())
+        .filter(|e| {
+            let name = e.file_name();
+            let name = name.to_string_lossy();
+            name.strip_prefix("node").is_some_and(|rest| {
+                !rest.is_empty() && rest.bytes().all(|b| b.is_ascii_digit())
+            })
+        })
+        .count()
+        .max(1)
+}
+
+/// Strict parse of a `QMC_NUMA_DOMAINS` override: a positive decimal
+/// domain count. Garbage or zero panics naming the variable (the same
+/// contract as the rayon stub's `QMC_THREADS`) — a silently ignored
+/// typo would fall back to single-domain FIFO routing and quietly
+/// invalidate a routed measurement.
+fn parse_numa_domains(raw: &str) -> usize {
+    match raw.trim().parse::<usize>() {
+        Ok(0) => panic!("QMC_NUMA_DOMAINS must be at least 1, got 0"),
+        Ok(n) => n,
+        Err(_) => panic!("QMC_NUMA_DOMAINS must be a positive integer, got {raw:?}"),
+    }
+}
+
+/// The NUMA-domain count shard routing resolves against:
+/// `QMC_NUMA_DOMAINS` when set (strictly parsed, so multi-domain
+/// routing is exercisable on a single-domain host), else the sysfs
+/// node count (`/sys/devices/system/node/node*`), else 1. Cached for
+/// the process lifetime like the rayon stub's thread count.
+pub fn numa_domains() -> usize {
+    static DOMAINS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *DOMAINS.get_or_init(|| match std::env::var("QMC_NUMA_DOMAINS") {
+        Ok(raw) => parse_numa_domains(&raw),
+        Err(_) => numa_domains_at(std::path::Path::new(SYSFS_ROOT)),
+    })
 }
 
 /// Outcome of a block-budget sweep.
@@ -559,6 +633,113 @@ mod tests {
         assert_eq!(parse_cache_size("1G"), Some(1 << 30));
         assert_eq!(parse_cache_size("512"), Some(512));
         assert_eq!(parse_cache_size("x"), None);
+        // Suffix variants sysfs trees show in the wild: lower-case,
+        // surrounding whitespace, and non-suffix garbage.
+        assert_eq!(parse_cache_size("64k"), Some(64 << 10));
+        assert_eq!(parse_cache_size(" 3072K \n"), Some(3 << 20));
+        assert_eq!(parse_cache_size("2048KB"), None);
+        assert_eq!(parse_cache_size("lots"), None);
+        assert_eq!(parse_cache_size(""), None);
+        assert_eq!(parse_cache_size("-1K"), None);
+    }
+
+    /// Build a throwaway sysfs-shaped fixture tree; each test gets its
+    /// own directory so parallel test threads never collide.
+    fn fixture_root(tag: &str) -> std::path::PathBuf {
+        let root = std::env::temp_dir().join(format!(
+            "qmc-tuning-fixture-{}-{tag}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(&root).expect("create fixture root");
+        root
+    }
+
+    fn write_fixture(root: &std::path::Path, rel: &str, contents: &str) {
+        let path = root.join(rel);
+        std::fs::create_dir_all(path.parent().expect("fixture file has a parent"))
+            .expect("create fixture dirs");
+        std::fs::write(path, contents).expect("write fixture file");
+    }
+
+    #[test]
+    fn detect_reads_a_well_formed_fixture_tree() {
+        let root = fixture_root("well-formed");
+        write_fixture(&root, "cpu/cpu0/cache/index2/size", "2048K\n");
+        write_fixture(&root, "cpu/cpu0/cache/index3/size", "105M\n");
+        let b = BlockBudgets::detect_at(&root, 1 << 30, 4);
+        assert_eq!(b.l2, 2 << 20);
+        assert_eq!(b.l3_per_core, (105 << 20) / 4);
+        assert_eq!(b.whole_table, 1 << 30);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn detect_falls_back_on_missing_files() {
+        let root = fixture_root("missing");
+        // index2 exists, index3 does not: L2 parsed, LLC falls back.
+        write_fixture(&root, "cpu/cpu0/cache/index2/size", "512K");
+        let b = BlockBudgets::detect_at(&root, 4096, 1);
+        assert_eq!(b.l2, 512 << 10);
+        assert_eq!(b.l3_per_core, FALLBACK_L3);
+        // An entirely absent tree falls back on both levels.
+        let b = BlockBudgets::detect_at(&root.join("no-such-subtree"), 4096, 1);
+        assert_eq!(b.l2, FALLBACK_L2);
+        assert_eq!(b.l3_per_core, FALLBACK_L3);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn detect_falls_back_on_garbage_sizes() {
+        let root = fixture_root("garbage");
+        write_fixture(&root, "cpu/cpu0/cache/index2/size", "lots\n");
+        write_fixture(&root, "cpu/cpu0/cache/index3/size", "64QB");
+        let b = BlockBudgets::detect_at(&root, 4096, 2);
+        assert_eq!(b.l2, FALLBACK_L2);
+        assert_eq!(b.l3_per_core, FALLBACK_L3 / 2);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn numa_domains_counts_node_dirs() {
+        let root = fixture_root("numa");
+        for d in ["node/node0", "node/node1", "node/node12"] {
+            std::fs::create_dir_all(root.join(d)).expect("node dir");
+        }
+        // Non-node entries are ignored: files, other names, bare "node".
+        std::fs::create_dir_all(root.join("node/possible")).expect("dir");
+        std::fs::create_dir_all(root.join("node/nodeX")).expect("dir");
+        write_fixture(&root, "node/online", "0-2\n");
+        assert_eq!(numa_domains_at(&root), 3);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn numa_domains_missing_tree_is_single_domain() {
+        let root = fixture_root("numa-missing");
+        assert_eq!(numa_domains_at(&root), 1);
+        // An empty node dir also reads as UMA.
+        std::fs::create_dir_all(root.join("node")).expect("dir");
+        assert_eq!(numa_domains_at(&root), 1);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn numa_override_parses_strictly() {
+        assert_eq!(parse_numa_domains("2"), 2);
+        assert_eq!(parse_numa_domains(" 8\n"), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "QMC_NUMA_DOMAINS must be a positive integer")]
+    fn numa_override_rejects_garbage() {
+        parse_numa_domains("two");
+    }
+
+    #[test]
+    #[should_panic(expected = "QMC_NUMA_DOMAINS must be at least 1")]
+    fn numa_override_rejects_zero() {
+        parse_numa_domains("0");
     }
 
     #[test]

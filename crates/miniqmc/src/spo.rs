@@ -543,6 +543,7 @@ mod tests {
                 max_batch: 8,
                 max_wait: Duration::from_micros(50),
                 queue_positions: 64,
+                ..ServiceConfig::default()
             },
         );
         let rs: Vec<[f64; 3]> = [[0.11, 0.42, 0.83], [0.57, 0.24, 0.39], [0.91, 0.66, 0.05]]

@@ -1,0 +1,70 @@
+//! Quick probe for the routed-vs-FIFO ablation (dev tool).
+
+use bspline::service::{RoutingPolicy, ServiceConfig};
+use bspline::Kernel;
+use qmc_bench::workload::batch_size;
+use qmc_bench::{coefficients, measure_routed_ablation, ServiceLoadConfig};
+use std::time::Duration;
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&v| v > 0)
+        .unwrap_or(default)
+}
+
+fn main() {
+    let n = env_usize("PROBE_N", 2048);
+    let domains = env_usize("PROBE_DOMAINS", 8);
+    let ppr = env_usize("PROBE_PPR", 8);
+    let pipeline = env_usize("PROBE_PIPELINE", 8);
+    let distinct = env_usize("PROBE_DISTINCT", 2);
+    let submitters = env_usize("PROBE_SUBMITTERS", 4);
+    let max_batch = env_usize("PROBE_MAX_BATCH", 2 * batch_size());
+    let reqs = env_usize("PROBE_REQS", 32);
+    let reps = env_usize("PROBE_REPS", 3);
+    let table = coefficients(n, (32, 32, 32), 77);
+    eprintln!(
+        "probe: N={n} domains={domains} ppr={ppr} pipeline={pipeline} distinct={distinct} \
+         submitters={submitters} max_batch={max_batch} table={} MB",
+        table.bytes() / (1 << 20)
+    );
+    let base = ServiceConfig {
+        replicas: env_usize("PROBE_REPLICAS", 1),
+        max_batch,
+        max_wait: Duration::from_micros(200),
+        queue_positions: 4096,
+        routing: RoutingPolicy::Fifo,
+    };
+    let load = ServiceLoadConfig {
+        submitters,
+        requests_per_submitter: reqs,
+        positions_per_request: ppr,
+        offered_rps: None,
+        pipeline,
+        distinct_blocks: distinct,
+        reps,
+        seed: 0xd15c,
+    };
+    let a = measure_routed_ablation(&table, Kernel::Vgh, base, domains, &load);
+    println!(
+        "fifo     {:8.2} M-evals/s  p50/p95/p99 {:6.0}/{:6.0}/{:6.0} µs  mean-batch {:.1}",
+        a.fifo.evals_per_sec / 1e6,
+        a.fifo.p50_us,
+        a.fifo.p95_us,
+        a.fifo.p99_us,
+        a.fifo.mean_batch_positions
+    );
+    println!(
+        "affinity {:8.2} M-evals/s  p50/p95/p99 {:6.0}/{:6.0}/{:6.0} µs  mean-batch {:.1}  spilled {}  stolen {}",
+        a.routed.evals_per_sec / 1e6,
+        a.routed.p50_us,
+        a.routed.p95_us,
+        a.routed.p99_us,
+        a.routed.mean_batch_positions,
+        a.spilled,
+        a.stolen
+    );
+    println!("speedup  {:.3}x", a.speedup());
+}

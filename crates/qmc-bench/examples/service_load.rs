@@ -26,9 +26,12 @@
 //! * `QMC_SERVICE_DISTINCT` — distinct position blocks per submitter
 //!   (default 2; 0 streams fresh random positions every request —
 //!   expect a bandwidth-bound ceiling well under the closed-loop
-//!   reference, which re-evaluates a cache-resident position set).
+//!   reference, which re-evaluates a cache-resident position set);
+//! * `QMC_SERVICE_ROUTING` — `fifo` (single queue, the default) or
+//!   `affinity` (shard queues with block-affinity routing; shard count
+//!   from `QMC_NUMA_DOMAINS` or the host's NUMA topology).
 
-use bspline::service::{ServiceConfig, SpoService};
+use bspline::service::{RoutingPolicy, ServiceConfig, SpoService};
 use bspline::{BsplineSoA, Kernel};
 use qmc_bench::workload::{batch_size, is_quick};
 use qmc_bench::{
@@ -64,6 +67,11 @@ fn main() {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(2);
+    let routing = match std::env::var("QMC_SERVICE_ROUTING").as_deref() {
+        Err(_) | Ok("fifo") => RoutingPolicy::Fifo,
+        Ok("affinity") => RoutingPolicy::Auto,
+        Ok(other) => panic!("QMC_SERVICE_ROUTING must be fifo or affinity, got {other:?}"),
+    };
     let table = coefficients(n, grid, 7);
 
     // Closed-loop reference: the direct batched VGH call the service
@@ -84,11 +92,13 @@ fn main() {
             max_batch,
             max_wait: Duration::from_micros(200),
             queue_positions: 4096,
+            routing,
         },
     );
     println!(
         "SoA f32 N={n} grid={grid:?}  replicas={replicas} max_batch={max_batch} \
-         positions/request={ppr} submitters={submitters}"
+         positions/request={ppr} submitters={submitters} shards={}",
+        service.n_shards()
     );
     println!("closed-loop batched VGH reference: {:.2} M-evals/s", closed / 1e6);
 

@@ -34,10 +34,21 @@
 //!   scalar `v`+`vgl` comparator) with per-move latency percentiles in
 //!   the same `p50/p95/p99` columns (µs); the printed fast-path ratio
 //!   (pair vs legacy, per *move*) is the tentpole acceptance statistic
-//!   (bar: ≥ 1.5x). Older files stay readable (pre-v4 rows imply
+//!   (bar: ≥ 1.5x). Schema v7 adds the shard-routing rows: a
+//!   routed-vs-FIFO ablation on the streaming `distinct_blocks` VGH
+//!   workload at a table larger than the LLC
+//!   (`service_routed_fifo_n…` vs `service_routed_affinity_n…`, same
+//!   engines and load, differing only in
+//!   `bspline::service::RoutingPolicy` — the printed affinity ratio
+//!   bar is ≥ 1.15x at saturation) and the mixed-load per-move SLO row
+//!   (`service_onemove_n…`: single-position submissions issued
+//!   closed-loop while background submitters keep pipelined batched
+//!   traffic in flight; the latency columns carry the per-move
+//!   percentiles). Older files stay readable (pre-v4 rows imply
 //!   `blocks = threads = 1`; pre-v5 rows carry no latency and are
 //!   gated on throughput only; pre-v6 files simply lack the onemove
-//!   rows, which go ungated until re-recorded).
+//!   rows and pre-v7 files the routing rows, which go ungated until
+//!   re-recorded).
 //!
 //!   `cargo run --release -p qmc-bench --bin baseline [-- out.json]`
 //!
@@ -71,15 +82,16 @@
 //! *localized, reproducible* deficit instead.
 
 use bspline::precision::MixedEngine;
-use bspline::service::{ServiceConfig, SpoService};
+use bspline::service::{RoutingPolicy, ServiceConfig, SpoService};
 use bspline::simd::{with_backend, Backend};
 use bspline::{BsplineAoS, BsplineAoSoA, BsplineSoA, Kernel};
 use bspline::blocked::BlockedEngine;
 use qmc_bench::workload::{batch_size, coefficients_in, is_quick};
 use qmc_bench::{
     coefficients, measure_kernel, measure_kernel_batched, measure_nested_blocked,
-    measure_nested_monolithic, measure_onemove, measure_service, measure_tile_major,
-    MeasureConfig, NestedConfig, OneMoveConfig, OneMovePath, OneMoveStats,
+    measure_nested_monolithic, measure_onemove, measure_routed_ablation,
+    measure_service, measure_service_onemove_mixed, measure_tile_major, MeasureConfig,
+    MixedOneMoveConfig, NestedConfig, OneMoveConfig, OneMovePath, OneMoveStats,
     ServiceLoadConfig, Table,
 };
 use std::fmt::Write as _;
@@ -376,11 +388,15 @@ fn measure_all() -> Vec<Row> {
     // bar is met by amortizing it over a deeper batch. The submitters'
     // combined in-flight positions (submitters × pipeline ×
     // positions_per_request) exactly fill one fused batch.
+    // Routing pinned to FIFO: this row is the pre-routing saturation
+    // baseline and must not shift with the host's NUMA topology (the
+    // routed ablation rows carry the affinity numbers).
     let svc_cfg = ServiceConfig {
         replicas: svc_replicas,
         max_batch: 4 * batch_size(),
         max_wait: Duration::from_micros(200),
         queue_positions: 4096,
+        routing: RoutingPolicy::Fifo,
     };
     // pipeline = 4: 4 submitters × 4 in-flight × (batch_size/2)
     // positions keeps two fused batches outstanding — enough to keep
@@ -497,6 +513,105 @@ fn measure_all() -> Vec<Row> {
         }));
         eprintln!("onemove N={n8} done");
     }
+
+    // Shard-routing rows (schema v7): routed-vs-FIFO ablation on the
+    // streaming `distinct_blocks` VGH workload at a table bigger than
+    // the LLC (N=2048 at grid 32³ is ~340 MB of f32 coefficients
+    // against a ~105 MB LLC on the reference host), where *which*
+    // requests a fused batch groups decides whether coefficient lines
+    // are re-read from cache or DRAM. Both services are built from the
+    // same table and run the identical load; only the routing policy
+    // differs. Affinity shards the queue by table region (identical
+    // blocks always classify to one shard), so a worker's fused batch
+    // holds spatially-clustered copies instead of a FIFO interleave of
+    // every submitter's region — the bar is ≥ 1.15x throughput over
+    // FIFO at saturation.
+    let routed_n = if quick { 128 } else { 2048 };
+    let routed_table = coefficients(routed_n, grid, 77);
+    let routed_base = ServiceConfig {
+        replicas: svc_replicas,
+        max_batch: 2 * batch_size(),
+        max_wait: Duration::from_micros(200),
+        queue_positions: 4096,
+        routing: RoutingPolicy::Fifo, // overridden per service inside the ablation
+    };
+    let routed_load = ServiceLoadConfig {
+        submitters: 4,
+        requests_per_submitter: if quick { 16 } else { 32 },
+        positions_per_request: 8,
+        offered_rps: None,
+        pipeline: 8,
+        // 2 distinct blocks per submitter with a deep pipeline keeps
+        // several copies of each block in flight at once: affinity
+        // routes all copies of a block to one shard queue where the
+        // coalescer fuses them adjacently.
+        distinct_blocks: 2,
+        reps: 3,
+        seed: 0xd15c,
+    };
+    let routed_domains = 8;
+    {
+        let run = || {
+            let a = measure_routed_ablation(
+                &routed_table,
+                Kernel::Vgh,
+                routed_base,
+                routed_domains,
+                &routed_load,
+            );
+            (a.fifo, a.routed)
+        };
+        let (scalar_fifo, scalar_aff) = with_backend(Backend::Scalar, run);
+        let (fifo, aff) = run();
+        for (tag, s, p) in [
+            ("fifo", scalar_fifo, fifo),
+            ("affinity", scalar_aff, aff),
+        ] {
+            rows.push(Row {
+                name: format!("service_routed_{tag}_n{routed_n}"),
+                precision: "f32".into(),
+                blocks: 1,
+                threads: svc_replicas,
+                scalar: s.evals_per_sec,
+                simd: p.evals_per_sec,
+                lat: Some([p.p50_us, p.p95_us, p.p99_us]),
+            });
+        }
+        eprintln!("service routed ablation N={routed_n} done");
+    }
+    drop(routed_table);
+
+    // Mixed-load per-move SLO row (schema v7): single-position
+    // submissions issued closed-loop against the fig8-N FIFO service
+    // while background submitters keep pipelined batched traffic in
+    // flight — the per-move p99 a QMC driver mixing sweep batches with
+    // propose/accept singles actually sees. Latency columns carry the
+    // per-move percentiles (µs); throughput is the foreground stream's.
+    {
+        let mixed_cfg = MixedOneMoveConfig {
+            submitters: 2,
+            positions_per_request: batch_size() / 2,
+            pipeline: 2,
+            distinct_blocks: 2,
+            moves: if quick { 64 } else { 256 },
+            reps: 3,
+            seed: 0x10e5,
+        };
+        rows.push(ab_service(
+            format!("service_onemove_n{n8}"),
+            "f32",
+            svc_replicas,
+            || {
+                let svc = SpoService::new(BsplineSoA::new(table8.clone()), svc_cfg);
+                let m = measure_service_onemove_mixed(&svc, Kernel::Vgh, &mixed_cfg);
+                (
+                    m.moves_per_sec * n8 as f64,
+                    [m.p50_us, m.p95_us, m.p99_us],
+                )
+            },
+        ));
+        eprintln!("service onemove mixed N={n8} done");
+    }
     rows
 }
 
@@ -509,16 +624,23 @@ fn measure_all() -> Vec<Row> {
 /// cross-precision ratios honest — per-precision rows are measured
 /// minutes apart, and pinning each to its peak decorrelates them from
 /// transient dips.
-fn measure_committed() -> (Vec<Row>, Option<ServiceRatio>, Option<OneMoveRatio>) {
+#[allow(clippy::type_complexity)]
+fn measure_committed() -> (
+    Vec<Row>,
+    Option<ServiceRatio>,
+    Option<OneMoveRatio>,
+    Option<RoutedRatio>,
+) {
     let mut rows = measure_all();
     let mut ratio = service_ratio(&rows);
     let mut om_ratio = onemove_ratio(&rows);
+    let mut rt_ratio = routed_ratio(&rows);
     eprintln!("second record pass (committing the per-row best)");
     let second = measure_all();
-    // The saturation and fast-path ratios are taken within a single
-    // pass (each pair of rows is measured back-to-back there) — merging
-    // rows first would pair maxima from *different* host regimes and
-    // understate the mechanism on a drifting machine.
+    // The saturation, fast-path, and routing ratios are taken within a
+    // single pass (each pair of rows is measured back-to-back there) —
+    // merging rows first would pair maxima from *different* host
+    // regimes and understate the mechanism on a drifting machine.
     ratio = match (ratio, service_ratio(&second)) {
         (Some(a), Some(b)) => Some(if b.simd > a.simd { b } else { a }),
         (a, b) => a.or(b),
@@ -527,17 +649,39 @@ fn measure_committed() -> (Vec<Row>, Option<ServiceRatio>, Option<OneMoveRatio>)
         (Some(a), Some(b)) => Some(if b.simd > a.simd { b } else { a }),
         (a, b) => a.or(b),
     };
+    rt_ratio = match (rt_ratio, routed_ratio(&second)) {
+        (Some(a), Some(b)) => Some(if b.simd > a.simd { b } else { a }),
+        (a, b) => a.or(b),
+    };
     for (a, b) in rows.iter_mut().zip(second) {
         debug_assert_eq!((&a.name, &a.precision), (&b.name, &b.precision));
-        merge_best(a, &b);
+        merge_recorded(a, &b);
     }
-    (rows, ratio, om_ratio)
+    (rows, ratio, om_ratio, rt_ratio)
 }
 
-/// Keep the better of two measurement passes in `a`: max throughput
-/// per column, min latency per percentile (both are the "peak of the
-/// machine" statistic — host noise only ever slows a pass down or
-/// stretches its tail).
+/// Merge two *record* passes into the committed row: max throughput
+/// per column (peak of the machine — noise only slows a pass down)
+/// but the **max** of each latency percentile. Latency is gated as
+/// `old/new < floor` against a future single measurement's tail, so
+/// committing the *luckiest* tail of two passes would arm a gate that
+/// typical runs cannot pass; the conservative tail still catches a
+/// real regression, which reproduces above it.
+fn merge_recorded(a: &mut Row, b: &Row) {
+    a.scalar = a.scalar.max(b.scalar);
+    a.simd = a.simd.max(b.simd);
+    a.lat = match (a.lat, b.lat) {
+        (Some(x), Some(y)) => {
+            Some([x[0].max(y[0]), x[1].max(y[1]), x[2].max(y[2])])
+        }
+        (x, y) => x.or(y),
+    };
+}
+
+/// Merge the *compare*-side retry pass into the measured row: max
+/// throughput and min latency per percentile — the forgiving
+/// direction, since the retry exists to rule out transient host noise
+/// (a real regression fails both passes).
 fn merge_best(a: &mut Row, b: &Row) {
     a.scalar = a.scalar.max(b.scalar);
     a.simd = a.simd.max(b.simd);
@@ -657,6 +801,43 @@ fn onemove_ratio(rows: &[Row]) -> Option<OneMoveRatio> {
     })
 }
 
+/// The shard-routing acceptance statistic: affinity-routed saturation
+/// throughput over the FIFO service on the identical streaming
+/// workload (both rows measured back-to-back in one pass).
+struct RoutedRatio {
+    n: String,
+    simd: f64,
+    scalar: f64,
+}
+
+/// Extract the affinity-vs-FIFO ratio from one pass's rows. `None` for
+/// pre-v7 row sets.
+fn routed_ratio(rows: &[Row]) -> Option<RoutedRatio> {
+    let aff = rows
+        .iter()
+        .find(|r| r.name.starts_with("service_routed_affinity_n"))?;
+    let (_, n) = aff.name.rsplit_once("_n")?;
+    let fifo_name = format!("service_routed_fifo_n{n}");
+    let fifo = rows
+        .iter()
+        .find(|r| r.name == fifo_name && r.precision == "f32")?;
+    Some(RoutedRatio {
+        n: n.to_string(),
+        simd: aff.simd / fifo.simd.max(1.0),
+        scalar: aff.scalar / fifo.scalar.max(1.0),
+    })
+}
+
+/// Record-mode summary line for the shard-routing acceptance bar.
+fn print_routed_ratio(r: &RoutedRatio) {
+    println!(
+        "shard routing: affinity vs FIFO at saturation on the streaming \
+         distinct-blocks VGH workload (SoA f32, N={}): {:.2}x simd, {:.2}x scalar \
+         (best time-aligned pass; bar: >= 1.15x simd)",
+        r.n, r.simd, r.scalar,
+    );
+}
+
 /// Record-mode summary line for the fast-path acceptance bar.
 fn print_onemove_ratio(r: &OneMoveRatio) {
     println!(
@@ -678,7 +859,7 @@ fn write_json(rows: &[Row], out_path: &str) {
         .collect();
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"schema\": \"qmc-bench-baseline-v6\",\n");
+    json.push_str("  \"schema\": \"qmc-bench-baseline-v7\",\n");
     let _ = writeln!(
         json,
         "  \"host\": {{ \"cpu\": {:?}, \"threads\": {threads} }},",
@@ -746,10 +927,10 @@ struct Baseline {
 /// throughput only; pre-v6 files lack the `onemove_…` rows, which are
 /// simply not gated until the baseline is re-recorded.
 fn parse_baseline(text: &str) -> Result<Baseline, String> {
-    let known = (2..=6).any(|v| text.contains(&format!("qmc-bench-baseline-v{v}")));
+    let known = (2..=7).any(|v| text.contains(&format!("qmc-bench-baseline-v{v}")));
     if !known {
         return Err(
-            "baseline file is not schema v2–v6 — re-record it first".into(),
+            "baseline file is not schema v2–v7 — re-record it first".into(),
         );
     }
     let v2 = text.contains("qmc-bench-baseline-v2");
@@ -981,13 +1162,16 @@ fn compare(baseline_path: &str) -> ExitCode {
 }
 
 fn record(out_path: &str) -> ExitCode {
-    let (rows, ratio, om_ratio) = measure_committed();
+    let (rows, ratio, om_ratio, rt_ratio) = measure_committed();
     print_rows(&rows);
     if let Some(r) = &ratio {
         print_service_ratio(r);
     }
     if let Some(r) = &om_ratio {
         print_onemove_ratio(r);
+    }
+    if let Some(r) = &rt_ratio {
+        print_routed_ratio(r);
     }
     write_json(&rows, out_path);
     ExitCode::SUCCESS
@@ -1010,7 +1194,7 @@ mod tests {
     use super::*;
 
     #[test]
-    fn v6_rows_roundtrip_through_writer_and_parser() {
+    fn v7_rows_roundtrip_through_writer_and_parser() {
         let rows = vec![
             Row {
                 name: "fig9_vgh_nested_blocked_n512".into(),
@@ -1039,14 +1223,23 @@ mod tests {
                 simd: 24.0e6,
                 lat: Some([4.5, 7.0, 11.25]),
             },
+            Row {
+                name: "service_routed_affinity_n2048".into(),
+                precision: "f32".into(),
+                blocks: 1,
+                threads: 2,
+                scalar: 1.5e6,
+                simd: 30.0e6,
+                lat: Some([210.0, 650.0, 980.5]),
+            },
         ];
-        let tmp = std::env::temp_dir().join("qmc-baseline-v6-roundtrip.json");
+        let tmp = std::env::temp_dir().join("qmc-baseline-v7-roundtrip.json");
         write_json(&rows, tmp.to_str().unwrap());
         let text = std::fs::read_to_string(&tmp).unwrap();
-        assert!(text.contains("qmc-bench-baseline-v6"));
-        let parsed = parse_baseline(&text).expect("v6 parses");
+        assert!(text.contains("qmc-bench-baseline-v7"));
+        let parsed = parse_baseline(&text).expect("v7 parses");
         assert!(!parsed.v2);
-        assert_eq!(parsed.rows.len(), 3);
+        assert_eq!(parsed.rows.len(), 4);
         assert_eq!(parsed.rows[0].blocks, 7);
         assert_eq!(parsed.rows[0].threads, 4);
         assert_eq!(parsed.rows[0].lat, None);
@@ -1060,9 +1253,82 @@ mod tests {
         let om = parsed.rows[2].lat.expect("onemove row keeps latency");
         assert!((om[0] - 4.5).abs() < 0.05);
         assert!((om[2] - 11.25).abs() < 0.1);
+        // Routed rows round-trip like any other service row.
+        let rt = parsed.rows[3].lat.expect("routed row keeps latency");
+        assert!((rt[2] - 980.5).abs() < 0.1);
         // mops() rounds to 2 decimals of M-evals/s.
         assert!((parsed.rows[0].simd - 14.5e6).abs() < 1e4);
         let _ = std::fs::remove_file(tmp);
+    }
+
+    #[test]
+    fn routed_ratio_pairs_affinity_with_fifo() {
+        let mk = |name: &str, scalar: f64, simd: f64| Row {
+            name: name.into(),
+            precision: "f32".into(),
+            blocks: 1,
+            threads: 2,
+            scalar,
+            simd,
+            lat: Some([1.0, 2.0, 3.0]),
+        };
+        let rows = vec![
+            mk("service_routed_fifo_n2048", 1.0e6, 20.0e6),
+            mk("service_routed_affinity_n2048", 1.1e6, 30.0e6),
+        ];
+        let r = routed_ratio(&rows).expect("both rows present");
+        assert_eq!(r.n, "2048");
+        assert!((r.simd - 1.5).abs() < 1e-12);
+        assert!((r.scalar - 1.1).abs() < 1e-12);
+        // FIFO-only rows: no ratio (pre-v7 shape).
+        assert!(routed_ratio(&rows[..1]).is_none());
+    }
+
+    #[test]
+    fn record_merge_keeps_conservative_tail_compare_merge_forgives_it() {
+        let mk = |simd: f64, lat: [f64; 3]| Row {
+            name: "svc".into(),
+            precision: "f32".into(),
+            blocks: 1,
+            threads: 1,
+            scalar: 1.0,
+            simd,
+            lat: Some(lat),
+        };
+        // Both merges keep the max throughput; they differ on latency:
+        // record commits the worst tail seen (a future single run can
+        // meet it), the compare retry keeps the best (noise forgiven).
+        let mut rec = mk(10.0, [5.0, 9.0, 40.0]);
+        merge_recorded(&mut rec, &mk(12.0, [4.0, 11.0, 18.0]));
+        assert_eq!(rec.simd, 12.0);
+        assert_eq!(rec.lat, Some([5.0, 11.0, 40.0]));
+        let mut cmp = mk(10.0, [5.0, 9.0, 40.0]);
+        merge_best(&mut cmp, &mk(12.0, [4.0, 11.0, 18.0]));
+        assert_eq!(cmp.simd, 12.0);
+        assert_eq!(cmp.lat, Some([4.0, 9.0, 18.0]));
+        // A latency-less pass (closed-loop row) leaves the other side.
+        let mut one = mk(1.0, [1.0, 2.0, 3.0]);
+        let mut bare = mk(1.0, [0.0; 3]);
+        bare.lat = None;
+        merge_recorded(&mut one, &bare);
+        assert_eq!(one.lat, Some([1.0, 2.0, 3.0]));
+    }
+
+    #[test]
+    fn v6_files_stay_readable_without_routing_rows() {
+        let v6 = r#"{
+  "schema": "qmc-bench-baseline-v6",
+  "simd": { "active": "avx2", "available": ["scalar", "avx2"] },
+  "kernels": [
+    { "name": "onemove_vgl_soa_n512", "precision": "f32", "blocks": 1, "threads": 1, "scalar": 3.00, "simd": 24.00, "p50_us": 4.5, "p95_us": 7.0, "p99_us": 11.2 }
+  ]
+}"#;
+        let parsed = parse_baseline(v6).expect("v6 parses");
+        assert!(!parsed.v2);
+        assert_eq!(parsed.rows.len(), 1);
+        // No routing rows in the file → the affinity gate is simply
+        // absent until re-recorded.
+        assert!(routed_ratio(&parsed.rows).is_none());
     }
 
     #[test]

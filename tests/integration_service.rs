@@ -22,9 +22,16 @@
 //!    size ≥ length, and the positive-size contract;
 //! 5. a proptest partition property: any chunking of any position
 //!    block, pipelined through the service, reassembles to the direct
-//!    batch.
+//!    batch;
+//! 6. routing invariants (ISSUE 8): under any [`RoutingPolicy`] —
+//!    FIFO, single-domain affinity (the fallback), or multi-shard
+//!    affinity — every routing decision (majority classification,
+//!    content-hash tie-break, spill, steal) only picks *which queue*
+//!    a request waits in, so results stay bit-identical to the direct
+//!    batch even for spatially-concentrated blocks that all classify
+//!    to one hot shard.
 
-use bspline::service::{ServiceConfig, SpoService};
+use bspline::service::{RoutingPolicy, ServiceConfig, SpoService};
 use bspline::{BsplineSoA, Kernel, PosBlock, SpoEngine, WalkerSoA};
 use einspline::{Grid1, MultiCoefs, Real};
 use proptest::prelude::*;
@@ -142,6 +149,7 @@ fn small_service<T: Real>(
             max_batch: 32,
             max_wait: Duration::from_micros(200),
             queue_positions,
+            ..ServiceConfig::default()
         },
     )
 }
@@ -274,6 +282,63 @@ fn zero_chunk_size_panics() {
     let _ = pos.chunks(0).count();
 }
 
+/// A block whose positions cluster inside one octant of the domain, so
+/// the router's majority vote classifies the whole block to a single
+/// shard (the hot-shard case); `corner` picks which octant.
+fn concentrated_block<T: Real>(ns: usize, corner: usize, seed: u64) -> PosBlock<T> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let lo = [
+        if corner & 1 != 0 { 0.75 } else { 0.05 },
+        if corner & 2 != 0 { 0.75 } else { 0.05 },
+        if corner & 4 != 0 { 0.75 } else { 0.05 },
+    ];
+    (0..ns)
+        .map(|_| {
+            [
+                T::from_f64(lo[0] + 0.15 * rng.random::<f64>()),
+                T::from_f64(lo[1] + 0.15 * rng.random::<f64>()),
+                T::from_f64(lo[2] + 0.15 * rng.random::<f64>()),
+            ]
+        })
+        .collect()
+}
+
+fn routed_service<T: Real>(
+    table: MultiCoefs<T>,
+    routing: RoutingPolicy,
+    queue_positions: usize,
+) -> SpoService<T, BsplineSoA<T>> {
+    SpoService::new(
+        BsplineSoA::new(table),
+        ServiceConfig {
+            replicas: 2,
+            max_batch: 32,
+            max_wait: Duration::from_micros(200),
+            queue_positions,
+            routing,
+        },
+    )
+}
+
+/// Hot-shard stress: every submitter fires blocks concentrated in the
+/// *same* octant at a 2-shard affinity service with a tight queue
+/// bound, so the home queue saturates and the spill/steal paths run —
+/// and the results must still bit-match the direct batch.
+#[test]
+fn hot_shard_spill_and_steal_stay_bit_identical() {
+    let n = 16;
+    let service = routed_service(
+        random_table::<f32>(n, 0x5b11),
+        RoutingPolicy::Affinity { domains: 2 },
+        64,
+    );
+    let pos = concentrated_block::<f32>(96, 7, 0x5b11 ^ 0xabcd);
+    stress_service(&service, Kernel::Vgh, &pos, 8, 6);
+    let stats = service.stats();
+    assert_eq!(stats.positions, 96);
+    assert_eq!(service.n_shards(), 2);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 
@@ -315,5 +380,62 @@ proptest! {
             }
             prop_assert_eq!(at, pos.len());
         }
+    }
+
+    /// Routing property: for any policy (FIFO, single-domain affinity
+    /// — the fallback — or 2/3-shard affinity), any mix of uniform and
+    /// corner-concentrated blocks pipelined through the service
+    /// reassembles bit-for-bit into the direct batch. Concentrated
+    /// blocks exercise the majority-vote path, uniform blocks the
+    /// content-hash tie-break, and the tight queue bound the spill and
+    /// steal escape hatches; none of them may change *what* a request
+    /// evaluates to, only *where* it queues.
+    #[test]
+    fn any_routing_decision_reassembles_to_the_direct_batch(
+        policy_ix in 0usize..4,
+        corner in 0usize..8,
+        ns in 1usize..40,
+        chunk in 1usize..12,
+        queue_ix in 0usize..2,
+        seed in 0u64..1000,
+    ) {
+        let policy = [
+            RoutingPolicy::Fifo,
+            RoutingPolicy::Affinity { domains: 1 },
+            RoutingPolicy::Affinity { domains: 2 },
+            RoutingPolicy::Affinity { domains: 3 },
+        ][policy_ix];
+        let queue_positions = [48usize, 4096][queue_ix];
+        let n = 10;
+        let service =
+            routed_service(random_table::<f32>(n, seed), policy, queue_positions);
+        // Interleave a concentrated block (majority vote) with a
+        // uniform one (hash tie-break) in a single position stream.
+        let mut pos = concentrated_block::<f32>(ns, corner, seed ^ 0x0c0c);
+        pos.extend_from_block(&random_block::<f32>(ns / 2, seed ^ 0x5eed));
+        let kernel = Kernel::ALL[(seed % 3) as usize];
+        let reference = direct_batch(service.engine(), kernel, &pos);
+        let tickets: Vec<_> = pos
+            .chunks(chunk)
+            .map(|sub| {
+                let out = service.engine().make_batch_out(sub.len());
+                service.submit(kernel, sub, out)
+            })
+            .collect();
+        let mut at = 0usize;
+        for (i, t) in tickets.into_iter().enumerate() {
+            let (sub, out) = t.wait();
+            for j in 0..sub.len() {
+                assert_blocks_bitmatch(
+                    kernel,
+                    n,
+                    out.block(j),
+                    reference.block(at + j),
+                    &format!("{policy:?} {kernel} chunk={i} pos={j}"),
+                );
+            }
+            at += sub.len();
+        }
+        prop_assert_eq!(at, pos.len());
     }
 }
