@@ -334,6 +334,33 @@ impl<T: Real, O> Ticket<T, O> {
         }
     }
 
+    /// [`Ticket::wait_timed`] with a deadline: blocks at most `timeout`.
+    /// On expiry the ticket itself is handed back (`Err`), so the caller
+    /// can retry, keep polling, or fall back to [`Ticket::wait`] — the
+    /// claim on the in-flight request is never lost, and the service
+    /// still guarantees the request completes (a coalesce flush, the
+    /// shutdown drain, or drop-with-queued-requests all redeem it).
+    pub fn wait_for(self, timeout: Duration) -> Result<Completed<T, O>, Self> {
+        let deadline = Instant::now() + timeout;
+        let mut slot = lock_recover(&self.done.slot);
+        loop {
+            if let Some(r) = slot.take() {
+                return Ok(r);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                drop(slot);
+                return Err(self);
+            }
+            let (guard, _timeout) = self
+                .done
+                .cv
+                .wait_timeout(slot, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner);
+            slot = guard;
+        }
+    }
+
     /// Whether the request has already completed (non-blocking).
     pub fn is_done(&self) -> bool {
         lock_recover(&self.done.slot).is_some()

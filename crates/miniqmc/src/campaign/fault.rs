@@ -1,0 +1,108 @@
+//! Fault injection for the campaign crash-recovery suite.
+//!
+//! A [`CampaignFaultPlan`] scripts the failures a long campaign must
+//! survive, so tests can drive them deterministically:
+//!
+//! * **kill** — the driver stops after a chosen generation, as if the
+//!   process received `SIGKILL` (checked by [`super::Campaign::run`]);
+//! * **torn write** — the *n*-th checkpoint write persists only a
+//!   prefix of the frame, like a crash mid-`write(2)`;
+//! * **bit flip** — the *n*-th checkpoint write lands with one bit
+//!   inverted, like silent media corruption.
+//!
+//! Torn writes and bit flips mangle the bytes *after* framing (see
+//! [`super::checkpoint::CheckpointStore::write`]), so the CRC trailer is
+//! computed over the good frame and the damage is exactly what the scan
+//! must detect and skip.
+
+/// Truncate the `nth_write`-th checkpoint to its first `keep_bytes`
+/// bytes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TornWrite {
+    /// Zero-based index into the store's write sequence.
+    pub nth_write: usize,
+    /// Bytes of the frame that reach the disk.
+    pub keep_bytes: usize,
+}
+
+/// Invert one bit of the `nth_write`-th checkpoint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BitFlip {
+    /// Zero-based index into the store's write sequence.
+    pub nth_write: usize,
+    /// Byte offset of the flip (clamped to the frame length).
+    pub byte_offset: usize,
+    /// Bit index within the byte (0–7).
+    pub bit: u8,
+}
+
+/// A scripted failure schedule for one campaign run. The default plan
+/// injects nothing.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CampaignFaultPlan {
+    /// Stop the driver once this many generations have completed
+    /// (emulates `SIGKILL`; the in-memory state is simply dropped).
+    pub kill_at_generation: Option<u64>,
+    /// Torn checkpoint write.
+    pub torn_write: Option<TornWrite>,
+    /// Single-bit checkpoint corruption.
+    pub bit_flip: Option<BitFlip>,
+}
+
+impl CampaignFaultPlan {
+    /// A plan that only kills the driver after `generation` generations.
+    pub fn kill_at(generation: u64) -> Self {
+        Self {
+            kill_at_generation: Some(generation),
+            ..Self::default()
+        }
+    }
+
+    /// Apply the storage faults scheduled for `write_index` to a framed
+    /// checkpoint, returning the bytes that actually reach the disk.
+    pub fn mangle(&self, write_index: usize, mut bytes: Vec<u8>) -> Vec<u8> {
+        if let Some(t) = self.torn_write {
+            if t.nth_write == write_index {
+                bytes.truncate(t.keep_bytes);
+            }
+        }
+        if let Some(f) = self.bit_flip {
+            if f.nth_write == write_index && !bytes.is_empty() {
+                let at = f.byte_offset.min(bytes.len() - 1);
+                bytes[at] ^= 1 << (f.bit & 7);
+            }
+        }
+        bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_passthrough() {
+        let plan = CampaignFaultPlan::default();
+        assert_eq!(plan.mangle(0, vec![1, 2, 3]), vec![1, 2, 3]);
+        assert_eq!(plan.kill_at_generation, None);
+    }
+
+    #[test]
+    fn faults_hit_only_their_write_index() {
+        let plan = CampaignFaultPlan {
+            kill_at_generation: None,
+            torn_write: Some(TornWrite {
+                nth_write: 1,
+                keep_bytes: 2,
+            }),
+            bit_flip: Some(BitFlip {
+                nth_write: 2,
+                byte_offset: 100, // clamped to the last byte
+                bit: 11,          // masked to bit 3
+            }),
+        };
+        assert_eq!(plan.mangle(0, vec![9; 5]), vec![9; 5]);
+        assert_eq!(plan.mangle(1, vec![9; 5]), vec![9, 9]);
+        assert_eq!(plan.mangle(2, vec![9; 5]), vec![9, 9, 9, 9, 9 ^ 0x08]);
+    }
+}

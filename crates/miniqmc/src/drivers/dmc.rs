@@ -16,7 +16,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// One walker of the DMC ensemble: a configuration tag plus its weight.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct DmcWalker {
     /// Opaque configuration id (indexes the caller's state storage).
     pub id: usize,
@@ -28,7 +28,7 @@ pub struct DmcWalker {
 }
 
 /// Population-control parameters.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct DmcConfig {
     /// Target population `Nw`.
     pub target_population: usize,
@@ -63,6 +63,39 @@ pub struct DmcPopulation {
     cfg: DmcConfig,
     rng: StdRng,
     next_id: usize,
+}
+
+/// A complete, restorable image of a [`DmcPopulation`]: everything
+/// [`DmcPopulation::step`] reads is here, so
+/// `DmcPopulation::from_snapshot(p.snapshot())` continues *bit-identically*
+/// to `p` (same branching decisions, same RNG stream, same feedback).
+#[derive(Clone, Debug, PartialEq)]
+pub struct DmcSnapshot {
+    /// Population-control parameters.
+    pub cfg: DmcConfig,
+    /// The walker ensemble (ids, weights, ages).
+    pub walkers: Vec<DmcWalker>,
+    /// Current trial energy `E_T`.
+    pub trial_energy: f64,
+    /// Next fresh walker id for branching births.
+    pub next_id: usize,
+    /// Exact xoshiro256** state of the branching RNG.
+    pub rng_state: [u64; 4],
+}
+
+/// Per-generation outcome of [`DmcPopulation::step_traced`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DmcStepStats {
+    /// Walkers cloned beyond their parent this generation.
+    pub births: usize,
+    /// Walkers whose stochastic rounding produced zero copies.
+    pub deaths: usize,
+    /// Weighted mean local energy after reweighting (the mixed
+    /// estimator that anchors the trial-energy feedback).
+    pub e_mixed: f64,
+    /// Total post-reweight ensemble weight (before branching resets
+    /// weights to 1).
+    pub total_weight: f64,
 }
 
 impl DmcPopulation {
@@ -115,23 +148,91 @@ impl DmcPopulation {
         num / den
     }
 
+    /// Population-control parameters this population was built with.
+    pub fn config(&self) -> &DmcConfig {
+        &self.cfg
+    }
+
+    /// Capture the full resumable state (see [`DmcSnapshot`]).
+    pub fn snapshot(&self) -> DmcSnapshot {
+        DmcSnapshot {
+            cfg: self.cfg,
+            walkers: self.walkers.clone(),
+            trial_energy: self.trial_energy,
+            next_id: self.next_id,
+            rng_state: self.rng.state(),
+        }
+    }
+
+    /// Rebuild a population from a snapshot; the restored population's
+    /// future evolution is bit-identical to the original's.
+    pub fn from_snapshot(s: DmcSnapshot) -> Self {
+        Self {
+            walkers: s.walkers,
+            trial_energy: s.trial_energy,
+            cfg: s.cfg,
+            rng: StdRng::from_state(s.rng_state),
+            next_id: s.next_id,
+        }
+    }
+
     /// One DMC generation: reweight every walker by
     /// `exp(−τ·(E_L − E_T))`, branch with stochastic rounding, and move
     /// the trial energy towards population balance (paper step iii).
     ///
-    /// Returns `(births, deaths)` of the branching step.
+    /// `local_energy` is keyed by the walker's opaque `id`. Returns
+    /// `(births, deaths)` of the branching step.
     pub fn step(&mut self, local_energy: impl Fn(usize) -> f64) -> (usize, usize) {
+        let stats = self.step_core(|w, _| local_energy(w.id), None);
+        (stats.births, stats.deaths)
+    }
+
+    /// [`DmcPopulation::step`] with the local energy keyed by *slot
+    /// index* into [`DmcPopulation::walkers`], and the branching decision
+    /// recorded into `parents`: after the call, `parents[i]` is the
+    /// pre-branch slot index that new slot `i` was copied from. A caller
+    /// holding per-walker state in slot order (the campaign driver's
+    /// configuration pool) replays the same copy on its side.
+    ///
+    /// Consumes the RNG stream identically to `step`, so the two
+    /// variants are interchangeable without perturbing determinism.
+    pub fn step_traced(
+        &mut self,
+        local_energy: impl Fn(usize) -> f64,
+        parents: &mut Vec<usize>,
+    ) -> DmcStepStats {
+        self.step_core(|_, slot| local_energy(slot), Some(parents))
+    }
+
+    fn step_core(
+        &mut self,
+        local_energy: impl Fn(&DmcWalker, usize) -> f64,
+        mut parents: Option<&mut Vec<usize>>,
+    ) -> DmcStepStats {
+        if let Some(p) = parents.as_deref_mut() {
+            p.clear();
+        }
+
         // (ii) measurement + reweighting; accumulate the mixed estimator
         // that anchors the trial-energy update.
         let mut e_num = 0.0;
         let mut e_den = 0.0;
-        for w in &mut self.walkers {
-            let el = local_energy(w.id);
+        for (slot, w) in self.walkers.iter_mut().enumerate() {
+            let el = local_energy(w, slot);
             w.weight *= (-self.cfg.tau * (el - self.trial_energy)).exp();
             e_num += w.weight * el;
             e_den += w.weight;
         }
-        let e_mixed = e_num / e_den;
+        // When the ensemble weight underflows to zero (or a weight
+        // overflows), the ratio is 0/0 or ∞/∞; anchor the feedback on
+        // the current E_T instead of poisoning the run with NaN.
+        let raw_mixed = e_num / e_den;
+        let e_mixed = if raw_mixed.is_finite() {
+            raw_mixed
+        } else {
+            self.trial_energy
+        };
+        let total_weight = e_den;
 
         // (iii) branching with stochastic rounding: a walker of weight w
         // becomes ⌊w + u⌋ copies, u ~ U[0,1).
@@ -139,7 +240,7 @@ impl DmcPopulation {
         let mut deaths = 0;
         let mut next: Vec<DmcWalker> = Vec::with_capacity(self.walkers.len());
         let cap = (self.cfg.target_population as f64 * self.cfg.max_ratio) as usize;
-        for w in &self.walkers {
+        for (slot, w) in self.walkers.iter().enumerate() {
             let copies = (w.weight + self.rng.random::<f64>()).floor() as usize;
             match copies {
                 0 => deaths += 1,
@@ -160,11 +261,35 @@ impl DmcPopulation {
                             weight: 1.0,
                             age: if n == 1 { w.age + 1 } else { 0 },
                         });
+                        if let Some(p) = parents.as_deref_mut() {
+                            p.push(slot);
+                        }
                     }
                 }
             }
         }
-        assert!(!next.is_empty(), "DMC population collapsed");
+
+        // Anti-extinction fallback: if stochastic rounding killed every
+        // walker (all weights underflowed towards zero), resurrect the
+        // heaviest post-reweight walker rather than aborting the run.
+        // Deterministic (no RNG draw), so checkpoint/resume replays it.
+        if next.is_empty() {
+            let (slot, survivor) = self
+                .walkers
+                .iter()
+                .enumerate()
+                .max_by(|(_, a), (_, b)| a.weight.total_cmp(&b.weight))
+                .expect("stepping an empty population");
+            deaths -= 1;
+            next.push(DmcWalker {
+                id: survivor.id,
+                weight: 1.0,
+                age: survivor.age + 1,
+            });
+            if let Some(p) = parents {
+                p.push(slot);
+            }
+        }
         self.walkers = next;
 
         // Trial-energy feedback (textbook DMC population control):
@@ -172,7 +297,12 @@ impl DmcPopulation {
         let ratio = self.walkers.len() as f64 / self.cfg.target_population as f64;
         self.trial_energy = e_mixed - self.cfg.feedback * ratio.ln();
 
-        (births, deaths)
+        DmcStepStats {
+            births,
+            deaths,
+            e_mixed,
+            total_weight,
+        }
     }
 }
 
@@ -263,5 +393,115 @@ mod tests {
         };
         assert_eq!(run(7), run(7));
         assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn weight_underflow_keeps_one_survivor() {
+        // E_L far above E_T drives every weight to ~exp(-large) ≈ 0, so
+        // stochastic rounding kills all walkers. The anti-extinction
+        // fallback must resurrect exactly one (the heaviest) instead of
+        // panicking, and keep the run steppable afterwards.
+        let mut p = DmcPopulation::new(cfg(16, 11), 0.0);
+        let (_, deaths) = p.step(|_| 1.0e6);
+        assert_eq!(p.len(), 1, "exactly one survivor after total underflow");
+        assert_eq!(deaths, 15, "the resurrected walker is not a death");
+        assert!((p.total_weight() - 1.0).abs() < 1e-12);
+        // Still alive and controllable: with E_L modestly below the
+        // post-bottleneck E_T (≈ 1e6 after the feedback update), the
+        // population regrows towards the target.
+        for _ in 0..40 {
+            let recover = p.trial_energy - 40.0;
+            p.step(|_| recover);
+            assert!(!p.is_empty());
+        }
+        assert!(p.len() > 1, "population recovers after the bottleneck");
+    }
+
+    #[test]
+    fn branching_explosion_saturates_cap_in_one_step() {
+        // E_L far below E_T gives every walker weight ≫ 8: the per-walker
+        // copy clamp (8) and the global cap (target × max_ratio) must
+        // bound the very first generation.
+        let mut p = DmcPopulation::new(cfg(32, 12), 0.0);
+        let stats_parents = {
+            let mut parents = Vec::new();
+            let stats = p.step_traced(|_| -1.0e3, &mut parents);
+            (stats, parents)
+        };
+        let cap = 32 * 4;
+        assert_eq!(p.len(), cap, "one explosive step saturates the cap");
+        assert_eq!(stats_parents.1.len(), cap);
+        // Every parent index refers to a pre-branch slot.
+        assert!(stats_parents.1.iter().all(|&s| s < 32));
+        assert_eq!(stats_parents.0.deaths, 0);
+        // Each parent contributes one non-birth first copy; everything
+        // else pushed is a birth.
+        let distinct_parents = stats_parents.1[cap - 1] + 1;
+        assert_eq!(stats_parents.0.births, cap - distinct_parents);
+    }
+
+    #[test]
+    fn single_walker_population_survives_and_feeds_back() {
+        let mut p = DmcPopulation::new(cfg(1, 13), -2.0);
+        assert_eq!(p.len(), 1);
+        for _ in 0..200 {
+            p.step(|_| -2.0);
+            assert!(!p.is_empty(), "singleton population must never go extinct");
+            assert!(p.len() <= 4, "cap = target × max_ratio = 4");
+        }
+        assert!(
+            (p.trial_energy - -2.0).abs() < 1.5,
+            "E_T tracks E_L for a singleton: {}",
+            p.trial_energy
+        );
+    }
+
+    #[test]
+    fn traced_step_consumes_rng_identically_to_step() {
+        // step / step_traced must be interchangeable mid-run without
+        // perturbing the stream: same branching, same E_T trajectory.
+        let energy = |id: usize| -1.0 - (id % 5) as f64 * 0.3;
+        let mut a = DmcPopulation::new(cfg(48, 14), -1.0);
+        let mut b = DmcPopulation::new(cfg(48, 14), -1.0);
+        let mut parents = Vec::new();
+        for g in 0..12 {
+            a.step(energy);
+            if g % 2 == 0 {
+                // Slot-keyed closure: look the id up through the slot.
+                let ids: Vec<usize> = b.walkers().iter().map(|w| w.id).collect();
+                b.step_traced(|slot| energy(ids[slot]), &mut parents);
+                assert_eq!(parents.len(), b.len());
+            } else {
+                b.step(energy);
+            }
+        }
+        assert_eq!(a.walkers(), b.walkers());
+        assert_eq!(a.trial_energy.to_bits(), b.trial_energy.to_bits());
+        assert_eq!(a.snapshot().rng_state, b.snapshot().rng_state);
+    }
+
+    #[test]
+    fn snapshot_restore_is_bit_identical() {
+        let energy = |id: usize| -3.0 + (id % 7) as f64 * 0.2;
+        let mut p = DmcPopulation::new(cfg(64, 15), -3.0);
+        for _ in 0..5 {
+            p.step(energy);
+        }
+        let snap = p.snapshot();
+        // Golden continuation vs restored continuation.
+        let mut golden = p.clone();
+        let mut restored = DmcPopulation::from_snapshot(snap.clone());
+        for _ in 0..10 {
+            golden.step(energy);
+            restored.step(energy);
+        }
+        assert_eq!(golden.walkers(), restored.walkers());
+        assert_eq!(
+            golden.trial_energy.to_bits(),
+            restored.trial_energy.to_bits()
+        );
+        assert_eq!(golden.snapshot(), restored.snapshot());
+        // Snapshot round-trips exactly.
+        assert_eq!(DmcPopulation::from_snapshot(snap.clone()).snapshot(), snap);
     }
 }

@@ -20,8 +20,39 @@
 //!   contract;
 //! * [`drivers`] — a VMC driver with the per-category profiling used to
 //!   reproduce Tables II/III;
+//! * [`campaign`] — the checkpointable DMC campaign layer (see below);
 //! * [`synthetic`] — synthetic orbitals and the CORAL system builder
 //!   (see DESIGN.md for the data substitution rationale).
+//!
+//! # Campaign layer
+//!
+//! [`campaign`] turns the DMC building blocks into an interruptible
+//! production run: a [`campaign::Campaign`] couples the
+//! [`drivers::dmc::DmcPopulation`] branching loop to a
+//! [`campaign::Propagator`] holding per-walker configurations, records
+//! a per-generation statistics ring, and checkpoints the **full resume
+//! closure** to disk.
+//!
+//! * **Checkpoint format** — std-only framed files
+//!   (`magic · version · length · payload · CRC-32`), one per
+//!   checkpointed generation, written to a temp sibling and published
+//!   with an atomic rename; recovery scans newest-first and falls back
+//!   past any frame whose CRC does not verify. All floats travel as
+//!   IEEE-754 bit patterns, so a round-trip is bit-exact. See
+//!   [`campaign::checkpoint`].
+//! * **Resume-equivalence contract** — a campaign restored from any
+//!   checkpoint continues *bit-identically* to the uninterrupted run:
+//!   RNG streams are serialized as exact xoshiro256** state, and the
+//!   wavefunction propagator rebuilds every incremental cache from
+//!   electron positions at each generation start, so no
+//!   Sherman–Morrison rounding history leaks across the boundary.
+//!   Proven by `tests/integration_campaign.rs` over seeds ×
+//!   populations × checkpoint intervals × kill points.
+//! * **Fault-injection knobs** — [`campaign::CampaignFaultPlan`]
+//!   scripts kill-after-generation-N, a torn write truncating the
+//!   n-th checkpoint at byte K, and single-bit corruption; storage
+//!   faults damage the bytes after framing, exactly as a failing disk
+//!   would, and must be caught by the CRC scan.
 //!
 //! # Quick example
 //!
@@ -50,6 +81,7 @@
 // purpose (mirrors the paper's loop structure and vectorizes cleanly).
 #![allow(clippy::needless_range_loop)]
 
+pub mod campaign;
 pub mod determinant;
 pub mod distance;
 pub mod drivers;
@@ -62,6 +94,10 @@ pub mod wavefunction;
 
 /// Convenience re-exports.
 pub mod prelude {
+    pub use crate::campaign::{
+        Campaign, CampaignConfig, CampaignFaultPlan, CheckpointStore, GenStats, Propagator,
+        RunOutcome, SyntheticPropagator, WalkerPropagator,
+    };
     pub use crate::determinant::DiracDeterminant;
     pub use crate::distance::aos::{DistanceTableAAAoS, DistanceTableABAoS};
     pub use crate::distance::soa::{DistanceTableAA, DistanceTableAB};

@@ -152,6 +152,20 @@ impl<T: Real<Accum = f64>> TrialWaveFunction<T> {
         self.mode = mode;
     }
 
+    /// Overwrite every electron position (campaign restore / branching
+    /// copy). All incremental caches become stale; callers must run
+    /// [`TrialWaveFunction::evaluate_log`] — which rebuilds distance
+    /// tables, Jastrow sums and determinants from positions alone —
+    /// before the next per-electron move. That full rebuild is what
+    /// makes the wavefunction state a pure function of the positions
+    /// written here (the campaign layer's resume-equivalence contract).
+    pub fn set_electron_positions(&mut self, pos: &[[f64; 3]]) {
+        assert_eq!(pos.len(), self.electrons.len(), "electron count mismatch");
+        for (i, &r) in pos.iter().enumerate() {
+            self.electrons.set(i, r);
+        }
+    }
+
     /// `(iel, ∇ᵢ ln|D|, ∇²ᵢ ln|D|)` of the moved electron at its *new*
     /// position, computed on the last accepted move from the
     /// cached-weights VGL (accept-side of the per-electron protocol)

@@ -44,11 +44,19 @@
 //!   (`service_onemove_n…`: single-position submissions issued
 //!   closed-loop while background submitters keep pipelined batched
 //!   traffic in flight; the latency columns carry the per-move
-//!   percentiles). Older files stay readable (pre-v4 rows imply
+//!   percentiles). Schema v8 adds the Table IV per-step kernel-profile
+//!   rows (`table4_step_{bspline,distance,jastrow,determinant,total}_n…`):
+//!   the `Suite::SingleElectronFastPath` pbyp sweep replay at N = 512
+//!   and N = 2048 (quick: N = 64), each category's wall time converted
+//!   to move-orbital evaluations/s (`moves · N / seconds`) so the rows
+//!   gate per-category *step* throughput the way the kernel rows gate
+//!   microbenchmark throughput; the whole profile is replayed once per
+//!   backend, so the five rows of one column share a single
+//!   self-consistent rep. Older files stay readable (pre-v4 rows imply
 //!   `blocks = threads = 1`; pre-v5 rows carry no latency and are
 //!   gated on throughput only; pre-v6 files simply lack the onemove
-//!   rows and pre-v7 files the routing rows, which go ungated until
-//!   re-recorded).
+//!   rows, pre-v7 files the routing rows, and pre-v8 files the
+//!   table4 step rows, which go ungated until re-recorded).
 //!
 //!   `cargo run --release -p qmc-bench --bin baseline [-- out.json]`
 //!
@@ -90,9 +98,10 @@ use qmc_bench::workload::{batch_size, coefficients_in, is_quick};
 use qmc_bench::{
     coefficients, measure_kernel, measure_kernel_batched, measure_nested_blocked,
     measure_nested_monolithic, measure_onemove, measure_routed_ablation,
-    measure_service, measure_service_onemove_mixed, measure_tile_major, MeasureConfig,
-    MixedOneMoveConfig, NestedConfig, OneMoveConfig, OneMovePath, OneMoveStats,
-    ServiceLoadConfig, Table,
+    measure_service, measure_service_onemove_mixed, measure_step_profile,
+    measure_tile_major, MeasureConfig, MixedOneMoveConfig, NestedConfig,
+    OneMoveConfig, OneMovePath, OneMoveStats, ProfileConfig, ServiceLoadConfig,
+    Suite, Table, STEP_CATEGORY_NAMES,
 };
 use std::fmt::Write as _;
 use std::process::ExitCode;
@@ -612,6 +621,53 @@ fn measure_all() -> Vec<Row> {
         ));
         eprintln!("service onemove mixed N={n8} done");
     }
+
+    // Table IV per-step kernel-profile rows (schema v8): the full pbyp
+    // sweep replay on the fast-path suite, per-category wall time as
+    // move-orbital evaluations/s. One run_profile replay per backend —
+    // the five rows of a column come from a single rep, so the
+    // category *shares* stay self-consistent (an `ab()` per category
+    // would re-run the whole sweep ten times and pair categories from
+    // different host regimes). Tilings pick the paper's scaling points:
+    // 8·(8·8·1) = 512 and 8·(16·16·1) = 2048 orbitals/spin.
+    {
+        let step_tilings: &[(usize, usize, usize)] =
+            if quick { &[(2, 4, 1)] } else { &[(8, 8, 1), (16, 16, 1)] };
+        for &tiling in step_tilings {
+            let pcfg = ProfileConfig {
+                tiling,
+                grid,
+                sweeps: if quick { 1 } else { 2 },
+                seed: 0x0c0a1,
+            };
+            let reps = if quick { 1 } else { 2 };
+            let run = || measure_step_profile(Suite::SingleElectronFastPath, &pcfg, reps);
+            let scalar = with_backend(Backend::Scalar, run);
+            let simd = run();
+            let n_step = simd.n;
+            for (i, cat) in STEP_CATEGORY_NAMES.iter().enumerate() {
+                rows.push(Row {
+                    name: format!("table4_step_{cat}_n{n_step}"),
+                    precision: "f32".into(),
+                    blocks: 1,
+                    threads: 1,
+                    scalar: scalar.rate(i),
+                    simd: simd.rate(i),
+                    lat: None,
+                });
+            }
+            rows.push(Row {
+                name: format!("table4_step_total_n{n_step}"),
+                precision: "f32".into(),
+                blocks: 1,
+                threads: 1,
+                scalar: scalar.total_rate(),
+                simd: simd.total_rate(),
+                lat: None,
+            });
+            eprintln!("table4 step profile N={n_step} done");
+        }
+    }
     rows
 }
 
@@ -859,7 +915,7 @@ fn write_json(rows: &[Row], out_path: &str) {
         .collect();
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"schema\": \"qmc-bench-baseline-v7\",\n");
+    json.push_str("  \"schema\": \"qmc-bench-baseline-v8\",\n");
     let _ = writeln!(
         json,
         "  \"host\": {{ \"cpu\": {:?}, \"threads\": {threads} }},",
@@ -918,19 +974,20 @@ struct Baseline {
     v2: bool,
 }
 
-/// Extract rows + header from a v2–v6 baseline file (the writer emits
+/// Extract rows + header from a v2–v8 baseline file (the writer emits
 /// one kernel object per line; no JSON dependency needed). v2 rows
 /// carry no `precision` field and are treated as `f32` — the only
 /// precision v2 measured; v2/v3 rows carry no `blocks`/`threads`
 /// fields and default both to 1 (every pre-v4 row was monolithic and
 /// flat); pre-v5 rows carry no latency percentiles and are gated on
-/// throughput only; pre-v6 files lack the `onemove_…` rows, which are
-/// simply not gated until the baseline is re-recorded.
+/// throughput only; pre-v6 files lack the `onemove_…` rows, pre-v7
+/// files the routing rows, and pre-v8 files the `table4_step_…` rows —
+/// all simply not gated until the baseline is re-recorded.
 fn parse_baseline(text: &str) -> Result<Baseline, String> {
-    let known = (2..=7).any(|v| text.contains(&format!("qmc-bench-baseline-v{v}")));
+    let known = (2..=8).any(|v| text.contains(&format!("qmc-bench-baseline-v{v}")));
     if !known {
         return Err(
-            "baseline file is not schema v2–v7 — re-record it first".into(),
+            "baseline file is not schema v2–v8 — re-record it first".into(),
         );
     }
     let v2 = text.contains("qmc-bench-baseline-v2");
@@ -1194,7 +1251,7 @@ mod tests {
     use super::*;
 
     #[test]
-    fn v7_rows_roundtrip_through_writer_and_parser() {
+    fn v8_rows_roundtrip_through_writer_and_parser() {
         let rows = vec![
             Row {
                 name: "fig9_vgh_nested_blocked_n512".into(),
@@ -1232,14 +1289,23 @@ mod tests {
                 simd: 30.0e6,
                 lat: Some([210.0, 650.0, 980.5]),
             },
+            Row {
+                name: "table4_step_determinant_n2048".into(),
+                precision: "f32".into(),
+                blocks: 1,
+                threads: 1,
+                scalar: 0.49e6,
+                simd: 1.02e6,
+                lat: None,
+            },
         ];
-        let tmp = std::env::temp_dir().join("qmc-baseline-v7-roundtrip.json");
+        let tmp = std::env::temp_dir().join("qmc-baseline-v8-roundtrip.json");
         write_json(&rows, tmp.to_str().unwrap());
         let text = std::fs::read_to_string(&tmp).unwrap();
-        assert!(text.contains("qmc-bench-baseline-v7"));
-        let parsed = parse_baseline(&text).expect("v7 parses");
+        assert!(text.contains("qmc-bench-baseline-v8"));
+        let parsed = parse_baseline(&text).expect("v8 parses");
         assert!(!parsed.v2);
-        assert_eq!(parsed.rows.len(), 4);
+        assert_eq!(parsed.rows.len(), 5);
         assert_eq!(parsed.rows[0].blocks, 7);
         assert_eq!(parsed.rows[0].threads, 4);
         assert_eq!(parsed.rows[0].lat, None);
@@ -1258,7 +1324,31 @@ mod tests {
         assert!((rt[2] - 980.5).abs() < 0.1);
         // mops() rounds to 2 decimals of M-evals/s.
         assert!((parsed.rows[0].simd - 14.5e6).abs() < 1e4);
+        // Table IV step rows round-trip like throughput-only kernel
+        // rows: a slow per-step category still lands above the 0.01 M
+        // serialization floor.
+        let step = &parsed.rows[4];
+        assert_eq!(step.lat, None);
+        assert!((step.scalar - 0.49e6).abs() < 1e4);
+        assert!((step.simd - 1.02e6).abs() < 1e4);
         let _ = std::fs::remove_file(tmp);
+    }
+
+    #[test]
+    fn v7_files_stay_readable_without_step_profile_rows() {
+        let v7 = r#"{
+  "schema": "qmc-bench-baseline-v7",
+  "simd": { "active": "avx2", "available": ["scalar", "avx2"] },
+  "kernels": [
+    { "name": "service_routed_affinity_n2048", "precision": "f32", "blocks": 1, "threads": 2, "scalar": 1.50, "simd": 30.00, "p50_us": 210.0, "p95_us": 650.0, "p99_us": 980.5 }
+  ]
+}"#;
+        let parsed = parse_baseline(v7).expect("v7 parses");
+        assert!(!parsed.v2);
+        assert_eq!(parsed.rows.len(), 1);
+        // No table4_step rows in the file → the per-step profile gate
+        // is simply absent until the baseline is re-recorded.
+        assert!(!parsed.rows.iter().any(|r| r.name.starts_with("table4_step_")));
     }
 
     #[test]

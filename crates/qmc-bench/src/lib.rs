@@ -36,7 +36,10 @@ pub use measure::{
     OneMovePath, OneMoveStats, RoutedAblation, ServiceLoad, ServiceLoadConfig,
 };
 pub use modelled::{model_prediction, sim_threads, ModelScenario};
-pub use profile_suite::{run_profile, ProfileConfig, Suite};
+pub use profile_suite::{
+    measure_step_profile, run_profile, ProfileConfig, StepProfile, Suite,
+    STEP_CATEGORIES, STEP_CATEGORY_NAMES,
+};
 pub use report::Table;
 pub use workload::{
     coefficients, coefficients_in, is_quick, pos_block, pos_block_in, positions,

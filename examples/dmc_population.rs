@@ -1,28 +1,63 @@
-//! DMC population dynamics (paper Sec. III): drift-diffusion +
-//! measurement + branching, with the walker count the node-level
-//! parallelism distributes.
+//! Checkpointable DMC campaign over graphite walkers (paper Sec. III
+//! population dynamics + the ISSUE 9 campaign layer).
 //!
-//! The walkers here are real graphite configurations, each a
-//! Slater–Jastrow [`TrialWaveFunction`] whose drift-diffusion stage is
-//! a particle-by-particle Metropolis sweep through the single-electron
-//! fast path (V-only ratio with cached locate/weights, VGL on accept).
-//! Set `QMC_ALL_ELECTRON=1` to A/B the same run against the legacy
-//! all-electron propose path. The per-walker kinetic energy from the
-//! measurement stage feeds the branching weights, so the full
-//! (i) drift-diffusion → (ii) measurement → (iii) branching loop of the
-//! paper is exercised end-to-end.
+//! Each walker is a real Slater–Jastrow [`TrialWaveFunction`] advanced
+//! by particle-by-particle sweeps on the single-electron fast path; the
+//! campaign driver couples the pool to `DmcPopulation` branching,
+//! records per-generation statistics, and (optionally) checkpoints the
+//! full resume closure so a `SIGKILL` mid-run loses nothing: resuming
+//! reproduces the uninterrupted run bit-for-bit.
 //!
-//! Run: `cargo run --release -p qmc-bench --example dmc_population`
+//! Environment knobs (a kill-resume cycle is drivable from the shell):
+//!
+//! * `QMC_DMC_GENERATIONS` — total generations (default 12);
+//! * `QMC_DMC_CHECKPOINT_EVERY` — checkpoint interval, 0 = off
+//!   (default 0);
+//! * `QMC_DMC_CKPT_DIR` — checkpoint directory (default
+//!   `target/dmc-ckpt`);
+//! * `QMC_DMC_RESUME` — `1` resumes from the newest valid checkpoint
+//!   (fresh start if none);
+//! * `QMC_DMC_SLEEP_MS` — artificial per-generation pause so an outer
+//!   script has a window to `kill -9` mid-run;
+//! * `QMC_ALL_ELECTRON` — `1` selects the legacy all-electron propose
+//!   path.
+//!
+//! Kill-resume from the shell:
+//!
+//! ```sh
+//! export QMC_DMC_CHECKPOINT_EVERY=2 QMC_DMC_CKPT_DIR=/tmp/dmc-ckpt
+//! cargo run --release --example dmc_population &   # then: kill -9 $!
+//! QMC_DMC_RESUME=1 cargo run --release --example dmc_population
+//! ```
+//!
+//! The trailing `final ...` line prints the mixed estimator both
+//! readably and as its exact bit pattern, so two runs can be compared
+//! for bit-identity with `grep`.
 
 use miniqmc::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+fn env_u64(name: &str, default: u64) -> u64 {
+    match std::env::var(name) {
+        Ok(v) => v
+            .trim()
+            .parse()
+            .unwrap_or_else(|_| panic!("{name} must be an integer, got {v:?}")),
+        Err(_) => default,
+    }
+}
+
+fn env_flag(name: &str) -> bool {
+    matches!(std::env::var(name).as_deref(), Ok("1") | Ok("true"))
+}
+
 /// `QMC_ALL_ELECTRON=1` selects the legacy all-electron propose path.
 fn mode_from_env() -> EvalMode {
-    match std::env::var("QMC_ALL_ELECTRON").as_deref() {
-        Ok("1") | Ok("true") => EvalMode::AllElectron,
-        _ => EvalMode::PerElectron,
+    if env_flag("QMC_ALL_ELECTRON") {
+        EvalMode::AllElectron
+    } else {
+        EvalMode::PerElectron
     }
 }
 
@@ -49,67 +84,103 @@ fn make_walker(sys: &CoralSystem, seed: u64, mode: EvalMode) -> TrialWaveFunctio
 
 fn main() {
     let mode = mode_from_env();
-    let n_walkers = 8;
-    let generations = 12;
+    let n_walkers = 8usize;
+    let generations = env_u64("QMC_DMC_GENERATIONS", 12);
+    let checkpoint_every = env_u64("QMC_DMC_CHECKPOINT_EVERY", 0);
+    let sleep_ms = env_u64("QMC_DMC_SLEEP_MS", 0);
+    let ckpt_dir = std::env::var("QMC_DMC_CKPT_DIR").unwrap_or_else(|_| "target/dmc-ckpt".into());
+    let resume = env_flag("QMC_DMC_RESUME");
+
     let sys = CoralSystem::new(1, 1, 1, (10, 10, 12));
     println!(
-        "graphite DMC: {} walkers x {} electrons, SPO move path: {mode:?}",
-        n_walkers,
+        "graphite DMC campaign: {n_walkers} walkers x {} electrons, move path {mode:?}",
         sys.n_electrons()
     );
+    println!(
+        "generations={generations} checkpoint_every={checkpoint_every} \
+         dir={ckpt_dir} resume={resume}"
+    );
 
-    // The walker pool: branching hands out new ids, which index back
-    // into this fixed pool (a branched copy re-uses its parent's
-    // configuration, as the toy id mapping of `DmcPopulation` allows).
-    let mut walkers: Vec<TrialWaveFunction<f64>> = (0..n_walkers)
-        .map(|i| make_walker(&sys, 100 + i as u64, mode))
-        .collect();
+    // The walker factory: deterministic initial configurations. A
+    // resumed campaign overwrites the positions from the checkpoint, so
+    // the factory seed sequence only matters for fresh starts.
+    let sys_ref = &sys;
+    let make_prop = |first_seed: u64| {
+        let mut seed = first_seed;
+        WalkerPropagator::new(
+            move || {
+                seed += 1;
+                make_walker(sys_ref, seed, mode)
+            },
+            n_walkers,
+            0.5,
+            0xFEED,
+        )
+    };
 
-    // (ii) initial measurement to anchor the trial energy.
-    let mut energies: Vec<f64> = walkers
-        .iter_mut()
-        .map(|wf| kinetic_energy(&wf.log_derivs()))
-        .collect();
-    let e0 = energies.iter().sum::<f64>() / n_walkers as f64;
-
-    let cfg = DmcConfig {
+    let dmc_cfg = DmcConfig {
         target_population: n_walkers,
         tau: 0.002,
         feedback: 1.0,
         max_ratio: 2.0,
         seed: 7,
     };
-    let mut pop = DmcPopulation::new(cfg, e0);
 
-    println!("gen  population  E_T         E_mixed     acc%   births/deaths");
-    for generation in 0..generations {
-        // (i) drift-diffusion: one per-electron Metropolis sweep per
-        // walker (V-only ratios, cached-weights VGL on each accept).
-        let mut acc_sum = 0.0;
-        for (i, wf) in walkers.iter_mut().enumerate() {
-            let res = run_vmc(
-                wf,
-                &VmcConfig {
-                    n_steps: 1,
-                    step_size: 0.5,
-                    seed: 1000 * generation as u64 + i as u64,
-                },
-            );
-            acc_sum += res.acceptance;
-            // (ii) measurement: kinetic local energy of the new
-            // configuration.
-            energies[i] = res.kinetic;
+    let mut store = (checkpoint_every > 0 || resume)
+        .then(|| CheckpointStore::new(&ckpt_dir).expect("checkpoint dir"));
+
+    let mut campaign = if resume {
+        match Campaign::resume_latest(store.as_ref().expect("store"), make_prop(100))
+            .expect("checkpoint scan")
+        {
+            Some(c) => {
+                println!("resumed from generation {}", c.generation());
+                c
+            }
+            None => {
+                println!("no valid checkpoint found; starting fresh");
+                Campaign::new(dmc_cfg, -0.5, make_prop(100), 16)
+            }
         }
-        // (iii) branching against the trial energy.
-        let (births, deaths) = pop.step(|id| energies[id % n_walkers]);
+    } else {
+        Campaign::new(dmc_cfg, -0.5, make_prop(100), 16)
+    };
+
+    let cfg = CampaignConfig::new(generations, checkpoint_every);
+    println!("gen  population  E_T           E_mixed       births/deaths");
+    while campaign.generation() < generations {
+        let stats = campaign.step();
+        if let Some(store) = store.as_mut() {
+            if checkpoint_every > 0 && stats.generation.is_multiple_of(checkpoint_every) {
+                store
+                    .write(stats.generation, &campaign.encode(), &cfg.faults)
+                    .expect("checkpoint write");
+            }
+        }
         println!(
-            "{generation:>3}  {:>10}  {:+.6}  {:+.6}  {:>4.1}  {births}/{deaths}",
-            pop.len(),
-            pop.trial_energy,
-            pop.mixed_estimator(|id| energies[id % n_walkers]),
-            100.0 * acc_sum / walkers.len() as f64,
+            "{:>3}  {:>10}  {:+.9}  {:+.9}  {}/{}",
+            stats.generation,
+            stats.population,
+            stats.trial_energy,
+            stats.e_mixed,
+            stats.births,
+            stats.deaths
         );
+        if sleep_ms > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(sleep_ms));
+        }
     }
+
+    let last = *campaign.stats().latest().expect("at least one generation");
+    println!(
+        "final gen={} population={} e_mixed={:+.12e} e_mixed_bits={:#018x} \
+         e_t_bits={:#018x}",
+        last.generation,
+        last.population,
+        last.e_mixed,
+        last.e_mixed.to_bits(),
+        last.trial_energy.to_bits()
+    );
     println!("\npopulation fluctuates under branching and is pulled to the");
     println!("target by the trial-energy feedback (paper step iii).");
 }

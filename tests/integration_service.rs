@@ -439,3 +439,118 @@ proptest! {
         prop_assert_eq!(at, pos.len());
     }
 }
+
+/// Teardown coverage (ISSUE 9 satellite): `Ticket::wait_for` timeout
+/// expiry must hand the claim back without losing the request, and the
+/// eventual completion still bit-matches the direct batch.
+#[test]
+fn wait_for_timeout_expires_then_request_still_completes() {
+    let n = 16;
+    // One replica with a huge fuse target and a long fuse window: a
+    // single small submission stays a partial batch, so the worker
+    // sits in its coalescing wait and the ticket cannot complete
+    // before `max_wait` elapses.
+    let service = SpoService::new(
+        BsplineSoA::new(random_table::<f32>(n, 0x7ea0)),
+        ServiceConfig {
+            replicas: 1,
+            max_batch: 4096,
+            max_wait: Duration::from_millis(800),
+            queue_positions: 4096,
+            ..ServiceConfig::default()
+        },
+    );
+    let pos = random_block::<f32>(3, 0x7ea1);
+    let reference = direct_batch(service.engine(), Kernel::Vgl, &pos);
+    let out = service.engine().make_batch_out(pos.len());
+    let ticket = service.submit(Kernel::Vgl, pos.clone(), out);
+
+    // Expiry: far shorter than the fuse window.
+    let start = std::time::Instant::now();
+    let ticket = match ticket.wait_for(Duration::from_millis(20)) {
+        Err(t) => t, // the claim comes back intact
+        Ok(_) => panic!("a partial batch cannot complete before max_wait"),
+    };
+    let waited = start.elapsed();
+    assert!(
+        waited >= Duration::from_millis(20),
+        "expiry honoured the timeout, got {waited:?}"
+    );
+    assert!(!ticket.is_done(), "request still in flight after expiry");
+
+    // The request was never lost: a second wait with a generous
+    // deadline redeems it, bit-identical to the direct batch.
+    let (got_pos, got_out, _at) = ticket
+        .wait_for(Duration::from_secs(30))
+        .unwrap_or_else(|_| panic!("request must complete within the fuse window"));
+    assert_eq!(got_pos.len(), 3);
+    for j in 0..got_pos.len() {
+        assert_blocks_bitmatch(
+            Kernel::Vgl,
+            n,
+            got_out.block(j),
+            reference.block(j),
+            &format!("wait_for pos={j}"),
+        );
+    }
+}
+
+/// Teardown coverage (ISSUE 9 satellite): dropping the service with
+/// requests still queued must evaluate and complete every ticket —
+/// no deadlock, no lost buffers — without waiting out the fuse window.
+#[test]
+fn drop_with_queued_requests_completes_every_ticket() {
+    let n = 16;
+    // A single replica with an hour-long fuse window and a fuse target
+    // nothing here reaches: submissions pile up as partial batches, so
+    // at drop time the queue genuinely holds pending requests. Only
+    // the shutdown path (not a timeout) can complete them promptly.
+    let service = SpoService::new(
+        BsplineSoA::new(random_table::<f64>(n, 0xd10b)),
+        ServiceConfig {
+            replicas: 1,
+            max_batch: 1 << 20,
+            max_wait: Duration::from_secs(3600),
+            queue_positions: 1 << 20,
+            ..ServiceConfig::default()
+        },
+    );
+    let pos = random_block::<f64>(40, 0xd10c);
+    let references: Vec<_> = Kernel::ALL
+        .iter()
+        .map(|&k| direct_batch(service.engine(), k, &pos))
+        .collect();
+
+    // Queue a mixed-kernel pile of requests; none can complete yet.
+    let mut tickets = Vec::new();
+    for (ki, &kernel) in Kernel::ALL.iter().enumerate() {
+        for (ci, sub) in pos.chunks(7).enumerate() {
+            let out = service.engine().make_batch_out(sub.len());
+            tickets.push((ki, ci * 7, service.submit(kernel, sub, out)));
+        }
+    }
+
+    let start = std::time::Instant::now();
+    drop(service); // shutdown() drains the queue and joins the worker
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed < Duration::from_secs(60),
+        "drop must not wait out the 1 h fuse window (took {elapsed:?})"
+    );
+
+    // Every ticket completes with evaluated, bit-identical results —
+    // the drain ran the requests rather than abandoning the buffers.
+    for (ki, at, ticket) in tickets {
+        assert!(ticket.is_done(), "ticket completed by the drop drain");
+        let (sub, out) = ticket.wait();
+        for j in 0..sub.len() {
+            assert_blocks_bitmatch(
+                Kernel::ALL[ki],
+                n,
+                out.block(j),
+                references[ki].block(at + j),
+                &format!("post-drop kernel={} pos={}", Kernel::ALL[ki], at + j),
+            );
+        }
+    }
+}
