@@ -195,6 +195,40 @@
 //!   no steals (property-tested across policies in
 //!   `tests/integration_service.rs`).
 //!
+//! # Failure model
+//!
+//! The service layer is built to survive its own workers
+//! ([`service`]'s module docs carry the full contract):
+//!
+//! * **Error taxonomy.** A submission's [`service::Ticket`] redeems to
+//!   `Result<_, `[`service::Failed`]`>`; the failure carries a
+//!   [`service::ServiceError`] — `Timeout` (the caller's wait bound in
+//!   [`service::Ticket::redeem_for`] expired; the live claim is handed
+//!   back), `Shed` (the request's own deadline from
+//!   [`service::SpoService::submit_with_deadline`] passed while it
+//!   queued), `WorkerLost` (the request crashed workers past its
+//!   [`service::ServiceConfig::max_retries`] budget), `ShuttingDown`
+//!   (the service stopped first) — plus the caller's position/output
+//!   buffers, so no buffer is ever lost to a failure.
+//! * **Retry & supervision.** Kernel evaluation runs under
+//!   `catch_unwind`; a panicking batch is un-fused, its requests
+//!   re-enqueued (front of queue, bounded by `max_retries`), and the
+//!   dead worker slot is re-minted from the [`replica::EngineCell`]
+//!   with the same domain tag by a supervisor thread. Load shedding is
+//!   the deadline dual: expired requests are dropped *before*
+//!   evaluation, never mid-fuse.
+//! * **Bit-identity of successes.** Faults decide *whether* a request
+//!   evaluates, never *how*: every successful result — retried,
+//!   re-coalesced, degraded pool or not — is bit-identical to the
+//!   direct `*_batch` call (chaos-tested in
+//!   `tests/integration_service_faults.rs` under scripted
+//!   [`service::ServiceFaultPlan`]s).
+//! * **Graceful degradation.** [`service::ServiceClient`] retries with
+//!   exponential backoff and, gated on [`service::SpoService::health`],
+//!   falls back to direct evaluation on the shared engine
+//!   ([`service::ClientConfig`]), so trait-level drivers keep producing
+//!   physics when replicas die.
+//!
 //! # Per-move evaluation
 //!
 //! Real VMC/DMC traffic is dominated by **single-electron** moves, and
@@ -358,7 +392,8 @@ pub mod prelude {
     pub use crate::precision::{MixedEngine, MixedOut, F32_REL_ERROR_BUDGET};
     pub use crate::replica::{EngineCell, EngineRef, Replica};
     pub use crate::service::{
-        RoutingPolicy, ServiceClient, ServiceConfig, SpoService, StatsSnapshot, Ticket,
+        ClientConfig, Failed, RoutingPolicy, ServiceClient, ServiceConfig, ServiceError,
+        ServiceFault, ServiceFaultPlan, ServiceHealth, SpoService, StatsSnapshot, Ticket,
     };
     pub use crate::simd::{active_backend, with_backend, Backend as SimdBackend};
     pub use crate::soa::BsplineSoA;
@@ -379,6 +414,9 @@ pub use layout::{Kernel, Layout, OptStep};
 pub use onemove::MoveContext;
 pub use output::{SoAStreamsMut, WalkerAoS, WalkerSoA, WalkerTiled};
 pub use replica::{EngineCell, EngineRef, Replica};
-pub use service::{RoutingPolicy, ServiceClient, ServiceConfig, SpoService, Ticket};
+pub use service::{
+    ClientConfig, Failed, RoutingPolicy, ServiceClient, ServiceConfig, ServiceError, ServiceFault,
+    ServiceFaultPlan, ServiceHealth, SpoService, Ticket,
+};
 pub use soa::BsplineSoA;
 pub use throughput::Throughput;

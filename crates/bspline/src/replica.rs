@@ -39,7 +39,11 @@ use std::sync::Arc;
 ///
 /// Cloning the cell is cheap (it clones the `Arc`); clones mint from
 /// the same id sequence, so every replica of one logical engine gets a
-/// distinct id regardless of which clone minted it.
+/// distinct id regardless of which clone minted it. That property is
+/// what the service's supervisor leans on: respawning a crashed worker
+/// mints a *fresh* replica (new id, same domain tag) from the same
+/// cell, so a respawn is distinguishable from the worker it replaced
+/// while keeping its routing affinity.
 #[derive(Debug)]
 pub struct EngineCell<E> {
     inner: Arc<E>,
@@ -95,6 +99,13 @@ impl<E> EngineCell<E> {
     /// Mint `n` replica handles (service worker startup).
     pub fn handles(&self, n: usize) -> Vec<Replica<E>> {
         (0..n).map(|_| self.handle()).collect()
+    }
+
+    /// Replica handles ever minted from this cell (across all clones).
+    /// A count above the initial worker pool means the supervisor has
+    /// re-minted replicas for crashed workers.
+    pub fn minted(&self) -> usize {
+        self.next_id.load(Ordering::Relaxed)
     }
 
     /// Mint `n` replica handles spread round-robin over `n_domains`
@@ -241,6 +252,7 @@ mod tests {
             EngineRef::engine(&b) as *const _
         ));
         assert_eq!(cell.handles(3).len(), 3);
+        assert_eq!(cell.minted(), 5, "every handle counts, across clones");
     }
 
     #[test]

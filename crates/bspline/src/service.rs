@@ -55,7 +55,42 @@
 //!   `tests/integration_service.rs`.
 //! * **Shutdown.** Dropping the service (or calling
 //!   [`SpoService::shutdown`]) wakes all workers, drains every queued
-//!   request, and joins the threads; every issued ticket completes.
+//!   request, and joins the threads; every issued ticket resolves.
+//!
+//! # Failure model
+//!
+//! A replica worker is allowed to die: kernel evaluation runs under
+//! [`std::panic::catch_unwind`], and a panicking batch never takes the
+//! service (or any caller's buffers) down with it.
+//!
+//! * **Supervision.** When a worker's evaluation panics, the worker
+//!   recovers the in-flight requests (the fused output blocks are
+//!   un-fused and reattached to their callers), re-enqueues them with a
+//!   bumped crash count, and dies. A supervisor thread re-mints a fresh
+//!   [`Replica`] from the [`EngineCell`] **with the same domain tag**
+//!   and respawns the worker slot, so routing affinity survives the
+//!   crash. A request that crashes workers more than
+//!   [`ServiceConfig::max_retries`] times resolves its ticket to
+//!   [`ServiceError::WorkerLost`] instead of being retried forever.
+//! * **Typed outcomes.** [`Ticket::redeem`] (and the deadline-bounded
+//!   [`Ticket::redeem_for`]) return `Result<_, Failed>`: the error
+//!   carries a [`ServiceError`] *and* the caller's position/output
+//!   buffers (or, for a wait-side [`ServiceError::Timeout`], the still
+//!   live ticket), so no buffer is ever lost to a failure.
+//! * **Deadlines and shedding.** [`SpoService::submit_with_deadline`]
+//!   attaches a deadline to the request itself: the queue sheds the
+//!   request ([`ServiceError::Shed`]) if the deadline passes while it
+//!   is still queued — before evaluation, **never mid-fuse** — so every
+//!   result that does complete stays bit-identical to the direct batch.
+//! * **Bit-identity of successes.** Faults only decide *whether* a
+//!   request evaluates, never *how*: retried batches re-coalesce and
+//!   re-fuse under the same never-split-a-chain rule, so any `Ok`
+//!   outcome is exactly the direct `*_batch` result, crash or no crash.
+//! * **Fault injection.** [`SpoService::with_fault_plan`] scripts
+//!   worker faults ([`ServiceFault`]: panic, kill, stall, poison) for
+//!   tests, the chaos proptest suite, and the degraded-mode benchmark
+//!   rows — the service-layer analogue of the campaign layer's
+//!   `CampaignFaultPlan`.
 
 use crate::batch::{check_batch, BatchOut, PosBlock};
 use crate::engine::SpoEngine;
@@ -65,15 +100,18 @@ use crate::replica::{EngineCell, EngineRef, Replica};
 use crate::tuning;
 use einspline::{Real, ShardMap};
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// Lock, recovering the guard if a panicking submitter poisoned the
-/// mutex (a submit-side assertion fires *before* any state mutation, so
-/// the state is still consistent — and [`SpoService::shutdown`] runs
-/// from `Drop`, where a second panic would abort).
+/// Lock, recovering the guard if a panicking thread poisoned the mutex.
+/// Every mutation of the shared state happens either before any panic
+/// site or is re-validated by the supervisor, so a poisoned guard is
+/// still consistent — this is the "poison-then-recover" contract the
+/// fault suite scripts with [`ServiceFault::Poison`].
 fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
@@ -113,7 +151,7 @@ impl RoutingPolicy {
 }
 
 /// Service shape: replica count, coalescing policy, queue bound,
-/// routing policy.
+/// routing policy, crash-retry budget.
 #[derive(Clone, Copy, Debug)]
 pub struct ServiceConfig {
     /// Worker threads, each owning one engine replica handle.
@@ -130,6 +168,10 @@ pub struct ServiceConfig {
     pub queue_positions: usize,
     /// How submissions map onto shard queues.
     pub routing: RoutingPolicy,
+    /// How many times a request caught in a worker crash is re-enqueued
+    /// before its ticket resolves to [`ServiceError::WorkerLost`]. `0`
+    /// fails a request on its first crash.
+    pub max_retries: usize,
 }
 
 impl Default for ServiceConfig {
@@ -140,7 +182,217 @@ impl Default for ServiceConfig {
             max_wait: Duration::from_micros(200),
             queue_positions: 1024,
             routing: RoutingPolicy::default(),
+            max_retries: 2,
         }
+    }
+}
+
+/// Why a request resolved without a successful evaluation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The caller's wait deadline ([`Ticket::redeem_for`]) expired
+    /// before the request resolved. The request itself is still in
+    /// flight — the claim comes back in [`Failed::ticket`].
+    Timeout,
+    /// The request's service-side deadline
+    /// ([`SpoService::submit_with_deadline`]) passed before a worker
+    /// started evaluating it, so the queue shed it (never mid-fuse).
+    Shed,
+    /// The request crashed a worker on every attempt its retry budget
+    /// ([`ServiceConfig::max_retries`]) allowed.
+    WorkerLost {
+        /// Re-enqueue attempts performed before giving up.
+        retries: usize,
+    },
+    /// The service stopped — shut down, or every replica worker was
+    /// lost with none respawnable — before the request could run.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Timeout => write!(f, "wait deadline expired (request still in flight)"),
+            Self::Shed => write!(f, "request deadline passed while queued; shed before evaluation"),
+            Self::WorkerLost { retries } => {
+                write!(f, "request lost its worker on every attempt ({retries} retries)")
+            }
+            Self::ShuttingDown => write!(f, "service stopped before the request could run"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// A failed [`Ticket`] redemption: the typed error plus everything the
+/// caller can recover. Service-side failures (`Shed`, `WorkerLost`,
+/// `ShuttingDown`) hand the submitted positions and the caller's output
+/// blocks back in `pos`/`out`; a wait-side `Timeout` hands the still
+/// live claim back in `ticket`. Nothing is ever silently dropped.
+pub struct Failed<T: Real, O> {
+    /// What went wrong.
+    pub error: ServiceError,
+    /// The submitted position block, for service-side failures.
+    pub pos: Option<PosBlock<T>>,
+    /// The caller's output blocks (contents unspecified), for
+    /// service-side failures.
+    pub out: Option<BatchOut<O>>,
+    /// The still-live claim, for a wait-side [`ServiceError::Timeout`].
+    pub ticket: Option<Ticket<T, O>>,
+}
+
+impl<T: Real, O> std::fmt::Debug for Failed<T, O> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Failed")
+            .field("error", &self.error)
+            .field("pos_len", &self.pos.as_ref().map(PosBlock::len))
+            .field("out_len", &self.out.as_ref().map(|o| o.len()))
+            .field("ticket", &self.ticket.is_some())
+            .finish()
+    }
+}
+
+/// Liveness of a service's replica pool, as a client would gate on it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServiceHealth {
+    /// Every configured replica worker is live.
+    Healthy,
+    /// At least one worker is dead (killed, or crashed and not yet
+    /// respawned); the survivors keep evaluating.
+    Degraded,
+    /// No worker is live and none is coming back; queued and future
+    /// requests resolve to [`ServiceError::ShuttingDown`].
+    Failed,
+}
+
+/// One scripted worker fault (see [`ServiceFaultPlan`]). `worker` is
+/// the worker *slot* (`0..replicas`, stable across respawns);
+/// `at_request` is an admission sequence number — the fault fires the
+/// first time that slot handles a batch whose seed request was admitted
+/// at or after it. Every fault fires exactly once.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServiceFault {
+    /// Panic the worker inside kernel evaluation. The batch is
+    /// recovered and retried; the supervisor respawns the slot.
+    Panic {
+        /// Worker slot the fault targets.
+        worker: usize,
+        /// Admission sequence number that arms the fault.
+        at_request: usize,
+    },
+    /// Panic the worker and mark the slot non-respawnable — a permanent
+    /// replica loss (the degraded-mode benchmark's knob).
+    Kill {
+        /// Worker slot the fault targets.
+        worker: usize,
+        /// Admission sequence number that arms the fault.
+        at_request: usize,
+    },
+    /// Sleep the worker for `ms` milliseconds before evaluating — a
+    /// slow replica, for deadline/timeout coverage.
+    Stall {
+        /// Worker slot the fault targets.
+        worker: usize,
+        /// Admission sequence number that arms the fault.
+        at_request: usize,
+        /// Stall length, milliseconds.
+        ms: u64,
+    },
+    /// Panic the worker **while it holds the shared state mutex**,
+    /// poisoning it; the supervisor respawns the slot and every later
+    /// lock recovers the (still consistent) state — the
+    /// poison-then-recover scenario.
+    Poison {
+        /// Worker slot the fault targets.
+        worker: usize,
+        /// Admission sequence number that arms the fault.
+        at_request: usize,
+    },
+}
+
+/// A scripted sequence of worker faults, injected at service
+/// construction ([`SpoService::with_fault_plan`]). The chaos property
+/// suite (`tests/integration_service_faults.rs`) asserts that under
+/// *any* plan every ticket resolves and every success is bit-identical
+/// to the direct batch.
+#[derive(Clone, Debug, Default)]
+pub struct ServiceFaultPlan {
+    /// The faults to inject; each fires at most once.
+    pub faults: Vec<ServiceFault>,
+}
+
+impl ServiceFaultPlan {
+    /// A plan with no faults (the production configuration).
+    pub fn none() -> Self {
+        Self::default()
+    }
+}
+
+/// Runtime state of an injected fault plan: which faults have fired
+/// and which worker slots are permanently killed.
+struct FaultState {
+    faults: Vec<ServiceFault>,
+    fired: Vec<AtomicBool>,
+    killed: Vec<AtomicBool>,
+}
+
+impl FaultState {
+    fn new(plan: ServiceFaultPlan, replicas: usize) -> Self {
+        Self {
+            fired: plan.faults.iter().map(|_| AtomicBool::new(false)).collect(),
+            killed: (0..replicas).map(|_| AtomicBool::new(false)).collect(),
+            faults: plan.faults,
+        }
+    }
+
+    /// Arm-once latch: true exactly the first time fault `ix` fires.
+    fn fire(&self, ix: usize) -> bool {
+        !self.fired[ix].swap(true, Ordering::Relaxed)
+    }
+
+    /// Evaluation-boundary faults for worker `slot` about to run a
+    /// batch seeded by admission sequence `seq`. Runs *inside* the
+    /// worker's `catch_unwind`, so an injected panic takes exactly the
+    /// path a real kernel panic would.
+    fn before_eval(&self, slot: usize, seq: usize) {
+        for (ix, f) in self.faults.iter().enumerate() {
+            match *f {
+                ServiceFault::Stall { worker, at_request, ms }
+                    if worker == slot && seq >= at_request && self.fire(ix) =>
+                {
+                    std::thread::sleep(Duration::from_millis(ms));
+                }
+                ServiceFault::Panic { worker, at_request }
+                    if worker == slot && seq >= at_request && self.fire(ix) =>
+                {
+                    panic!("injected fault: panic worker {slot} at request {seq}");
+                }
+                ServiceFault::Kill { worker, at_request }
+                    if worker == slot && seq >= at_request && self.fire(ix) =>
+                {
+                    self.killed[slot].store(true, Ordering::Relaxed);
+                    panic!("injected fault: kill worker {slot} at request {seq}");
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Lock-held fault hook: called by the worker loop while it owns
+    /// the state guard, before it touches any queue. `admitted` is the
+    /// service-wide admission count at wake time.
+    fn maybe_poison(&self, slot: usize, admitted: usize) {
+        for (ix, f) in self.faults.iter().enumerate() {
+            if let ServiceFault::Poison { worker, at_request } = *f {
+                if worker == slot && admitted >= at_request && self.fire(ix) {
+                    panic!("injected fault: poison worker {slot} (state mutex held)");
+                }
+            }
+        }
+    }
+
+    fn is_killed(&self, slot: usize) -> bool {
+        self.killed.get(slot).is_some_and(|k| k.load(Ordering::Relaxed))
     }
 }
 
@@ -244,20 +496,26 @@ struct Stats {
     coalesced: AtomicUsize,
     spilled: AtomicUsize,
     stolen: AtomicUsize,
+    shed: AtomicUsize,
+    retried: AtomicUsize,
+    panics: AtomicUsize,
+    respawns: AtomicUsize,
 }
 
 /// A point-in-time copy of the service counters.
 #[derive(Clone, Copy, Debug)]
 pub struct StatsSnapshot {
-    /// Requests submitted (excluding empty ones, which complete
-    /// immediately without queueing).
+    /// Requests admitted (excluding empty ones, which complete
+    /// immediately without queueing). Counts every submission that
+    /// yielded a ticket, whether it later succeeded, was shed, or
+    /// failed — so `requests` is sum-consistent with resolved tickets.
     pub requests: usize,
-    /// Fused engine calls issued.
+    /// Fused engine calls completed successfully.
     pub batches: usize,
-    /// Positions evaluated.
+    /// Positions evaluated successfully.
     pub positions: usize,
-    /// Requests that shared their engine call with at least one other
-    /// request.
+    /// Requests that shared their (successful) engine call with at
+    /// least one other request.
     pub coalesced: usize,
     /// Requests routed off their affinity shard by the load-balance
     /// escape hatch (always 0 with one shard).
@@ -265,6 +523,16 @@ pub struct StatsSnapshot {
     /// Batches a worker seeded from a shard other than its home
     /// (always 0 with one shard).
     pub stolen: usize,
+    /// Requests resolved to [`ServiceError::Shed`]: their deadline
+    /// passed while they were still queued.
+    pub shed: usize,
+    /// Requests re-enqueued after a worker crash (a single request can
+    /// count more than once if it crashes several workers).
+    pub retried: usize,
+    /// Worker evaluation panics caught (injected or real).
+    pub panics: usize,
+    /// Worker slots the supervisor respawned after a crash.
+    pub respawns: usize,
 }
 
 impl StatsSnapshot {
@@ -282,11 +550,21 @@ impl StatsSnapshot {
 /// caller's filled output blocks, and the instant the worker finished
 /// (stamped service-side so latency measurement does not charge the
 /// submitter's reaping delay).
-type Completed<T, O> = (PosBlock<T>, BatchOut<O>, Instant);
+pub type Completed<T, O> = (PosBlock<T>, BatchOut<O>, Instant);
+
+/// How a request resolved, as stored in its completion slot.
+enum Outcome<T: Real, O> {
+    Done(Completed<T, O>),
+    Failed {
+        error: ServiceError,
+        pos: PosBlock<T>,
+        out: BatchOut<O>,
+    },
+}
 
 /// Completion slot shared between a [`Ticket`] and the worker.
 struct Done<T: Real, O> {
-    slot: Mutex<Option<Completed<T, O>>>,
+    slot: Mutex<Option<Outcome<T, O>>>,
     cv: Condvar,
 }
 
@@ -300,68 +578,132 @@ impl<T: Real, O> Done<T, O> {
 
     fn complete(&self, pos: PosBlock<T>, out: BatchOut<O>, at: Instant) {
         let mut slot = lock_recover(&self.slot);
-        debug_assert!(slot.is_none(), "a request completes once");
-        *slot = Some((pos, out, at));
+        debug_assert!(slot.is_none(), "a request resolves once");
+        *slot = Some(Outcome::Done((pos, out, at)));
+        self.cv.notify_all();
+    }
+
+    /// Resolve the ticket to `error`, handing the caller's buffers back.
+    fn fail(&self, error: ServiceError, pos: PosBlock<T>, out: BatchOut<O>) {
+        let mut slot = lock_recover(&self.slot);
+        debug_assert!(slot.is_none(), "a request resolves once");
+        *slot = Some(Outcome::Failed { error, pos, out });
         self.cv.notify_all();
     }
 }
 
-/// Claim on an in-flight submission: redeem it with [`Ticket::wait`]
-/// to get the position block and filled output blocks back.
+/// Claim on an in-flight submission: redeem it with [`Ticket::redeem`]
+/// to get the position block and filled output blocks back, or a typed
+/// [`Failed`] carrying the same buffers if the service could not run it.
 pub struct Ticket<T: Real, O> {
     done: Arc<Done<T, O>>,
 }
 
 impl<T: Real, O> Ticket<T, O> {
+    /// Block until the request resolves. `Ok` carries the submitted
+    /// positions, the caller's output blocks (now filled) and the
+    /// instant the worker finished; `Err` is a typed [`Failed`] that
+    /// hands the same buffers back unevaluated.
+    pub fn redeem(self) -> Result<Completed<T, O>, Failed<T, O>> {
+        self.redeem_inner(None)
+    }
+
+    /// [`Ticket::redeem`] bounded by a caller-side wait deadline: blocks
+    /// at most `timeout`. On expiry the error is
+    /// [`ServiceError::Timeout`] and the still-live claim comes back in
+    /// [`Failed::ticket`] — the request is still in flight and the
+    /// service still guarantees it resolves.
+    pub fn redeem_for(self, timeout: Duration) -> Result<Completed<T, O>, Failed<T, O>> {
+        self.redeem_inner(Some(Instant::now() + timeout))
+    }
+
+    /// The unified wait path: one loop serves both the unbounded and
+    /// the deadline-bounded redemption.
+    fn redeem_inner(self, deadline: Option<Instant>) -> Result<Completed<T, O>, Failed<T, O>> {
+        let mut slot = lock_recover(&self.done.slot);
+        loop {
+            match slot.take() {
+                Some(Outcome::Done(r)) => return Ok(r),
+                Some(Outcome::Failed { error, pos, out }) => {
+                    return Err(Failed {
+                        error,
+                        pos: Some(pos),
+                        out: Some(out),
+                        ticket: None,
+                    });
+                }
+                None => {}
+            }
+            match deadline {
+                None => {
+                    slot = self.done.cv.wait(slot).unwrap_or_else(PoisonError::into_inner);
+                }
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        drop(slot);
+                        return Err(Failed {
+                            error: ServiceError::Timeout,
+                            pos: None,
+                            out: None,
+                            ticket: Some(self),
+                        });
+                    }
+                    let (guard, _timeout) = self
+                        .done
+                        .cv
+                        .wait_timeout(slot, d - now)
+                        .unwrap_or_else(PoisonError::into_inner);
+                    slot = guard;
+                }
+            }
+        }
+    }
+
     /// Block until the request completes; returns the submitted
     /// positions and the caller's output blocks, now filled.
+    ///
+    /// Panics if the request resolved to a [`ServiceError`] — migrate
+    /// to [`Ticket::redeem`] for typed failure handling.
+    #[deprecated(note = "use Ticket::redeem, which returns typed failures")]
     pub fn wait(self) -> (PosBlock<T>, BatchOut<O>) {
-        let (pos, out, _) = self.wait_timed();
-        (pos, out)
+        match self.redeem() {
+            Ok((pos, out, _)) => (pos, out),
+            Err(f) => panic!("Ticket::wait on a failed request: {}", f.error),
+        }
     }
 
-    /// [`Ticket::wait`] plus the instant the worker finished the
-    /// request — taken inside the service, so open-loop latency
-    /// measurement does not charge the submitter's reaping delay to
-    /// the service.
+    /// [`Ticket::wait`] plus the worker-stamped completion instant.
+    ///
+    /// Panics if the request resolved to a [`ServiceError`] — migrate
+    /// to [`Ticket::redeem`] for typed failure handling.
+    #[deprecated(note = "use Ticket::redeem, which returns typed failures")]
     pub fn wait_timed(self) -> Completed<T, O> {
-        let mut slot = lock_recover(&self.done.slot);
-        loop {
-            if let Some(r) = slot.take() {
-                return r;
-            }
-            slot = self.done.cv.wait(slot).unwrap_or_else(PoisonError::into_inner);
+        match self.redeem() {
+            Ok(r) => r,
+            Err(f) => panic!("Ticket::wait_timed on a failed request: {}", f.error),
         }
     }
 
-    /// [`Ticket::wait_timed`] with a deadline: blocks at most `timeout`.
-    /// On expiry the ticket itself is handed back (`Err`), so the caller
-    /// can retry, keep polling, or fall back to [`Ticket::wait`] — the
-    /// claim on the in-flight request is never lost, and the service
-    /// still guarantees the request completes (a coalesce flush, the
-    /// shutdown drain, or drop-with-queued-requests all redeem it).
+    /// [`Ticket::wait_timed`] with a deadline: blocks at most `timeout`,
+    /// handing the ticket itself back (`Err`) on expiry.
+    ///
+    /// Panics if the request resolved to a non-timeout [`ServiceError`]
+    /// — migrate to [`Ticket::redeem_for`] for typed failure handling.
+    #[deprecated(note = "use Ticket::redeem_for, which returns typed failures")]
     pub fn wait_for(self, timeout: Duration) -> Result<Completed<T, O>, Self> {
-        let deadline = Instant::now() + timeout;
-        let mut slot = lock_recover(&self.done.slot);
-        loop {
-            if let Some(r) = slot.take() {
-                return Ok(r);
-            }
-            let now = Instant::now();
-            if now >= deadline {
-                drop(slot);
-                return Err(self);
-            }
-            let (guard, _timeout) = self
-                .done
-                .cv
-                .wait_timeout(slot, deadline - now)
-                .unwrap_or_else(PoisonError::into_inner);
-            slot = guard;
+        match self.redeem_for(timeout) {
+            Ok(r) => Ok(r),
+            Err(Failed {
+                error: ServiceError::Timeout,
+                ticket: Some(t),
+                ..
+            }) => Err(t),
+            Err(f) => panic!("Ticket::wait_for on a failed request: {}", f.error),
         }
     }
 
-    /// Whether the request has already completed (non-blocking).
+    /// Whether the request has already resolved (non-blocking).
     pub fn is_done(&self) -> bool {
         lock_recover(&self.done.slot).is_some()
     }
@@ -372,6 +714,27 @@ struct Request<T: Real, O> {
     pos: PosBlock<T>,
     out: Vec<O>,
     done: Arc<Done<T, O>>,
+    /// Admission sequence number (the fault plan's clock).
+    seq: usize,
+    /// The shard queue this request was routed to (re-enqueue target
+    /// after a worker crash).
+    shard: usize,
+    /// Worker crashes this request has survived so far.
+    crashes: usize,
+    /// Service-side deadline: shed (never evaluate) once passed.
+    deadline: Option<Instant>,
+}
+
+impl<T: Real, O> Request<T, O> {
+    fn expired(&self, now: Instant) -> bool {
+        self.deadline.is_some_and(|d| now >= d)
+    }
+
+    /// Resolve this request's ticket to `error`, returning the caller's
+    /// buffers through the completion slot.
+    fn fail(self, error: ServiceError) {
+        self.done.fail(error, self.pos, BatchOut::from_blocks(self.out));
+    }
 }
 
 struct State<T: Real, O> {
@@ -395,30 +758,69 @@ struct Shared<T: Real, O> {
     cfg: ServiceConfig,
     router: Router,
     stats: Stats,
+    /// Live worker count (decremented by the exit wrapper, incremented
+    /// at spawn/respawn) — the health signal.
+    live: AtomicUsize,
+    /// Set once every worker is gone with none respawnable; submissions
+    /// then resolve to [`ServiceError::ShuttingDown`] instead of
+    /// queueing forever.
+    failed: AtomicBool,
+    faults: FaultState,
+}
+
+/// Supervisor mail: worker slot `slot` (serving NUMA `domain`) died,
+/// or the service is shutting down and the supervisor should retire.
+enum Notice {
+    Died { slot: usize, domain: usize },
+    Shutdown,
+}
+
+/// How a worker's loop ended: a clean shutdown drain, or a caught
+/// evaluation crash (the batch has already been recovered/re-enqueued).
+enum WorkerExit {
+    Shutdown,
+    Crashed,
 }
 
 /// The coalescing evaluation service. See the [module docs](self) for
-/// the model.
+/// the model, including the failure model.
 pub struct SpoService<T: Real, E: SpoEngine<T> + 'static>
 where
     E::Out: 'static,
 {
     shared: Arc<Shared<T, E::Out>>,
     cell: EngineCell<E>,
-    workers: Vec<JoinHandle<()>>,
+    /// Worker join handles; the supervisor pushes respawned workers
+    /// here, shutdown drains it (possibly twice).
+    handles: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    supervisor: Option<JoinHandle<()>>,
+    /// Death-notice sender; kept so shutdown can send the retire
+    /// sentinel *after* joining the workers (mpsc is FIFO, so every
+    /// crash notice from a joined worker precedes the sentinel).
+    tx: Option<Sender<Notice>>,
 }
 
 impl<T: Real, E: SpoEngine<T> + 'static> SpoService<T, E>
 where
     E::Out: 'static,
 {
-    /// Move `engine` into a replica cell and spawn the worker threads.
+    /// Move `engine` into a replica cell and spawn the worker threads
+    /// plus the supervisor.
     ///
     /// The workers' SIMD backend is pinned here (replica mint time), so
     /// building the service inside a
     /// [`with_backend`](crate::simd::with_backend) force pins that
-    /// backend for the service's lifetime.
+    /// backend for the service's lifetime — including any workers the
+    /// supervisor respawns later, since respawned replicas are minted
+    /// on the supervisor thread from the same cell under no force.
     pub fn new(engine: E, cfg: ServiceConfig) -> Self {
+        Self::with_fault_plan(engine, cfg, ServiceFaultPlan::none())
+    }
+
+    /// [`SpoService::new`] with a scripted [`ServiceFaultPlan`] —
+    /// fault-injection entry point for tests, the chaos suite, and the
+    /// degraded-mode benchmark rows.
+    pub fn with_fault_plan(engine: E, cfg: ServiceConfig, plan: ServiceFaultPlan) -> Self {
         assert!(cfg.replicas > 0, "need at least one service replica");
         assert!(cfg.max_batch > 0, "fused batches must hold positions");
         assert!(cfg.queue_positions > 0, "queue bound must be positive");
@@ -443,19 +845,38 @@ where
             cfg,
             router,
             stats: Stats::default(),
+            live: AtomicUsize::new(cfg.replicas),
+            failed: AtomicBool::new(false),
+            faults: FaultState::new(plan, cfg.replicas),
         });
-        let workers = cell
-            .handles_for_domains(cfg.replicas, n_shards)
-            .into_iter()
-            .map(|replica| {
-                let shared = Arc::clone(&shared);
-                std::thread::spawn(move || worker_loop(replica, shared))
-            })
-            .collect();
+        let (tx, rx) = mpsc::channel();
+        let handles = Arc::new(Mutex::new(Vec::with_capacity(cfg.replicas)));
+        {
+            let mut hs = lock_recover(&handles);
+            for (slot, replica) in cell
+                .handles_for_domains(cfg.replicas, n_shards)
+                .into_iter()
+                .enumerate()
+            {
+                hs.push(spawn_worker(replica, slot, Arc::clone(&shared), tx.clone()));
+            }
+        }
+        let supervisor = {
+            let cell = cell.clone();
+            let shared = Arc::clone(&shared);
+            let handles = Arc::clone(&handles);
+            let tx = tx.clone();
+            std::thread::Builder::new()
+                .name("spo-supervisor".into())
+                .spawn(move || supervisor_loop(cell, shared, handles, rx, tx))
+                .expect("spawn service supervisor")
+        };
         Self {
             shared,
             cell,
-            workers,
+            handles,
+            supervisor: Some(supervisor),
+            tx: Some(tx),
         }
     }
 
@@ -479,6 +900,22 @@ where
         self.shared.router.n_shards()
     }
 
+    /// Liveness of the replica pool (the client's fallback gate).
+    pub fn health(&self) -> ServiceHealth {
+        if self.shared.failed.load(Ordering::Relaxed) {
+            ServiceHealth::Failed
+        } else if self.shared.live.load(Ordering::Relaxed) < self.shared.cfg.replicas {
+            ServiceHealth::Degraded
+        } else {
+            ServiceHealth::Healthy
+        }
+    }
+
+    /// Currently live worker threads (≤ configured replicas).
+    pub fn live_workers(&self) -> usize {
+        self.shared.live.load(Ordering::Relaxed)
+    }
+
     /// Point-in-time counters.
     pub fn stats(&self) -> StatsSnapshot {
         let s = &self.shared.stats;
@@ -489,16 +926,23 @@ where
             coalesced: s.coalesced.load(Ordering::Relaxed),
             spilled: s.spilled.load(Ordering::Relaxed),
             stolen: s.stolen.load(Ordering::Relaxed),
+            shed: s.shed.load(Ordering::Relaxed),
+            retried: s.retried.load(Ordering::Relaxed),
+            panics: s.panics.load(Ordering::Relaxed),
+            respawns: s.respawns.load(Ordering::Relaxed),
         }
     }
 
     /// Route the admitted request onto its shard queue (the caller
     /// holds the lock and has already passed admission control).
     /// `class` is the pre-lock classification (`None` with one shard).
+    #[allow(clippy::too_many_arguments)]
     fn enqueue_locked(
         &self,
         st: &mut State<T, E::Out>,
         class: Option<usize>,
+        seq: usize,
+        deadline: Option<Instant>,
         kernel: Kernel,
         pos: PosBlock<T>,
         out: BatchOut<E::Out>,
@@ -523,14 +967,88 @@ where
             pos,
             out: out.into_blocks(),
             done: Arc::clone(done),
+            seq,
+            shard: target,
+            crashes: 0,
+            deadline,
         });
-        self.shared.stats.requests.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Classify `pos` outside the state lock (`None` = single shard,
     /// nothing to decide).
     fn classify(&self, pos: &PosBlock<T>) -> Option<usize> {
         (self.shared.router.n_shards() > 1).then(|| self.shared.router.classify(pos))
+    }
+
+    /// The one submission path behind [`SpoService::submit`] and
+    /// [`SpoService::submit_with_deadline`].
+    fn submit_inner(
+        &self,
+        kernel: Kernel,
+        pos: PosBlock<T>,
+        out: BatchOut<E::Out>,
+        deadline: Option<Instant>,
+    ) -> Ticket<T, E::Out> {
+        check_batch(pos.len(), out.len());
+        let done = Arc::new(Done::new());
+        if pos.is_empty() {
+            // Nothing to evaluate: complete immediately, never queue.
+            done.complete(pos, out, Instant::now());
+            return Ticket { done };
+        }
+        let seq = self.shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            // Already past deadline: shed before touching the queue.
+            self.shared.stats.shed.fetch_add(1, Ordering::Relaxed);
+            done.fail(ServiceError::Shed, pos, out);
+            return Ticket { done };
+        }
+        let class = self.classify(&pos);
+        let mut st = lock_recover(&self.shared.state);
+        loop {
+            assert!(!st.shutdown, "submit on a shut-down SpoService");
+            if self.shared.failed.load(Ordering::Relaxed) {
+                // Every worker is gone and none is coming back: resolve
+                // instead of queueing a request nobody will run.
+                drop(st);
+                done.fail(ServiceError::ShuttingDown, pos, out);
+                return Ticket { done };
+            }
+            // Admit when under the bound — or unconditionally when the
+            // service is idle, so one request larger than the whole
+            // bound cannot deadlock.
+            if st.pending_positions == 0
+                || st.pending_positions + pos.len() <= self.shared.cfg.queue_positions
+            {
+                break;
+            }
+            match deadline {
+                None => {
+                    st = self.shared.space.wait(st).unwrap_or_else(PoisonError::into_inner);
+                }
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        // Deadline passed while blocked on backpressure:
+                        // shed without ever queueing.
+                        drop(st);
+                        self.shared.stats.shed.fetch_add(1, Ordering::Relaxed);
+                        done.fail(ServiceError::Shed, pos, out);
+                        return Ticket { done };
+                    }
+                    let (guard, _timeout) = self
+                        .shared
+                        .space
+                        .wait_timeout(st, d - now)
+                        .unwrap_or_else(PoisonError::into_inner);
+                    st = guard;
+                }
+            }
+        }
+        self.enqueue_locked(&mut st, class, seq, deadline, kernel, pos, out, &done);
+        drop(st);
+        self.shared.work.notify_one();
+        Ticket { done }
     }
 
     /// Enqueue `pos` for `kernel`, handing the service the caller's
@@ -544,31 +1062,25 @@ where
         pos: PosBlock<T>,
         out: BatchOut<E::Out>,
     ) -> Ticket<T, E::Out> {
-        check_batch(pos.len(), out.len());
-        let done = Arc::new(Done::new());
-        if pos.is_empty() {
-            // Nothing to evaluate: complete immediately, never queue.
-            done.complete(pos, out, Instant::now());
-            return Ticket { done };
-        }
-        let class = self.classify(&pos);
-        let mut st = lock_recover(&self.shared.state);
-        loop {
-            assert!(!st.shutdown, "submit on a shut-down SpoService");
-            // Admit when under the bound — or unconditionally when the
-            // service is idle, so one request larger than the whole
-            // bound cannot deadlock.
-            if st.pending_positions == 0
-                || st.pending_positions + pos.len() <= self.shared.cfg.queue_positions
-            {
-                break;
-            }
-            st = self.shared.space.wait(st).unwrap_or_else(PoisonError::into_inner);
-        }
-        self.enqueue_locked(&mut st, class, kernel, pos, out, &done);
-        drop(st);
-        self.shared.work.notify_one();
-        Ticket { done }
+        self.submit_inner(kernel, pos, out, None)
+    }
+
+    /// [`SpoService::submit`] with a service-side deadline: if
+    /// `deadline` passes while the request is still queued (or while
+    /// the submitter is blocked on backpressure), the service sheds it
+    /// — the ticket resolves to [`ServiceError::Shed`] with the
+    /// caller's buffers — instead of evaluating stale work. Shedding
+    /// happens strictly before evaluation, never mid-fuse, so every
+    /// request that does complete is still bit-identical to the direct
+    /// batch.
+    pub fn submit_with_deadline(
+        &self,
+        kernel: Kernel,
+        pos: PosBlock<T>,
+        out: BatchOut<E::Out>,
+        deadline: Instant,
+    ) -> Ticket<T, E::Out> {
+        self.submit_inner(kernel, pos, out, Some(deadline))
     }
 
     /// Non-blocking [`SpoService::submit`]: if admitting `pos` would
@@ -589,32 +1101,69 @@ where
         let class = self.classify(&pos);
         let mut st = lock_recover(&self.shared.state);
         assert!(!st.shutdown, "submit on a shut-down SpoService");
+        if self.shared.failed.load(Ordering::Relaxed) {
+            drop(st);
+            self.shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+            done.fail(ServiceError::ShuttingDown, pos, out);
+            return Ok(Ticket { done });
+        }
         if st.pending_positions != 0
             && st.pending_positions + pos.len() > self.shared.cfg.queue_positions
         {
             return Err((pos, out));
         }
-        self.enqueue_locked(&mut st, class, kernel, pos, out, &done);
+        let seq = self.shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+        self.enqueue_locked(&mut st, class, seq, None, kernel, pos, out, &done);
         drop(st);
         self.shared.work.notify_one();
         Ok(Ticket { done })
     }
 
-    /// Drain every queued request and join the workers. Idempotent;
-    /// also runs on drop. Every ticket issued before the call completes.
+    /// Join every worker handle registered so far (the supervisor may
+    /// push more while this runs; callers loop via the double drain in
+    /// [`SpoService::shutdown`]).
+    fn join_workers(&self) {
+        loop {
+            let handle = lock_recover(&self.handles).pop();
+            match handle {
+                Some(h) => {
+                    let _ = h.join();
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// Drain every queued request, retire the supervisor and join the
+    /// workers. Idempotent; also runs on drop. Every ticket issued
+    /// before the call resolves (successfully for drained work,
+    /// [`ServiceError::ShuttingDown`] for anything unrunnable).
     pub fn shutdown(&mut self) {
         {
             let mut st = lock_recover(&self.shared.state);
-            if st.shutdown && self.workers.is_empty() {
+            if st.shutdown && self.supervisor.is_none() {
                 return;
             }
             st.shutdown = true;
         }
         self.shared.work.notify_all();
         self.shared.space.notify_all();
-        for w in self.workers.drain(..) {
-            let _ = w.join();
+        self.join_workers();
+        // All original workers are joined, so every Died notice they
+        // sent is already in the channel (mpsc is FIFO): the sentinel
+        // cannot overtake a crash the supervisor still must handle.
+        if let Some(tx) = self.tx.take() {
+            let _ = tx.send(Notice::Shutdown);
         }
+        if let Some(s) = self.supervisor.take() {
+            let _ = s.join();
+        }
+        // Workers the supervisor respawned during the drain.
+        self.join_workers();
+        // Safety net: if the last worker crashed after the supervisor
+        // retired, its re-enqueued requests are still queued — resolve
+        // them rather than strand the tickets.
+        fail_all_queued(&self.shared);
     }
 }
 
@@ -627,16 +1176,139 @@ where
     }
 }
 
-/// One service worker: pop → coalesce → evaluate → complete, forever.
+/// Spawn one worker thread for `slot`: the worker loop wrapped in the
+/// crash handler that keeps the books (live count, panic counter) and
+/// mails the supervisor. This outer `catch_unwind` is the safety net
+/// for panics *outside* evaluation (e.g. the scripted Poison fault,
+/// which panics while holding the state mutex); evaluation panics are
+/// caught closer in, inside [`execute`], so the batch's buffers are
+/// recovered first.
+fn spawn_worker<T: Real, E: SpoEngine<T> + 'static>(
+    replica: Replica<E>,
+    slot: usize,
+    shared: Arc<Shared<T, E::Out>>,
+    tx: Sender<Notice>,
+) -> JoinHandle<()>
+where
+    E::Out: 'static,
+{
+    std::thread::Builder::new()
+        .name(format!("spo-worker-{slot}"))
+        .spawn(move || {
+            let domain = replica.domain();
+            let exit = catch_unwind(AssertUnwindSafe(|| worker_loop(&replica, slot, &shared)));
+            let crashed = !matches!(exit, Ok(WorkerExit::Shutdown));
+            if crashed {
+                shared.stats.panics.fetch_add(1, Ordering::Relaxed);
+            }
+            shared.live.fetch_sub(1, Ordering::Relaxed);
+            if crashed {
+                // Receiver gone (supervisor already retired) is fine:
+                // shutdown's final drain resolves anything left queued.
+                let _ = tx.send(Notice::Died { slot, domain });
+            }
+            shared.work.notify_all();
+            shared.space.notify_all();
+        })
+        .expect("spawn service worker")
+}
+
+/// The supervisor: respawn crashed workers from the cell (same slot,
+/// same domain tag, so routing affinity survives), unless the slot was
+/// scripted as killed or the service is draining an empty queue. When
+/// the last worker is gone with no respawn, flip the service to
+/// [`ServiceHealth::Failed`] and resolve everything still queued.
+fn supervisor_loop<T: Real, E: SpoEngine<T> + 'static>(
+    cell: EngineCell<E>,
+    shared: Arc<Shared<T, E::Out>>,
+    handles: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    rx: Receiver<Notice>,
+    tx: Sender<Notice>,
+) where
+    E::Out: 'static,
+{
+    while let Ok(notice) = rx.recv() {
+        match notice {
+            Notice::Shutdown => return,
+            Notice::Died { slot, domain } => {
+                let killed = shared.faults.is_killed(slot);
+                let (shutdown, queued) = {
+                    let st = lock_recover(&shared.state);
+                    (st.shutdown, st.queues.iter().map(VecDeque::len).sum::<usize>())
+                };
+                if !killed && (!shutdown || queued > 0) {
+                    shared.stats.respawns.fetch_add(1, Ordering::Relaxed);
+                    shared.live.fetch_add(1, Ordering::Relaxed);
+                    let replica = cell.handle_for_domain(domain);
+                    let h = spawn_worker(replica, slot, Arc::clone(&shared), tx.clone());
+                    lock_recover(&handles).push(h);
+                } else if shared.live.load(Ordering::Relaxed) == 0 {
+                    shared.failed.store(true, Ordering::Relaxed);
+                    fail_all_queued(&shared);
+                }
+            }
+        }
+    }
+}
+
+/// Resolve every queued request to [`ServiceError::ShuttingDown`],
+/// returning the callers' buffers. Tickets are failed after the state
+/// lock drops (lock order: state before done-slots, never while both).
+fn fail_all_queued<T: Real, O>(shared: &Shared<T, O>) {
+    let mut doomed = Vec::new();
+    {
+        let mut st = lock_recover(&shared.state);
+        for q in 0..st.queues.len() {
+            while let Some(r) = st.queues[q].pop_front() {
+                st.queued_positions[q] -= r.pos.len();
+                st.pending_positions -= r.pos.len();
+                doomed.push(r);
+            }
+        }
+    }
+    for r in doomed {
+        r.fail(ServiceError::ShuttingDown);
+    }
+    shared.work.notify_all();
+    shared.space.notify_all();
+}
+
+/// Pop the next *live* request off queue `q`: requests whose deadline
+/// already passed are shed on the way (before evaluation, never
+/// mid-fuse) and never returned.
+fn pop_live<T: Real, O>(
+    st: &mut State<T, O>,
+    q: usize,
+    shared: &Shared<T, O>,
+) -> Option<Request<T, O>> {
+    let now = Instant::now();
+    while let Some(r) = st.queues[q].pop_front() {
+        st.queued_positions[q] -= r.pos.len();
+        if r.expired(now) {
+            st.pending_positions -= r.pos.len();
+            shared.stats.shed.fetch_add(1, Ordering::Relaxed);
+            shared.space.notify_all();
+            r.fail(ServiceError::Shed);
+        } else {
+            return Some(r);
+        }
+    }
+    None
+}
+
+/// One service worker: pop → coalesce → evaluate → complete, until
+/// shutdown (or until an evaluation crash, which re-enqueues the batch
+/// and ends this incarnation of the slot).
 ///
 /// With shards, a worker seeds from its replica's home shard queue
 /// first and steals round-robin from the others when home is empty;
 /// the coalescing scan is scoped to the seed's queue, so only
 /// same-shard (spatially adjacent or identical) requests fuse.
 fn worker_loop<T: Real, E: SpoEngine<T>>(
-    replica: Replica<E>,
-    shared: Arc<Shared<T, E::Out>>,
-) {
+    replica: &Replica<E>,
+    slot: usize,
+    shared: &Shared<T, E::Out>,
+) -> WorkerExit {
     let n_shards = shared.router.n_shards();
     let home = replica.domain() % n_shards;
     // Reused across batches: the fused position block (reserve keeps
@@ -644,26 +1316,30 @@ fn worker_loop<T: Real, E: SpoEngine<T>>(
     let mut fused_pos = PosBlock::<T>::new();
     loop {
         let mut st = lock_recover(&shared.state);
+        // The scripted lock-held fault: panics with the state mutex
+        // poisoned; every later lock_recover recovers the guard.
+        shared
+            .faults
+            .maybe_poison(slot, shared.stats.requests.load(Ordering::Relaxed));
         // Seed a batch from home, else steal (or exit once every queue
         // is drained after shutdown — in-flight work always completes).
         let (from, first) = loop {
-            if let Some(r) = st.queues[home].pop_front() {
+            if let Some(r) = pop_live(&mut st, home, shared) {
                 break (home, r);
             }
             let stolen = (1..n_shards).find_map(|off| {
                 let q = (home + off) % n_shards;
-                st.queues[q].pop_front().map(|r| (q, r))
+                pop_live(&mut st, q, shared).map(|r| (q, r))
             });
             if let Some(hit) = stolen {
                 shared.stats.stolen.fetch_add(1, Ordering::Relaxed);
                 break hit;
             }
             if st.shutdown {
-                return;
+                return WorkerExit::Shutdown;
             }
             st = shared.work.wait(st).unwrap_or_else(PoisonError::into_inner);
         };
-        st.queued_positions[from] -= first.pos.len();
         let kernel = first.kernel;
         let mut total = first.pos.len();
         let mut batch = vec![first];
@@ -671,15 +1347,23 @@ fn worker_loop<T: Real, E: SpoEngine<T>>(
         // Coalesce: splice in every same-kernel request queued on the
         // seed's shard, waiting (bounded by max_wait) for more while
         // the batch is partial. Other kernels — and other shards —
-        // stay queued for the next worker.
+        // stay queued for the next worker. Expired requests found
+        // during the scan are shed, not fused.
         loop {
+            let now = Instant::now();
             let mut i = 0;
             while i < st.queues[from].len() && total < shared.cfg.max_batch {
                 if st.queues[from][i].kernel == kernel {
                     let r = st.queues[from].remove(i).expect("index in bounds");
                     st.queued_positions[from] -= r.pos.len();
-                    total += r.pos.len();
-                    batch.push(r);
+                    if r.expired(now) {
+                        st.pending_positions -= r.pos.len();
+                        shared.stats.shed.fetch_add(1, Ordering::Relaxed);
+                        r.fail(ServiceError::Shed);
+                    } else {
+                        total += r.pos.len();
+                        batch.push(r);
+                    }
                 } else {
                     i += 1;
                 }
@@ -687,7 +1371,6 @@ fn worker_loop<T: Real, E: SpoEngine<T>>(
             if total >= shared.cfg.max_batch || st.shutdown {
                 break;
             }
-            let now = Instant::now();
             if now >= deadline {
                 break;
             }
@@ -703,31 +1386,55 @@ fn worker_loop<T: Real, E: SpoEngine<T>>(
         st.pending_positions -= total;
         drop(st);
         shared.space.notify_all();
-        execute(&replica, kernel, batch, total, &mut fused_pos, &shared.stats);
+        match execute(replica, slot, kernel, batch, total, &mut fused_pos, shared) {
+            Ok(()) => {}
+            Err(recovered) => {
+                requeue_after_crash(shared, recovered);
+                return WorkerExit::Crashed;
+            }
+        }
     }
 }
 
 /// Evaluate one coalesced batch and complete every member request.
+///
+/// Evaluation runs under `catch_unwind`: on a panic (injected or real)
+/// the fused output blocks are un-fused and reattached to their
+/// requests — contents unspecified, but every caller buffer recovered —
+/// and the whole batch comes back as `Err` for re-enqueue.
 fn execute<T: Real, E: SpoEngine<T>>(
     replica: &Replica<E>,
+    slot: usize,
     kernel: Kernel,
     mut batch: Vec<Request<T, E::Out>>,
     total: usize,
     fused_pos: &mut PosBlock<T>,
-    stats: &Stats,
-) {
-    stats.batches.fetch_add(1, Ordering::Relaxed);
-    stats.positions.fetch_add(total, Ordering::Relaxed);
+    shared: &Shared<T, E::Out>,
+) -> Result<(), Vec<Request<T, E::Out>>> {
+    let stats = &shared.stats;
+    let seq0 = batch[0].seq;
     if batch.len() == 1 {
         // Single-request fast path: evaluate straight into the caller's
         // blocks, no splice.
-        let req = batch.pop().expect("one request");
-        let mut out = BatchOut::from_blocks(req.out);
-        replica.run(|| replica.engine().eval_batch(kernel, &req.pos, &mut out));
-        req.done.complete(req.pos, out, Instant::now());
-        return;
+        let mut req = batch.pop().expect("one request");
+        let mut out = BatchOut::from_blocks(std::mem::take(&mut req.out));
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            shared.faults.before_eval(slot, req.seq);
+            replica.run(|| replica.engine().eval_batch(kernel, &req.pos, &mut out));
+        }));
+        return match outcome {
+            Ok(()) => {
+                stats.batches.fetch_add(1, Ordering::Relaxed);
+                stats.positions.fetch_add(total, Ordering::Relaxed);
+                req.done.complete(req.pos, out, Instant::now());
+                Ok(())
+            }
+            Err(_) => {
+                req.out = out.into_blocks();
+                Err(batch.drain(..).chain(std::iter::once(req)).collect())
+            }
+        };
     }
-    stats.coalesced.fetch_add(batch.len(), Ordering::Relaxed);
     // Fuse: splice positions, move each caller's first pos.len() output
     // blocks into one BatchOut (extra ragged-tail blocks are parked and
     // reattached untouched).
@@ -742,17 +1449,116 @@ fn execute<T: Real, E: SpoEngine<T>>(
         blocks.append(&mut mine);
     }
     let mut fused_out = BatchOut::from_blocks(blocks);
-    replica.run(|| replica.engine().eval_batch(kernel, fused_pos, &mut fused_out));
-    // Unfuse: hand each request its own blocks back in submit order.
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        shared.faults.before_eval(slot, seq0);
+        replica.run(|| replica.engine().eval_batch(kernel, fused_pos, &mut fused_out));
+    }));
     let mut rest = fused_out.into_blocks();
-    for (req, extra) in batch.into_iter().zip(extras) {
-        let tail = rest.split_off(req.pos.len());
-        let mut mine = std::mem::replace(&mut rest, tail);
-        mine.extend(extra);
-        req.done
-            .complete(req.pos, BatchOut::from_blocks(mine), Instant::now());
+    match outcome {
+        Ok(()) => {
+            stats.batches.fetch_add(1, Ordering::Relaxed);
+            stats.positions.fetch_add(total, Ordering::Relaxed);
+            stats.coalesced.fetch_add(batch.len(), Ordering::Relaxed);
+            // Unfuse: hand each request its own blocks back in submit
+            // order.
+            for (req, extra) in batch.into_iter().zip(extras) {
+                let tail = rest.split_off(req.pos.len());
+                let mut mine = std::mem::replace(&mut rest, tail);
+                mine.extend(extra);
+                req.done
+                    .complete(req.pos, BatchOut::from_blocks(mine), Instant::now());
+            }
+            debug_assert!(rest.is_empty(), "every output block returned");
+            Ok(())
+        }
+        Err(_) => {
+            // Crash recovery: un-fuse the (possibly half-written)
+            // blocks back onto their requests so no caller buffer is
+            // lost; a retry overwrites the contents anyway.
+            for (req, extra) in batch.iter_mut().zip(extras) {
+                let tail = rest.split_off(req.pos.len());
+                let mut mine = std::mem::replace(&mut rest, tail);
+                mine.extend(extra);
+                req.out = mine;
+            }
+            debug_assert!(rest.is_empty(), "every output block recovered");
+            Err(batch)
+        }
     }
-    debug_assert!(rest.is_empty(), "every output block returned");
+}
+
+/// Put a crashed batch back: each request re-enqueues at the *front* of
+/// its shard queue (aged work keeps its place) with a bumped crash
+/// count — unless its deadline has passed (shed) or its retry budget is
+/// spent ([`ServiceError::WorkerLost`]).
+fn requeue_after_crash<T: Real, O>(shared: &Shared<T, O>, batch: Vec<Request<T, O>>) {
+    let now = Instant::now();
+    let mut doomed: Vec<(Request<T, O>, ServiceError)> = Vec::new();
+    {
+        let mut st = lock_recover(&shared.state);
+        // Reverse iteration + push_front preserves submit order at the
+        // head of the queue.
+        for mut r in batch.into_iter().rev() {
+            r.crashes += 1;
+            if r.expired(now) {
+                shared.stats.shed.fetch_add(1, Ordering::Relaxed);
+                doomed.push((r, ServiceError::Shed));
+            } else if r.crashes > shared.cfg.max_retries {
+                let retries = r.crashes - 1;
+                doomed.push((r, ServiceError::WorkerLost { retries }));
+            } else {
+                shared.stats.retried.fetch_add(1, Ordering::Relaxed);
+                st.pending_positions += r.pos.len();
+                st.queued_positions[r.shard] += r.pos.len();
+                st.queues[r.shard].push_front(r);
+            }
+        }
+    }
+    for (r, e) in doomed {
+        r.fail(e);
+    }
+    shared.work.notify_all();
+    shared.space.notify_all();
+}
+
+/// How a [`ServiceClient`] reacts to service failures: bounded
+/// exponential-backoff retry, an optional per-request service deadline,
+/// and a health-gated local fallback.
+#[derive(Clone, Copy, Debug)]
+pub struct ClientConfig {
+    /// Resubmission attempts after a failed redemption (in addition to
+    /// the first submission).
+    pub max_retries: usize,
+    /// Backoff before the first retry; doubles per attempt (capped at
+    /// `base << 10`).
+    pub backoff: Duration,
+    /// Service-side deadline attached to every submission
+    /// ([`SpoService::submit_with_deadline`]); `None` submits without
+    /// one.
+    pub deadline: Option<Duration>,
+    /// When `true`, a service that is not [`ServiceHealth::Healthy`]
+    /// (or a request that exhausts its retries) is bypassed: the client
+    /// evaluates directly on the shared engine, so drivers keep
+    /// producing physics while replicas are down. The direct path runs
+    /// on the caller's thread with its ambient SIMD backend.
+    pub fallback: bool,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        Self {
+            max_retries: 2,
+            backoff: Duration::from_micros(50),
+            deadline: None,
+            fallback: true,
+        }
+    }
+}
+
+/// Exponential backoff: `base << attempt`, exponent capped so a large
+/// retry budget cannot overflow into a multi-hour sleep.
+fn backoff_delay(base: Duration, attempt: usize) -> Duration {
+    base * (1u32 << attempt.min(10) as u32)
 }
 
 /// An [`SpoEngine`] adapter over a shared service: scalar and batched
@@ -764,6 +1570,15 @@ fn execute<T: Real, E: SpoEngine<T>>(
 /// zero-copy contract); batched calls clone the position block (the
 /// trait borrows it, the service takes ownership) but move the output
 /// blocks both ways.
+///
+/// The trait's methods are infallible, so the client absorbs the
+/// service's failure model ([`ClientConfig`]): failed redemptions are
+/// retried with exponential backoff, and when the service is
+/// [`ServiceHealth::Degraded`]/[`ServiceHealth::Failed`] (or retries
+/// run out) the call falls back to evaluating directly on the shared
+/// engine — the driver never sees an error, it just loses coalescing
+/// until the replicas come back. With `fallback` disabled the client
+/// panics instead of degrading silently.
 pub struct ServiceClient<T: Real, E: SpoEngine<T> + 'static>
 where
     E::Out: 'static,
@@ -772,23 +1587,49 @@ where
     /// Dummy blocks for the scalar-call swap trick; steady state reuses
     /// one allocation per concurrent scalar caller.
     pool: Mutex<Vec<E::Out>>,
+    cfg: ClientConfig,
+    /// Calls that bypassed the service onto the direct engine path.
+    fallbacks: AtomicUsize,
 }
 
 impl<T: Real, E: SpoEngine<T> + 'static> ServiceClient<T, E>
 where
     E::Out: 'static,
 {
-    /// Wrap a shared service handle.
+    /// Wrap a shared service handle with the default [`ClientConfig`].
     pub fn new(service: Arc<SpoService<T, E>>) -> Self {
+        Self::with_config(service, ClientConfig::default())
+    }
+
+    /// Wrap a shared service handle with an explicit failure policy.
+    pub fn with_config(service: Arc<SpoService<T, E>>, cfg: ClientConfig) -> Self {
         Self {
             service,
             pool: Mutex::new(Vec::new()),
+            cfg,
+            fallbacks: AtomicUsize::new(0),
         }
     }
 
     /// The underlying service.
     pub fn service(&self) -> &SpoService<T, E> {
         &self.service
+    }
+
+    /// The client's failure policy.
+    pub fn client_config(&self) -> ClientConfig {
+        self.cfg
+    }
+
+    /// Calls this client evaluated directly (service unhealthy or
+    /// retries exhausted) instead of through the service.
+    pub fn fallbacks(&self) -> usize {
+        self.fallbacks.load(Ordering::Relaxed)
+    }
+
+    /// Whether the health gate diverts this call to the direct path.
+    fn diverted(&self) -> bool {
+        self.cfg.fallback && self.service.health() != ServiceHealth::Healthy
     }
 
     fn submit_one(&self, kernel: Kernel, pos: [T; 3], out: &mut E::Out) {
@@ -798,28 +1639,89 @@ where
         }
         .unwrap_or_else(|| self.service.engine().make_out());
         let block = std::mem::replace(out, dummy);
-        let mut pb = PosBlock::with_capacity(1);
-        pb.push(pos);
-        let ticket = self
-            .service
-            .submit(kernel, pb, BatchOut::from_blocks(vec![block]));
-        let (_, res) = ticket.wait();
-        let mut blocks = res.into_blocks();
-        let dummy = std::mem::replace(out, blocks.pop().expect("one block back"));
+        let mut owned = vec![block];
+        for attempt in 0..=self.cfg.max_retries {
+            if self.diverted() {
+                break;
+            }
+            let mut pb = PosBlock::with_capacity(1);
+            pb.push(pos);
+            let ticket = match self.cfg.deadline {
+                Some(d) => self.service.submit_with_deadline(
+                    kernel,
+                    pb,
+                    BatchOut::from_blocks(owned),
+                    Instant::now() + d,
+                ),
+                None => self.service.submit(kernel, pb, BatchOut::from_blocks(owned)),
+            };
+            match ticket.redeem() {
+                Ok((_, res, _)) => {
+                    let mut blocks = res.into_blocks();
+                    let dummy = std::mem::replace(out, blocks.pop().expect("one block back"));
+                    lock_recover(&self.pool).push(dummy);
+                    return;
+                }
+                Err(f) => {
+                    let error = f.error;
+                    owned = f
+                        .out
+                        .expect("service failures return the caller's blocks")
+                        .into_blocks();
+                    if !self.cfg.fallback && attempt == self.cfg.max_retries {
+                        panic!("service call failed after {} attempts: {error}", attempt + 1);
+                    }
+                    std::thread::sleep(backoff_delay(self.cfg.backoff, attempt));
+                }
+            }
+        }
+        // Fallback: restore the caller's block and evaluate directly.
+        self.fallbacks.fetch_add(1, Ordering::Relaxed);
+        let dummy = std::mem::replace(out, owned.pop().expect("one block back"));
         lock_recover(&self.pool).push(dummy);
+        let engine = self.service.engine();
+        match kernel {
+            Kernel::V => engine.v(pos, out),
+            Kernel::Vgl => engine.vgl(pos, out),
+            Kernel::Vgh => engine.vgh(pos, out),
+        }
     }
 
-    fn submit_batch(
-        &self,
-        kernel: Kernel,
-        pos: &PosBlock<T>,
-        out: &mut BatchOut<E::Out>,
-    ) {
+    fn submit_batch(&self, kernel: Kernel, pos: &PosBlock<T>, out: &mut BatchOut<E::Out>) {
         check_batch(pos.len(), out.len());
-        let owned = std::mem::replace(out, BatchOut::from_blocks(Vec::new()));
-        let ticket = self.service.submit(kernel, pos.clone(), owned);
-        let (_, res) = ticket.wait();
-        *out = res;
+        let mut owned = std::mem::replace(out, BatchOut::from_blocks(Vec::new()));
+        for attempt in 0..=self.cfg.max_retries {
+            if self.diverted() {
+                break;
+            }
+            let ticket = match self.cfg.deadline {
+                Some(d) => self.service.submit_with_deadline(
+                    kernel,
+                    pos.clone(),
+                    owned,
+                    Instant::now() + d,
+                ),
+                None => self.service.submit(kernel, pos.clone(), owned),
+            };
+            match ticket.redeem() {
+                Ok((_, res, _)) => {
+                    *out = res;
+                    return;
+                }
+                Err(f) => {
+                    let error = f.error;
+                    owned = f.out.expect("service failures return the caller's blocks");
+                    if !self.cfg.fallback && attempt == self.cfg.max_retries {
+                        panic!("service call failed after {} attempts: {error}", attempt + 1);
+                    }
+                    std::thread::sleep(backoff_delay(self.cfg.backoff, attempt));
+                }
+            }
+        }
+        // Fallback: evaluate directly into the caller's blocks.
+        self.fallbacks.fetch_add(1, Ordering::Relaxed);
+        *out = owned;
+        self.service.engine().eval_batch(kernel, pos, out);
     }
 }
 
@@ -828,7 +1730,7 @@ where
     E::Out: 'static,
 {
     fn clone(&self) -> Self {
-        Self::new(Arc::clone(&self.service))
+        Self::with_config(Arc::clone(&self.service), self.cfg)
     }
 }
 
@@ -899,6 +1801,7 @@ where
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::soa::BsplineSoA;
@@ -918,6 +1821,18 @@ mod tests {
         PosBlock::random(&mut rng, ns, [(0.0, 1.0); 3])
     }
 
+    /// Spin until `f` is true or ~2s pass (supervisor actions are
+    /// asynchronous; tests must not race them).
+    fn eventually(f: impl Fn() -> bool) -> bool {
+        for _ in 0..2000 {
+            if f() {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        f()
+    }
+
     #[test]
     fn single_submission_matches_direct_batch() {
         let engine = soa(24);
@@ -927,7 +1842,7 @@ mod tests {
 
         let service = SpoService::with_default_config(soa(24));
         let out = service.engine().make_batch_out(5);
-        let (_, got) = service.submit(Kernel::Vgh, pos, out).wait();
+        let (_, got, _) = service.submit(Kernel::Vgh, pos, out).redeem().unwrap();
         for p in 0..5 {
             for n in 0..24 {
                 assert_eq!(
@@ -948,7 +1863,7 @@ mod tests {
             BatchOut::from_blocks(Vec::new()),
         );
         assert!(ticket.is_done());
-        let (pos, out) = ticket.wait();
+        let (pos, out, _) = ticket.redeem().unwrap();
         assert!(pos.is_empty() && out.is_empty());
         assert_eq!(service.stats().requests, 0, "empty requests never queue");
     }
@@ -965,7 +1880,7 @@ mod tests {
                 max_batch: 8,
                 max_wait: Duration::from_millis(5),
                 queue_positions: 64,
-                routing: RoutingPolicy::Auto,
+                ..ServiceConfig::default()
             },
         );
         let tickets: Vec<_> = (0..6)
@@ -976,7 +1891,7 @@ mod tests {
             })
             .collect();
         for (sent, ticket) in tickets {
-            let (pos, out) = ticket.wait();
+            let (pos, out, _) = ticket.redeem().unwrap();
             assert_eq!(pos.len(), 3);
             assert_eq!(out.len(), 3);
             for i in 0..3 {
@@ -1011,7 +1926,7 @@ mod tests {
                 // the second arrives.
                 max_wait: Duration::from_millis(200),
                 queue_positions: 4,
-                routing: RoutingPolicy::Auto,
+                ..ServiceConfig::default()
             },
         );
         let first = service.submit(Kernel::V, block(4, 1), service.engine().make_batch_out(4));
@@ -1020,14 +1935,14 @@ mod tests {
         // (It may also have already drained — then submission succeeds.)
         match service.try_submit(Kernel::V, block(4, 2), service.engine().make_batch_out(4)) {
             Ok(t) => {
-                t.wait();
+                t.redeem().unwrap();
             }
             Err((pos, out)) => {
                 assert_eq!(pos.len(), 4);
                 assert_eq!(out.len(), 4);
             }
         }
-        first.wait();
+        first.redeem().unwrap();
     }
 
     #[test]
@@ -1038,8 +1953,7 @@ mod tests {
                 replicas: 2,
                 max_batch: 64,
                 max_wait: Duration::from_millis(50),
-                queue_positions: 1024,
-                routing: RoutingPolicy::Auto,
+                ..ServiceConfig::default()
             },
         );
         let tickets: Vec<_> = (0..8)
@@ -1051,7 +1965,7 @@ mod tests {
             .collect();
         service.shutdown();
         for t in tickets {
-            let (pos, out) = t.wait();
+            let (pos, out, _) = t.redeem().expect("shutdown drains, never strands");
             assert_eq!(pos.len(), 2);
             assert!(out.len() >= 2);
         }
@@ -1142,6 +2056,7 @@ mod tests {
                 max_wait: Duration::from_millis(2),
                 queue_positions: 256,
                 routing: RoutingPolicy::Affinity { domains: 3 },
+                ..ServiceConfig::default()
             },
         );
         let tickets: Vec<_> = (0..9)
@@ -1160,7 +2075,7 @@ mod tests {
             })
             .collect();
         for (sent, ticket) in tickets {
-            let (pos, out) = ticket.wait();
+            let (pos, out, _) = ticket.redeem().unwrap();
             let mut direct = engine.make_batch_out(4);
             engine.eval_batch(Kernel::Vgh, &sent, &mut direct);
             for p in 0..4 {
@@ -1194,7 +2109,7 @@ mod tests {
         for i in 0..6 {
             let pos = block(3, i);
             let out = service.engine().make_batch_out(3);
-            service.submit(Kernel::V, pos, out).wait();
+            service.submit(Kernel::V, pos, out).redeem().unwrap();
         }
         let stats = service.stats();
         assert_eq!(stats.spilled, 0);
@@ -1220,5 +2135,322 @@ mod tests {
         client.v([0.1, 0.2, 0.3], &mut via);
         client.v([0.4, 0.5, 0.6], &mut via);
         assert_eq!(client.pool.lock().unwrap().len(), 1);
+        assert_eq!(client.fallbacks(), 0, "healthy service never diverts");
+    }
+
+    // ---- failure model ----
+
+    #[test]
+    fn service_error_display_is_stable() {
+        assert!(ServiceError::Timeout.to_string().contains("in flight"));
+        assert!(ServiceError::Shed.to_string().contains("shed"));
+        assert!(ServiceError::WorkerLost { retries: 2 }
+            .to_string()
+            .contains("2 retries"));
+        assert!(ServiceError::ShuttingDown.to_string().contains("stopped"));
+    }
+
+    #[test]
+    fn past_deadline_submission_sheds_before_queueing() {
+        let service = SpoService::with_default_config(soa(8));
+        let out = service.engine().make_batch_out(2);
+        let deadline = Instant::now() - Duration::from_millis(1);
+        let ticket = service.submit_with_deadline(Kernel::V, block(2, 3), out, deadline);
+        let failed = ticket.redeem().unwrap_err();
+        assert_eq!(failed.error, ServiceError::Shed);
+        assert_eq!(failed.pos.map(|p| p.len()), Some(2), "positions returned");
+        assert_eq!(failed.out.map(|o| o.len()), Some(2), "blocks returned");
+        let stats = service.stats();
+        assert_eq!(stats.shed, 1);
+        assert_eq!(stats.requests, 1, "shed submissions still count");
+        assert_eq!(stats.batches, 0, "never evaluated");
+    }
+
+    #[test]
+    fn panic_fault_is_retried_and_worker_respawned() {
+        let engine = soa(16);
+        let pos = block(4, 11);
+        let mut direct = engine.make_batch_out(4);
+        engine.eval_batch(Kernel::Vgl, &pos, &mut direct);
+
+        let service = SpoService::with_fault_plan(
+            soa(16),
+            ServiceConfig::default(),
+            ServiceFaultPlan {
+                faults: vec![ServiceFault::Panic {
+                    worker: 0,
+                    at_request: 0,
+                }],
+            },
+        );
+        let out = service.engine().make_batch_out(4);
+        let (_, got, _) = service
+            .submit(Kernel::Vgl, pos, out)
+            .redeem()
+            .expect("retried after the crash");
+        for p in 0..4 {
+            for n in 0..16 {
+                assert_eq!(
+                    direct.block(p).value(n),
+                    got.block(p).value(n),
+                    "retried result bit-identical, p={p} n={n}"
+                );
+            }
+        }
+        assert!(eventually(|| service.stats().respawns >= 1));
+        let stats = service.stats();
+        assert!(stats.panics >= 1, "crash was counted");
+        assert!(stats.retried >= 1, "batch was re-enqueued");
+        assert!(eventually(|| service.health() == ServiceHealth::Healthy));
+    }
+
+    #[test]
+    fn kill_fault_degrades_service_but_survivor_completes() {
+        let service = SpoService::with_fault_plan(
+            soa(8),
+            ServiceConfig {
+                replicas: 2,
+                max_wait: Duration::from_micros(50),
+                ..ServiceConfig::default()
+            },
+            ServiceFaultPlan {
+                faults: vec![ServiceFault::Kill {
+                    worker: 0,
+                    at_request: 0,
+                }],
+            },
+        );
+        // Keep submitting until slot 0 has evaluated (and died); every
+        // ticket still completes on the survivor via retry.
+        let mut rounds = 0u64;
+        while service.health() == ServiceHealth::Healthy && rounds < 200 {
+            let tickets: Vec<_> = (0..8u64)
+                .map(|i| {
+                    let out = service.engine().make_batch_out(2);
+                    service.submit(Kernel::V, block(2, rounds * 8 + i), out)
+                })
+                .collect();
+            for t in tickets {
+                t.redeem().expect("survivor completes retried work");
+            }
+            rounds += 1;
+        }
+        assert!(eventually(|| service.health() == ServiceHealth::Degraded));
+        assert_eq!(service.live_workers(), 1);
+        assert_eq!(service.stats().respawns, 0, "killed slots stay down");
+    }
+
+    #[test]
+    fn all_workers_killed_fails_the_service() {
+        let service = SpoService::with_fault_plan(
+            soa(8),
+            ServiceConfig {
+                replicas: 1,
+                max_retries: 0,
+                ..ServiceConfig::default()
+            },
+            ServiceFaultPlan {
+                faults: vec![ServiceFault::Kill {
+                    worker: 0,
+                    at_request: 0,
+                }],
+            },
+        );
+        let out = service.engine().make_batch_out(3);
+        let failed = service
+            .submit(Kernel::Vgh, block(3, 5), out)
+            .redeem()
+            .unwrap_err();
+        assert_eq!(failed.error, ServiceError::WorkerLost { retries: 0 });
+        assert_eq!(failed.pos.map(|p| p.len()), Some(3));
+        assert!(eventually(|| service.health() == ServiceHealth::Failed));
+        // Later submissions resolve instead of queueing forever.
+        let out = service.engine().make_batch_out(1);
+        let failed = service
+            .submit(Kernel::V, block(1, 6), out)
+            .redeem()
+            .unwrap_err();
+        assert_eq!(failed.error, ServiceError::ShuttingDown);
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_resolves_worker_lost() {
+        let service = SpoService::with_fault_plan(
+            soa(8),
+            ServiceConfig {
+                replicas: 1,
+                max_retries: 1,
+                ..ServiceConfig::default()
+            },
+            ServiceFaultPlan {
+                // Two one-shot panics on the same slot: the original
+                // worker and its respawn each crash once.
+                faults: vec![
+                    ServiceFault::Panic {
+                        worker: 0,
+                        at_request: 0,
+                    },
+                    ServiceFault::Panic {
+                        worker: 0,
+                        at_request: 0,
+                    },
+                ],
+            },
+        );
+        let out = service.engine().make_batch_out(2);
+        let failed = service
+            .submit(Kernel::V, block(2, 7), out)
+            .redeem()
+            .unwrap_err();
+        assert_eq!(failed.error, ServiceError::WorkerLost { retries: 1 });
+        assert!(eventually(|| service.stats().panics == 2));
+        assert_eq!(service.stats().retried, 1, "one re-enqueue before giving up");
+        // The second respawn leaves the service healthy again.
+        assert!(eventually(|| service.health() == ServiceHealth::Healthy));
+        let out = service.engine().make_batch_out(2);
+        service
+            .submit(Kernel::V, block(2, 8), out)
+            .redeem()
+            .expect("faults exhausted; service recovered");
+    }
+
+    #[test]
+    fn stall_fault_delays_but_completes() {
+        let service = SpoService::with_fault_plan(
+            soa(8),
+            ServiceConfig::default(),
+            ServiceFaultPlan {
+                faults: vec![ServiceFault::Stall {
+                    worker: 0,
+                    at_request: 0,
+                    ms: 20,
+                }],
+            },
+        );
+        let start = Instant::now();
+        let out = service.engine().make_batch_out(2);
+        service
+            .submit(Kernel::V, block(2, 9), out)
+            .redeem()
+            .expect("a stall is not a failure");
+        assert!(start.elapsed() >= Duration::from_millis(20));
+        assert_eq!(service.stats().panics, 0);
+    }
+
+    #[test]
+    fn poison_then_recover_keeps_evaluating() {
+        let engine = soa(12);
+        let pos = block(3, 13);
+        let mut direct = engine.make_batch_out(3);
+        engine.eval_batch(Kernel::V, &pos, &mut direct);
+
+        let service = SpoService::with_fault_plan(
+            soa(12),
+            ServiceConfig::default(),
+            ServiceFaultPlan {
+                faults: vec![ServiceFault::Poison {
+                    worker: 0,
+                    at_request: 0,
+                }],
+            },
+        );
+        // The poison fires as soon as worker 0 wakes with the state
+        // mutex held; the respawned worker recovers the poisoned lock.
+        assert!(eventually(|| service.stats().respawns >= 1));
+        let out = service.engine().make_batch_out(3);
+        let (_, got, _) = service
+            .submit(Kernel::V, pos, out)
+            .redeem()
+            .expect("recovered lock still serves");
+        for p in 0..3 {
+            for n in 0..12 {
+                assert_eq!(direct.block(p).value(n), got.block(p).value(n), "p={p} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn redeem_for_times_out_then_ticket_still_resolves() {
+        let service = SpoService::new(
+            soa(8),
+            ServiceConfig {
+                max_wait: Duration::from_millis(100),
+                ..ServiceConfig::default()
+            },
+        );
+        let out = service.engine().make_batch_out(1);
+        let ticket = service.submit(Kernel::V, block(1, 2), out);
+        match ticket.redeem_for(Duration::from_micros(1)) {
+            // Fast machine: already done — fine.
+            Ok((pos, _, _)) => assert_eq!(pos.len(), 1),
+            Err(failed) => {
+                assert_eq!(failed.error, ServiceError::Timeout);
+                assert!(failed.pos.is_none() && failed.out.is_none());
+                let ticket = failed.ticket.expect("the claim comes back");
+                let (pos, _, _) = ticket.redeem().expect("still in flight, still completes");
+                assert_eq!(pos.len(), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn client_falls_back_to_direct_eval_when_service_dies() {
+        let engine = soa(16);
+        let pos = block(4, 21);
+        let mut direct = engine.make_batch_out(4);
+        engine.eval_batch(Kernel::Vgh, &pos, &mut direct);
+
+        let service = Arc::new(SpoService::with_fault_plan(
+            soa(16),
+            ServiceConfig {
+                replicas: 1,
+                max_retries: 0,
+                ..ServiceConfig::default()
+            },
+            ServiceFaultPlan {
+                faults: vec![ServiceFault::Kill {
+                    worker: 0,
+                    at_request: 0,
+                }],
+            },
+        ));
+        let client = ServiceClient::new(service);
+        let mut out = client.make_batch_out(4);
+        // Infallible trait call: the service dies under it, the client
+        // retries/diverts, and the caller still gets physics.
+        client.vgh_batch(&pos, &mut out);
+        assert!(client.fallbacks() >= 1, "direct path was taken");
+        for p in 0..4 {
+            for n in 0..16 {
+                assert_eq!(
+                    direct.block(p).value(n),
+                    out.block(p).value(n),
+                    "fallback result bit-identical, p={p} n={n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deprecated_wait_shims_still_serve_pr9_call_sites() {
+        let service = SpoService::with_default_config(soa(8));
+        let out = service.engine().make_batch_out(2);
+        let (pos, out) = service.submit(Kernel::V, block(2, 31), out).wait();
+        assert_eq!((pos.len(), out.len()), (2, 2));
+        let out = service.engine().make_batch_out(2);
+        let (pos, ..) = service.submit(Kernel::V, block(2, 32), out).wait_timed();
+        assert_eq!(pos.len(), 2);
+        let out = service.engine().make_batch_out(2);
+        let ticket = service.submit(Kernel::V, block(2, 33), out);
+        match ticket.wait_for(Duration::from_secs(5)) {
+            Ok((pos, ..)) => assert_eq!(pos.len(), 2),
+            Err(t) => {
+                t.wait();
+            }
+        }
     }
 }
+
+
+
+

@@ -11,7 +11,7 @@
 
 use crate::lattice::Lattice;
 use bspline::blocked::BlockedEngine;
-use bspline::service::{ServiceClient, ServiceConfig, SpoService};
+use bspline::service::{ClientConfig, ServiceClient, ServiceConfig, SpoService};
 use bspline::{BatchOut, BsplineSoA, MoveContext, PosBlock, SpoEngine, WalkerSoA};
 use einspline::{MultiCoefs, Real};
 use std::sync::Arc;
@@ -116,12 +116,25 @@ impl<T: Real<Accum = f64>> SpoSet<T, ServiceClient<T, BsplineSoA<T>>> {
 
     /// Wrap an existing shared service (several `SpoSet`s — one per
     /// walker stream — submitting to one service is the coalescing
-    /// scenario the service exists for).
+    /// scenario the service exists for). Uses the default
+    /// [`ClientConfig`] failure policy: bounded retry with backoff and
+    /// health-gated fallback to direct evaluation, so the driver keeps
+    /// producing physics when replicas die.
     pub fn with_service(
         service: Arc<SpoService<T, BsplineSoA<T>>>,
         lattice: Lattice,
     ) -> Self {
-        Self::with_engine(ServiceClient::new(service), lattice)
+        Self::with_service_client(service, lattice, ClientConfig::default())
+    }
+
+    /// [`SpoSet::with_service`] with an explicit client failure policy
+    /// — deadline per submission, retry budget, fallback gating.
+    pub fn with_service_client(
+        service: Arc<SpoService<T, BsplineSoA<T>>>,
+        lattice: Lattice,
+        client_cfg: ClientConfig,
+    ) -> Self {
+        Self::with_engine(ServiceClient::with_config(service, client_cfg), lattice)
     }
 }
 
@@ -575,6 +588,60 @@ mod tests {
         for (x, y) in av.iter().zip(&bv) {
             assert_eq!(&x.v[..4], &y.v[..4]);
         }
+    }
+
+    #[test]
+    fn service_backed_spo_set_survives_replica_death() {
+        use bspline::service::{ServiceFault, ServiceFaultPlan};
+        use bspline::{BsplineSoA, SpoService};
+        let lat = Lattice::hexagonal(2.5, 6.0);
+        let mut direct = build(lat, 16, 4);
+        let coefs = {
+            let spo = build(lat, 16, 4);
+            spo.engine().coefs().clone()
+        };
+        // One replica scripted to die on its first request and stay
+        // dead: the client's health-gated fallback must keep the
+        // SpoSet producing bit-identical physics.
+        let service = Arc::new(SpoService::with_fault_plan(
+            BsplineSoA::new(coefs),
+            ServiceConfig {
+                replicas: 1,
+                max_retries: 0,
+                ..ServiceConfig::default()
+            },
+            ServiceFaultPlan {
+                faults: vec![ServiceFault::Kill {
+                    worker: 0,
+                    at_request: 0,
+                }],
+            },
+        ));
+        let mut served = SpoSet::with_service_client(service, lat, ClientConfig::default());
+        let rs: Vec<[f64; 3]> = [[0.11, 0.42, 0.83], [0.57, 0.24, 0.39]]
+            .iter()
+            .map(|u| lat.to_cart(*u))
+            .collect();
+        let am = direct.evaluate_vgl_batch(&rs).to_vec();
+        let ab = served.evaluate_vgl_batch(&rs).to_vec();
+        for (e, (x, y)) in am.iter().zip(&ab).enumerate() {
+            for k in 0..4 {
+                assert_eq!(x.v[k], y.v[k], "e={e} k={k}");
+                assert_eq!(x.lap[k], y.lap[k]);
+            }
+        }
+        // The scalar path also keeps serving through the fallback.
+        for &r in &rs {
+            let a = direct.evaluate_vgl(r).clone();
+            let b = served.evaluate_vgl(r).clone();
+            for k in 0..4 {
+                assert_eq!(a.v[k], b.v[k], "k={k}");
+            }
+        }
+        assert!(
+            served.engine().fallbacks() >= 1,
+            "the direct path carried the physics"
+        );
     }
 
     #[test]

@@ -6,12 +6,28 @@ use qmc_bench::workload::batch_size;
 use qmc_bench::{coefficients, measure_routed_ablation, ServiceLoadConfig};
 use std::time::Duration;
 
+/// Strict env parse, matching `QMC_THREADS` / `QMC_NUMA_DOMAINS`: a
+/// set-but-garbage knob panics instead of silently probing the default.
 fn env_usize(key: &str, default: usize) -> usize {
-    std::env::var(key)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .filter(|&v| v > 0)
-        .unwrap_or(default)
+    match std::env::var(key) {
+        Err(_) => default,
+        Ok(raw) => match raw.trim().parse::<usize>() {
+            Ok(0) => panic!("{key} must be a positive integer, got 0"),
+            Ok(n) => n,
+            Err(_) => panic!("{key} must be a positive integer, got {raw:?}"),
+        },
+    }
+}
+
+/// Like [`env_usize`] but 0 is legal (streaming workloads, a zero
+/// retry budget).
+fn env_usize_or_zero(key: &str, default: usize) -> usize {
+    match std::env::var(key) {
+        Err(_) => default,
+        Ok(raw) => raw.trim().parse::<usize>().unwrap_or_else(|_| {
+            panic!("{key} must be a non-negative integer, got {raw:?}")
+        }),
+    }
 }
 
 fn main() {
@@ -19,7 +35,7 @@ fn main() {
     let domains = env_usize("PROBE_DOMAINS", 8);
     let ppr = env_usize("PROBE_PPR", 8);
     let pipeline = env_usize("PROBE_PIPELINE", 8);
-    let distinct = env_usize("PROBE_DISTINCT", 2);
+    let distinct = env_usize_or_zero("PROBE_DISTINCT", 2);
     let submitters = env_usize("PROBE_SUBMITTERS", 4);
     let max_batch = env_usize("PROBE_MAX_BATCH", 2 * batch_size());
     let reqs = env_usize("PROBE_REQS", 32);
@@ -36,6 +52,7 @@ fn main() {
         max_wait: Duration::from_micros(200),
         queue_positions: 4096,
         routing: RoutingPolicy::Fifo,
+        max_retries: env_usize_or_zero("PROBE_RETRIES", 2),
     };
     let load = ServiceLoadConfig {
         submitters,
@@ -46,6 +63,7 @@ fn main() {
         distinct_blocks: distinct,
         reps,
         seed: 0xd15c,
+        deadline: None,
     };
     let a = measure_routed_ablation(&table, Kernel::Vgh, base, domains, &load);
     println!(

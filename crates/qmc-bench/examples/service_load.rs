@@ -29,7 +29,16 @@
 //!   reference, which re-evaluates a cache-resident position set);
 //! * `QMC_SERVICE_ROUTING` — `fifo` (single queue, the default) or
 //!   `affinity` (shard queues with block-affinity routing; shard count
-//!   from `QMC_NUMA_DOMAINS` or the host's NUMA topology).
+//!   from `QMC_NUMA_DOMAINS` or the host's NUMA topology);
+//! * `QMC_SERVICE_DEADLINE_US` — service-side request deadline in µs
+//!   (unset = no deadline): requests still queued past it are shed and
+//!   counted in the `shed` column instead of the latency percentiles;
+//! * `QMC_SERVICE_RETRIES` — crash re-enqueue budget per request
+//!   (default 2; 0 = fail a request on its first lost worker).
+//!
+//! All knobs parse strictly, matching `QMC_THREADS` /
+//! `QMC_NUMA_DOMAINS`: a set-but-garbage value panics instead of
+//! silently falling back and invalidating the measurement.
 
 use bspline::service::{RoutingPolicy, ServiceConfig, SpoService};
 use bspline::{BsplineSoA, Kernel};
@@ -41,11 +50,25 @@ use qmc_bench::{
 use std::time::Duration;
 
 fn env_usize(key: &str, default: usize) -> usize {
-    std::env::var(key)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .filter(|&v| v > 0)
-        .unwrap_or(default)
+    match std::env::var(key) {
+        Err(_) => default,
+        Ok(raw) => match raw.trim().parse::<usize>() {
+            Ok(0) => panic!("{key} must be a positive integer, got 0"),
+            Ok(n) => n,
+            Err(_) => panic!("{key} must be a positive integer, got {raw:?}"),
+        },
+    }
+}
+
+/// Like [`env_usize`] but 0 is a legal value (streaming workloads, a
+/// zero retry budget).
+fn env_usize_or_zero(key: &str, default: usize) -> usize {
+    match std::env::var(key) {
+        Err(_) => default,
+        Ok(raw) => raw.trim().parse::<usize>().unwrap_or_else(|_| {
+            panic!("{key} must be a non-negative integer, got {raw:?}")
+        }),
+    }
 }
 
 fn main() {
@@ -63,10 +86,14 @@ fn main() {
     // 0 = fresh random positions per request (streaming workload);
     // n > 0 = each submitter cycles n distinct blocks, mirroring the
     // closed-loop reference's re-evaluated position set.
-    let distinct = std::env::var("QMC_SERVICE_DISTINCT")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(2);
+    let distinct = env_usize_or_zero("QMC_SERVICE_DISTINCT", 2);
+    let max_retries = env_usize_or_zero("QMC_SERVICE_RETRIES", 2);
+    let deadline = match std::env::var("QMC_SERVICE_DEADLINE_US") {
+        Err(_) => None,
+        Ok(_) => Some(Duration::from_micros(
+            env_usize("QMC_SERVICE_DEADLINE_US", 0) as u64,
+        )),
+    };
     let routing = match std::env::var("QMC_SERVICE_ROUTING").as_deref() {
         Err(_) | Ok("fifo") => RoutingPolicy::Fifo,
         Ok("affinity") => RoutingPolicy::Auto,
@@ -93,6 +120,7 @@ fn main() {
             max_wait: Duration::from_micros(200),
             queue_positions: 4096,
             routing,
+            max_retries,
         },
     );
     println!(
@@ -111,6 +139,7 @@ fn main() {
             "p50 µs",
             "p95 µs",
             "p99 µs",
+            "shed",
             "pos/engine-call",
         ],
     );
@@ -138,6 +167,7 @@ fn main() {
             distinct_blocks: distinct,
             reps: 3,
             seed: 0x10ad,
+            deadline,
         };
         let load = measure_service(&service, Kernel::Vgh, &cfg);
         t.row(vec![
@@ -147,6 +177,7 @@ fn main() {
             format!("{:.0}", load.p50_us),
             format!("{:.0}", load.p95_us),
             format!("{:.0}", load.p99_us),
+            format!("{}", load.shed),
             format!("{:.1}", load.mean_batch_positions),
         ]);
     }

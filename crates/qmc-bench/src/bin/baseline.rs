@@ -52,11 +52,20 @@
 //!   gate per-category *step* throughput the way the kernel rows gate
 //!   microbenchmark throughput; the whole profile is replayed once per
 //!   backend, so the five rows of one column share a single
-//!   self-consistent rep. Older files stay readable (pre-v4 rows imply
+//!   self-consistent rep. Schema v9 adds the degraded-mode service row
+//!   (`service_vgh_soa_degraded_n…`): the saturation load re-run over a
+//!   service whose worker 0 is killed by a scripted
+//!   [`bspline::service::ServiceFault::Kill`] early in the run, so the
+//!   latency percentiles are the surviving pool's tail — the
+//!   fault-tolerance p99 the compare gate holds like any other service
+//!   row — plus per-row fault counters
+//!   (`shed`/`retried`/`panics`/`respawns`) recorded for the degraded
+//!   row. Older files stay readable (pre-v4 rows imply
 //!   `blocks = threads = 1`; pre-v5 rows carry no latency and are
 //!   gated on throughput only; pre-v6 files simply lack the onemove
-//!   rows, pre-v7 files the routing rows, and pre-v8 files the
-//!   table4 step rows, which go ungated until re-recorded).
+//!   rows, pre-v7 files the routing rows, pre-v8 files the
+//!   table4 step rows, and pre-v9 files the degraded row, which go
+//!   ungated until re-recorded).
 //!
 //!   `cargo run --release -p qmc-bench --bin baseline [-- out.json]`
 //!
@@ -98,7 +107,8 @@ use qmc_bench::workload::{batch_size, coefficients_in, is_quick};
 use qmc_bench::{
     coefficients, measure_kernel, measure_kernel_batched, measure_nested_blocked,
     measure_nested_monolithic, measure_onemove, measure_routed_ablation,
-    measure_service, measure_service_onemove_mixed, measure_step_profile,
+    measure_service, measure_service_degraded, measure_service_onemove_mixed,
+    measure_step_profile,
     measure_tile_major, MeasureConfig, MixedOneMoveConfig, NestedConfig,
     OneMoveConfig, OneMovePath, OneMoveStats, ProfileConfig, ServiceLoadConfig,
     Suite, Table, STEP_CATEGORY_NAMES,
@@ -138,6 +148,10 @@ struct Row {
     /// measured on the SIMD (production) pass. `None` for closed-loop
     /// rows and for rows parsed from pre-v5 files.
     lat: Option<[f64; 3]>,
+    /// Fault counters `[shed, retried, panics, respawns]` from the SIMD
+    /// pass — recorded (not gated) for the degraded-mode service row.
+    /// `None` everywhere else and for rows parsed from pre-v9 files.
+    ctr: Option<[usize; 4]>,
 }
 
 /// Throughput in M-evals/s with 2 decimals (host numbers here are in
@@ -171,6 +185,7 @@ fn ab<F: FnMut() -> f64>(name: impl Into<String>, precision: &str, mut f: F) -> 
         scalar,
         simd,
         lat: None,
+            ctr: None,
     }
 }
 
@@ -196,6 +211,7 @@ fn ab_service<F: FnMut() -> (f64, [f64; 3])>(
         scalar,
         simd,
         lat: Some(lat),
+            ctr: None,
     }
 }
 
@@ -218,6 +234,7 @@ fn ab_onemove<F: FnMut() -> (f64, [f64; 3])>(
         scalar,
         simd,
         lat: Some(lat),
+            ctr: None,
     }
 }
 
@@ -406,6 +423,7 @@ fn measure_all() -> Vec<Row> {
         max_wait: Duration::from_micros(200),
         queue_positions: 4096,
         routing: RoutingPolicy::Fifo,
+        ..ServiceConfig::default()
     };
     // pipeline = 4: 4 submitters × 4 in-flight × (batch_size/2)
     // positions keeps two fused batches outstanding — enough to keep
@@ -426,6 +444,7 @@ fn measure_all() -> Vec<Row> {
         distinct_blocks: 2,
         reps: 5,
         seed: 0x5e71ce,
+        deadline: None,
     };
     // Time-aligned closed-loop reference for the saturation bar: this
     // host swings 2x on minute scales, and the fig7a rows run minutes
@@ -458,6 +477,36 @@ fn measure_all() -> Vec<Row> {
             },
         ));
         eprintln!("service {tag} N={n8} done");
+    }
+
+    // Degraded-mode service row (schema v9): the saturation load again,
+    // but over a service whose worker 0 is killed by a scripted fault
+    // eight requests in — the replica loss persists across reps, so the
+    // committed latency percentiles are the *surviving* pool's tail
+    // under full offered load, and the compare gate holds that p99 the
+    // way it holds the healthy rows'. The fault counters ride along in
+    // the row (recorded, not gated). Skipped when the host grants only
+    // one replica — a kill would leave no survivor and the row would
+    // measure the failure path, not degraded capacity.
+    if svc_replicas >= 2 {
+        let mut ctr = [0usize; 4];
+        let mut row = ab_service(
+            format!("service_vgh_soa_degraded_n{n8}"),
+            "f32",
+            svc_replicas,
+            || {
+                let d =
+                    measure_service_degraded(&table8, Kernel::Vgh, svc_cfg, &svc_load);
+                ctr = [d.shed, d.retried, d.panics, d.respawns];
+                (
+                    d.load.evals_per_sec,
+                    [d.load.p50_us, d.load.p95_us, d.load.p99_us],
+                )
+            },
+        );
+        row.ctr = Some(ctr);
+        rows.push(row);
+        eprintln!("service degraded N={n8} done");
     }
 
     // One-move rows (schema v6): the single-electron fast path at the
@@ -543,6 +592,7 @@ fn measure_all() -> Vec<Row> {
         max_wait: Duration::from_micros(200),
         queue_positions: 4096,
         routing: RoutingPolicy::Fifo, // overridden per service inside the ablation
+        ..ServiceConfig::default()
     };
     let routed_load = ServiceLoadConfig {
         submitters: 4,
@@ -557,6 +607,7 @@ fn measure_all() -> Vec<Row> {
         distinct_blocks: 2,
         reps: 3,
         seed: 0xd15c,
+        deadline: None,
     };
     let routed_domains = 8;
     {
@@ -584,6 +635,7 @@ fn measure_all() -> Vec<Row> {
                 scalar: s.evals_per_sec,
                 simd: p.evals_per_sec,
                 lat: Some([p.p50_us, p.p95_us, p.p99_us]),
+            ctr: None,
             });
         }
         eprintln!("service routed ablation N={routed_n} done");
@@ -654,6 +706,7 @@ fn measure_all() -> Vec<Row> {
                     scalar: scalar.rate(i),
                     simd: simd.rate(i),
                     lat: None,
+            ctr: None,
                 });
             }
             rows.push(Row {
@@ -664,6 +717,7 @@ fn measure_all() -> Vec<Row> {
                 scalar: scalar.total_rate(),
                 simd: simd.total_rate(),
                 lat: None,
+            ctr: None,
             });
             eprintln!("table4 step profile N={n_step} done");
         }
@@ -732,6 +786,8 @@ fn merge_recorded(a: &mut Row, b: &Row) {
         }
         (x, y) => x.or(y),
     };
+    // Fault counters are informational; keep the first pass's set.
+    a.ctr = a.ctr.or(b.ctr);
 }
 
 /// Merge the *compare*-side retry pass into the measured row: max
@@ -747,6 +803,7 @@ fn merge_best(a: &mut Row, b: &Row) {
         }
         (x, y) => x.or(y),
     };
+    a.ctr = a.ctr.or(b.ctr);
 }
 
 /// `old_p99 / new_p99` when both rows carry latency percentiles —
@@ -915,7 +972,7 @@ fn write_json(rows: &[Row], out_path: &str) {
         .collect();
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"schema\": \"qmc-bench-baseline-v8\",\n");
+    json.push_str("  \"schema\": \"qmc-bench-baseline-v9\",\n");
     let _ = writeln!(
         json,
         "  \"host\": {{ \"cpu\": {:?}, \"threads\": {threads} }},",
@@ -946,9 +1003,17 @@ fn write_json(rows: &[Row], out_path: &str) {
                 l[0], l[1], l[2]
             )
         });
+        // Fault counters only appear on the degraded service row; the
+        // parser treats their absence as "no counters recorded".
+        let ctr = r.ctr.map_or_else(String::new, |c| {
+            format!(
+                ", \"shed\": {}, \"retried\": {}, \"panics\": {}, \"respawns\": {}",
+                c[0], c[1], c[2], c[3]
+            )
+        });
         let _ = writeln!(
             json,
-            "    {{ \"name\": \"{}\", \"precision\": \"{}\", \"blocks\": {}, \"threads\": {}, \"scalar\": {}, \"simd\": {}{} }}{}",
+            "    {{ \"name\": \"{}\", \"precision\": \"{}\", \"blocks\": {}, \"threads\": {}, \"scalar\": {}, \"simd\": {}{}{} }}{}",
             r.name,
             r.precision,
             r.blocks,
@@ -956,6 +1021,7 @@ fn write_json(rows: &[Row], out_path: &str) {
             mops(r.scalar),
             mops(r.simd),
             lat,
+            ctr,
             if i + 1 == rows.len() { "" } else { "," }
         );
     }
@@ -974,20 +1040,21 @@ struct Baseline {
     v2: bool,
 }
 
-/// Extract rows + header from a v2–v8 baseline file (the writer emits
+/// Extract rows + header from a v2–v9 baseline file (the writer emits
 /// one kernel object per line; no JSON dependency needed). v2 rows
 /// carry no `precision` field and are treated as `f32` — the only
 /// precision v2 measured; v2/v3 rows carry no `blocks`/`threads`
 /// fields and default both to 1 (every pre-v4 row was monolithic and
 /// flat); pre-v5 rows carry no latency percentiles and are gated on
 /// throughput only; pre-v6 files lack the `onemove_…` rows, pre-v7
-/// files the routing rows, and pre-v8 files the `table4_step_…` rows —
-/// all simply not gated until the baseline is re-recorded.
+/// files the routing rows, pre-v8 files the `table4_step_…` rows, and
+/// pre-v9 files the degraded-mode row and its fault counters — all
+/// simply not gated until the baseline is re-recorded.
 fn parse_baseline(text: &str) -> Result<Baseline, String> {
-    let known = (2..=8).any(|v| text.contains(&format!("qmc-bench-baseline-v{v}")));
+    let known = (2..=9).any(|v| text.contains(&format!("qmc-bench-baseline-v{v}")));
     if !known {
         return Err(
-            "baseline file is not schema v2–v8 — re-record it first".into(),
+            "baseline file is not schema v2–v9 — re-record it first".into(),
         );
     }
     let v2 = text.contains("qmc-bench-baseline-v2");
@@ -1038,6 +1105,17 @@ fn parse_baseline(text: &str) -> Result<Baseline, String> {
             (Some(p50), Some(p95), Some(p99)) => Some([p50, p95, p99]),
             _ => None,
         };
+        let ctr = match (
+            num_after(line, "shed"),
+            num_after(line, "retried"),
+            num_after(line, "panics"),
+            num_after(line, "respawns"),
+        ) {
+            (Some(s), Some(r), Some(p), Some(w)) => {
+                Some([s as usize, r as usize, p as usize, w as usize])
+            }
+            _ => None,
+        };
         rows.push(Row {
             name,
             precision,
@@ -1046,6 +1124,7 @@ fn parse_baseline(text: &str) -> Result<Baseline, String> {
             scalar: scalar * 1e6,
             simd: simd * 1e6,
             lat,
+            ctr,
         });
     }
     if rows.is_empty() {
@@ -1251,8 +1330,18 @@ mod tests {
     use super::*;
 
     #[test]
-    fn v8_rows_roundtrip_through_writer_and_parser() {
+    fn v9_rows_roundtrip_through_writer_and_parser() {
         let rows = vec![
+            Row {
+                name: "service_vgh_soa_degraded_n512".into(),
+                precision: "f32".into(),
+                blocks: 1,
+                threads: 2,
+                scalar: 0.8e6,
+                simd: 1.6e6,
+                lat: Some([130.0, 420.0, 770.5]),
+                ctr: Some([3, 2, 1, 0]),
+            },
             Row {
                 name: "fig9_vgh_nested_blocked_n512".into(),
                 precision: "f32".into(),
@@ -1261,6 +1350,7 @@ mod tests {
                 scalar: 1.25e6,
                 simd: 14.5e6,
                 lat: None,
+            ctr: None,
             },
             Row {
                 name: "service_vgh_soa_open_n512".into(),
@@ -1270,6 +1360,7 @@ mod tests {
                 scalar: 1.0e6,
                 simd: 2.0e6,
                 lat: Some([110.5, 340.0, 612.25]),
+            ctr: None,
             },
             Row {
                 name: "onemove_vgl_soa_n512".into(),
@@ -1279,6 +1370,7 @@ mod tests {
                 scalar: 3.0e6,
                 simd: 24.0e6,
                 lat: Some([4.5, 7.0, 11.25]),
+            ctr: None,
             },
             Row {
                 name: "service_routed_affinity_n2048".into(),
@@ -1288,6 +1380,7 @@ mod tests {
                 scalar: 1.5e6,
                 simd: 30.0e6,
                 lat: Some([210.0, 650.0, 980.5]),
+            ctr: None,
             },
             Row {
                 name: "table4_step_determinant_n2048".into(),
@@ -1297,41 +1390,70 @@ mod tests {
                 scalar: 0.49e6,
                 simd: 1.02e6,
                 lat: None,
+            ctr: None,
             },
         ];
-        let tmp = std::env::temp_dir().join("qmc-baseline-v8-roundtrip.json");
+        let tmp = std::env::temp_dir().join("qmc-baseline-v9-roundtrip.json");
         write_json(&rows, tmp.to_str().unwrap());
         let text = std::fs::read_to_string(&tmp).unwrap();
-        assert!(text.contains("qmc-bench-baseline-v8"));
-        let parsed = parse_baseline(&text).expect("v8 parses");
+        assert!(text.contains("qmc-bench-baseline-v9"));
+        let parsed = parse_baseline(&text).expect("v9 parses");
         assert!(!parsed.v2);
-        assert_eq!(parsed.rows.len(), 5);
-        assert_eq!(parsed.rows[0].blocks, 7);
-        assert_eq!(parsed.rows[0].threads, 4);
-        assert_eq!(parsed.rows[0].lat, None);
-        assert_eq!(parsed.rows[1].threads, 2);
+        assert_eq!(parsed.rows.len(), 6);
+        // Degraded row: counters and latency both round-trip.
+        let deg = &parsed.rows[0];
+        assert_eq!(deg.ctr, Some([3, 2, 1, 0]));
+        let dl = deg.lat.expect("degraded row keeps latency");
+        assert!((dl[2] - 770.5).abs() < 0.1);
+        assert_eq!(parsed.rows[1].blocks, 7);
+        assert_eq!(parsed.rows[1].threads, 4);
+        assert_eq!(parsed.rows[1].lat, None);
+        assert_eq!(parsed.rows[1].ctr, None);
+        assert_eq!(parsed.rows[2].threads, 2);
         // Latency fields round-trip at 0.1 µs precision.
-        let lat = parsed.rows[1].lat.expect("service row keeps latency");
+        let lat = parsed.rows[2].lat.expect("service row keeps latency");
         assert!((lat[0] - 110.5).abs() < 0.05);
         assert!((lat[1] - 340.0).abs() < 0.05);
         assert!((lat[2] - 612.25).abs() < 0.1);
         // Per-move latency percentiles survive the onemove row too.
-        let om = parsed.rows[2].lat.expect("onemove row keeps latency");
+        let om = parsed.rows[3].lat.expect("onemove row keeps latency");
         assert!((om[0] - 4.5).abs() < 0.05);
         assert!((om[2] - 11.25).abs() < 0.1);
         // Routed rows round-trip like any other service row.
-        let rt = parsed.rows[3].lat.expect("routed row keeps latency");
+        let rt = parsed.rows[4].lat.expect("routed row keeps latency");
         assert!((rt[2] - 980.5).abs() < 0.1);
         // mops() rounds to 2 decimals of M-evals/s.
-        assert!((parsed.rows[0].simd - 14.5e6).abs() < 1e4);
+        assert!((parsed.rows[1].simd - 14.5e6).abs() < 1e4);
         // Table IV step rows round-trip like throughput-only kernel
         // rows: a slow per-step category still lands above the 0.01 M
         // serialization floor.
-        let step = &parsed.rows[4];
+        let step = &parsed.rows[5];
         assert_eq!(step.lat, None);
         assert!((step.scalar - 0.49e6).abs() < 1e4);
         assert!((step.simd - 1.02e6).abs() < 1e4);
         let _ = std::fs::remove_file(tmp);
+    }
+
+    #[test]
+    fn v8_files_stay_readable_without_degraded_row_or_counters() {
+        let v8 = r#"{
+  "schema": "qmc-bench-baseline-v8",
+  "simd": { "active": "avx2", "available": ["scalar", "avx2"] },
+  "kernels": [
+    { "name": "service_vgh_soa_sat_n512", "precision": "f32", "blocks": 1, "threads": 2, "scalar": 1.00, "simd": 2.00, "p50_us": 110.5, "p95_us": 340.0, "p99_us": 612.2 },
+    { "name": "table4_step_total_n512", "precision": "f32", "blocks": 1, "threads": 1, "scalar": 0.49, "simd": 1.02 }
+  ]
+}"#;
+        let parsed = parse_baseline(v8).expect("v8 parses");
+        assert!(!parsed.v2);
+        assert_eq!(parsed.rows.len(), 2);
+        // No counters in a v8 row → None; the degraded row is simply
+        // absent until the baseline is re-recorded.
+        assert!(parsed.rows.iter().all(|r| r.ctr.is_none()));
+        assert!(!parsed
+            .rows
+            .iter()
+            .any(|r| r.name.starts_with("service_vgh_soa_degraded_")));
     }
 
     #[test]
@@ -1361,6 +1483,7 @@ mod tests {
             scalar,
             simd,
             lat: Some([1.0, 2.0, 3.0]),
+            ctr: None,
         };
         let rows = vec![
             mk("service_routed_fifo_n2048", 1.0e6, 20.0e6),
@@ -1384,6 +1507,7 @@ mod tests {
             scalar: 1.0,
             simd,
             lat: Some(lat),
+            ctr: None,
         };
         // Both merges keep the max throughput; they differ on latency:
         // record commits the worst tail seen (a future single run can
@@ -1449,6 +1573,7 @@ mod tests {
             scalar,
             simd,
             lat: Some([1.0, 2.0, 3.0]),
+            ctr: None,
         };
         // Equal evals/s: the fused fast pair makes 1 call/move vs the
         // legacy 2, so equal evals-throughput means 2x the moves/s.
@@ -1490,6 +1615,7 @@ mod tests {
             scalar: 1.0e6,
             simd: 2.0e6,
             lat,
+            ctr: None,
         };
         // Pre-v5 committed row: no gate even if the new run has latency.
         assert_eq!(latency_ratio(&mk(None), &mk(Some([1.0, 2.0, 3.0]))), None);
@@ -1510,6 +1636,7 @@ mod tests {
             scalar,
             simd,
             lat,
+            ctr: None,
         };
         let mut a = mk(1.0, 5.0, Some([120.0, 300.0, 900.0]));
         let b = mk(2.0, 4.0, Some([150.0, 250.0, 800.0]));

@@ -31,9 +31,10 @@ pub mod workload;
 pub use measure::{
     measure_kernel, measure_kernel_batched, measure_nested_blocked,
     measure_nested_monolithic, measure_onemove, measure_routed_ablation,
-    measure_service, measure_service_onemove_mixed, measure_tile_major,
-    MeasureConfig, MixedOneMoveConfig, MixedOneMoveStats, NestedConfig, OneMoveConfig,
-    OneMovePath, OneMoveStats, RoutedAblation, ServiceLoad, ServiceLoadConfig,
+    measure_service, measure_service_degraded, measure_service_onemove_mixed,
+    measure_tile_major, DegradedLoad, MeasureConfig, MixedOneMoveConfig,
+    MixedOneMoveStats, NestedConfig, OneMoveConfig, OneMovePath, OneMoveStats,
+    RoutedAblation, ServiceLoad, ServiceLoadConfig,
 };
 pub use modelled::{model_prediction, sim_threads, ModelScenario};
 pub use profile_suite::{

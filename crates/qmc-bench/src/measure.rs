@@ -3,7 +3,9 @@
 use crate::workload::{batch_size, pos_block_in, positions_in};
 use bspline::blocked::BlockedEngine;
 use bspline::parallel::{run_nested, run_nested_blocked};
-use bspline::service::{RoutingPolicy, ServiceConfig, SpoService};
+use bspline::service::{
+    RoutingPolicy, ServiceConfig, ServiceFault, ServiceFaultPlan, SpoService,
+};
 use bspline::walker::walker_rng;
 use bspline::SpoEngine;
 use bspline::{
@@ -365,6 +367,12 @@ pub struct ServiceLoadConfig {
     pub reps: usize,
     /// Position RNG seed.
     pub seed: u64,
+    /// Service-side request deadline: `Some(d)` submits every request
+    /// through [`SpoService::submit_with_deadline`] with `issue_at + d`
+    /// (charged from the *intended* send time, like the latency
+    /// accounting), so queueing past the deadline sheds the request
+    /// instead of evaluating stale work. `None` = no deadline.
+    pub deadline: Option<Duration>,
 }
 
 impl Default for ServiceLoadConfig {
@@ -378,6 +386,7 @@ impl Default for ServiceLoadConfig {
             distinct_blocks: 2,
             reps: 3,
             seed: 0xca11,
+            deadline: None,
         }
     }
 }
@@ -395,8 +404,15 @@ pub struct ServiceLoad {
     pub p95_us: f64,
     /// 99th-percentile request latency, microseconds.
     pub p99_us: f64,
-    /// Requests measured.
+    /// Requests measured (successful completions; failed requests are
+    /// excluded from the latency distribution and the throughput
+    /// numerator).
     pub requests: usize,
+    /// Requests that resolved to a service error instead of a result —
+    /// deadline sheds ([`ServiceLoadConfig::deadline`]) plus any
+    /// retry-budget worker losses. Their buffers are recycled; their
+    /// (non-)latency is never sampled.
+    pub shed: usize,
     /// Mean positions per fused engine call over the run (coalescing
     /// effectiveness; ≈ `positions_per_request` means no coalescing).
     pub mean_batch_positions: f64,
@@ -419,8 +435,11 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
 /// latency) whenever the pool runs dry. Latency runs from the request's
 /// scheduled issue time (see [`ServiceLoadConfig::offered_rps`]) to the
 /// completion instant the worker stamped inside the service
-/// ([`bspline::service::Ticket::wait_timed`]), so neither submitter
-/// pacing slip nor reaping delay is charged to the service.
+/// ([`bspline::service::Ticket::redeem`]), so neither submitter
+/// pacing slip nor reaping delay is charged to the service. Requests
+/// that resolve to a service error (deadline sheds, exhausted retry
+/// budgets) recycle their buffers and count in [`ServiceLoad::shed`]
+/// instead of the latency distribution.
 pub fn measure_service<T: Real, E: SpoEngine<T> + 'static>(
     service: &SpoService<T, E>,
     kernel: Kernel,
@@ -457,7 +476,7 @@ fn run_service_load<T: Real, E: SpoEngine<T> + 'static>(
         .map(|rps| Duration::from_secs_f64(cfg.submitters as f64 / rps));
 
     let start = Instant::now();
-    let per_submitter: Vec<Vec<f64>> = std::thread::scope(|s| {
+    let per_submitter: Vec<(Vec<f64>, usize)> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..cfg.submitters)
             .map(|w| {
                 s.spawn(move || {
@@ -482,17 +501,34 @@ fn run_service_load<T: Real, E: SpoEngine<T> + 'static>(
                     )> = std::collections::VecDeque::new();
                     let mut latencies =
                         Vec::with_capacity(cfg.requests_per_submitter);
+                    let mut shed = 0usize;
                     let reap = |outstanding: &mut std::collections::VecDeque<_>,
                                     pool: &mut Vec<_>,
-                                    latencies: &mut Vec<f64>| {
+                                    latencies: &mut Vec<f64>,
+                                    shed: &mut usize| {
                         let (issued, ticket): (
                             Instant,
                             bspline::service::Ticket<T, E::Out>,
                         ) = outstanding.pop_front().expect("an in-flight request");
-                        let (pos, out, done_at) = ticket.wait_timed();
-                        latencies
-                            .push(done_at.duration_since(issued).as_secs_f64() * 1e6);
-                        pool.push((pos, out));
+                        match ticket.redeem() {
+                            Ok((pos, out, done_at)) => {
+                                latencies.push(
+                                    done_at.duration_since(issued).as_secs_f64() * 1e6,
+                                );
+                                pool.push((pos, out));
+                            }
+                            Err(f) => {
+                                // Shed (or retry-exhausted) request: the
+                                // buffers come back untouched — recycle
+                                // them, sample nothing.
+                                *shed += 1;
+                                let pos =
+                                    f.pos.expect("service failures return the block");
+                                let out =
+                                    f.out.expect("service failures return the outputs");
+                                pool.push((pos, out));
+                            }
+                        }
                     };
                     for i in 0..cfg.requests_per_submitter {
                         // Intended issue time: paced for open-loop,
@@ -510,7 +546,7 @@ fn run_service_load<T: Real, E: SpoEngine<T> + 'static>(
                             None => Instant::now(),
                         };
                         if pool.is_empty() {
-                            reap(&mut outstanding, &mut pool, &mut latencies);
+                            reap(&mut outstanding, &mut pool, &mut latencies, &mut shed);
                         }
                         let (mut pos, out) = pool.pop().expect("reap refilled");
                         pos.clear();
@@ -524,13 +560,17 @@ fn run_service_load<T: Real, E: SpoEngine<T> + 'static>(
                         } else {
                             pos.extend_from_block(&fixed[i % fixed.len()]);
                         }
-                        let ticket = service.submit(kernel, pos, out);
+                        let ticket = match cfg.deadline {
+                            Some(d) => service
+                                .submit_with_deadline(kernel, pos, out, issue_at + d),
+                            None => service.submit(kernel, pos, out),
+                        };
                         outstanding.push_back((issue_at, ticket));
                     }
                     while !outstanding.is_empty() {
-                        reap(&mut outstanding, &mut pool, &mut latencies);
+                        reap(&mut outstanding, &mut pool, &mut latencies, &mut shed);
                     }
-                    latencies
+                    (latencies, shed)
                 })
             })
             .collect();
@@ -538,7 +578,9 @@ fn run_service_load<T: Real, E: SpoEngine<T> + 'static>(
     });
     let wall = start.elapsed().as_secs_f64();
 
-    let mut latencies: Vec<f64> = per_submitter.into_iter().flatten().collect();
+    let shed: usize = per_submitter.iter().map(|(_, s)| s).sum();
+    let mut latencies: Vec<f64> =
+        per_submitter.into_iter().flat_map(|(lat, _)| lat).collect();
     latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
     let requests = latencies.len();
     let total_positions = requests * cfg.positions_per_request;
@@ -551,6 +593,7 @@ fn run_service_load<T: Real, E: SpoEngine<T> + 'static>(
         p95_us: percentile(&latencies, 95.0),
         p99_us: percentile(&latencies, 99.0),
         requests,
+        shed,
         mean_batch_positions: if run_batches == 0 {
             0.0
         } else {
@@ -617,6 +660,66 @@ pub fn measure_routed_ablation<T: Real>(
         routed,
         spilled: stats.spilled,
         stolen: stats.stolen,
+    }
+}
+
+/// Result of [`measure_service_degraded`]: the open-loop load numbers
+/// with one replica permanently lost, plus the fault counters the run
+/// accumulated.
+#[derive(Clone, Copy, Debug)]
+pub struct DegradedLoad {
+    /// The load measurement over the degraded pool.
+    pub load: ServiceLoad,
+    /// Requests the *service* shed (deadline passed while queued) —
+    /// the stats-counter view, vs the per-submitter count in
+    /// [`ServiceLoad::shed`].
+    pub shed: usize,
+    /// Requests re-enqueued after the worker crash.
+    pub retried: usize,
+    /// Worker panics caught (≥ 1: the injected kill).
+    pub panics: usize,
+    /// Worker slots respawned (0 here: a kill is non-respawnable).
+    pub respawns: usize,
+}
+
+/// Degraded-mode service measurement: build a service over `base`
+/// (which must configure ≥ 2 replicas) with a scripted
+/// [`ServiceFault::Kill`] that permanently takes worker 0 down early in
+/// the run, then measure the same open-loop load as
+/// [`measure_service`]. The kill persists across reps — every rep after
+/// the fault fires runs on the surviving pool — so the reported
+/// latencies are the degraded-capacity tail the baseline's
+/// fault-tolerance row gates on. Requests in flight on the killed
+/// worker are re-enqueued (bounded by [`ServiceConfig::max_retries`])
+/// and complete bit-identically on a survivor.
+pub fn measure_service_degraded<T: Real>(
+    table: &MultiCoefs<T>,
+    kernel: Kernel,
+    base: ServiceConfig,
+    cfg: &ServiceLoadConfig,
+) -> DegradedLoad {
+    assert!(
+        base.replicas >= 2,
+        "degraded-mode measurement needs a survivor (replicas >= 2)"
+    );
+    let service = SpoService::with_fault_plan(
+        BsplineSoA::new(table.clone()),
+        base,
+        ServiceFaultPlan {
+            faults: vec![ServiceFault::Kill {
+                worker: 0,
+                at_request: 8,
+            }],
+        },
+    );
+    let load = measure_service(&service, kernel, cfg);
+    let stats = service.stats();
+    DegradedLoad {
+        load,
+        shed: stats.shed,
+        retried: stats.retried,
+        panics: stats.panics,
+        respawns: stats.respawns,
     }
 }
 
@@ -715,10 +818,11 @@ pub fn measure_service_onemove_mixed<T: Real, E: SpoEngine<T> + 'static>(
                     let mut i = 0usize;
                     while !stop.load(Ordering::Relaxed) {
                         if pool.is_empty() {
-                            let (pos, out) = outstanding
+                            let (pos, out, _) = outstanding
                                 .pop_front()
                                 .expect("an in-flight request")
-                                .wait();
+                                .redeem()
+                                .expect("background request");
                             pool.push((pos, out));
                         }
                         let (mut pos, out) = pool.pop().expect("refilled");
@@ -728,7 +832,7 @@ pub fn measure_service_onemove_mixed<T: Real, E: SpoEngine<T> + 'static>(
                         outstanding.push_back(service.submit(kernel, pos, out));
                     }
                     while let Some(t) = outstanding.pop_front() {
-                        t.wait();
+                        t.redeem().expect("background request");
                     }
                 });
             }
@@ -742,8 +846,10 @@ pub fn measure_service_onemove_mixed<T: Real, E: SpoEngine<T> + 'static>(
                     let pos = PosBlock::random(&mut rng, 1, domain);
                     let out = service.engine().make_batch_out(1);
                     let issued = Instant::now();
-                    let (_, _, done_at) =
-                        service.submit(kernel, pos, out).wait_timed();
+                    let (_, _, done_at) = service
+                        .submit(kernel, pos, out)
+                        .redeem()
+                        .expect("one-move request");
                     lat.push(done_at.duration_since(issued).as_secs_f64() * 1e6);
                 }
                 let wall = t0.elapsed().as_secs_f64();
@@ -854,9 +960,11 @@ mod tests {
                 distinct_blocks: 2,
                 reps: 2,
                 seed: 1,
+                deadline: None,
             },
         );
         assert_eq!(sat.requests, 16);
+        assert_eq!(sat.shed, 0, "no deadline, nothing sheds");
         assert!(sat.evals_per_sec > 0.0);
         assert!(sat.p50_us > 0.0 && sat.p50_us <= sat.p95_us);
         assert!(sat.p95_us <= sat.p99_us);
@@ -878,10 +986,61 @@ mod tests {
                 distinct_blocks: 0,
                 reps: 1,
                 seed: 2,
+                deadline: None,
             },
         );
         assert_eq!(open.requests, 8);
         assert!(open.p99_us > 0.0);
+
+        // A generous deadline never sheds on this tiny load; every
+        // request still completes and is sampled.
+        let dl = measure_service(
+            &service,
+            Kernel::Vgh,
+            &ServiceLoadConfig {
+                submitters: 2,
+                requests_per_submitter: 4,
+                positions_per_request: 4,
+                pipeline: 2,
+                reps: 1,
+                seed: 3,
+                deadline: Some(std::time::Duration::from_secs(30)),
+                ..ServiceLoadConfig::default()
+            },
+        );
+        assert_eq!(dl.requests, 8);
+        assert_eq!(dl.shed, 0);
+    }
+
+    #[test]
+    fn degraded_measurement_survives_a_killed_replica() {
+        let table = coefficients(24, (8, 8, 8), 7);
+        let d = measure_service_degraded(
+            &table,
+            Kernel::Vgh,
+            ServiceConfig {
+                replicas: 2,
+                max_batch: 16,
+                max_wait: std::time::Duration::from_micros(100),
+                queue_positions: 256,
+                ..ServiceConfig::default()
+            },
+            &ServiceLoadConfig {
+                submitters: 2,
+                requests_per_submitter: 16,
+                positions_per_request: 4,
+                pipeline: 2,
+                reps: 2,
+                seed: 4,
+                ..ServiceLoadConfig::default()
+            },
+        );
+        // The kill fires once, panics the worker, and is never
+        // respawned; every request still resolves on the survivor.
+        assert_eq!(d.panics, 1);
+        assert_eq!(d.respawns, 0);
+        assert_eq!(d.load.requests + d.load.shed, 32);
+        assert!(d.load.evals_per_sec > 0.0);
     }
 
     #[test]

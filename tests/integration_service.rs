@@ -31,7 +31,7 @@
 //!    batch even for spatially-concentrated blocks that all classify
 //!    to one hot shard.
 
-use bspline::service::{RoutingPolicy, ServiceConfig, SpoService};
+use bspline::service::{RoutingPolicy, ServiceConfig, ServiceError, SpoService};
 use bspline::{BsplineSoA, Kernel, PosBlock, SpoEngine, WalkerSoA};
 use einspline::{Grid1, MultiCoefs, Real};
 use proptest::prelude::*;
@@ -122,7 +122,10 @@ fn stress_service<T: Real>(
                 for (i, sub) in my_chunks {
                     let len = sub.len();
                     let out = service.engine().make_batch_out(len);
-                    let (_, out) = service.submit(kernel, sub, out).wait();
+                    let (_, out, _) = service
+                        .submit(kernel, sub, out)
+                        .redeem()
+                        .expect("service request");
                     for j in 0..len {
                         assert_blocks_bitmatch(
                             kernel,
@@ -201,7 +204,10 @@ fn mixed_kernel_stream_returns_each_callers_own_results() {
                     let ki = (i + w) % Kernel::ALL.len();
                     let kernel = Kernel::ALL[ki];
                     let out = service.engine().make_batch_out(sub.len());
-                    let (_, out) = service.submit(kernel, sub.clone(), out).wait();
+                    let (_, out, _) = service
+                        .submit(kernel, sub.clone(), out)
+                        .redeem()
+                        .expect("service request");
                     for j in 0..sub.len() {
                         assert_blocks_bitmatch(
                             kernel,
@@ -232,7 +238,10 @@ fn tiny_queue_bound_throttles_without_deadlock() {
     let big = random_block::<f32>(8, 0x404 ^ 0x1111);
     let reference = direct_batch(service.engine(), Kernel::Vgl, &big);
     let out = service.engine().make_batch_out(big.len());
-    let (_, out) = service.submit(Kernel::Vgl, big, out).wait();
+    let (_, out, _) = service
+        .submit(Kernel::Vgl, big, out)
+        .redeem()
+        .expect("oversized request");
     for j in 0..8 {
         assert_blocks_bitmatch(
             Kernel::Vgl,
@@ -316,6 +325,7 @@ fn routed_service<T: Real>(
             max_wait: Duration::from_micros(200),
             queue_positions,
             routing,
+            ..ServiceConfig::default()
         },
     )
 }
@@ -366,7 +376,7 @@ proptest! {
                 .collect();
             let mut at = 0usize;
             for (i, t) in tickets.into_iter().enumerate() {
-                let (sub, out) = t.wait();
+                let (sub, out, _) = t.redeem().expect("service request");
                 for j in 0..sub.len() {
                     assert_blocks_bitmatch(
                         kernel,
@@ -424,7 +434,7 @@ proptest! {
             .collect();
         let mut at = 0usize;
         for (i, t) in tickets.into_iter().enumerate() {
-            let (sub, out) = t.wait();
+            let (sub, out, _) = t.redeem().expect("service request");
             for j in 0..sub.len() {
                 assert_blocks_bitmatch(
                     kernel,
@@ -440,7 +450,7 @@ proptest! {
     }
 }
 
-/// Teardown coverage (ISSUE 9 satellite): `Ticket::wait_for` timeout
+/// Teardown coverage (ISSUE 9 satellite): `Ticket::redeem_for` timeout
 /// expiry must hand the claim back without losing the request, and the
 /// eventual completion still bit-matches the direct batch.
 #[test]
@@ -467,8 +477,13 @@ fn wait_for_timeout_expires_then_request_still_completes() {
 
     // Expiry: far shorter than the fuse window.
     let start = std::time::Instant::now();
-    let ticket = match ticket.wait_for(Duration::from_millis(20)) {
-        Err(t) => t, // the claim comes back intact
+    let ticket = match ticket.redeem_for(Duration::from_millis(20)) {
+        Err(f) => {
+            // A wait-side timeout is typed, and the claim comes back
+            // intact for a later redeem.
+            assert_eq!(f.error, ServiceError::Timeout);
+            f.ticket.expect("timeout hands the claim back")
+        }
         Ok(_) => panic!("a partial batch cannot complete before max_wait"),
     };
     let waited = start.elapsed();
@@ -481,7 +496,7 @@ fn wait_for_timeout_expires_then_request_still_completes() {
     // The request was never lost: a second wait with a generous
     // deadline redeems it, bit-identical to the direct batch.
     let (got_pos, got_out, _at) = ticket
-        .wait_for(Duration::from_secs(30))
+        .redeem_for(Duration::from_secs(30))
         .unwrap_or_else(|_| panic!("request must complete within the fuse window"));
     assert_eq!(got_pos.len(), 3);
     for j in 0..got_pos.len() {
@@ -542,7 +557,7 @@ fn drop_with_queued_requests_completes_every_ticket() {
     // the drain ran the requests rather than abandoning the buffers.
     for (ki, at, ticket) in tickets {
         assert!(ticket.is_done(), "ticket completed by the drop drain");
-        let (sub, out) = ticket.wait();
+        let (sub, out, _) = ticket.redeem().expect("drained request");
         for j in 0..sub.len() {
             assert_blocks_bitmatch(
                 Kernel::ALL[ki],
